@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Ablation bench — design choices DESIGN.md calls out, quantified:
+ *
+ *  1. Class-representative rule: medoid (the paper's wording) vs
+ *     most-demanding member (SLO-safe) — the savings/violations
+ *     tradeoff.
+ *  2. Classifier: C4.5 vs naive Bayes (§3.5 says both work).
+ *  3. Certainty threshold sweep: hit rate vs full-capacity fallbacks.
+ *  4. Signature width: CFS-selected subset vs all 54 metrics
+ *     (classification cost and accuracy).
+ *  5. Tuner strategy: the paper's linear search vs a Kingfisher-style
+ *     minimum-cost grid search (§5 suggests the combination).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "experiments/scenario.hh"
+#include "ml/evaluation.hh"
+#include "ml/decision_tree.hh"
+#include "ml/naive_bayes.hh"
+#include "core/cost_tuner.hh"
+
+using namespace dejavu;
+
+namespace {
+
+struct RunResult
+{
+    double savings = 0.0;
+    double violations = 0.0;
+    int unknowns = 0;
+    double hitRate = 0.0;
+};
+
+template <typename Tweak>
+RunResult
+runTweaked(Tweak tweak, const std::string &trace = "messenger")
+{
+    ScenarioOptions options;
+    options.seed = 42;
+    options.traceName = trace;
+    auto stack = makeCassandraScaleOut(options);
+    DejaVuController::Config cfg = stack->controllerConfig;
+    tweak(cfg);
+    // Rebuild the controller with the tweaked config.
+    auto controller = std::make_unique<DejaVuController>(
+        *stack->service, *stack->profiler, cfg,
+        stack->sim->forkRng());
+    controller->learn(stack->experiment->learningWorkloads());
+    DejaVuPolicy policy(*stack->service, *controller);
+    const auto r = stack->experiment->run(policy);
+    return {r.savingsPercent, 100.0 * r.sloViolationFraction,
+            policy.unknownWorkloadEvents(),
+            100.0 * controller->repository().hitRate()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    printBanner(std::cout,
+                "Ablation 1: tuning representative — medoid vs "
+                "most-demanding member");
+    {
+        Table t({"rule", "savings_%", "slo_violation_%"});
+        const auto medoid = runTweaked([](auto &cfg) {
+            cfg.representativeRule =
+                DejaVuController::RepresentativeRule::Medoid;
+        });
+        const auto demanding = runTweaked([](auto &) {});
+        t.addRow({"medoid (paper's wording)",
+                  Table::num(medoid.savings, 0),
+                  Table::num(medoid.violations, 1)});
+        t.addRow({"most demanding (ours)",
+                  Table::num(demanding.savings, 0),
+                  Table::num(demanding.violations, 1)});
+        t.printText(std::cout);
+        std::cout << "medoid tuning under-provisions the upper half "
+                     "of each class: more savings, many more SLO "
+                     "violations\n";
+    }
+
+    printBanner(std::cout, "Ablation 2: classifier algorithm (§3.5)");
+    {
+        Table t({"classifier", "savings_%", "slo_violation_%",
+                 "unknown_events"});
+        const auto c45 = runTweaked([](auto &) {});
+        const auto bayes = runTweaked([](auto &cfg) {
+            cfg.algorithm = ClassifierEngine::Algorithm::NaiveBayes;
+        });
+        t.addRow({"C4.5 (J48)", Table::num(c45.savings, 0),
+                  Table::num(c45.violations, 1),
+                  std::to_string(c45.unknowns)});
+        t.addRow({"naive Bayes", Table::num(bayes.savings, 0),
+                  Table::num(bayes.violations, 1),
+                  std::to_string(bayes.unknowns)});
+        t.printText(std::cout);
+        std::cout << "both work (paper: 'Bayesian models and decision "
+                     "trees work well')\n";
+    }
+
+    printBanner(std::cout,
+                "Ablation 3: certainty threshold (hit rate vs "
+                "full-capacity fallbacks; HotMail trace, which "
+                "contains the day-4 flash crowd)");
+    {
+        Table t({"threshold", "savings_%", "unknown_events",
+                 "hit_rate_%"});
+        for (double th : {0.3, 0.5, 0.6, 0.8, 0.9}) {
+            const auto r = runTweaked([th](auto &cfg) {
+                cfg.certaintyThreshold = th;
+            }, "hotmail");
+            t.addRow({Table::num(th, 2), Table::num(r.savings, 0),
+                      std::to_string(r.unknowns),
+                      Table::num(r.hitRate, 1)});
+        }
+        t.printText(std::cout);
+        std::cout << "higher thresholds trade savings for safety: "
+                     "more workloads fall back to full capacity\n";
+    }
+
+    printBanner(std::cout,
+                "Ablation 4: signature width — CFS subset vs all "
+                "candidate metrics");
+    {
+        // Build the learning dataset once, compare classifiers on the
+        // selected subset vs the full 54-metric vector.
+        ScenarioOptions options;
+        options.seed = 42;
+        auto stack = makeCassandraScaleOut(options);
+        const auto workloads = stack->experiment->learningWorkloads();
+        Dataset full(Monitor::metricNames());
+        int label = 0;
+        for (const auto &w : workloads) {
+            for (int t = 0; t < 3; ++t)
+                full.add(stack->profiler->collectSignature(w).values,
+                         label / 6);  // coarse 4-class labels
+            ++label;
+        }
+        CfsSubsetSelector selector;
+        const auto chosen = selector.select(full);
+        const Dataset subset = full.project(chosen);
+        const double accFull = crossValidate(
+            [] { return std::make_unique<DecisionTree>(); }, full, 5,
+            7);
+        const double accSubset = crossValidate(
+            [] { return std::make_unique<DecisionTree>(); }, subset, 5,
+            7);
+        Table t({"feature set", "attributes", "cv_accuracy_%"});
+        t.addRow({"all candidates",
+                  std::to_string(full.numAttributes()),
+                  Table::num(100.0 * accFull, 1)});
+        t.addRow({"CFS subset", std::to_string(subset.numAttributes()),
+                  Table::num(100.0 * accSubset, 1)});
+        t.printText(std::cout);
+        std::cout << "CFS keeps accuracy while cutting the "
+                     "dimensionality (§3.3: 'reduce the "
+                     "dimensionality ... and significantly speed up "
+                     "the process')\n";
+    }
+
+    printBanner(std::cout,
+                "Ablation 5: Tuner strategy — linear ladder vs "
+                "cost-aware grid (Kingfisher-style, §5)");
+    {
+        ScenarioOptions options;
+        options.seed = 42;
+        auto stack = makeCassandraScaleOut(options);
+        const Slo slo = stack->controllerConfig.slo;
+        Tuner linear(*stack->profiler, slo,
+                     stack->controllerConfig.searchSpace);
+        CostAwareTuner costAware(*stack->profiler, slo);
+        Table t({"clients", "linear picks", "$/h", "cost-aware picks",
+                 "$/h", "experiments lin/cost"});
+        const RequestMix mix = cassandraUpdateHeavy();
+        for (double clients : {5000.0, 15000.0, 25000.0, 35000.0}) {
+            const Workload w{mix, clients};
+            const auto lin = linear.tune(w);
+            const auto cheap = costAware.tune(w);
+            t.addRow({Table::num(clients, 0),
+                      lin.allocation.toString(),
+                      Table::num(lin.allocation.dollarsPerHour(), 2),
+                      cheap.allocation.toString(),
+                      Table::num(cheap.allocation.dollarsPerHour(), 2),
+                      std::to_string(lin.experiments) + "/" +
+                          std::to_string(cheap.experiments)});
+        }
+        t.printText(std::cout);
+        std::cout << "the cost-aware grid can exploit cheaper "
+                     "small-instance combinations the fixed ladder "
+                     "never considers; both plug into the same "
+                     "repository ('DejaVu could simply use "
+                     "Kingfisher as its Tuner')\n";
+    }
+    return 0;
+}

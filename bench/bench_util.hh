@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: series
+ * downsampling and uniform printing, so every bench emits the same
+ * self-describing format.
+ */
+
+#ifndef DEJAVU_BENCH_BENCH_UTIL_HH
+#define DEJAVU_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "experiments/experiment.hh"
+
+namespace dejavu {
+
+/** Downsample a tick series to roughly @p maxPoints evenly spaced. */
+inline std::vector<SeriesPoint>
+downsample(const std::vector<SeriesPoint> &series,
+           std::size_t maxPoints = 84)
+{
+    if (series.size() <= maxPoints)
+        return series;
+    std::vector<SeriesPoint> out;
+    const double stride =
+        static_cast<double>(series.size()) / maxPoints;
+    for (std::size_t i = 0; i < maxPoints; ++i)
+        out.push_back(series[static_cast<std::size_t>(i * stride)]);
+    out.push_back(series.back());
+    return out;
+}
+
+/** Print one or more aligned series sharing a time axis. */
+inline void
+printSeries(std::ostream &os, const std::string &title,
+            const std::vector<std::string> &names,
+            const std::vector<const std::vector<SeriesPoint> *> &series,
+            std::size_t maxPoints = 84)
+{
+    printBanner(os, title);
+    std::vector<std::string> header = {"time_h"};
+    for (const auto &n : names)
+        header.push_back(n);
+    Table table(header);
+    std::vector<std::vector<SeriesPoint>> sampled;
+    for (const auto *s : series)
+        sampled.push_back(downsample(*s, maxPoints));
+    const std::size_t rows = sampled.front().size();
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<double> row = {sampled[0][r].timeHours};
+        for (const auto &s : sampled)
+            row.push_back(r < s.size() ? s[r].value : 0.0);
+        table.addNumericRow(row, 2);
+    }
+    table.printText(os);
+}
+
+} // namespace dejavu
+
+#endif // DEJAVU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared driver for the scale-out / scale-up case-study benches
+ * (Figures 6, 7, 9, 10): runs DejaVu plus the Autopilot baseline on
+ * one trace and prints the figure's three panels.
+ */
+
+#ifndef DEJAVU_BENCH_CASE_STUDY_HH
+#define DEJAVU_BENCH_CASE_STUDY_HH
+
+#include <iostream>
+#include <memory>
+
+#include "baselines/autopilot.hh"
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "experiments/scenario.hh"
+
+namespace dejavu {
+
+/** Build the Autopilot hour-of-day schedule by tuning each hour of
+ *  day 1 — "the hourly resource allocations learned during the first
+ *  day of the trace" (§4.1). */
+inline Autopilot::Schedule
+learnAutopilotSchedule(ScenarioStack &stack)
+{
+    Autopilot::Schedule schedule;
+    Tuner tuner(*stack.profiler, stack.controllerConfig.slo,
+                stack.controllerConfig.searchSpace);
+    const auto workloads = stack.experiment->learningWorkloads();
+    for (int h = 0; h < 24; ++h) {
+        const std::size_t idx = std::min<std::size_t>(
+            static_cast<std::size_t>(h), workloads.size() - 1);
+        schedule[static_cast<std::size_t>(h)] =
+            tuner.tune(workloads[idx]).allocation;
+    }
+    return schedule;
+}
+
+struct CaseStudyOutput
+{
+    ExperimentResult dejavu;
+    ExperimentResult autopilot;
+    int unknownEvents = 0;
+    int classes = 0;
+};
+
+/**
+ * Run one case study: DejaVu and Autopilot over the same scenario.
+ * @param makeStack scenario factory call, invoked once per policy so
+ *        each run starts from identical initial state.
+ */
+template <typename MakeStack>
+CaseStudyOutput
+runCaseStudy(MakeStack makeStack, bool withAutopilot = true)
+{
+    CaseStudyOutput out;
+    {
+        auto stack = makeStack();
+        if (stack->injector)
+            stack->injector->start();
+        const auto report = stack->learnDayOne();
+        out.classes = report.classes;
+        DejaVuPolicy policy(*stack->service, *stack->controller);
+        out.dejavu = stack->experiment->run(policy);
+        out.unknownEvents = policy.unknownWorkloadEvents();
+    }
+    if (withAutopilot) {
+        auto stack = makeStack();
+        if (stack->injector)
+            stack->injector->start();
+        const auto schedule = learnAutopilotSchedule(*stack);
+        Autopilot pilot(*stack->service, schedule);
+        out.autopilot = stack->experiment->run(pilot);
+    }
+    return out;
+}
+
+/** Print the standard three-panel figure plus the summary block. */
+inline void
+printCaseStudy(const std::string &figure, const std::string &slo,
+               const CaseStudyOutput &out, bool scaleUp = false)
+{
+    const auto &dv = out.dejavu;
+    const auto &ap = out.autopilot;
+
+    printSeries(std::cout,
+                figure + "(a): normalized load trace (1.0 = peak)",
+                {"load"}, {&dv.loadFraction});
+    if (scaleUp) {
+        printSeries(std::cout,
+                    figure + "(b)-ish: compute units deployed "
+                    "(40 = 10xL, 80 = 10xXL) — instance type over "
+                    "time",
+                    {"dejavu_ecu"}, {&dv.computeUnits});
+    } else if (!ap.instances.empty()) {
+        printSeries(std::cout,
+                    figure + "(b): instances deployed (cost)",
+                    {"dejavu", "autopilot"},
+                    {&dv.instances, &ap.instances});
+    } else {
+        printSeries(std::cout,
+                    figure + "(b): instances deployed (cost)",
+                    {"dejavu"}, {&dv.instances});
+    }
+    if (scaleUp) {
+        printSeries(std::cout,
+                    figure + "(b): QoS as DejaVu adapts (SLO = 95%)",
+                    {"qos_percent"}, {&dv.qosPercent});
+    } else {
+        printSeries(std::cout,
+                    figure + "(c): service latency as DejaVu adapts "
+                    "(SLO = 60 ms)",
+                    {"latency_ms"}, {&dv.latencyMs});
+    }
+
+    printBanner(std::cout, figure + " summary (reuse window, 6 days)");
+    Table table({"policy", "cost_$", "savings_vs_max_%",
+                 "slo_violation_%", "mean_adaptation_s"});
+    table.addRow({"dejavu", Table::num(dv.costDollars, 0),
+                  Table::num(dv.savingsPercent, 0),
+                  Table::num(100.0 * dv.sloViolationFraction, 1),
+                  Table::num(dv.adaptationSec.mean(), 1)});
+    if (!ap.instances.empty())
+        table.addRow({"autopilot", Table::num(ap.costDollars, 0),
+                      Table::num(ap.savingsPercent, 0),
+                      Table::num(100.0 * ap.sloViolationFraction, 1),
+                      Table::num(ap.adaptationSec.mean(), 1)});
+    table.printText(std::cout);
+    std::cout << "SLO: " << slo << "; DejaVu classes: " << out.classes
+              << "; unknown-workload full-capacity events: "
+              << out.unknownEvents << "\n";
+}
+
+} // namespace dejavu
+
+#endif // DEJAVU_BENCH_CASE_STUDY_HH

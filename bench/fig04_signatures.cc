@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 4 reproduction — low-level metrics as workload signatures.
+ *
+ * "We run typical cloud benchmarks under different load volumes, with
+ * 5 trials for each volume... the hardware metric (Flops rate in this
+ * case) can reliably differentiate the incoming workloads. Once we
+ * change either workload type (e.g., read/write ratio) or intensity,
+ * a large gap between counter values appears."
+ *
+ * For each of the three services we print one signature counter
+ * across load volumes and workload types, 5 trials each, and report
+ * the separation statistics (within-volume spread vs between-volume
+ * gaps).
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "counters/monitor.hh"
+#include "experiments/scenario.hh"
+
+using namespace dejavu;
+
+namespace {
+
+struct Panel
+{
+    std::string title;
+    ServiceKind kind;
+    HpcEvent metric;
+    std::vector<RequestMix> mixes;
+};
+
+void
+runPanel(const Panel &panel, Service &service)
+{
+    printBanner(std::cout, panel.title);
+    Monitor monitor(service, CounterModel(panel.kind, Rng(11)));
+
+    Table table({"mix", "clients", "trial1", "trial2", "trial3",
+                 "trial4", "trial5", "mean", "stddev"});
+    const std::vector<double> volumes = {2000, 6000, 12000, 20000,
+                                         30000};
+    double worstSpread = 0.0;
+    double smallestGap = 1e300;
+    std::vector<double> lastMeans;
+    for (const auto &mix : panel.mixes) {
+        double prevMean = -1.0;
+        for (double clients : volumes) {
+            RunningStats stats;
+            std::vector<std::string> row = {
+                mix.name, Table::num(clients, 0)};
+            for (int trial = 0; trial < 5; ++trial) {
+                const MetricSample s =
+                    monitor.collect({mix, clients});
+                const double v = s.values[
+                    static_cast<std::size_t>(panel.metric)];
+                stats.add(v);
+                row.push_back(Table::num(v, 0));
+            }
+            row.push_back(Table::num(stats.mean(), 0));
+            row.push_back(Table::num(stats.stddev(), 0));
+            table.addRow(row);
+            worstSpread = std::max(
+                worstSpread,
+                stats.mean() > 0 ? stats.stddev() / stats.mean() : 0.0);
+            if (prevMean >= 0.0)
+                smallestGap = std::min(
+                    smallestGap,
+                    std::abs(stats.mean() - prevMean)
+                        / std::max(prevMean, 1.0));
+            prevMean = stats.mean();
+        }
+    }
+    table.printText(std::cout);
+    std::cout << "metric: " << hpcEventName(panel.metric)
+              << "; worst within-volume spread (cv): "
+              << Table::num(100.0 * worstSpread, 1)
+              << "%; smallest between-volume gap: "
+              << Table::num(100.0 * smallestGap, 1)
+              << "% (trials separate cleanly when gap >> spread)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    auto stack = makeRubisStack(42);
+
+    // 4(a): SPECweb2009 and its three workloads; Flops rate.
+    {
+        Cluster cluster(stack->sim->queue(), {});
+        SpecWebService specweb(stack->sim->queue(), cluster,
+                               stack->sim->forkRng());
+        runPanel({"Figure 4(a): SPECweb2009 (flops_retired vs volume "
+                  "and workload)",
+                  ServiceKind::SpecWeb, HpcEvent::FlopsRetired,
+                  {specwebBanking(), specwebEcommerce(),
+                   specwebSupport()}},
+                 specweb);
+    }
+
+    // 4(b): RUBiS; an L2 store counter separates browse vs bid.
+    {
+        Cluster cluster(stack->sim->queue(), {});
+        RubisService rubis(stack->sim->queue(), cluster,
+                           stack->sim->forkRng());
+        runPanel({"Figure 4(b): RUBiS (l2_st vs volume and mix)",
+                  ServiceKind::Rubis, HpcEvent::L2St,
+                  {rubisBrowsing(), rubisBidding()}},
+                 rubis);
+    }
+
+    // 4(c): Cassandra; read/write ratio flips the store counters.
+    {
+        Cluster cluster(stack->sim->queue(), {});
+        KeyValueService cassandra(stack->sim->queue(), cluster,
+                                  stack->sim->forkRng());
+        runPanel({"Figure 4(c): Cassandra (l2_st vs volume and "
+                  "read/write ratio)",
+                  ServiceKind::KeyValue, HpcEvent::L2St,
+                  {cassandraUpdateHeavy(), cassandraBalanced(),
+                   cassandraReadHeavy()}},
+                 cassandra);
+    }
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for DejaVu's core operations.
+ *
+ * §3.5 claims "the classification time [is] practically negligible" —
+ * these benchmarks quantify the wall-clock cost of every step on the
+ * runtime path (signature collection, classification, repository
+ * lookup) and of the learning-phase algorithms (k-means, C4.5
+ * training, CFS selection).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hh"
+#include "core/clustering_engine.hh"
+#include "core/repository.hh"
+#include "counters/monitor.hh"
+#include "ml/decision_tree.hh"
+#include "ml/feature_selection.hh"
+#include "ml/kmeans.hh"
+#include "services/keyvalue_service.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+struct MicroFixture
+{
+    EventQueue queue;
+    Cluster cluster{queue, {}};
+    KeyValueService service{queue, cluster, Rng(3)};
+    Monitor monitor{service,
+                    CounterModel(ServiceKind::KeyValue, Rng(5))};
+
+    Dataset learningData()
+    {
+        Dataset d(Monitor::metricNames());
+        int label = 0;
+        for (double clients : {3000.0, 9000.0, 20000.0, 33000.0}) {
+            for (int t = 0; t < 12; ++t)
+                d.add(monitor.collect(
+                          {cassandraUpdateHeavy(), clients}).values,
+                      label);
+            ++label;
+        }
+        return d;
+    }
+};
+
+MicroFixture &
+fixture()
+{
+    static auto *f = [] {
+        setLogLevel(LogLevel::Silent);
+        return new MicroFixture;
+    }();
+    return *f;
+}
+
+void
+BM_SignatureCollection(benchmark::State &state)
+{
+    auto &f = fixture();
+    f.service.setWorkload({cassandraUpdateHeavy(), 20000.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.monitor.collect());
+    }
+}
+BENCHMARK(BM_SignatureCollection);
+
+void
+BM_Classification(benchmark::State &state)
+{
+    auto &f = fixture();
+    const Dataset data = f.learningData();
+    DecisionTree tree;
+    tree.train(data);
+    const auto probe = f.monitor.collect(
+        {cassandraUpdateHeavy(), 15000.0});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.predict(probe.values));
+    }
+}
+BENCHMARK(BM_Classification);
+
+void
+BM_RepositoryLookup(benchmark::State &state)
+{
+    Repository repo;
+    for (int c = 0; c < 8; ++c)
+        for (int b = 0; b < 4; ++b)
+            repo.store({c, b}, {c + 1, InstanceType::Large});
+    int c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(repo.lookup({c % 8, c % 4}));
+        ++c;
+    }
+}
+BENCHMARK(BM_RepositoryLookup);
+
+void
+BM_KMeansAutoK(benchmark::State &state)
+{
+    auto &f = fixture();
+    Dataset data = f.learningData();
+    Standardizer std_;
+    std_.fit(data);
+    const Dataset scaled = std_.transform(data);
+    for (auto _ : state) {
+        KMeans km(Rng(7));
+        benchmark::DoNotOptimize(km.runAuto(scaled));
+    }
+}
+BENCHMARK(BM_KMeansAutoK);
+
+void
+BM_C45Training(benchmark::State &state)
+{
+    auto &f = fixture();
+    const Dataset data = f.learningData();
+    for (auto _ : state) {
+        DecisionTree tree;
+        tree.train(data);
+        benchmark::DoNotOptimize(tree.numNodes());
+    }
+}
+BENCHMARK(BM_C45Training);
+
+void
+BM_CfsSelection(benchmark::State &state)
+{
+    auto &f = fixture();
+    const Dataset data = f.learningData();
+    for (auto _ : state) {
+        CfsSubsetSelector selector;
+        benchmark::DoNotOptimize(selector.select(data));
+    }
+}
+BENCHMARK(BM_CfsSelection);
+
+void
+BM_FullLearningPipeline(benchmark::State &state)
+{
+    auto &f = fixture();
+    std::vector<MetricSample> samples;
+    for (double clients : {3000.0, 9000.0, 20000.0, 33000.0})
+        for (int t = 0; t < 6; ++t)
+            samples.push_back(
+                f.monitor.collect({cassandraUpdateHeavy(), clients}));
+    for (auto _ : state) {
+        ClusteringEngine engine(Rng(9));
+        benchmark::DoNotOptimize(engine.identifyClasses(samples));
+    }
+}
+BENCHMARK(BM_FullLearningPipeline);
+
+} // namespace
+} // namespace dejavu

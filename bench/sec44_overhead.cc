@@ -1,0 +1,147 @@
+/**
+ * @file
+ * §4.4 reproduction — measuring DejaVu's overhead.
+ *
+ * "We compare the service latency under a setup where the profiling
+ * is disabled against a setup with continuous profiling. To exercise
+ * different workload volumes, we vary the number of clients that are
+ * generating the requests from 100 to 500. Our measurements show that
+ * the presence of our proxy degrades response time by about 3 ms on
+ * average."
+ *
+ * Also reproduces the network-overhead estimate: "roughly equal to
+ * 1/n of the incoming network traffic... 0.1% of the overall network
+ * traffic for a service that uses 100 instances, assuming a 1:10
+ * inbound/outbound traffic ratio".
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "experiments/fleet.hh"
+#include "experiments/scenario.hh"
+#include "proxy/proxy.hh"
+#include "services/rubis_service.hh"
+
+using namespace dejavu;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    auto stack = makeRubisStack(42);
+    Service &rubis = *stack->service;
+    stack->cluster->setActiveInstances(2);
+    stack->sim->runFor(minutes(1));
+
+    printBanner(std::cout,
+                "Section 4.4: proxy overhead on RUBiS (DB tier "
+                "profiled continuously)");
+    Table table({"clients", "latency_off_ms", "latency_on_ms",
+                 "overhead_ms"});
+
+    RunningStats overall;
+    RubisSessionGenerator sessions(stack->sim->forkRng());
+    for (double clients : {100.0, 200.0, 300.0, 400.0, 500.0}) {
+        rubis.setWorkload({rubisBidding(), clients});
+
+        DejaVuProxy::Config cfg;
+        cfg.profilingEnabled = true;
+        DejaVuProxy proxy(stack->sim->forkRng(), cfg);
+
+        RunningStats off, on;
+        std::uint64_t sessionId = 0;
+        for (int i = 0; i < 400; ++i) {
+            const double base = rubis.sample().meanLatencyMs;
+            off.add(base);
+            // With profiling, every request traverses the proxy; the
+            // duplication adds its per-request cost.
+            const auto session = sessions.nextSession(8);
+            double proxied = base;
+            for (RubisInteraction ri : session) {
+                ProxiedRequest req{sessionId,
+                                   static_cast<std::uint64_t>(ri) *
+                                       2654435761ULL ^ sessionId,
+                                   false};
+                proxied += proxy.onProductionRequest(req, sessionId)
+                    / session.size();
+            }
+            on.add(proxied);
+            ++sessionId;
+        }
+        table.addRow({Table::num(clients, 0),
+                      Table::num(off.mean(), 1),
+                      Table::num(on.mean(), 1),
+                      Table::num(on.mean() - off.mean(), 2)});
+        overall.add(on.mean() - off.mean());
+    }
+    table.printText(std::cout);
+    std::cout << "average overhead: " << Table::num(overall.mean(), 1)
+              << " ms (paper: ~3 ms)\n";
+
+    printBanner(std::cout, "Section 4.4: network overhead (share of "
+                           "total service traffic)");
+    Table net({"instances", "inbound_share", "overhead_%"});
+    for (int n : {10, 20, 50, 100, 200}) {
+        net.addRow({std::to_string(n), "0.10",
+                    Table::num(100.0 *
+                               DejaVuProxy::networkOverheadFraction(
+                                   n, 0.1), 3)});
+    }
+    net.printText(std::cout);
+    std::cout << "paper checkpoint: 100 instances at 1:10 "
+                 "inbound/outbound -> 0.1%\n";
+
+    printBanner(std::cout, "Answer-cache locality (mid-tier "
+                           "profiling, §3.2.1)");
+    DejaVuProxy::Config cacheCfg;
+    cacheCfg.permutationMissRate = 0.02;
+    DejaVuProxy proxy(stack->sim->forkRng(), cacheCfg);
+    Rng keys(1234);
+    int hits = 0, lookups = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(keys.uniformInt(0, 2000));
+        proxy.onProductionRequest({key % 64, key, false}, key);
+        if (i > 200) {
+            ++lookups;
+            if (proxy.onProfilerRequest({key % 64, key, false}))
+                ++hits;
+        }
+    }
+    std::cout << "profiler answer-cache hit rate: "
+              << Table::num(100.0 * hits / lookups, 1)
+              << "% (good locality: production and profiler see the "
+                 "same requests slightly shifted in time)\n";
+
+    // §4.4 opens with: "DejaVu requires only one or a few machines to
+    // host the profiling instances of the services that it manages."
+    // Quantify that: N services whose hourly workload changes all
+    // land at once (the worst case) queue for 10-second profiling
+    // slots; the last service's adaptation stretches by the queue.
+    printBanner(std::cout, "Section 4.4: one profiling host shared by "
+                           "N services (worst-case simultaneous "
+                           "changes)");
+    Table fleetTable({"services", "max_queue_delay_s",
+                      "last_adaptation_s", "host_busy_fraction_%"});
+    for (int n : {1, 4, 16, 64}) {
+        EventQueue q;
+        ProfilingSlotScheduler sched(q, seconds(10));
+        SimTime last = 0;
+        for (int s = 0; s < n; ++s)
+            last = sched.acquire();
+        const double maxDelay = toSeconds(last);
+        fleetTable.addRow({
+            std::to_string(n), Table::num(maxDelay, 0),
+            Table::num(maxDelay + 10.0, 0),
+            Table::num(100.0 * n * 10.0 / 3600.0, 1)});
+    }
+    fleetTable.printText(std::cout);
+    std::cout << "even 64 co-managed services keep the worst "
+                 "adaptation under 11 minutes and the host under 18% "
+                 "busy per hourly cycle — 'one or a few machines' "
+                 "suffice\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interference-aware provisioning (the paper's Case Study 3, §4.3):
+ * co-located tenants steal 10-20% of each VM's capacity on a rolling
+ * schedule. DejaVu detects the resulting SLO violations, estimates
+ * the interference index (production vs isolated performance),
+ * caches an interference-aware allocation per (class, bucket), and
+ * steps back down when the neighbours go quiet.
+ *
+ * The run prints each interference reaction so the §3.6 machinery is
+ * visible end to end.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "experiments/scenario.hh"
+
+using namespace dejavu;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    ScenarioOptions options;
+    options.seed = 11;
+    options.traceName = "messenger";
+    options.interference = true;         // co-located tenants on
+    options.interferenceDetection = true;
+    options.days = 4;                    // keep the demo short
+    auto stack = makeCassandraScaleOut(options);
+    stack->injector->start();
+
+    stack->learnDayOne();
+
+    // Drive the reuse phase manually so reactions are visible.
+    Service &service = *stack->service;
+    DejaVuController &dejavu = *stack->controller;
+    Simulation &sim = *stack->sim;
+    const auto &trace = stack->trace;
+    const double peakClients =
+        stack->experiment->config().peakClients;
+
+    int adjustments = 0, violations = 0, ticks = 0;
+    for (std::size_t h = 24; h < trace.hours(); ++h) {
+        const Workload w{service.workload().mix,
+                         trace.at(h) * peakClients};
+        service.setWorkload(w);
+        dejavu.onWorkloadChange(w);
+        for (int m = 0; m < 60; ++m) {
+            sim.runFor(minutes(1));
+            const auto sample = service.sample();
+            ++ticks;
+            if (sample.meanLatencyMs > 60.0)
+                ++violations;
+            const auto reaction = dejavu.onSloFeedback(sample);
+            if (reaction) {
+                ++adjustments;
+                std::printf("t=%s  interference reaction: class %d "
+                            "-> %s (mean co-located loss %.0f%%)\n",
+                            formatTime(sim.now()).c_str(),
+                            reaction->classId,
+                            reaction->allocation.toString().c_str(),
+                            100.0 * service.cluster()
+                                .meanInterference());
+            }
+        }
+    }
+
+    std::printf("\ninterference-aware run complete:\n");
+    std::printf("  interference adjustments: %d\n", adjustments);
+    std::printf("  repository now holds %zu entries across "
+                "interference buckets:\n    %s\n",
+                dejavu.repository().entries(),
+                dejavu.repository().toString().c_str());
+    std::printf("  SLO violations: %.1f%% of samples (detection "
+                "keeps the service ahead of its noisy neighbours)\n",
+                100.0 * violations / ticks);
+    return 0;
+}

@@ -1,0 +1,22 @@
+#include "baselines/autopilot.hh"
+
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+Autopilot::Autopilot(Service &service, Schedule schedule)
+    : ProvisioningPolicy(service), _schedule(schedule)
+{
+}
+
+void
+Autopilot::onWorkloadChange(const Workload &workload)
+{
+    (void)workload;  // time-based: the workload itself is ignored
+    const int hour = static_cast<int>(
+        (_service.queue().now() / kHour) % 24);
+    deployNow(_schedule[static_cast<std::size_t>(hour)]);
+    recordAdaptation(0);  // instantaneous (but often wrong)
+}
+
+} // namespace dejavu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Autopilot baseline (§4.1): a time-based controller that "simply
+ * repeats the hourly resource allocations learned during the first
+ * day of the trace". It illustrates "the difficulty of using past
+ * workload information blindly" — any day whose shape deviates from
+ * day 1 is mis-provisioned (the paper measures SLO violations at
+ * least 28% of the time).
+ */
+
+#ifndef DEJAVU_BASELINES_AUTOPILOT_HH
+#define DEJAVU_BASELINES_AUTOPILOT_HH
+
+#include <array>
+
+#include "baselines/policy.hh"
+
+namespace dejavu {
+
+/**
+ * Replays a fixed 24-entry hour-of-day allocation schedule.
+ */
+class Autopilot : public ProvisioningPolicy
+{
+  public:
+    using Schedule = std::array<ResourceAllocation, 24>;
+
+    Autopilot(Service &service, Schedule schedule);
+
+    std::string name() const override { return "autopilot"; }
+
+    void onWorkloadChange(const Workload &workload) override;
+
+    const Schedule &schedule() const { return _schedule; }
+
+  private:
+    Schedule _schedule;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_BASELINES_AUTOPILOT_HH

@@ -1,0 +1,19 @@
+#include "baselines/overprovision.hh"
+
+namespace dejavu {
+
+OverprovisionPolicy::OverprovisionPolicy(Service &service,
+                                         ResourceAllocation maxAllocation)
+    : ProvisioningPolicy(service), _max(maxAllocation)
+{
+}
+
+void
+OverprovisionPolicy::onWorkloadChange(const Workload &workload)
+{
+    (void)workload;
+    deployNow(_max);
+    recordAdaptation(0);
+}
+
+} // namespace dejavu

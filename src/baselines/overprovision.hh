@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Overprovisioning baseline: "a large resource cap that can ensure
+ * satisfactory performance at foreseeable peaks in the demand" (§2.2)
+ * — always deploy full capacity. This is the cost yardstick against
+ * which the paper's 35–60% savings are measured.
+ */
+
+#ifndef DEJAVU_BASELINES_OVERPROVISION_HH
+#define DEJAVU_BASELINES_OVERPROVISION_HH
+
+#include "baselines/policy.hh"
+
+namespace dejavu {
+
+/**
+ * Fixed maximum allocation.
+ */
+class OverprovisionPolicy : public ProvisioningPolicy
+{
+  public:
+    OverprovisionPolicy(Service &service,
+                        ResourceAllocation maxAllocation);
+
+    std::string name() const override { return "overprovision"; }
+
+    void onWorkloadChange(const Workload &workload) override;
+
+  private:
+    ResourceAllocation _max;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_BASELINES_OVERPROVISION_HH

@@ -1,0 +1,30 @@
+#include "baselines/policy.hh"
+
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+ProvisioningPolicy::ProvisioningPolicy(Service &service)
+    : _service(service)
+{
+}
+
+void
+ProvisioningPolicy::deployAfter(SimTime delay,
+                                const ResourceAllocation &allocation)
+{
+    _service.queue().scheduleAfter(delay, [this, allocation] {
+        deployNow(allocation);
+    });
+}
+
+void
+ProvisioningPolicy::deployNow(const ResourceAllocation &allocation)
+{
+    if (_service.cluster().target() != allocation) {
+        _service.cluster().deploy(allocation);
+        _service.onReconfigure();
+    }
+}
+
+} // namespace dejavu

@@ -1,0 +1,87 @@
+#include "baselines/reactive_tuning.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+ReactiveTuningPolicy::ReactiveTuningPolicy(
+    Service &service, ProfilerHost &profiler, Slo slo,
+    std::vector<ResourceAllocation> searchSpace)
+    : ProvisioningPolicy(service), _profiler(profiler), _slo(slo),
+      _searchSpace(std::move(searchSpace))
+{
+    DEJAVU_ASSERT(!_searchSpace.empty(), "empty search space");
+    std::sort(_searchSpace.begin(), _searchSpace.end(), lessCapacity);
+}
+
+bool
+ReactiveTuningPolicy::meetsSlo(const Workload &workload,
+                               const ResourceAllocation &allocation)
+{
+    // One sandboxed experiment.
+    ++_totalExperiments;
+    switch (_slo.kind) {
+      case SloKind::LatencyBound:
+        return _profiler.isolatedLatencyMs(workload, allocation)
+            <= _slo.latencyBoundMs * 0.9;
+      case SloKind::QosFloor:
+        return _profiler.isolatedQosPercent(workload, allocation)
+            >= _slo.qosFloorPercent + 0.5;
+    }
+    return false;
+}
+
+void
+ReactiveTuningPolicy::onWorkloadChange(const Workload &workload)
+{
+    // Experiment-based retuning, starting from the current allocation
+    // and stepping outward (the way an operator or JustRunIt-style
+    // system explores neighbouring configurations): each step costs a
+    // full sandboxed experiment, during which the service keeps
+    // running with the stale allocation.
+    const ResourceAllocation current = _service.cluster().target();
+    int idx = 0;
+    for (std::size_t i = 0; i < _searchSpace.size(); ++i)
+        if (_searchSpace[i] == current)
+            idx = static_cast<int>(i);
+
+    const int last = static_cast<int>(_searchSpace.size()) - 1;
+    int experiments = 0;
+    int chosen = idx;
+
+    if (meetsSlo(workload, _searchSpace[static_cast<std::size_t>(idx)])) {
+        ++experiments;
+        // Current works: probe cheaper allocations while they pass.
+        int candidate = idx;
+        while (candidate > 0) {
+            ++experiments;
+            if (!meetsSlo(workload, _searchSpace[
+                    static_cast<std::size_t>(candidate - 1)]))
+                break;
+            --candidate;
+        }
+        chosen = candidate;
+    } else {
+        ++experiments;
+        // Current fails: grow until the SLO is met (or max out).
+        int candidate = idx;
+        while (candidate < last) {
+            ++candidate;
+            ++experiments;
+            if (meetsSlo(workload, _searchSpace[
+                    static_cast<std::size_t>(candidate)]))
+                break;
+        }
+        chosen = candidate;
+    }
+
+    const SimTime tuningTime =
+        experiments * _profiler.config().experimentDuration;
+    deployAfter(tuningTime,
+                _searchSpace[static_cast<std::size_t>(chosen)]);
+    recordAdaptation(tuningTime);
+}
+
+} // namespace dejavu

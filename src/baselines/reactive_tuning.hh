@@ -1,0 +1,53 @@
+/**
+ * @file
+ * State-of-the-art experiment-driven tuning baseline (JustRunIt-style
+ * [42]): every workload change triggers a fresh round of sandboxed
+ * experiments before the new allocation is deployed. The service
+ * meanwhile keeps running with the stale allocation — precisely the
+ * "considerable amount of time in performance retuning" behaviour
+ * Figure 1 illustrates, and the minutes-long adaptation the paper's
+ * >10x speedup is measured against.
+ */
+
+#ifndef DEJAVU_BASELINES_REACTIVE_TUNING_HH
+#define DEJAVU_BASELINES_REACTIVE_TUNING_HH
+
+#include "baselines/policy.hh"
+#include "counters/profiler.hh"
+#include "services/slo.hh"
+#include "sim/allocation.hh"
+
+namespace dejavu {
+
+/**
+ * Re-runs experiment-based tuning on every workload change, stepping
+ * outward from the current allocation (each probe = one sandboxed
+ * experiment of ProfilerHost::Config::experimentDuration).
+ */
+class ReactiveTuningPolicy : public ProvisioningPolicy
+{
+  public:
+    ReactiveTuningPolicy(Service &service, ProfilerHost &profiler,
+                         Slo slo,
+                         std::vector<ResourceAllocation> searchSpace);
+
+    std::string name() const override { return "reactive-tuning"; }
+
+    void onWorkloadChange(const Workload &workload) override;
+
+    /** Total sandboxed experiments run so far. */
+    int totalExperiments() const { return _totalExperiments; }
+
+  private:
+    ProfilerHost &_profiler;
+    Slo _slo;
+    std::vector<ResourceAllocation> _searchSpace;
+    int _totalExperiments = 0;
+
+    bool meetsSlo(const Workload &workload,
+                  const ResourceAllocation &allocation);
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_BASELINES_REACTIVE_TUNING_HH

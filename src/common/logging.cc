@@ -1,0 +1,50 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+
+namespace dejavu {
+
+namespace {
+LogLevel gLevel = LogLevel::Info;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, message.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatalImpl(const std::string &message)
+{
+    emit("fatal", message);
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &message, const char *file, int line)
+{
+    std::fprintf(stderr, "[panic] %s (%s:%d)\n",
+                 message.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace dejavu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers in the gem5 tradition.
+ *
+ * Four severity levels are provided:
+ *  - inform(): normal operating messages, no connotation of error.
+ *  - warn():   something is off but the run can continue.
+ *  - fatal():  the run cannot continue due to a *user* error (bad
+ *              configuration, invalid argument); exits with code 1.
+ *  - panic():  an internal invariant was violated (a bug in this
+ *              library); aborts so a core dump / debugger can be used.
+ */
+
+#ifndef DEJAVU_COMMON_LOGGING_HH
+#define DEJAVU_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dejavu {
+
+/** Verbosity levels for runtime filtering of status messages. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global log level (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Emit one formatted message line to stderr with a severity tag. */
+void emit(const char *tag, const std::string &message);
+
+[[noreturn]] void fatalImpl(const std::string &message);
+[[noreturn]] void panicImpl(const std::string &message,
+                            const char *file, int line);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+fold(Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informative message for the user; printed at Info and above. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::fold(std::forward<Args>(args)...));
+}
+
+/** Debug chatter; printed only at Debug. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::emit("debug", detail::fold(std::forward<Args>(args)...));
+}
+
+/** Possible-problem message; printed at Warn and above. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::fold(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable *user* error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::fold(std::forward<Args>(args)...));
+}
+
+/** Internal invariant violation: print and abort(). */
+#define DEJAVU_PANIC(...)                                                   \
+    ::dejavu::detail::panicImpl(                                            \
+        ::dejavu::detail::fold(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Cheap always-on invariant check that panics with a message. */
+#define DEJAVU_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            DEJAVU_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+    } while (0)
+
+} // namespace dejavu
+
+#endif // DEJAVU_COMMON_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Simulated-time representation shared by every subsystem.
+ *
+ * Time is a signed 64-bit count of microseconds since the start of the
+ * simulation. Helper constructors and pretty-printing keep call sites
+ * readable ("hours(3) + minutes(10)").
+ */
+
+#ifndef DEJAVU_COMMON_SIM_TIME_HH
+#define DEJAVU_COMMON_SIM_TIME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dejavu {
+
+/** Microseconds of simulated time. */
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/** @name Duration constructors @{ */
+constexpr SimTime microseconds(double n)
+{ return static_cast<SimTime>(n * kMicrosecond); }
+constexpr SimTime milliseconds(double n)
+{ return static_cast<SimTime>(n * kMillisecond); }
+constexpr SimTime seconds(double n)
+{ return static_cast<SimTime>(n * kSecond); }
+constexpr SimTime minutes(double n)
+{ return static_cast<SimTime>(n * kMinute); }
+constexpr SimTime hours(double n)
+{ return static_cast<SimTime>(n * kHour); }
+constexpr SimTime days(double n)
+{ return static_cast<SimTime>(n * kDay); }
+/** @} */
+
+/** @name Conversions back to floating-point units @{ */
+constexpr double toSeconds(SimTime t)
+{ return static_cast<double>(t) / kSecond; }
+constexpr double toMilliseconds(SimTime t)
+{ return static_cast<double>(t) / kMillisecond; }
+constexpr double toMinutes(SimTime t)
+{ return static_cast<double>(t) / kMinute; }
+constexpr double toHours(SimTime t)
+{ return static_cast<double>(t) / kHour; }
+constexpr double toDays(SimTime t)
+{ return static_cast<double>(t) / kDay; }
+/** @} */
+
+/**
+ * Render a time as "Dd HH:MM:SS" for humans reading experiment logs.
+ */
+inline std::string
+formatTime(SimTime t)
+{
+    const bool neg = t < 0;
+    if (neg)
+        t = -t;
+    const std::int64_t total_s = t / kSecond;
+    const std::int64_t d = total_s / 86400;
+    const std::int64_t h = (total_s / 3600) % 24;
+    const std::int64_t m = (total_s / 60) % 60;
+    const std::int64_t s = total_s % 60;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld",
+                  neg ? "-" : "",
+                  static_cast<long long>(d), static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s));
+    return buf;
+}
+
+} // namespace dejavu
+
+#endif // DEJAVU_COMMON_SIM_TIME_HH

@@ -1,0 +1,119 @@
+#include "core/batch.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+BatchJobRunner::BatchJobRunner(Cluster &cluster, Rng rng)
+    : BatchJobRunner(cluster, rng, Config())
+{
+}
+
+BatchJobRunner::BatchJobRunner(Cluster &cluster, Rng rng, Config config)
+    : _cluster(cluster), _rng(rng), _config(config)
+{
+    DEJAVU_ASSERT(_config.mbPerSecondPerEcu > 0.0, "bad throughput");
+    DEJAVU_ASSERT(_config.runtimeNoise >= 0.0, "bad noise");
+}
+
+double
+BatchJobRunner::idealRuntimeSec(const BatchTask &task,
+                                double interference) const
+{
+    DEJAVU_ASSERT(task.inputMb > 0.0, "task needs input");
+    DEJAVU_ASSERT(interference >= 0.0 && interference < 1.0,
+                  "interference out of range");
+    // One slot = one ECU of one instance of the cluster's type.
+    const double slotThroughput =
+        _config.mbPerSecondPerEcu * (1.0 - interference);
+    return task.inputMb / slotThroughput;
+}
+
+double
+BatchJobRunner::productionRuntimeSec(const BatchTask &task)
+{
+    const double mean =
+        idealRuntimeSec(task, _cluster.meanInterference());
+    return std::max(
+        0.01, mean * (1.0 + _config.runtimeNoise * _rng.gaussian()));
+}
+
+double
+BatchJobRunner::isolatedRuntimeSec(const BatchTask &task)
+{
+    const double mean = idealRuntimeSec(task, 0.0);
+    return std::max(
+        0.01, mean * (1.0 + _config.runtimeNoise * _rng.gaussian()));
+}
+
+BatchInterferenceProbe::BatchInterferenceProbe(BatchJobRunner &runner)
+    : BatchInterferenceProbe(runner, Config(), InterferenceEstimator())
+{
+}
+
+BatchInterferenceProbe::BatchInterferenceProbe(
+    BatchJobRunner &runner, Config config,
+    InterferenceEstimator estimator)
+    : _runner(runner), _config(config), _estimator(estimator)
+{
+    DEJAVU_ASSERT(_config.probeTasks >= 1, "need >= 1 probe task");
+    DEJAVU_ASSERT(_config.violationTolerance >= 1.0, "bad tolerance");
+}
+
+BatchInterferenceProbe::Report
+BatchInterferenceProbe::diagnose(const std::vector<BatchTask> &tasks)
+{
+    DEJAVU_ASSERT(!tasks.empty(), "no tasks to diagnose");
+    Report report;
+
+    // Step 1: check the §3.7 SLO — tasks against their user-provided
+    // expected running times, in production.
+    double prodSum = 0.0, expectedSum = 0.0;
+    for (const auto &task : tasks) {
+        DEJAVU_ASSERT(task.expectedRuntimeSec > 0.0,
+                      "task lacks an expected runtime (the SLO)");
+        prodSum += _runner.productionRuntimeSec(task);
+        expectedSum += task.expectedRuntimeSec;
+    }
+    report.meanProductionSec = prodSum / tasks.size();
+    const double meanExpected = expectedSum / tasks.size();
+    if (report.meanProductionSec <=
+        meanExpected * _config.violationTolerance) {
+        report.verdict = Verdict::NoViolation;
+        return report;
+    }
+
+    // Step 2: re-run a subset of tasks in isolation.
+    const int probes = std::min<int>(
+        _config.probeTasks, static_cast<int>(tasks.size()));
+    double isoSum = 0.0;
+    for (int i = 0; i < probes; ++i)
+        isoSum += _runner.isolatedRuntimeSec(
+            tasks[static_cast<std::size_t>(i)]);
+    report.meanIsolatedSec = isoSum / probes;
+
+    report.interferenceIndex = InterferenceEstimator::latencyIndex(
+        report.meanProductionSec, report.meanIsolatedSec);
+    report.interferenceBucket =
+        _estimator.bucketOf(report.interferenceIndex);
+    report.misestimateRatio =
+        report.meanIsolatedSec / meanExpected;
+
+    // Step 3: attribute. If isolation itself misses the expectation,
+    // the user "simply mis-estimated the expected running times".
+    if (report.misestimateRatio > _config.violationTolerance &&
+        report.interferenceBucket == 0) {
+        report.verdict = Verdict::UserMisestimate;
+    } else if (report.interferenceBucket > 0) {
+        report.verdict = Verdict::Interference;
+    } else {
+        // Production slow but isolation fine and expectation honest:
+        // borderline noise; call it interference-free.
+        report.verdict = Verdict::NoViolation;
+    }
+    return report;
+}
+
+} // namespace dejavu

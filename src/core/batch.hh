@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Long-running batch workloads (paper §3.7): "we believe that our
+ * interference mechanism can be useful even for long-running batch
+ * workloads (e.g., MapReduce/Hadoop jobs). In this case, DejaVu
+ * would require the equivalent of an SLO... for Hadoop map tasks,
+ * the SLO could be their user-provided expected running times
+ * (possibly as a function of the input size). Upon an SLO violation,
+ * DejaVu would run a subset of tasks in isolation to determine the
+ * interference index. This computation would also expose cases in
+ * which interference is not significant and the user simply
+ * mis-estimated the expected running times."
+ *
+ * BatchJobRunner models task execution on the (possibly interfered)
+ * cluster and in the isolated profiling environment;
+ * BatchInterferenceProbe implements the diagnosis protocol above.
+ */
+
+#ifndef DEJAVU_CORE_BATCH_HH
+#define DEJAVU_CORE_BATCH_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "core/interference_estimator.hh"
+#include "sim/cluster.hh"
+
+namespace dejavu {
+
+/** One map-style task with the user's runtime expectation. */
+struct BatchTask
+{
+    double inputMb = 64.0;
+    /** User-provided expected running time (the §3.7 SLO). */
+    double expectedRuntimeSec = 0.0;
+};
+
+/**
+ * Executes batch tasks on cluster slots / in isolation.
+ */
+class BatchJobRunner
+{
+  public:
+    struct Config
+    {
+        /** Map throughput of one ECU with no contention. */
+        double mbPerSecondPerEcu = 4.0;
+        /** Relative runtime noise (stragglers, skew). */
+        double runtimeNoise = 0.05;
+    };
+
+    BatchJobRunner(Cluster &cluster, Rng rng);
+    BatchJobRunner(Cluster &cluster, Rng rng, Config config);
+
+    /**
+     * Runtime of @p task on one production slot, degraded by the
+     * cluster's current mean interference.
+     */
+    double productionRuntimeSec(const BatchTask &task);
+
+    /** Runtime on the isolated profiling host (no interference). */
+    double isolatedRuntimeSec(const BatchTask &task);
+
+    /** Noise-free runtime for a given capacity-loss fraction. */
+    double idealRuntimeSec(const BatchTask &task,
+                           double interference = 0.0) const;
+
+    /**
+     * The expectation a *correct* user would register for a task
+     * (convenience for constructing honest SLOs in tests/benches).
+     */
+    double honestExpectationSec(const BatchTask &task) const
+    { return idealRuntimeSec(task); }
+
+    const Config &config() const { return _config; }
+
+  private:
+    Cluster &_cluster;
+    Rng _rng;
+    Config _config;
+};
+
+/**
+ * §3.7's diagnosis: violation -> isolate a task subset -> decide
+ * between real interference and user mis-estimation.
+ */
+class BatchInterferenceProbe
+{
+  public:
+    struct Config
+    {
+        /** Tasks re-run in isolation per diagnosis. */
+        int probeTasks = 5;
+        /** Runtime slack before a task counts as violating. */
+        double violationTolerance = 1.10;
+    };
+
+    enum class Verdict
+    {
+        NoViolation,     ///< Tasks meet their expected runtimes.
+        Interference,    ///< Isolation is fast; production is not.
+        UserMisestimate, ///< Even isolation misses the expectation.
+    };
+
+    struct Report
+    {
+        Verdict verdict = Verdict::NoViolation;
+        /** production/isolation runtime ratio (1 = clean). */
+        double interferenceIndex = 1.0;
+        int interferenceBucket = 0;
+        /** isolation/expectation ratio (>1 = user underestimated). */
+        double misestimateRatio = 1.0;
+        double meanProductionSec = 0.0;
+        double meanIsolatedSec = 0.0;
+    };
+
+    BatchInterferenceProbe(BatchJobRunner &runner);
+    BatchInterferenceProbe(BatchJobRunner &runner, Config config,
+                           InterferenceEstimator estimator);
+
+    /** Run the diagnosis over a job's tasks. */
+    Report diagnose(const std::vector<BatchTask> &tasks);
+
+  private:
+    BatchJobRunner &_runner;
+    Config _config;
+    InterferenceEstimator _estimator;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_BATCH_HH

@@ -1,0 +1,76 @@
+#include "core/clustering_engine.hh"
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+ClusteringEngine::ClusteringEngine(Rng rng)
+    : ClusteringEngine(rng, Config())
+{
+}
+
+ClusteringEngine::ClusteringEngine(Rng rng, Config config)
+    : _rng(rng), _config(config)
+{
+}
+
+ClusteringEngine::Result
+ClusteringEngine::identifyClasses(const std::vector<MetricSample> &samples)
+{
+    DEJAVU_ASSERT(samples.size() >= 4,
+                  "need at least 4 samples to identify classes, got ",
+                  samples.size());
+
+    // Assemble the full-metric dataset.
+    Dataset full(Monitor::metricNames());
+    for (const auto &s : samples) {
+        DEJAVU_ASSERT(static_cast<int>(s.values.size()) ==
+                      Monitor::metricCount(), "sample width mismatch");
+        full.add(s.values);
+    }
+
+    // Stage 1: provisional clustering over all standardized metrics
+    // to obtain labels for the (supervised) CFS selector.
+    Standardizer allStd;
+    allStd.fit(full);
+    Dataset fullStd = allStd.transform(full);
+    KMeans provisionalKm(_rng.fork(), _config.kmeans);
+    const Clustering provisional = provisionalKm.runAuto(fullStd);
+    for (int i = 0; i < full.size(); ++i)
+        full.setLabel(i, provisional.assignment[
+            static_cast<std::size_t>(i)]);
+
+    // Stage 2: CFS feature selection -> the signature schema.
+    CfsSubsetSelector selector(_config.cfs);
+    const std::vector<int> chosen = selector.select(full);
+
+    Result result;
+    result.schema = SignatureSchema(chosen, Monitor::metricNames());
+
+    // Stage 3: final clustering on signature metrics only.
+    Dataset sig = full.project(chosen);
+    result.standardizer.fit(sig);
+    Dataset sigStd = result.standardizer.transform(sig);
+    KMeans finalKm(_rng.fork(), _config.kmeans);
+    result.clustering = finalKm.runAuto(sigStd);
+
+    for (int i = 0; i < sigStd.size(); ++i)
+        sigStd.setLabel(i, result.clustering.assignment[
+            static_cast<std::size_t>(i)]);
+    result.labeledSignatures = std::move(sigStd);
+    result.representatives = result.clustering.medoids;
+    result.members.assign(
+        static_cast<std::size_t>(result.clustering.k), {});
+    for (std::size_t i = 0; i < result.clustering.assignment.size(); ++i)
+        result.members[static_cast<std::size_t>(
+            result.clustering.assignment[i])].push_back(
+            static_cast<int>(i));
+
+    inform("clustering: ", samples.size(), " samples -> ",
+           result.clustering.k, " workload classes (silhouette ",
+           result.clustering.silhouette, "), signature ",
+           result.schema.toString());
+    return result;
+}
+
+} // namespace dejavu

@@ -1,0 +1,375 @@
+#include "core/controller.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+DejaVuController::DejaVuController(Service &service,
+                                   ProfilerHost &profiler, Config config,
+                                   Rng rng)
+    : _service(service), _profiler(profiler), _config(std::move(config)),
+      _rng(rng), _estimator(_config.interference)
+{
+    DEJAVU_ASSERT(!_config.searchSpace.empty(),
+                  "controller needs a tuning search space");
+    DEJAVU_ASSERT(_config.trialsPerWorkload >= 1, "need >= 1 trial");
+}
+
+Tuner
+DejaVuController::makeTuner()
+{
+    return Tuner(_profiler, _config.slo, _config.searchSpace,
+                 _config.tuner);
+}
+
+DejaVuController::LearningReport
+DejaVuController::learn(const std::vector<Workload> &workloads)
+{
+    DEJAVU_ASSERT(!workloads.empty(), "no learning workloads");
+
+    // Profile every workload: the proxy mirrors its traffic to the
+    // profiling host, trialsPerWorkload times.
+    std::vector<MetricSample> samples;
+    samples.reserve(workloads.size()
+                    * static_cast<std::size_t>(_config.trialsPerWorkload));
+    std::vector<int> sampleWorkload;  // sample index -> workload index
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        for (int t = 0; t < _config.trialsPerWorkload; ++t) {
+            samples.push_back(_profiler.collectSignature(workloads[w]));
+            sampleWorkload.push_back(static_cast<int>(w));
+        }
+    }
+
+    // Identify signature schema + workload classes.
+    ClusteringEngine engine(_rng.fork(), _config.clustering);
+    ClusteringEngine::Result res = engine.identifyClasses(samples);
+    _schema = res.schema;
+    _standardizer = res.standardizer;
+    _clustering = res.clustering;
+
+    // Train the runtime classifier on the labeled clusters.
+    ClassifierEngine::Config ccfg;
+    ccfg.algorithm = _config.algorithm;
+    ccfg.certaintyThreshold = _config.certaintyThreshold;
+    _classifier = ClassifierEngine(ccfg);
+    _classifier.train(res.labeledSignatures);
+
+    // Learn each class's extent (max member-to-centroid distance in
+    // standardized signature space); classification beyond
+    // noveltyRadiusSlack times this radius is flagged as a
+    // never-seen workload.
+    _classRadius.assign(static_cast<std::size_t>(_clustering.k), 0.0);
+    for (int i = 0; i < res.labeledSignatures.size(); ++i) {
+        const int c = res.labeledSignatures.label(i);
+        const double d = std::sqrt(KMeans::squaredDistance(
+            res.labeledSignatures.instance(i),
+            _clustering.centroids[static_cast<std::size_t>(c)]));
+        auto &radius = _classRadius[static_cast<std::size_t>(c)];
+        radius = std::max(radius, d);
+    }
+    // Floor each radius at a fraction of the distance to the nearest
+    // other centroid: tight clusters with few members would otherwise
+    // flag ordinary measurement noise as novelty.
+    for (int c = 0; c < _clustering.k; ++c) {
+        double nearest = std::numeric_limits<double>::max();
+        for (int o = 0; o < _clustering.k; ++o) {
+            if (o == c)
+                continue;
+            nearest = std::min(nearest, std::sqrt(
+                KMeans::squaredDistance(
+                    _clustering.centroids[static_cast<std::size_t>(c)],
+                    _clustering.centroids[
+                        static_cast<std::size_t>(o)])));
+        }
+        if (nearest < std::numeric_limits<double>::max()) {
+            auto &radius = _classRadius[static_cast<std::size_t>(c)];
+            radius = std::max(radius, 0.35 * nearest);
+        }
+    }
+
+    // Tune one representative workload per class: the instance
+    // closest to the cluster centroid (§3.4).
+    LearningReport report;
+    report.samples = static_cast<int>(samples.size());
+    report.classes = _clustering.k;
+    Tuner tuner = makeTuner();
+    _repository.clear();
+    for (int c = 0; c < _clustering.k; ++c) {
+        int sampleIdx = res.representatives[static_cast<std::size_t>(c)];
+        DEJAVU_ASSERT(sampleIdx >= 0, "cluster ", c, " empty");
+        if (_config.representativeRule ==
+            RepresentativeRule::MostDemanding) {
+            double mostClients = -1.0;
+            for (int m : res.members[static_cast<std::size_t>(c)]) {
+                const Workload &wm = workloads[
+                    static_cast<std::size_t>(sampleWorkload[
+                        static_cast<std::size_t>(m)])];
+                if (wm.clients > mostClients) {
+                    mostClients = wm.clients;
+                    sampleIdx = m;
+                }
+            }
+        }
+        const Workload &representative = workloads[
+            static_cast<std::size_t>(sampleWorkload[
+                static_cast<std::size_t>(sampleIdx)])];
+        const Tuner::Result tuned = tuner.tune(representative, 0.0);
+        report.tuningExperiments += tuned.experiments;
+        report.tuningTime += tuned.tuningTime;
+        _repository.store({c, 0}, tuned.allocation);
+        report.classAllocations.push_back(tuned.allocation);
+        inform("learning: class ", c, " (", representative.clients,
+               " clients) -> ", tuned.allocation.toString(),
+               tuned.feasible ? "" : " [SLO infeasible]");
+    }
+    _learned = true;
+    _lowCertaintyStreak = 0;
+    _learnedWorkloads = workloads;
+    _novelWorkloads.clear();
+    return report;
+}
+
+DejaVuController::LearningReport
+DejaVuController::relearn()
+{
+    DEJAVU_ASSERT(_learned, "relearn before the initial learn()");
+    std::vector<Workload> all = _learnedWorkloads;
+    all.insert(all.end(), _novelWorkloads.begin(),
+               _novelWorkloads.end());
+    inform("re-clustering: ", _learnedWorkloads.size(),
+           " original + ", _novelWorkloads.size(),
+           " novel workloads");
+    ++_timesRelearned;
+    _currentBucket = 0;
+    _violationStreak = 0;
+    _calmStreak = 0;
+    return learn(all);
+}
+
+void
+DejaVuController::deployAfter(SimTime delay,
+                              const ResourceAllocation &allocation)
+{
+    _service.queue().scheduleAfter(delay, [this, allocation] {
+        if (_service.cluster().target() != allocation) {
+            _service.cluster().deploy(allocation);
+            _service.onReconfigure();
+        }
+        _lastDeployAt = _service.queue().now();
+    });
+}
+
+DejaVuController::Decision
+DejaVuController::onWorkloadChange(const Workload &workload)
+{
+    DEJAVU_ASSERT(_learned,
+                  "onWorkloadChange before learn(): run the learning "
+                  "phase first");
+    _lastWorkload = workload;
+
+    // Collect the signature (the dominant part of adaptation time).
+    const MetricSample sample = _profiler.collectSignature(workload);
+    const std::vector<double> tuple =
+        _standardizer.transform(_schema.extract(sample));
+    ClassifierEngine::Outcome outcome = _classifier.classify(tuple);
+
+    // Out-of-distribution guard: decision trees stay confident far
+    // outside the training data, so scale certainty down when the
+    // signature falls well outside the predicted cluster's learned
+    // extent (this is what fires on HotMail's day-4 flash crowd).
+    if (outcome.classId >= 0 &&
+        outcome.classId < static_cast<int>(_classRadius.size())) {
+        const double radius = std::max(
+            _classRadius[static_cast<std::size_t>(outcome.classId)],
+            1e-6);
+        const double dist = std::sqrt(KMeans::squaredDistance(
+            tuple, _clustering.centroids[
+                static_cast<std::size_t>(outcome.classId)]));
+        const double slack = _config.noveltyRadiusSlack * radius;
+        if (dist > slack) {
+            outcome.certainty *= std::exp(-(dist - slack) / radius);
+            outcome.known =
+                outcome.certainty >= _config.certaintyThreshold;
+        }
+    }
+
+    Decision decision;
+    decision.adaptationTime = _profiler.monitor().sampleDuration()
+        + _config.classificationOverhead;
+    decision.certainty = outcome.certainty;
+    _violationStreak = 0;
+
+    if (!outcome.known) {
+        // Never-seen workload: avoid an SLO violation by deploying
+        // full capacity; repeated misses recommend re-clustering.
+        ++_lowCertaintyStreak;
+        _novelWorkloads.push_back(workload);
+        _lastClassId = -1;
+        _currentBucket = 0;
+        decision.kind = DecisionKind::UnknownWorkload;
+        decision.classId = outcome.classId;
+        decision.allocation = _service.cluster().maxAllocation();
+        warn("dejavu: unknown workload (certainty ", outcome.certainty,
+             "), deploying full capacity ",
+             decision.allocation.toString());
+    } else {
+        _lowCertaintyStreak = 0;
+        _lastClassId = outcome.classId;
+        decision.kind = DecisionKind::CacheHit;
+        decision.classId = outcome.classId;
+        // Reuse the historically collected interference information
+        // (§3.6): while an interference episode is ongoing, look up
+        // the (class, bucket) entry directly rather than re-learning
+        // it via a fresh SLO violation every hour.
+        std::optional<ResourceAllocation> cached;
+        if (_currentBucket > 0)
+            cached = _repository.lookup(
+                {outcome.classId, _currentBucket});
+        if (!cached) {
+            _currentBucket = 0;
+            cached = _repository.lookup({outcome.classId, 0});
+        }
+        DEJAVU_ASSERT(cached.has_value(),
+                      "repository lost class ", outcome.classId);
+        decision.allocation = *cached;
+    }
+
+    decision.reconfigured =
+        _service.cluster().target() != decision.allocation;
+    deployAfter(decision.adaptationTime, decision.allocation);
+    _adaptationTimesSec.push_back(toSeconds(decision.adaptationTime));
+    return decision;
+}
+
+std::optional<DejaVuController::Decision>
+DejaVuController::onSloFeedback(const Service::PerfSample &sample)
+{
+    if (!_learned || !_config.interferenceDetection || _lastClassId < 0)
+        return std::nullopt;
+    if (_config.slo.satisfied(sample.meanLatencyMs, sample.qosPercent)) {
+        _violationStreak = 0;
+        maybeDeescalate(sample);
+        return std::nullopt;
+    }
+    // Let reconfiguration transients (VM warm-up, re-partitioning
+    // onset) settle before attributing a violation to interference.
+    const SimTime now = _service.queue().now();
+    if (_lastDeployAt < 0 ||
+        now < _lastDeployAt + _config.feedbackSettleTime)
+        return std::nullopt;
+    // Require persistence: single violating samples are noise.
+    if (++_violationStreak < _config.violationsBeforeBlame)
+        return std::nullopt;
+
+    // The workload class was just identified in isolation, so the
+    // violation is blamed on interference (§3.6). Contrast production
+    // with the profiler's isolated measurement of the same deployment.
+    const ResourceAllocation current = _service.cluster().target();
+    double index;
+    if (_config.slo.kind == SloKind::LatencyBound) {
+        const double iso =
+            _profiler.isolatedLatencyMs(_lastWorkload, current);
+        index = InterferenceEstimator::latencyIndex(
+            sample.meanLatencyMs, iso);
+    } else {
+        const double iso =
+            _profiler.isolatedQosPercent(_lastWorkload, current);
+        index = InterferenceEstimator::qosIndex(sample.qosPercent, iso);
+    }
+    _violationStreak = 0;
+    const int bucket = _estimator.bucketOf(index);
+    if (bucket == 0 || bucket == _currentBucket)
+        return std::nullopt;  // measurement noise, or already handled
+
+    Decision decision;
+    decision.kind = DecisionKind::InterferenceAdjust;
+    decision.classId = _lastClassId;
+    decision.certainty = 1.0;
+    _currentBucket = bucket;
+
+    auto cached = _repository.lookup({_lastClassId, bucket});
+    if (cached) {
+        decision.allocation = *cached;
+        decision.adaptationTime = _config.classificationOverhead;
+    } else {
+        // Tune under the current production conditions; the bucketed
+        // index is the cache key for next time. The experiments run
+        // against the interference actually present in production,
+        // and the search starts from the current (already violated)
+        // allocation — anything smaller cannot satisfy the SLO.
+        const double loss = _service.cluster().meanInterference();
+        std::vector<ResourceAllocation> floored;
+        for (const auto &candidate : _config.searchSpace)
+            if (!lessCapacity(candidate, current))
+                floored.push_back(candidate);
+        if (floored.empty())
+            floored.push_back(_service.cluster().maxAllocation());
+        // Stop-gap while the experiments run: full capacity, the
+        // same do-no-harm fallback §3.5 uses for unknown workloads.
+        deployAfter(_config.classificationOverhead,
+                    _service.cluster().maxAllocation());
+        Tuner tuner(_profiler, _config.slo, floored, _config.tuner);
+        const Tuner::Result tuned = tuner.tune(_lastWorkload, loss);
+        _repository.store({_lastClassId, bucket}, tuned.allocation);
+        decision.allocation = tuned.allocation;
+        decision.adaptationTime = tuned.tuningTime;
+        inform("interference: class ", _lastClassId, " index ", index,
+               " bucket ", bucket, " -> ", tuned.allocation.toString(),
+               " after ", tuned.experiments, " experiments");
+    }
+
+    decision.reconfigured =
+        _service.cluster().target() != decision.allocation;
+    deployAfter(decision.adaptationTime, decision.allocation);
+    return decision;
+}
+
+void
+DejaVuController::maybeDeescalate(const Service::PerfSample &sample)
+{
+    // While an interference bucket is active and the SLO holds,
+    // compare production against isolation at the *current* inflated
+    // allocation: an index back around 1 means the co-located
+    // pressure is gone and the baseline allocation suffices again.
+    if (_currentBucket == 0)
+        return;
+    const ResourceAllocation current = _service.cluster().target();
+    double index;
+    if (_config.slo.kind == SloKind::LatencyBound) {
+        const double iso =
+            _profiler.isolatedLatencyMs(_lastWorkload, current);
+        index = InterferenceEstimator::latencyIndex(
+            sample.meanLatencyMs, iso);
+    } else {
+        const double iso =
+            _profiler.isolatedQosPercent(_lastWorkload, current);
+        index = InterferenceEstimator::qosIndex(sample.qosPercent, iso);
+    }
+    // Hysteresis: escalation fires above 1 + tolerance, but we only
+    // step back down when the index is comfortably below it —
+    // otherwise a borderline index would thrash between baseline and
+    // bucket every few minutes.
+    const double deescalateBelow =
+        1.0 + _estimator.config().tolerance / 2.0;
+    if (index >= deescalateBelow) {
+        _calmStreak = 0;
+        return;
+    }
+    if (++_calmStreak < _config.calmTicksBeforeDeescalate)
+        return;
+    _calmStreak = 0;
+    _currentBucket = 0;
+    auto baseline = _repository.lookup({_lastClassId, 0});
+    if (baseline && _service.cluster().target() != *baseline) {
+        inform("interference cleared: class ", _lastClassId,
+               " back to baseline ", baseline->toString());
+        deployAfter(_config.classificationOverhead, *baseline);
+    }
+}
+
+} // namespace dejavu

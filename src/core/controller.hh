@@ -1,0 +1,218 @@
+/**
+ * @file
+ * The DejaVu runtime controller: ties the proxy/profiler, clustering,
+ * classification, repository, tuner and interference estimator into
+ * the two-phase operation of Figure 3 — a learning phase (profile,
+ * cluster, tune once per class) followed by the reuse phase (profile
+ * ~10 s, classify, redeploy the cached allocation; fall back to full
+ * capacity on unknown workloads; adjust for interference using SLO
+ * feedback).
+ */
+
+#ifndef DEJAVU_CORE_CONTROLLER_HH
+#define DEJAVU_CORE_CONTROLLER_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/classifier_engine.hh"
+#include "core/clustering_engine.hh"
+#include "core/interference_estimator.hh"
+#include "core/repository.hh"
+#include "core/signature.hh"
+#include "core/tuner.hh"
+#include "counters/profiler.hh"
+#include "services/service.hh"
+#include "services/slo.hh"
+
+namespace dejavu {
+
+/**
+ * The DejaVu framework controller for one service.
+ */
+class DejaVuController
+{
+  public:
+    /** Which member of a workload class the Tuner replays (§3.4). */
+    enum class RepresentativeRule
+    {
+        /** The instance closest to the centroid (the paper's
+         *  default wording). Cheaper on average, but members above
+         *  the medoid can be under-provisioned. */
+        Medoid,
+        /** The most demanding member: the cached allocation then
+         *  satisfies the SLO for the entire class ("sufficient, but
+         *  not wasteful" for every member). */
+        MostDemanding,
+    };
+
+    struct Config
+    {
+        Slo slo = Slo::latency(60.0);
+        /** Candidate allocations for the Tuner's linear search. */
+        std::vector<ResourceAllocation> searchSpace;
+        /** Class-representative choice for tuning. */
+        RepresentativeRule representativeRule =
+            RepresentativeRule::MostDemanding;
+        /** Profiling trials per learning workload (Fig. 4 used 5). */
+        int trialsPerWorkload = 3;
+        /** Certainty threshold for cache hits (§3.5). */
+        double certaintyThreshold = 0.60;
+        /** Classifier flavor. */
+        ClassifierEngine::Algorithm algorithm =
+            ClassifierEngine::Algorithm::C45;
+        /** Interference detection on/off (Fig. 11 ablation). */
+        bool interferenceDetection = true;
+        /** Consecutive low-certainty classifications before a full
+         *  re-clustering is recommended (§3.5). */
+        int relearnAfterMisses = 3;
+        /** Classification latency (negligible; §3.5). */
+        SimTime classificationOverhead = milliseconds(50);
+        /** SLO feedback is ignored this long after a deployment, so
+         *  adaptation transients are not mistaken for interference. */
+        SimTime feedbackSettleTime = seconds(90);
+        /** Consecutive violating samples required before blaming
+         *  interference (filters measurement-noise blips). */
+        int violationsBeforeBlame = 2;
+        /** Consecutive calm (SLO-satisfied, index near 1) samples
+         *  before stepping back down from an interference bucket. */
+        int calmTicksBeforeDeescalate = 5;
+        /** Novelty slack: a signature farther than this multiple of
+         *  the predicted cluster's learned radius from its centroid
+         *  is treated as a never-seen workload even if the classifier
+         *  is confident (out-of-distribution guard). Sized so that
+         *  ordinary day-to-day amplitude wobble classifies normally
+         *  while genuine flash crowds (30%+ beyond anything seen)
+         *  fall back to full capacity. */
+        double noveltyRadiusSlack = 2.2;
+        ClusteringEngine::Config clustering;
+        InterferenceEstimator::Config interference;
+        Tuner::Config tuner;
+    };
+
+    /** What the controller decided on one workload change. */
+    enum class DecisionKind
+    {
+        CacheHit,          ///< Classified; cached allocation reused.
+        UnknownWorkload,   ///< Low certainty; full capacity deployed.
+        InterferenceAdjust ///< SLO feedback path redeployed resources.
+    };
+
+    struct Decision
+    {
+        DecisionKind kind = DecisionKind::CacheHit;
+        int classId = -1;
+        double certainty = 0.0;
+        ResourceAllocation allocation;
+        /** Time from workload change to the new allocation being
+         *  requested (profiling + classification [+ tuning]). */
+        SimTime adaptationTime = 0;
+        bool reconfigured = false;  ///< Allocation actually changed.
+    };
+
+    struct LearningReport
+    {
+        int samples = 0;
+        int classes = 0;
+        int tuningExperiments = 0;
+        SimTime tuningTime = 0;
+        std::vector<ResourceAllocation> classAllocations;
+    };
+
+    DejaVuController(Service &service, ProfilerHost &profiler,
+                     Config config, Rng rng);
+
+    /**
+     * Learning phase: profile each workload (trialsPerWorkload
+     * times), identify classes, tune one representative per class,
+     * and populate the repository. Offline — does not advance the
+     * simulation clock.
+     */
+    LearningReport learn(const std::vector<Workload> &workloads);
+
+    /**
+     * Reuse phase: react to a workload change. Collects a signature
+     * (sampleDuration), classifies, and schedules the deployment of
+     * the resulting allocation after the adaptation delay.
+     */
+    Decision onWorkloadChange(const Workload &workload);
+
+    /**
+     * Re-clustering (§3.5): "If the repository repeatedly outputs
+     * low certainty levels, it most likely means that the workload
+     * has changed over time and that the current clustering is no
+     * longer relevant. DejaVu can then initiate the clustering and
+     * tuning process once again." Re-runs the learning pipeline over
+     * the original workloads plus every unknown workload encountered
+     * since, replacing classes, classifier and repository.
+     */
+    LearningReport relearn();
+
+    /**
+     * Production SLO feedback (§3.6): when the SLO is violated right
+     * after a classified deployment, estimate the interference index
+     * and deploy / tune the interference-aware allocation.
+     * @return the decision if the controller reacted.
+     */
+    std::optional<Decision> onSloFeedback(
+        const Service::PerfSample &sample);
+
+    /** @name Introspection @{ */
+    bool learned() const { return _learned; }
+    const Repository &repository() const { return _repository; }
+    Repository &repository() { return _repository; }
+    const SignatureSchema &schema() const { return _schema; }
+    const ClassifierEngine &classifier() const { return _classifier; }
+    const Clustering &clustering() const { return _clustering; }
+    int lastClassId() const { return _lastClassId; }
+    int consecutiveLowCertainty() const { return _lowCertaintyStreak; }
+    bool relearnRecommended() const
+    { return _lowCertaintyStreak >= _config.relearnAfterMisses; }
+    /** Unknown workloads accumulated for the next relearn(). */
+    const std::vector<Workload> &novelWorkloads() const
+    { return _novelWorkloads; }
+    int timesRelearned() const { return _timesRelearned; }
+    const std::vector<double> &adaptationTimesSec() const
+    { return _adaptationTimesSec; }
+    const Config &config() const { return _config; }
+    /** @} */
+
+  private:
+    Service &_service;
+    ProfilerHost &_profiler;
+    Config _config;
+    Rng _rng;
+
+    Repository _repository;
+    SignatureSchema _schema;
+    Standardizer _standardizer;
+    ClassifierEngine _classifier;
+    Clustering _clustering;
+    InterferenceEstimator _estimator;
+    bool _learned = false;
+
+    int _lastClassId = -1;
+    Workload _lastWorkload;
+    int _lowCertaintyStreak = 0;
+    int _currentBucket = 0;
+    int _violationStreak = 0;
+    int _calmStreak = 0;
+    SimTime _lastDeployAt = -1;
+    int _timesRelearned = 0;
+    std::vector<double> _classRadius;  ///< Learned per-class extent.
+    std::vector<double> _adaptationTimesSec;
+    std::vector<Workload> _learnedWorkloads;  ///< Last learn() input.
+    std::vector<Workload> _novelWorkloads;    ///< Unknowns since.
+
+    /** Schedule cluster reconfiguration after @p delay. */
+    void deployAfter(SimTime delay, const ResourceAllocation &allocation);
+
+    /** Step back to the baseline bucket once interference clears. */
+    void maybeDeescalate(const Service::PerfSample &sample);
+
+    Tuner makeTuner();
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_CONTROLLER_HH

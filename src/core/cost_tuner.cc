@@ -1,0 +1,95 @@
+#include "core/cost_tuner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+CostAwareTuner::CostAwareTuner(ProfilerHost &profiler, Slo slo)
+    : CostAwareTuner(profiler, slo, Config())
+{
+}
+
+CostAwareTuner::CostAwareTuner(ProfilerHost &profiler, Slo slo,
+                               Config config)
+    : _profiler(profiler), _slo(slo), _config(std::move(config))
+{
+    DEJAVU_ASSERT(_config.maxInstances >= 1, "need >= 1 instance");
+    DEJAVU_ASSERT(!_config.types.empty(), "need >= 1 type");
+}
+
+std::vector<ResourceAllocation>
+CostAwareTuner::candidateGrid() const
+{
+    std::vector<ResourceAllocation> grid;
+    grid.reserve(_config.types.size()
+                 * static_cast<std::size_t>(_config.maxInstances));
+    for (InstanceType type : _config.types)
+        for (int n = 1; n <= _config.maxInstances; ++n)
+            grid.push_back({n, type});
+    // Ascending cost; capacity breaks cost ties so the more capable
+    // allocation wins at equal price.
+    std::sort(grid.begin(), grid.end(),
+              [](const ResourceAllocation &a,
+                 const ResourceAllocation &b) {
+                  if (a.dollarsPerHour() != b.dollarsPerHour())
+                      return a.dollarsPerHour() < b.dollarsPerHour();
+                  return a.computeUnits() > b.computeUnits();
+              });
+    return grid;
+}
+
+bool
+CostAwareTuner::meetsSlo(const Workload &workload,
+                         const ResourceAllocation &allocation,
+                         double interference)
+{
+    switch (_slo.kind) {
+      case SloKind::LatencyBound:
+        return _profiler.service().hypotheticalLatencyMs(
+                   workload, allocation, interference)
+            <= _slo.latencyBoundMs * _config.latencyHeadroom;
+      case SloKind::QosFloor:
+        return _profiler.service().hypotheticalQosPercent(
+                   workload, allocation, interference)
+            >= _slo.qosFloorPercent + _config.qosHeadroomPoints;
+    }
+    return false;
+}
+
+CostAwareTuner::Result
+CostAwareTuner::tune(const Workload &workload, double interference)
+{
+    DEJAVU_ASSERT(interference >= 0.0 && interference < 1.0,
+                  "interference out of range");
+    Result result;
+    const auto grid = candidateGrid();
+    double failedCapacityFloor = 0.0;
+    for (const auto &candidate : grid) {
+        ++result.candidatesConsidered;
+        if (_config.capacityPruning &&
+            candidate.computeUnits() <= failedCapacityFloor)
+            continue;  // provably inadequate: skip the experiment
+        ++result.experiments;
+        result.tuningTime += _profiler.config().experimentDuration;
+        if (meetsSlo(workload, candidate, interference)) {
+            // Visiting in ascending cost makes the first hit optimal.
+            result.allocation = candidate;
+            result.feasible = true;
+            result.dollarsPerHour = candidate.dollarsPerHour();
+            return result;
+        }
+        failedCapacityFloor =
+            std::max(failedCapacityFloor, candidate.computeUnits());
+    }
+    // Infeasible: return the largest-capacity candidate.
+    result.allocation = *std::max_element(
+        grid.begin(), grid.end(), lessCapacity);
+    result.dollarsPerHour = result.allocation.dollarsPerHour();
+    warn("cost-aware tuner: no allocation meets ", _slo.toString(),
+         "; using ", result.allocation.toString());
+    return result;
+}
+
+} // namespace dejavu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cost-aware tuner (Kingfisher-style; paper §5): where the linear-
+ * search Tuner sweeps a fixed one-dimensional ladder, this tuner
+ * searches the full (count × type) grid and returns the *cheapest*
+ * allocation meeting the SLO — instance types are not always
+ * cost-proportional to capacity, so the cheapest adequate allocation
+ * is not necessarily the smallest. The paper notes the two systems
+ * compose: "DejaVu could simply use Kingfisher as its Tuner", and
+ * caching its decisions avoids re-running the optimization on every
+ * workload change.
+ *
+ * Each evaluated candidate still costs one sandboxed experiment, so
+ * the tuner prunes: candidates are visited in ascending cost, and the
+ * first satisfying allocation is optimal.
+ */
+
+#ifndef DEJAVU_CORE_COST_TUNER_HH
+#define DEJAVU_CORE_COST_TUNER_HH
+
+#include <vector>
+
+#include "common/sim_time.hh"
+#include "counters/profiler.hh"
+#include "services/slo.hh"
+#include "sim/allocation.hh"
+#include "workload/request_mix.hh"
+
+namespace dejavu {
+
+/**
+ * Minimum-cost allocation search over a (count, type) grid.
+ */
+class CostAwareTuner
+{
+  public:
+    struct Config
+    {
+        int maxInstances = 10;
+        std::vector<InstanceType> types = {InstanceType::Small,
+                                           InstanceType::Large,
+                                           InstanceType::XLarge};
+        double latencyHeadroom = 0.9;
+        double qosHeadroomPoints = 0.5;
+        /** Skip experiments on candidates whose *modelled* capacity
+         *  is below the cheapest already-failed candidate's capacity
+         *  (a failed experiment lower-bounds the required capacity). */
+        bool capacityPruning = true;
+    };
+
+    struct Result
+    {
+        ResourceAllocation allocation;
+        bool feasible = false;
+        int experiments = 0;         ///< Sandboxed runs executed.
+        int candidatesConsidered = 0;///< Grid points examined.
+        SimTime tuningTime = 0;
+        double dollarsPerHour = 0.0;
+    };
+
+    CostAwareTuner(ProfilerHost &profiler, Slo slo);
+    CostAwareTuner(ProfilerHost &profiler, Slo slo, Config config);
+
+    /** Cheapest SLO-satisfying allocation for @p workload. */
+    Result tune(const Workload &workload, double interference = 0.0);
+
+    /** The cost-sorted candidate grid (exposed for tests). */
+    std::vector<ResourceAllocation> candidateGrid() const;
+
+  private:
+    ProfilerHost &_profiler;
+    Slo _slo;
+    Config _config;
+
+    bool meetsSlo(const Workload &workload,
+                  const ResourceAllocation &allocation,
+                  double interference);
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_COST_TUNER_HH

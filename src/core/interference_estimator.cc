@@ -1,0 +1,93 @@
+#include "core/interference_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+InterferenceEstimator::InterferenceEstimator()
+    : InterferenceEstimator(Config())
+{
+}
+
+InterferenceEstimator::InterferenceEstimator(Config config)
+    : _config(config)
+{
+    DEJAVU_ASSERT(_config.bucketWidth > 0.0, "bad bucket width");
+    DEJAVU_ASSERT(_config.tolerance >= 0.0, "bad tolerance");
+    DEJAVU_ASSERT(_config.percentile > 0.0 && _config.percentile <= 1.0,
+                  "bad percentile");
+}
+
+double
+InterferenceEstimator::latencyIndex(double productionMs,
+                                    double isolationMs)
+{
+    DEJAVU_ASSERT(productionMs > 0.0 && isolationMs > 0.0,
+                  "latencies must be positive");
+    return productionMs / isolationMs;
+}
+
+double
+InterferenceEstimator::qosIndex(double productionQos,
+                                double isolationQos)
+{
+    DEJAVU_ASSERT(productionQos > 0.0 && isolationQos > 0.0,
+                  "QoS must be positive");
+    // Lower production QoS means more interference: invert the ratio
+    // so "bigger = worse" matches the latency convention.
+    return isolationQos / productionQos;
+}
+
+int
+InterferenceEstimator::bucketOf(double index) const
+{
+    DEJAVU_ASSERT(index > 0.0, "index must be positive");
+    if (index <= 1.0 + _config.tolerance)
+        return 0;
+    const int bucket =
+        1 + static_cast<int>((index - 1.0 - _config.tolerance)
+                             / _config.bucketWidth);
+    return std::min(bucket, _config.maxBucket);
+}
+
+double
+InterferenceEstimator::bucketFloor(int bucket) const
+{
+    DEJAVU_ASSERT(bucket >= 0, "negative bucket");
+    if (bucket == 0)
+        return 1.0;
+    return 1.0 + _config.tolerance + (bucket - 1) * _config.bucketWidth;
+}
+
+double
+InterferenceEstimator::assumedCapacityLoss(int bucket) const
+{
+    if (bucket == 0)
+        return 0.0;
+    // Midpoint index of the bucket; index ≈ 1/(1-loss) to first order
+    // near the SLO operating point, so loss ≈ 1 - 1/index.
+    const double mid = bucketFloor(bucket) + _config.bucketWidth / 2.0;
+    const double loss = 1.0 - 1.0 / mid;
+    return std::clamp(loss, 0.0, 0.6);
+}
+
+double
+InterferenceEstimator::conservativeIndex(
+    std::vector<double> perInstanceIndices) const
+{
+    DEJAVU_ASSERT(!perInstanceIndices.empty(), "no probes");
+    std::sort(perInstanceIndices.begin(), perInstanceIndices.end());
+    const double pos =
+        _config.percentile * (perInstanceIndices.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi =
+        std::min(lo + 1, perInstanceIndices.size() - 1);
+    const double frac = pos - lo;
+    return perInstanceIndices[lo] * (1.0 - frac)
+        + perInstanceIndices[hi] * frac;
+}
+
+} // namespace dejavu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interference estimation (§3.6): the interference index contrasts
+ * production performance with the profiler's isolated measurement,
+ *
+ *     index = PerformanceLevel_production / PerformanceLevel_isolation
+ *
+ * (expressed here so that 1.0 = no interference and larger = worse,
+ * for both latency- and QoS-style metrics). Indices are quantized
+ * into buckets that extend the repository key, and a conservative
+ * Xth-percentile instance-selection rule supports probabilistic
+ * guarantees across a service's VMs.
+ */
+
+#ifndef DEJAVU_CORE_INTERFERENCE_ESTIMATOR_HH
+#define DEJAVU_CORE_INTERFERENCE_ESTIMATOR_HH
+
+#include <vector>
+
+namespace dejavu {
+
+/**
+ * Index computation, bucketing, and conservative aggregation.
+ */
+class InterferenceEstimator
+{
+  public:
+    struct Config
+    {
+        /** Index width of one repository bucket. */
+        double bucketWidth = 0.25;
+        /** Indices below 1 + tolerance count as "no interference"
+         *  (measurement noise and mild transients). Real co-located
+         *  contention produces indices well above this. */
+        double tolerance = 0.20;
+        /** Highest bucket id; larger indices (deep saturation, where
+         *  the ratio is numerically unbounded) all share it. */
+        int maxBucket = 8;
+        /** Conservative selection percentile (§3.6's X%). */
+        double percentile = 0.95;
+    };
+
+    InterferenceEstimator();
+    explicit InterferenceEstimator(Config config);
+
+    /** Index for latency metrics (prod slower => index > 1). */
+    static double latencyIndex(double productionMs, double isolationMs);
+
+    /** Index for QoS metrics (prod lower QoS => index > 1). */
+    static double qosIndex(double productionQos, double isolationQos);
+
+    /** Bucket id for an index; 0 = no significant interference. */
+    int bucketOf(double index) const;
+
+    /** Lower edge of a bucket (>= 1). */
+    double bucketFloor(int bucket) const;
+
+    /**
+     * Representative capacity-loss fraction to assume when re-tuning
+     * for a bucket: inverts our latency model's first-order behaviour
+     * (index ≈ 1/(1 - loss) near the operating point) at the bucket's
+     * midpoint.
+     */
+    double assumedCapacityLoss(int bucket) const;
+
+    /**
+     * Conservative per-service index: the Xth percentile across
+     * per-instance probes, giving a probabilistic performance
+     * guarantee (§3.6).
+     */
+    double conservativeIndex(std::vector<double> perInstanceIndices) const;
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_INTERFERENCE_ESTIMATOR_HH

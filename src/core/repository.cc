@@ -1,0 +1,133 @@
+#include "core/repository.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+void
+Repository::store(const RepositoryKey &key,
+                  const ResourceAllocation &allocation)
+{
+    _entries[key] = allocation;
+    ++_stats.stores;
+}
+
+std::optional<ResourceAllocation>
+Repository::lookup(const RepositoryKey &key)
+{
+    ++_stats.lookups;
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    ++_stats.hits;
+    return it->second;
+}
+
+std::optional<ResourceAllocation>
+Repository::peek(const RepositoryKey &key) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+Repository::contains(const RepositoryKey &key) const
+{
+    return _entries.find(key) != _entries.end();
+}
+
+double
+Repository::hitRate() const
+{
+    if (_stats.lookups == 0)
+        return 0.0;
+    return static_cast<double>(_stats.hits) / _stats.lookups;
+}
+
+std::vector<RepositoryKey>
+Repository::keys() const
+{
+    std::vector<RepositoryKey> out;
+    out.reserve(_entries.size());
+    for (const auto &[key, _] : _entries)
+        out.push_back(key);
+    return out;
+}
+
+void
+Repository::clear()
+{
+    _entries.clear();
+}
+
+void
+Repository::save(std::ostream &out) const
+{
+    out << "class,bucket,instances,type\n";
+    for (const auto &[key, alloc] : _entries) {
+        out << key.classId << ',' << key.interferenceBucket << ','
+            << alloc.instances << ',' << instanceSpec(alloc.type).name
+            << '\n';
+    }
+}
+
+Repository
+Repository::load(std::istream &in)
+{
+    Repository repo;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#' ||
+            line.rfind("class,", 0) == 0)
+            continue;
+        std::istringstream cells(line);
+        std::string c, b, n, t;
+        if (!std::getline(cells, c, ',') ||
+            !std::getline(cells, b, ',') ||
+            !std::getline(cells, n, ',') || !std::getline(cells, t))
+            fatal("repository line ", lineNo, ": expected "
+                  "'class,bucket,instances,type', got: ", line);
+        try {
+            RepositoryKey key{std::stoi(c), std::stoi(b)};
+            ResourceAllocation alloc{std::stoi(n),
+                                     parseInstanceType(t)};
+            if (key.classId < 0 || key.interferenceBucket < 0 ||
+                alloc.instances < 1)
+                fatal("repository line ", lineNo,
+                      ": out-of-range values: ", line);
+            repo._entries[key] = alloc;
+        } catch (const std::exception &) {
+            fatal("repository line ", lineNo, ": unparsable: ", line);
+        }
+    }
+    return repo;
+}
+
+std::string
+Repository::toString() const
+{
+    std::ostringstream os;
+    os << "repository{";
+    bool first = true;
+    for (const auto &[key, alloc] : _entries) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "(c" << key.classId << ",i" << key.interferenceBucket
+           << ")->" << alloc.toString();
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace dejavu

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The DejaVu cache: the workload-signature repository (§3.4, §3.6)
+ * mapping (workload class, interference bucket) to the preferred
+ * resource allocation, with hit/miss accounting. "Like any other
+ * cache, DejaVu is most useful when its cached allocations can be
+ * repeatedly reused."
+ */
+
+#ifndef DEJAVU_CORE_REPOSITORY_HH
+#define DEJAVU_CORE_REPOSITORY_HH
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/allocation.hh"
+
+namespace dejavu {
+
+/** Repository key: workload class plus quantized interference. */
+struct RepositoryKey
+{
+    int classId = 0;
+    int interferenceBucket = 0;
+
+    bool operator<(const RepositoryKey &o) const
+    {
+        if (classId != o.classId)
+            return classId < o.classId;
+        return interferenceBucket < o.interferenceBucket;
+    }
+    bool operator==(const RepositoryKey &o) const
+    {
+        return classId == o.classId &&
+            interferenceBucket == o.interferenceBucket;
+    }
+};
+
+/**
+ * Allocation cache with hit statistics.
+ */
+class Repository
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+    };
+
+    /** Store (or overwrite) the preferred allocation for a key. */
+    void store(const RepositoryKey &key,
+               const ResourceAllocation &allocation);
+
+    /** Cache lookup; counts hit/miss. */
+    std::optional<ResourceAllocation> lookup(const RepositoryKey &key);
+
+    /** Non-counting inspection (for tests and reporting). */
+    std::optional<ResourceAllocation> peek(const RepositoryKey &key) const;
+
+    bool contains(const RepositoryKey &key) const;
+
+    std::size_t entries() const { return _entries.size(); }
+    const Stats &stats() const { return _stats; }
+    double hitRate() const;
+
+    /** All keys currently cached (sorted). */
+    std::vector<RepositoryKey> keys() const;
+
+    /** Drop everything (re-clustering invalidates the cache). */
+    void clear();
+
+    std::string toString() const;
+
+    /** @name Persistence (CSV: classId,bucket,instances,type) @{ */
+    /** Serialize all entries; statistics are not persisted. */
+    void save(std::ostream &out) const;
+
+    /** Load entries from a stream produced by save(). fatal() on
+     *  malformed input. Replaces current entries; stats reset. */
+    static Repository load(std::istream &in);
+    /** @} */
+
+  private:
+    std::map<RepositoryKey, ResourceAllocation> _entries;
+    Stats _stats;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_REPOSITORY_HH

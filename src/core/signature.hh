@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload signatures (§3.3): "an ordered N-tuple WS = {m1, ..., mN}"
+ * of automatically selected low-level metrics, normalized by sampling
+ * time. A SignatureSchema records *which* of the candidate metrics
+ * form the signature; a WorkloadSignature is one concrete tuple.
+ */
+
+#ifndef DEJAVU_CORE_SIGNATURE_HH
+#define DEJAVU_CORE_SIGNATURE_HH
+
+#include <string>
+#include <vector>
+
+#include "counters/monitor.hh"
+
+namespace dejavu {
+
+/**
+ * The selected-metric schema shared by all signatures of a service.
+ */
+class SignatureSchema
+{
+  public:
+    SignatureSchema() = default;
+
+    /**
+     * @param selected indices into the full candidate-metric vector.
+     * @param allNames names of *all* candidate metrics.
+     */
+    SignatureSchema(std::vector<int> selected,
+                    const std::vector<std::string> &allNames);
+
+    int size() const { return static_cast<int>(_indices.size()); }
+    bool empty() const { return _indices.empty(); }
+
+    const std::vector<int> &indices() const { return _indices; }
+    const std::vector<std::string> &names() const { return _names; }
+
+    /** Project a full metric vector down to the signature tuple. */
+    std::vector<double> extract(const std::vector<double> &full) const;
+
+    /** Convenience: extract from a Monitor sample. */
+    std::vector<double> extract(const MetricSample &sample) const
+    { return extract(sample.values); }
+
+    std::string toString() const;
+
+  private:
+    std::vector<int> _indices;
+    std::vector<std::string> _names;
+};
+
+/**
+ * One concrete signature observation.
+ */
+struct WorkloadSignature
+{
+    std::vector<double> values;   ///< Selected metrics, per-second.
+    SimTime collectedAt = 0;
+
+    /** Euclidean distance between two signatures (standardize before
+     *  calling if attribute scales differ). */
+    double distanceTo(const WorkloadSignature &other) const;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_SIGNATURE_HH

@@ -1,0 +1,93 @@
+#include "core/tuner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+Tuner::Tuner(ProfilerHost &profiler, Slo slo,
+             std::vector<ResourceAllocation> searchSpace)
+    : Tuner(profiler, slo, std::move(searchSpace), Config())
+{
+}
+
+Tuner::Tuner(ProfilerHost &profiler, Slo slo,
+             std::vector<ResourceAllocation> searchSpace, Config config)
+    : _profiler(profiler), _slo(slo),
+      _searchSpace(std::move(searchSpace)), _config(config)
+{
+    DEJAVU_ASSERT(!_searchSpace.empty(), "empty tuning search space");
+    std::sort(_searchSpace.begin(), _searchSpace.end(), lessCapacity);
+}
+
+bool
+Tuner::meetsSlo(const Workload &workload,
+                const ResourceAllocation &allocation, double interference)
+{
+    // One sandboxed experiment: replay the workload, measure, compare.
+    switch (_slo.kind) {
+      case SloKind::LatencyBound: {
+        const double measured = _profiler.service().hypotheticalLatencyMs(
+            workload, allocation, interference);
+        return measured <= _slo.latencyBoundMs * _config.latencyHeadroom;
+      }
+      case SloKind::QosFloor: {
+        const double measured =
+            _profiler.service().hypotheticalQosPercent(
+                workload, allocation, interference);
+        return measured >=
+            _slo.qosFloorPercent + _config.qosHeadroomPoints;
+      }
+    }
+    return false;
+}
+
+Tuner::Result
+Tuner::tune(const Workload &workload, double interference)
+{
+    DEJAVU_ASSERT(interference >= 0.0 && interference < 1.0,
+                  "interference out of range");
+    Result result;
+    for (const auto &candidate : _searchSpace) {
+        ++result.experiments;
+        result.tuningTime += _profiler.config().experimentDuration;
+        if (meetsSlo(workload, candidate, interference)) {
+            result.allocation = candidate;
+            result.feasible = true;
+            return result;
+        }
+    }
+    // Nothing sufficed: fall back to full capacity (largest candidate).
+    result.allocation = _searchSpace.back();
+    result.feasible = false;
+    warn("tuner: no allocation meets ", _slo.toString(),
+         " for workload of ", workload.clients, " clients; using ",
+         result.allocation.toString());
+    return result;
+}
+
+std::vector<ResourceAllocation>
+scaleOutSearchSpace(int maxInstances, InstanceType type)
+{
+    DEJAVU_ASSERT(maxInstances >= 1, "need >= 1 instance");
+    std::vector<ResourceAllocation> space;
+    space.reserve(static_cast<std::size_t>(maxInstances));
+    for (int n = 1; n <= maxInstances; ++n)
+        space.push_back({n, type});
+    return space;
+}
+
+std::vector<ResourceAllocation>
+scaleUpSearchSpace(int instances, const std::vector<InstanceType> &types)
+{
+    DEJAVU_ASSERT(instances >= 1, "need >= 1 instance");
+    DEJAVU_ASSERT(!types.empty(), "need >= 1 type");
+    std::vector<ResourceAllocation> space;
+    space.reserve(types.size());
+    for (InstanceType t : types)
+        space.push_back({instances, t});
+    return space;
+}
+
+} // namespace dejavu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The Tuner (§3.4): determines "the sufficient, but not wasteful, set
+ * of virtualized resources" for one workload class. As in the paper's
+ * evaluation we use linear search: replay the workload against
+ * increasing allocations and keep the first (cheapest) one whose
+ * sandboxed measurement meets the SLO. Each sandboxed experiment
+ * costs minutes of (simulated) time, which is exactly why caching the
+ * result pays off.
+ */
+
+#ifndef DEJAVU_CORE_TUNER_HH
+#define DEJAVU_CORE_TUNER_HH
+
+#include <vector>
+
+#include "common/sim_time.hh"
+#include "counters/profiler.hh"
+#include "services/slo.hh"
+#include "sim/allocation.hh"
+#include "workload/request_mix.hh"
+
+namespace dejavu {
+
+/**
+ * Linear-search experiment-driven tuner.
+ */
+class Tuner
+{
+  public:
+    struct Config
+    {
+        /** Safety margin: require the measurement to meet the SLO
+         *  with this multiplicative headroom (latency SLOs) or
+         *  additive percentage-point headroom (QoS SLOs). */
+        double latencyHeadroom = 0.9;
+        double qosHeadroomPoints = 0.5;
+    };
+
+    struct Result
+    {
+        ResourceAllocation allocation;
+        bool feasible = false;     ///< SLO met by some allocation.
+        int experiments = 0;       ///< Sandboxed runs executed.
+        SimTime tuningTime = 0;    ///< experiments * experimentDuration.
+    };
+
+    /**
+     * @param profiler the sandboxed measurement substrate.
+     * @param slo the target to satisfy.
+     * @param searchSpace candidate allocations; sorted internally by
+     *        ascending capacity so "linear search" sweeps upward.
+     */
+    Tuner(ProfilerHost &profiler, Slo slo,
+          std::vector<ResourceAllocation> searchSpace);
+    Tuner(ProfilerHost &profiler, Slo slo,
+          std::vector<ResourceAllocation> searchSpace, Config config);
+
+    /**
+     * Find the minimal adequate allocation for @p workload, assuming
+     * co-located interference steals @p interference of capacity
+     * (0 for the baseline tuning pass).
+     *
+     * When no candidate satisfies the SLO the result is infeasible
+     * and carries the largest allocation (full capacity).
+     */
+    Result tune(const Workload &workload, double interference = 0.0);
+
+    const std::vector<ResourceAllocation> &searchSpace() const
+    { return _searchSpace; }
+    const Slo &slo() const { return _slo; }
+
+  private:
+    ProfilerHost &_profiler;
+    Slo _slo;
+    std::vector<ResourceAllocation> _searchSpace;
+    Config _config;
+
+    bool meetsSlo(const Workload &workload,
+                  const ResourceAllocation &allocation,
+                  double interference);
+};
+
+/** Build the scale-out search space: 1..maxInstances of one type. */
+std::vector<ResourceAllocation> scaleOutSearchSpace(
+    int maxInstances, InstanceType type = InstanceType::Large);
+
+/** Build the scale-up search space: fixed count, increasing types. */
+std::vector<ResourceAllocation> scaleUpSearchSpace(
+    int instances, const std::vector<InstanceType> &types = {
+        InstanceType::Large, InstanceType::XLarge});
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_TUNER_HH

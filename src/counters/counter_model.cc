@@ -1,0 +1,277 @@
+#include "counters/counter_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+CounterModel::CounterModel(ServiceKind kind, Rng rng)
+    : CounterModel(kind, rng, Config())
+{
+}
+
+CounterModel::CounterModel(ServiceKind kind, Rng rng, Config config)
+    : _kind(kind), _rng(rng), _config(config)
+{
+}
+
+double
+CounterModel::kindFactor(HpcEvent event) const
+{
+    // Deterministic hash of (event, kind) mapped into [0.75, 1.3]:
+    // the same workload exercises different services' pipelines a bit
+    // differently, but consistently so.
+    std::uint64_t h = static_cast<std::uint64_t>(event) * 2654435761ULL
+        ^ (static_cast<std::uint64_t>(_kind) + 1) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    const double unit = static_cast<double>(h % 10000) / 10000.0;
+    return 0.75 + 0.55 * unit;
+}
+
+bool
+CounterModel::isDecoy(HpcEvent event) const
+{
+    const int idx = static_cast<int>(event);
+    return idx >= static_cast<int>(HpcEvent::BusTransAny) &&
+        idx < kNumHardwareEvents;
+}
+
+double
+CounterModel::expectedRate(HpcEvent event, const RequestMix &mix,
+                           double rate, double utilization) const
+{
+    const double r = std::max(rate, 0.0);
+    const double u = std::clamp(utilization, 0.0, 1.5);
+    const double readF = mix.readFraction;
+    const double writeF = 1.0 - readF;
+    const double kf = kindFactor(event);
+
+    switch (event) {
+      // --- Table 1 / informative events. Deliberately *complementary*
+      // response shapes (linear, saturating, superlinear, inverse,
+      // mix-dominant): no single counter resolves every workload
+      // class, so feature selection must assemble a set — the paper's
+      // Table 1 spans "CPU, cache, memory, and the bus queue". ---
+      case HpcEvent::BusqEmpty:
+        // Bus queue empty cycles *fall* as load rises; hyperbolic, so
+        // it resolves light loads well and compresses heavy ones.
+        return 8.0e7 / (1.0 + r / (150.0 / mix.memWeight)) * kf;
+      case HpcEvent::CpuClkUnhalted:
+        // Volume-dominant, nearly mix-blind: raw busy cycles.
+        return 5.0e7 + r * 2.0e6 * (0.9 + 0.1 * mix.cpuWeight) * kf;
+      case HpcEvent::L2Ads:
+        // Composite linear blend of memory and CPU pressure.
+        return r * (9.0e4 * mix.memWeight + 4.0e4 * mix.cpuWeight) * kf;
+      case HpcEvent::L2RejectBusq:
+        // Superlinear: bus pressure compounds near saturation, so it
+        // resolves only the heavy classes.
+        return std::pow(r, 1.3) * 150.0 * mix.memWeight * kf
+            + u * 5.0e3;
+      case HpcEvent::L2St:
+        // Mix-dominant with compressed volume response.
+        return std::pow(r, 0.75) * 3.2e3
+            * (0.25 + 0.75 * writeF) * mix.memWeight * kf;
+      case HpcEvent::LoadBlock:
+        // Read-path stalls, saturating with volume.
+        return 2.5e4 * (0.2 + 0.8 * readF) * kf
+            * (r / (1.0 + r / 300.0));
+      case HpcEvent::StoreBlock:
+        // Write-path stalls, mildly compressed volume response.
+        return std::pow(r, 0.85) * 5.5e3 * (0.2 + 0.8 * writeF) * kf;
+      case HpcEvent::PageWalks:
+        // Memory pressure, linear and mix-blind.
+        return r * 3.0e4 * mix.memWeight * kf;
+
+      case HpcEvent::InstRetired:
+        return 2.0e7 + r * 1.6e6 * mix.cpuWeight * kf;
+      case HpcEvent::FlopsRetired:
+        // The Figure 4(a) metric: responds to both volume and type.
+        switch (_kind) {
+          case ServiceKind::SpecWeb:
+            return r * (1.2e5 * (1.0 - mix.staticFraction) + 2.0e4);
+          case ServiceKind::KeyValue:
+            return r * 3.0e4 * (0.5 + 0.8 * writeF);
+          default:
+            return r * 5.0e4 * mix.cpuWeight;
+        }
+      case HpcEvent::L2LinesIn:
+        return r * 4.0e4 * mix.memWeight * kf;
+      case HpcEvent::L2LinesOut:
+        // Redundant with L2LinesIn by construction.
+        return r * 2.4e4 * mix.memWeight * kf;
+      case HpcEvent::L2Ld:
+        return r * 8.0e4 * (0.25 + 0.75 * readF) * mix.memWeight * kf;
+      case HpcEvent::L1dRepl:
+        return r * 9.0e4 * mix.memWeight * kf;
+      case HpcEvent::L1dAllRef:
+        return 1.0e6 + r * 5.0e5 * kf;
+      case HpcEvent::BusTransMem:
+        return r * 3.0e4 * mix.ioWeight * kf;
+      case HpcEvent::BusTransBrd:
+        return r * 2.4e4 * mix.memWeight * kf;
+      case HpcEvent::DtlbMisses:
+        // Nearly a copy of PageWalks (real Penryn counters overlap).
+        return r * 2.55e4 * mix.memWeight * kf + r * 2.0e3;
+      case HpcEvent::MemLoadRetiredL2Miss:
+        return r * 1.2e4 * mix.memWeight * kf;
+      case HpcEvent::ResourceStalls:
+        return std::pow(r, 1.2) * 800.0 * mix.cpuWeight * kf
+            + u * 1.0e4;
+
+      // --- decoys: constant / weak / noise-dominated. Their slope
+      // contribution stays well below the 40% measurement noise over
+      // the realistic mirrored-rate range, so they carry no usable
+      // signal for feature selection to latch onto. ---
+      case HpcEvent::BusTransAny:
+        return 5.0e5 + r * 20.0 * kf;
+      case HpcEvent::BusDrdyClocks:
+        return 3.0e5 + r * 15.0 * kf;
+      case HpcEvent::L2Ifetch:
+        return 2.0e5 + r * 10.0 * kf;
+      case HpcEvent::L2Rqsts:
+        return 4.0e5 + r * 20.0 * kf;
+      case HpcEvent::IcacheMisses:
+        return 1.0e5 + r * 5.0 * kf;
+      case HpcEvent::ItlbMissRetired:
+        return 5.0e4 + r * 3.0 * kf;
+      case HpcEvent::BrInstRetired:
+        return 8.0e6 + r * 300.0 * kf;
+      case HpcEvent::BrMissPredRetired:
+        return 4.0e5 + r * 25.0 * kf;
+      case HpcEvent::UopsRetired:
+        return 3.0e7 + r * 1.0e3 * kf;
+      case HpcEvent::MachineClears:
+        return 50.0 + u * 2.0;
+      case HpcEvent::DivBusy:
+        return 1.0e4 + r * 2.0 * kf;
+      case HpcEvent::SsePreExec:
+        return 2.0e4 + r * 3.0 * kf;
+      case HpcEvent::X87OpsRetired:
+        return 1.5e4 + r * 2.0 * kf;
+      case HpcEvent::SegRegRenames:
+        return 1.0e3;
+      case HpcEvent::EspSynch:
+        return 2.0e3;
+      case HpcEvent::FpAssist:
+        return 10.0;
+      case HpcEvent::SimdInstRetired:
+        return 5.0e4 + r * 5.0 * kf;
+      case HpcEvent::HwIntRcv:
+        return 250.0 + r * 0.02;
+      case HpcEvent::SegmentRegLoads:
+        return 4.0e3;
+      case HpcEvent::CyclesIntMasked:
+        return 1.0e5 + u * 2.0e2;
+      case HpcEvent::MemLoadRetiredDtlbMiss:
+        return 3.0e3 + r * 0.3 * kf;
+      case HpcEvent::StoreForwards:
+        return 6.0e4 + r * 5.0 * kf;
+      case HpcEvent::Bogus1:  // timer tick
+        return 1000.0;
+      case HpcEvent::Bogus2:  // white noise (handled via noise model)
+        return 1.0e4;
+      case HpcEvent::Bogus3:  // thermal trip, never fires
+        return 0.0;
+      case HpcEvent::PrefetchRqsts:
+        return 1.2e5 + r * 10.0 * kf;
+      case HpcEvent::SnoopStalls:
+        return 8.0e4 + u * 5.0e2;
+      case HpcEvent::BusIoWait:
+        return 6.0e4 + r * 3.0 * mix.ioWeight;
+
+      // --- xentop metrics ---
+      case HpcEvent::XenCpuPercent:
+        return std::clamp(100.0 * u * (0.85 + 0.15 * mix.cpuWeight),
+                          0.0, 100.0);
+      case HpcEvent::XenMemPercent:
+        return std::clamp(25.0 + 55.0 * u * mix.memWeight, 0.0, 100.0);
+      case HpcEvent::XenNetRxKbps:
+        return r * 2.0;
+      case HpcEvent::XenNetTxKbps:
+        return r * (8.0 + 16.0 * mix.staticFraction);
+      case HpcEvent::XenVbdRd:
+        return r * 5.0 * mix.ioWeight * readF;
+      case HpcEvent::XenVbdWr:
+        return r * 5.0 * mix.ioWeight * writeF;
+    }
+    DEJAVU_PANIC("unhandled HPC event");
+}
+
+std::vector<double>
+CounterModel::expectedRates(const RequestMix &mix, double rate,
+                            double utilization) const
+{
+    std::vector<double> rates;
+    rates.reserve(kNumHpcEvents);
+    for (HpcEvent event : allHpcEvents())
+        rates.push_back(expectedRate(event, mix, rate, utilization));
+    return rates;
+}
+
+namespace {
+
+/** The per-service "most stable counter" sets: measurements of these
+ *  events have low run-to-run variance for that service. RUBiS's set
+ *  is exactly the paper's Table 1. */
+bool
+isStableFor(ServiceKind kind, HpcEvent event)
+{
+    switch (kind) {
+      case ServiceKind::Rubis:
+        for (HpcEvent t1 : table1Events())
+            if (t1 == event)
+                return true;
+        return false;
+      case ServiceKind::SpecWeb:
+        return event == HpcEvent::FlopsRetired ||
+            event == HpcEvent::CpuClkUnhalted ||
+            event == HpcEvent::InstRetired ||
+            event == HpcEvent::BusTransMem ||
+            event == HpcEvent::L2LinesIn ||
+            event == HpcEvent::ResourceStalls;
+      case ServiceKind::KeyValue:
+        return event == HpcEvent::L2St || event == HpcEvent::L2Ld ||
+            event == HpcEvent::BusqEmpty ||
+            event == HpcEvent::CpuClkUnhalted ||
+            event == HpcEvent::PageWalks ||
+            event == HpcEvent::L2RejectBusq ||
+            event == HpcEvent::LoadBlock ||
+            event == HpcEvent::StoreBlock;
+      case ServiceKind::Generic:
+        return true;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<double>
+CounterModel::sampleCounts(const RequestMix &mix, double rate,
+                           double utilization, double durationSec)
+{
+    DEJAVU_ASSERT(durationSec > 0.0, "sampling duration must be > 0");
+    std::vector<double> counts = expectedRates(mix, rate, utilization);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const HpcEvent event = static_cast<HpcEvent>(i);
+        double noise;
+        if (isDecoy(event)) {
+            noise = _config.decoyNoise;
+        } else {
+            noise = _config.noise;
+            if (!isXentopMetric(event) && !isStableFor(_kind, event))
+                noise *= _config.unstableFactor;
+        }
+        if (event == HpcEvent::Bogus2)
+            noise = 1.0;  // white noise channel
+        const double observed =
+            counts[i] * std::max(0.0, 1.0 + noise * _rng.gaussian());
+        counts[i] = observed * durationSec;
+    }
+    return counts;
+}
+
+} // namespace dejavu

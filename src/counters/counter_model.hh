@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic hardware-performance-counter response model.
+ *
+ * Substitutes for Xenoprof passive sampling on the profiling host
+ * (§3.3). Each catalogued event has a deterministic response surface
+ * over (request mix, offered rate, host utilization) plus Gaussian
+ * measurement noise. The surfaces are crafted so that the *statistical
+ * structure* the paper relies on is reproduced:
+ *
+ *  - informative events respond strongly and consistently to workload
+ *    intensity and type (Figure 4's "large gap between counter values"
+ *    across volumes and read/write ratios);
+ *  - several events are redundant with one another (dtlb_misses vs
+ *    page_walks, l2_lines_out vs l2_lines_in) so the CFS selector has
+ *    real redundancy to prune (§3.3);
+ *  - decoy events are constant, pure noise, or barely load-dependent,
+ *    so feature selection genuinely has to discriminate.
+ */
+
+#ifndef DEJAVU_COUNTERS_COUNTER_MODEL_HH
+#define DEJAVU_COUNTERS_COUNTER_MODEL_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "counters/hpc_event.hh"
+#include "services/service.hh"
+#include "workload/request_mix.hh"
+
+namespace dejavu {
+
+/**
+ * Generates per-event rates/counts for a (service, workload) pair.
+ */
+class CounterModel
+{
+  public:
+    struct Config
+    {
+        /** Relative noise on informative events. */
+        double noise = 0.03;
+        /** Relative noise on decoy events. */
+        double decoyNoise = 0.40;
+        /** Noise multiplier for informative events that are *not*
+         *  among the service's most stable counters. On real
+         *  hardware the counters that characterize a workload best
+         *  differ per application (Table 1 lists RUBiS's eight);
+         *  modelling the others as noisier reproduces that: feature
+         *  selection then resolves redundancy groups toward the
+         *  stable set. */
+        double unstableFactor = 2.5;
+    };
+
+    CounterModel(ServiceKind kind, Rng rng);
+    CounterModel(ServiceKind kind, Rng rng, Config config);
+
+    /**
+     * Noise-free per-second event rates.
+     * @param mix request mix (workload type axis).
+     * @param rate requests/s offered to the profiled host.
+     * @param utilization host utilization in [0, ~1.2].
+     */
+    std::vector<double> expectedRates(const RequestMix &mix, double rate,
+                                      double utilization) const;
+
+    /**
+     * One noisy measurement of raw event *counts* over a sampling
+     * window. Divide by the duration to normalize (the Monitor does).
+     */
+    std::vector<double> sampleCounts(const RequestMix &mix, double rate,
+                                     double utilization,
+                                     double durationSec);
+
+    ServiceKind kind() const { return _kind; }
+
+  private:
+    ServiceKind _kind;
+    Rng _rng;
+    Config _config;
+
+    double expectedRate(HpcEvent event, const RequestMix &mix,
+                        double rate, double utilization) const;
+
+    /** Deterministic per-(event, kind) scaling in [0.75, 1.3]. */
+    double kindFactor(HpcEvent event) const;
+
+    bool isDecoy(HpcEvent event) const;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_COUNTERS_COUNTER_MODEL_HH

@@ -1,0 +1,55 @@
+#include "counters/monitor.hh"
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+Monitor::Monitor(Service &service, CounterModel model)
+    : Monitor(service, std::move(model), Config())
+{
+}
+
+Monitor::Monitor(Service &service, CounterModel model, Config config)
+    : _service(service), _model(std::move(model)), _config(config)
+{
+    DEJAVU_ASSERT(_config.sampleDuration > 0, "bad sample duration");
+    DEJAVU_ASSERT(_config.mirrorFraction > 0.0 &&
+                  _config.mirrorFraction <= 1.0, "bad mirror fraction");
+    DEJAVU_ASSERT(_config.profilerEcu > 0.0, "bad profiler capacity");
+}
+
+MetricSample
+Monitor::collect()
+{
+    return collect(_service.workload());
+}
+
+MetricSample
+Monitor::collect(const Workload &workload)
+{
+    // The profiling host serves the mirrored stream in isolation.
+    const double mirroredRate =
+        _service.clients().offeredRate(workload.clients)
+        * _config.mirrorFraction;
+    const double hostCapacity =
+        _config.profilerEcu * _service.capacityPerEcu(workload.mix);
+    const double utilization =
+        hostCapacity > 0.0 ? mirroredRate / hostCapacity : 10.0;
+
+    const double durationSec = toSeconds(_config.sampleDuration);
+    std::vector<double> counts = _model.sampleCounts(
+        workload.mix, mirroredRate, utilization, durationSec);
+
+    MetricSample sample;
+    sample.values.reserve(counts.size());
+    // §3.3: "we normalize the values with the sampling time" so
+    // signatures are robust to arbitrary sampling durations.
+    for (double c : counts)
+        sample.values.push_back(c / durationSec);
+    sample.collectedAt = _service.queue().now();
+    sample.offeredRate = mirroredRate;
+    return sample;
+}
+
+} // namespace dejavu

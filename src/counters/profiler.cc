@@ -1,0 +1,42 @@
+#include "counters/profiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+ProfilerHost::ProfilerHost(Service &service, Monitor monitor, Rng rng)
+    : ProfilerHost(service, std::move(monitor), rng, Config())
+{
+}
+
+ProfilerHost::ProfilerHost(Service &service, Monitor monitor, Rng rng,
+                           Config config)
+    : _service(service), _monitor(std::move(monitor)), _rng(rng),
+      _config(config)
+{
+    DEJAVU_ASSERT(_config.measurementNoise >= 0.0, "bad noise");
+    DEJAVU_ASSERT(_config.experimentDuration > 0, "bad duration");
+}
+
+double
+ProfilerHost::isolatedLatencyMs(const Workload &workload,
+                                const ResourceAllocation &allocation)
+{
+    const double mean =
+        _service.hypotheticalLatencyMs(workload, allocation, 0.0);
+    return std::max(
+        0.1, mean * (1.0 + _config.measurementNoise * _rng.gaussian()));
+}
+
+double
+ProfilerHost::isolatedQosPercent(const Workload &workload,
+                                 const ResourceAllocation &allocation)
+{
+    const double mean =
+        _service.hypotheticalQosPercent(workload, allocation, 0.0);
+    return std::clamp(mean + 0.2 * _rng.gaussian(), 0.0, 100.0);
+}
+
+} // namespace dejavu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The DejaVu profiling environment (§3.2.2): a dedicated host that
+ * serves the mirrored request stream on a *clone* of a production VM,
+ * in isolation from co-located tenants. Besides signature collection
+ * (delegated to the Monitor) it provides isolated performance
+ * measurement, which is the denominator of the interference index
+ * (§3.6) and the measurement substrate for sandboxed tuning
+ * experiments (§3.4).
+ */
+
+#ifndef DEJAVU_COUNTERS_PROFILER_HH
+#define DEJAVU_COUNTERS_PROFILER_HH
+
+#include "common/random.hh"
+#include "counters/monitor.hh"
+#include "services/service.hh"
+#include "sim/allocation.hh"
+
+namespace dejavu {
+
+/**
+ * Isolated profiling host bound to one service.
+ */
+class ProfilerHost
+{
+  public:
+    struct Config
+    {
+        /** Relative noise of isolated performance measurements. */
+        double measurementNoise = 0.02;
+        /** Simulated duration of one sandboxed experiment; [42]
+         *  reports "minutes" per experiment and the paper contrasts
+         *  its ~10 s adaptation with ~3 min state-of-the-art tuning. */
+        SimTime experimentDuration = minutes(3);
+    };
+
+    ProfilerHost(Service &service, Monitor monitor, Rng rng);
+    ProfilerHost(Service &service, Monitor monitor, Rng rng,
+                 Config config);
+
+    /** Signature collection (forwards to the Monitor). */
+    MetricSample collectSignature() { return _monitor.collect(); }
+    MetricSample collectSignature(const Workload &workload)
+    { return _monitor.collect(workload); }
+
+    /**
+     * Measure service latency for (workload, allocation) in isolation
+     * — no interference, no transients, steady state plus small
+     * measurement noise.
+     */
+    double isolatedLatencyMs(const Workload &workload,
+                             const ResourceAllocation &allocation);
+
+    /** Same for the QoS metric. */
+    double isolatedQosPercent(const Workload &workload,
+                              const ResourceAllocation &allocation);
+
+    Monitor &monitor() { return _monitor; }
+    const Config &config() const { return _config; }
+    Service &service() { return _service; }
+
+  private:
+    Service &_service;
+    Monitor _monitor;
+    Rng _rng;
+    Config _config;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_COUNTERS_PROFILER_HH

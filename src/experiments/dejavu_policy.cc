@@ -1,0 +1,39 @@
+#include "experiments/dejavu_policy.hh"
+
+namespace dejavu {
+
+DejaVuPolicy::DejaVuPolicy(Service &service,
+                           DejaVuController &controller,
+                           bool autoRelearn)
+    : ProvisioningPolicy(service), _controller(controller),
+      _autoRelearn(autoRelearn)
+{
+}
+
+void
+DejaVuPolicy::onWorkloadChange(const Workload &workload)
+{
+    const DejaVuController::Decision decision =
+        _controller.onWorkloadChange(workload);
+    if (decision.kind == DejaVuController::DecisionKind::UnknownWorkload)
+        ++_unknownEvents;
+    recordAdaptation(decision.adaptationTime);
+
+    // §3.5: persistent low certainty means the clustering has gone
+    // stale; rebuild classes/classifier/repository from the original
+    // plus the novel workloads.
+    if (_autoRelearn && _controller.relearnRecommended()) {
+        _controller.relearn();
+        ++_relearnEvents;
+    }
+}
+
+void
+DejaVuPolicy::onMonitorTick(const Service::PerfSample &sample)
+{
+    const auto reaction = _controller.onSloFeedback(sample);
+    if (reaction)
+        ++_interferenceEvents;
+}
+
+} // namespace dejavu

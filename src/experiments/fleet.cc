@@ -1,0 +1,87 @@
+#include "experiments/fleet.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+ProfilingSlotScheduler::ProfilingSlotScheduler(EventQueue &queue,
+                                               SimTime slotDuration)
+    : _queue(queue), _slotDuration(slotDuration)
+{
+    DEJAVU_ASSERT(_slotDuration > 0, "slot duration must be positive");
+}
+
+SimTime
+ProfilingSlotScheduler::acquire()
+{
+    const SimTime start = std::max(_queue.now(), _busyUntil);
+    _busyUntil = start + _slotDuration;
+    ++_granted;
+    return start;
+}
+
+SimTime
+ProfilingSlotScheduler::nextFreeAt() const
+{
+    return std::max(_queue.now(), _busyUntil);
+}
+
+DejaVuFleet::DejaVuFleet(EventQueue &queue, SimTime profilingSlot)
+    : _queue(queue), _scheduler(queue, profilingSlot)
+{
+}
+
+void
+DejaVuFleet::addService(const std::string &name, Service &service,
+                        DejaVuController &controller)
+{
+    DEJAVU_ASSERT(!name.empty(), "service needs a name");
+    for (const auto &m : _members)
+        DEJAVU_ASSERT(m.name != name, "duplicate service name: ", name);
+    _members.push_back({name, &service, &controller});
+}
+
+void
+DejaVuFleet::requestAdaptation(const std::string &name,
+                               const Workload &workload)
+{
+    // Capture the member by index: a later addService() may grow the
+    // vector and would invalidate references held by pending events.
+    std::size_t memberIdx = _members.size();
+    for (std::size_t i = 0; i < _members.size(); ++i)
+        if (_members[i].name == name)
+            memberIdx = i;
+    if (memberIdx == _members.size())
+        fatal("unknown service in fleet: ", name);
+
+    const SimTime requestedAt = _queue.now();
+    const SimTime slotStart = _scheduler.acquire();
+
+    // The controller runs when the shared profiling host frees up;
+    // its own adaptation time (signature collection etc.) is measured
+    // from that point.
+    _queue.schedule(slotStart, [this, memberIdx, workload, requestedAt,
+                                slotStart] {
+        Member &member = _members[memberIdx];
+        CompletedAdaptation entry;
+        entry.service = member.name;
+        entry.requestedAt = requestedAt;
+        entry.profilingStartedAt = slotStart;
+        entry.decision = member.controller->onWorkloadChange(workload);
+        _log.push_back(std::move(entry));
+    });
+}
+
+SimTime
+DejaVuFleet::maxQueueDelay() const
+{
+    SimTime worst = 0;
+    for (const auto &entry : _log)
+        worst = std::max(worst, entry.queueDelay());
+    return worst;
+}
+
+} // namespace dejavu

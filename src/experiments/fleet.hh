@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Multi-service DejaVu deployment (the paper's Figure 2): one DejaVu
+ * installation profiles several hosted services (A, B, C ...) whose
+ * proxies all feed "a dedicated profiling machine". §3.3's Isolation
+ * requirement — "because the DejaVu profiler (possibly running on a
+ * single machine) might be in charge of characterizing multiple
+ * services, we need to make sure that the obtained signatures are not
+ * disturbed by other profiling processes running on the same
+ * profiler" — is enforced by serializing profiling slots: concurrent
+ * adaptation requests queue for the shared host, and the queueing
+ * delay is charged to their adaptation time.
+ */
+
+#ifndef DEJAVU_EXPERIMENTS_FLEET_HH
+#define DEJAVU_EXPERIMENTS_FLEET_HH
+
+#include <string>
+#include <vector>
+
+#include "core/controller.hh"
+#include "services/service.hh"
+
+namespace dejavu {
+
+class EventQueue;
+
+/**
+ * Serializes access to the shared profiling host.
+ */
+class ProfilingSlotScheduler
+{
+  public:
+    ProfilingSlotScheduler(EventQueue &queue, SimTime slotDuration);
+
+    /**
+     * Reserve the next free profiling slot.
+     * @return the absolute time at which the slot begins (>= now).
+     */
+    SimTime acquire();
+
+    /** When the host next becomes free. */
+    SimTime nextFreeAt() const;
+
+    /** Slots handed out so far. */
+    std::uint64_t slotsGranted() const { return _granted; }
+
+    SimTime slotDuration() const { return _slotDuration; }
+
+  private:
+    EventQueue &_queue;
+    SimTime _slotDuration;
+    SimTime _busyUntil = 0;
+    std::uint64_t _granted = 0;
+};
+
+/**
+ * A fleet of services managed by one DejaVu installation.
+ */
+class DejaVuFleet
+{
+  public:
+    /** One completed adaptation, for auditing/aggregation. */
+    struct CompletedAdaptation
+    {
+        std::string service;
+        SimTime requestedAt = 0;
+        SimTime profilingStartedAt = 0;  ///< After any queueing.
+        DejaVuController::Decision decision;
+
+        SimTime queueDelay() const
+        { return profilingStartedAt - requestedAt; }
+        /** End-to-end adaptation including the shared-host queue. */
+        SimTime totalAdaptation() const
+        { return queueDelay() + decision.adaptationTime; }
+    };
+
+    DejaVuFleet(EventQueue &queue, SimTime profilingSlot = seconds(10));
+
+    /** Register a service with its controller (must be learned or
+     *  learned before the first adaptation request). */
+    void addService(const std::string &name, Service &service,
+                    DejaVuController &controller);
+
+    /**
+     * A workload change arrived for @p name: queue a profiling slot
+     * on the shared host and run the controller when it starts. The
+     * decision lands in log() once processed (advance the event
+     * queue past the slot start).
+     */
+    void requestAdaptation(const std::string &name,
+                           const Workload &workload);
+
+    int services() const { return static_cast<int>(_members.size()); }
+    const std::vector<CompletedAdaptation> &log() const { return _log; }
+    const ProfilingSlotScheduler &scheduler() const
+    { return _scheduler; }
+
+    /** Largest queueing delay any adaptation has paid so far. */
+    SimTime maxQueueDelay() const;
+
+  private:
+    struct Member
+    {
+        std::string name;
+        Service *service;
+        DejaVuController *controller;
+    };
+
+    EventQueue &_queue;
+    ProfilingSlotScheduler _scheduler;
+    std::vector<Member> _members;
+    std::vector<CompletedAdaptation> _log;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_EXPERIMENTS_FLEET_HH

@@ -1,0 +1,208 @@
+#include "experiments/scenario.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+DejaVuController::LearningReport
+ScenarioStack::learnDayOne()
+{
+    DEJAVU_ASSERT(controller && experiment, "stack not fully wired");
+    return controller->learn(experiment->learningWorkloads());
+}
+
+LoadTrace
+scenarioTrace(const std::string &name, int days, std::uint64_t seed)
+{
+    TraceOptions opts;
+    opts.numDays = days;
+    opts.seed = seed;
+    if (name == "messenger")
+        return makeMessengerTrace(opts);
+    if (name == "hotmail")
+        return makeHotmailTrace(opts);
+    fatal("unknown trace name: ", name, " (use messenger|hotmail)");
+}
+
+namespace {
+
+/** Clients that drive the cluster-wide rate to rho * full capacity. */
+double
+clientsForUtilization(const Service &service, const RequestMix &mix,
+                      double totalEcu, double rho)
+{
+    const double rate = rho * totalEcu * service.capacityPerEcu(mix);
+    return service.clients().clientsForRate(rate);
+}
+
+} // namespace
+
+std::unique_ptr<ScenarioStack>
+makeCassandraScaleOut(const ScenarioOptions &options)
+{
+    auto stack = std::make_unique<ScenarioStack>();
+    stack->sim = std::make_unique<Simulation>(options.seed);
+    EventQueue &queue = stack->sim->queue();
+
+    Cluster::Config ccfg;
+    ccfg.maxInstances = 10;
+    ccfg.initialType = InstanceType::Large;
+    stack->cluster = std::make_unique<Cluster>(queue, ccfg);
+
+    auto service = std::make_unique<KeyValueService>(
+        queue, *stack->cluster, stack->sim->forkRng());
+    const RequestMix mix = cassandraUpdateHeavy();
+    service->setWorkload({mix, 0.0});
+
+    CounterModel counters(service->kind(), stack->sim->forkRng());
+    Monitor monitor(*service, counters);
+    stack->profiler = std::make_unique<ProfilerHost>(
+        *service, std::move(monitor), stack->sim->forkRng());
+
+    if (options.interference) {
+        InterferenceInjector::Config icfg;
+        icfg.levels = {0.10, 0.20};
+        icfg.period = hours(2);
+        stack->injector = std::make_unique<InterferenceInjector>(
+            queue, *stack->cluster, icfg, stack->sim->forkRng());
+    }
+
+    DejaVuController::Config dcfg;
+    dcfg.slo = Slo::latency(60.0);
+    dcfg.searchSpace = scaleOutSearchSpace(10, InstanceType::Large);
+    dcfg.interferenceDetection = options.interferenceDetection;
+    stack->controllerConfig = dcfg;
+    stack->controller = std::make_unique<DejaVuController>(
+        *service, *stack->profiler, dcfg, stack->sim->forkRng());
+
+    stack->trace =
+        scenarioTrace(options.traceName, options.days, options.seed);
+
+    ProvisioningExperiment::Config ecfg;
+    ecfg.reuseStartHour = 24;
+    ecfg.slo = dcfg.slo;
+    ecfg.peakClients = clientsForUtilization(
+        *service, mix, 10 * instanceSpec(InstanceType::Large).computeUnits,
+        options.peakUtilization);
+    ecfg.learningAllocation = {10, InstanceType::Large};
+
+    stack->service = std::move(service);
+    stack->experiment = std::make_unique<ProvisioningExperiment>(
+        *stack->sim, *stack->service, stack->trace, ecfg);
+    return stack;
+}
+
+std::unique_ptr<ScenarioStack>
+makeSpecWebScaleUp(const ScenarioOptions &options)
+{
+    auto stack = std::make_unique<ScenarioStack>();
+    stack->sim = std::make_unique<Simulation>(options.seed);
+    EventQueue &queue = stack->sim->queue();
+
+    // 10 VMs model the 5 front-end + 5 back-end pairs; the count is
+    // fixed and only the instance *type* scales (§4.2).
+    Cluster::Config ccfg;
+    ccfg.maxInstances = 10;
+    ccfg.initialType = InstanceType::Large;
+    stack->cluster = std::make_unique<Cluster>(queue, ccfg);
+
+    auto service = std::make_unique<SpecWebService>(
+        queue, *stack->cluster, stack->sim->forkRng());
+    const RequestMix mix = specwebSupport();
+    service->setWorkload({mix, 0.0});
+
+    CounterModel counters(service->kind(), stack->sim->forkRng());
+    Monitor monitor(*service, counters);
+    stack->profiler = std::make_unique<ProfilerHost>(
+        *service, std::move(monitor), stack->sim->forkRng());
+
+    if (options.interference) {
+        InterferenceInjector::Config icfg;
+        icfg.levels = {0.10, 0.20};
+        icfg.period = hours(2);
+        stack->injector = std::make_unique<InterferenceInjector>(
+            queue, *stack->cluster, icfg, stack->sim->forkRng());
+    }
+
+    DejaVuController::Config dcfg;
+    dcfg.slo = Slo::qos(95.0);
+    dcfg.searchSpace = scaleUpSearchSpace(
+        10, {InstanceType::Large, InstanceType::XLarge});
+    dcfg.interferenceDetection = options.interferenceDetection;
+    stack->controllerConfig = dcfg;
+    stack->controller = std::make_unique<DejaVuController>(
+        *service, *stack->profiler, dcfg, stack->sim->forkRng());
+
+    stack->trace =
+        scenarioTrace(options.traceName, options.days, options.seed);
+
+    // Size the peak so that the large type suffices for load below
+    // ~72% of the *learning-day* peak and extra-large is required
+    // around the daily peaks — the regime Figures 9/10 show ("the
+    // smaller instance was capable of accommodating the load most of
+    // the time; only during the peak load ... DejaVu deploys the
+    // full capacity"). Anchoring on day 1 keeps the boundary stable
+    // regardless of how later anomalies normalize the trace.
+    const double largeEcu =
+        10 * instanceSpec(InstanceType::Large).computeUnits;
+    // QoS-feasible utilization bound: qos(rho) == floor + headroom.
+    const double kneeRho = 0.82;
+    const double feasibleRho = kneeRho
+        + std::pow((99.5 - 95.0 - 0.5) / 120.0, 1.0 / 1.4);
+    const double largeFeasibleRate =
+        feasibleRho * largeEcu * service->capacityPerEcu(mix);
+    double dayOneMax = 0.0;
+    for (int h = 0; h < 24; ++h)
+        dayOneMax = std::max(dayOneMax, stack->trace.at(0, h));
+    // Large suffices below 90% of the learning-day peak: only the
+    // hours hugging the daily maximum need the extra-large type.
+    const double peakRate =
+        largeFeasibleRate / (0.90 * std::max(dayOneMax, 1e-6));
+
+    ProvisioningExperiment::Config ecfg;
+    ecfg.reuseStartHour = 24;
+    ecfg.slo = dcfg.slo;
+    ecfg.peakClients = service->clients().clientsForRate(peakRate);
+    ecfg.learningAllocation = {10, InstanceType::XLarge};
+
+    stack->service = std::move(service);
+    stack->experiment = std::make_unique<ProvisioningExperiment>(
+        *stack->sim, *stack->service, stack->trace, ecfg);
+    return stack;
+}
+
+std::unique_ptr<ScenarioStack>
+makeRubisStack(std::uint64_t seed)
+{
+    auto stack = std::make_unique<ScenarioStack>();
+    stack->sim = std::make_unique<Simulation>(seed);
+    EventQueue &queue = stack->sim->queue();
+
+    Cluster::Config ccfg;
+    ccfg.maxInstances = 10;
+    ccfg.initialType = InstanceType::Large;
+    stack->cluster = std::make_unique<Cluster>(queue, ccfg);
+
+    auto service = std::make_unique<RubisService>(
+        queue, *stack->cluster, stack->sim->forkRng());
+    service->setWorkload({rubisBidding(), 0.0});
+
+    CounterModel counters(service->kind(), stack->sim->forkRng());
+    Monitor monitor(*service, counters);
+    stack->profiler = std::make_unique<ProfilerHost>(
+        *service, std::move(monitor), stack->sim->forkRng());
+
+    DejaVuController::Config dcfg;
+    dcfg.slo = Slo::latency(150.0);
+    dcfg.searchSpace = scaleOutSearchSpace(10, InstanceType::Large);
+    stack->controllerConfig = dcfg;
+    stack->controller = std::make_unique<DejaVuController>(
+        *service, *stack->profiler, dcfg, stack->sim->forkRng());
+
+    stack->service = std::move(service);
+    return stack;
+}
+
+} // namespace dejavu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Canned experiment scenarios: one-stop construction of the full
+ * simulation stack (cloud, service, profiler, DejaVu controller,
+ * experiment config) for the paper's case studies, so every bench,
+ * example and integration test builds the *same* system.
+ *
+ *  - Cassandra scale-out (§4.1): 1..10 large instances, update-heavy
+ *    YCSB mix, 60 ms latency SLO, Messenger/HotMail traces.
+ *  - SPECweb scale-up (§4.2): 10 instances toggling large/extra-large,
+ *    support mix, QoS >= 95%.
+ *  - RUBiS (Figs. 1/4b, Table 1, §4.4): three-tier auction service.
+ */
+
+#ifndef DEJAVU_EXPERIMENTS_SCENARIO_HH
+#define DEJAVU_EXPERIMENTS_SCENARIO_HH
+
+#include <memory>
+#include <string>
+
+#include "core/dejavu.hh"
+#include "experiments/dejavu_policy.hh"
+#include "experiments/experiment.hh"
+
+namespace dejavu {
+
+/** Options shared by the scenario factories. */
+struct ScenarioOptions
+{
+    std::uint64_t seed = 42;
+    std::string traceName = "messenger";  ///< "messenger" | "hotmail".
+    int days = 7;
+    bool interference = false;            ///< Inject co-located load.
+    bool interferenceDetection = true;    ///< DejaVu's §3.6 machinery.
+    /** Target utilization of full capacity at trace peak. */
+    double peakUtilization = 0.72;
+};
+
+/**
+ * A fully wired simulation stack. Members are ordered for correct
+ * construction/destruction; everything lives on the heap so the stack
+ * can be returned from factories.
+ */
+struct ScenarioStack
+{
+    std::unique_ptr<Simulation> sim;
+    std::unique_ptr<Cluster> cluster;
+    std::unique_ptr<Service> service;
+    std::unique_ptr<ProfilerHost> profiler;
+    std::unique_ptr<InterferenceInjector> injector;  ///< May be null.
+    std::unique_ptr<DejaVuController> controller;
+    std::unique_ptr<ProvisioningExperiment> experiment;
+    LoadTrace trace;
+    DejaVuController::Config controllerConfig;
+
+    /** Convenience: run the learning phase on day-1 workloads. */
+    DejaVuController::LearningReport learnDayOne();
+};
+
+/** The trace by name ("messenger" or "hotmail"). */
+LoadTrace scenarioTrace(const std::string &name, int days,
+                        std::uint64_t seed);
+
+/** Cassandra scale-out case study (§4.1 / Figures 6, 7, 8, 11). */
+std::unique_ptr<ScenarioStack> makeCassandraScaleOut(
+    const ScenarioOptions &options);
+
+/** SPECweb scale-up case study (§4.2 / Figures 9, 10). */
+std::unique_ptr<ScenarioStack> makeSpecWebScaleUp(
+    const ScenarioOptions &options);
+
+/**
+ * RUBiS stack (no trace/experiment pre-wired): cluster of 10 large,
+ * bidding mix, 150 ms SLO. Used by the motivation experiment, the
+ * signature studies and the proxy-overhead measurement.
+ */
+std::unique_ptr<ScenarioStack> makeRubisStack(std::uint64_t seed);
+
+} // namespace dejavu
+
+#endif // DEJAVU_EXPERIMENTS_SCENARIO_HH

@@ -1,0 +1,131 @@
+#include "ml/naive_bayes.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+NaiveBayes::NaiveBayes()
+    : NaiveBayes(Config())
+{
+}
+
+NaiveBayes::NaiveBayes(Config config)
+    : _config(config)
+{
+    DEJAVU_ASSERT(_config.varianceFloor > 0.0, "bad variance floor");
+}
+
+void
+NaiveBayes::train(const Dataset &data)
+{
+    DEJAVU_ASSERT(!data.empty(), "cannot train on empty dataset");
+    _numClasses = data.numClasses();
+    _numAttributes = data.numAttributes();
+    DEJAVU_ASSERT(_numClasses >= 1, "training data has no labels");
+
+    const auto nc = static_cast<std::size_t>(_numClasses);
+    const auto na = static_cast<std::size_t>(_numAttributes);
+    _priors.assign(nc, 0.0);
+    _means.assign(nc, std::vector<double>(na, 0.0));
+    _vars.assign(nc, std::vector<double>(na, 0.0));
+    std::vector<double> counts(nc, 0.0);
+
+    for (int i = 0; i < data.size(); ++i) {
+        const int c = data.label(i);
+        DEJAVU_ASSERT(c >= 0, "unlabeled instance in training data");
+        counts[static_cast<std::size_t>(c)] += 1.0;
+        const auto &x = data.instance(i);
+        for (std::size_t a = 0; a < na; ++a)
+            _means[static_cast<std::size_t>(c)][a] += x[a];
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+        // Laplace prior smoothing keeps unseen classes representable.
+        _priors[c] = (counts[c] + 1.0) / (data.size() + _numClasses);
+        if (counts[c] > 0.0)
+            for (std::size_t a = 0; a < na; ++a)
+                _means[c][a] /= counts[c];
+    }
+    // Global variance per attribute, for the floor.
+    std::vector<double> globalMean(na, 0.0), globalVar(na, 0.0);
+    for (int i = 0; i < data.size(); ++i) {
+        const auto &x = data.instance(i);
+        for (std::size_t a = 0; a < na; ++a)
+            globalMean[a] += x[a];
+    }
+    for (std::size_t a = 0; a < na; ++a)
+        globalMean[a] /= data.size();
+    for (int i = 0; i < data.size(); ++i) {
+        const auto &x = data.instance(i);
+        for (std::size_t a = 0; a < na; ++a) {
+            const double d = x[a] - globalMean[a];
+            globalVar[a] += d * d;
+        }
+    }
+    for (std::size_t a = 0; a < na; ++a)
+        globalVar[a] = std::max(globalVar[a] / data.size(), 1e-12);
+
+    for (int i = 0; i < data.size(); ++i) {
+        const auto c = static_cast<std::size_t>(data.label(i));
+        const auto &x = data.instance(i);
+        for (std::size_t a = 0; a < na; ++a) {
+            const double d = x[a] - _means[c][a];
+            _vars[c][a] += d * d;
+        }
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+        for (std::size_t a = 0; a < na; ++a) {
+            if (counts[c] > 1.0)
+                _vars[c][a] /= counts[c];
+            else
+                _vars[c][a] = globalVar[a];
+            _vars[c][a] = std::max(
+                _vars[c][a], _config.varianceFloor * globalVar[a]);
+        }
+    }
+}
+
+std::vector<double>
+NaiveBayes::posteriors(const std::vector<double> &x) const
+{
+    DEJAVU_ASSERT(_numClasses > 0, "classifier not trained");
+    DEJAVU_ASSERT(static_cast<int>(x.size()) == _numAttributes,
+                  "instance width mismatch");
+    const auto nc = static_cast<std::size_t>(_numClasses);
+    std::vector<double> logPost(nc, 0.0);
+    for (std::size_t c = 0; c < nc; ++c) {
+        double lp = std::log(_priors[c]);
+        for (std::size_t a = 0; a < x.size(); ++a) {
+            const double var = _vars[c][a];
+            const double d = x[a] - _means[c][a];
+            lp += -0.5 * std::log(2.0 * M_PI * var)
+                - d * d / (2.0 * var);
+        }
+        logPost[c] = lp;
+    }
+    // Log-sum-exp normalization.
+    const double mx = *std::max_element(logPost.begin(), logPost.end());
+    double sum = 0.0;
+    for (double &lp : logPost) {
+        lp = std::exp(lp - mx);
+        sum += lp;
+    }
+    for (double &lp : logPost)
+        lp /= sum;
+    return logPost;
+}
+
+Prediction
+NaiveBayes::predict(const std::vector<double> &x) const
+{
+    const auto post = posteriors(x);
+    Prediction p;
+    const auto it = std::max_element(post.begin(), post.end());
+    p.label = static_cast<int>(it - post.begin());
+    p.confidence = *it;
+    return p;
+}
+
+} // namespace dejavu

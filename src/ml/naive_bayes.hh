@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Gaussian naive Bayes classifier — the paper observed that "both
+ * Bayesian models and decision trees work well for the network
+ * services we considered" (§3.5); we provide it as the alternative
+ * classifier and for cross-checking J48 in tests.
+ */
+
+#ifndef DEJAVU_ML_NAIVE_BAYES_HH
+#define DEJAVU_ML_NAIVE_BAYES_HH
+
+#include <vector>
+
+#include "ml/dataset.hh"
+
+namespace dejavu {
+
+/**
+ * Naive Bayes with per-class per-attribute Gaussian likelihoods.
+ */
+class NaiveBayes : public Classifier
+{
+  public:
+    struct Config
+    {
+        /** Variance floor, relative to the attribute's global
+         *  variance (avoids zero-variance spikes). */
+        double varianceFloor = 1e-3;
+    };
+
+    NaiveBayes();
+    explicit NaiveBayes(Config config);
+
+    void train(const Dataset &data) override;
+    Prediction predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "naive-bayes"; }
+
+    /** Per-class posterior probabilities for one instance. */
+    std::vector<double> posteriors(const std::vector<double> &x) const;
+
+  private:
+    Config _config;
+    int _numClasses = 0;
+    int _numAttributes = 0;
+    std::vector<double> _priors;
+    /** [class][attribute] */
+    std::vector<std::vector<double>> _means;
+    std::vector<std::vector<double>> _vars;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_ML_NAIVE_BAYES_HH

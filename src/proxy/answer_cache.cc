@@ -1,0 +1,69 @@
+#include "proxy/answer_cache.hh"
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+AnswerCache::AnswerCache(std::size_t capacity)
+    : _capacity(capacity)
+{
+    DEJAVU_ASSERT(_capacity >= 1, "cache needs capacity >= 1");
+}
+
+void
+AnswerCache::touch(std::uint64_t requestHash, Entry &entry)
+{
+    _lru.erase(entry.lruIt);
+    _lru.push_front(requestHash);
+    entry.lruIt = _lru.begin();
+}
+
+void
+AnswerCache::put(std::uint64_t requestHash, std::uint64_t answer)
+{
+    ++_stats.inserts;
+    auto it = _map.find(requestHash);
+    if (it != _map.end()) {
+        it->second.answer = answer;
+        touch(requestHash, it->second);
+        return;
+    }
+    if (_map.size() >= _capacity) {
+        const std::uint64_t victim = _lru.back();
+        _lru.pop_back();
+        _map.erase(victim);
+    }
+    _lru.push_front(requestHash);
+    _map.emplace(requestHash, Entry{answer, _lru.begin()});
+}
+
+std::optional<std::uint64_t>
+AnswerCache::get(std::uint64_t requestHash)
+{
+    ++_stats.lookups;
+    auto it = _map.find(requestHash);
+    if (it == _map.end()) {
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    ++_stats.hits;
+    touch(requestHash, it->second);
+    return it->second.answer;
+}
+
+double
+AnswerCache::hitRate() const
+{
+    if (_stats.lookups == 0)
+        return 1.0;
+    return static_cast<double>(_stats.hits) / _stats.lookups;
+}
+
+void
+AnswerCache::clear()
+{
+    _map.clear();
+    _lru.clear();
+}
+
+} // namespace dejavu

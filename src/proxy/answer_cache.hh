@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The proxy's answer cache (§3.2.1): when DejaVu profiles a middle
+ * tier (e.g. the application server of a 3-tier service), the clone
+ * has no database behind it. The proxy "caches recent answers from
+ * the database such that they can be re-used by the profiler": on a
+ * profiler request it hashes the request and returns the most recent
+ * production answer for that hash. Locality is good because production
+ * and profiler serve the same requests slightly shifted in time.
+ */
+
+#ifndef DEJAVU_PROXY_ANSWER_CACHE_HH
+#define DEJAVU_PROXY_ANSWER_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace dejavu {
+
+/**
+ * Bounded most-recent-answer cache keyed by request hash.
+ */
+class AnswerCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t inserts = 0;
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    explicit AnswerCache(std::size_t capacity = 65536);
+
+    /**
+     * Record the most recent production answer for a request hash
+     * (overwrites any previous answer — "the most recent answer for
+     * the given hash").
+     */
+    void put(std::uint64_t requestHash, std::uint64_t answer);
+
+    /** Profiler-side lookup. */
+    std::optional<std::uint64_t> get(std::uint64_t requestHash);
+
+    std::size_t size() const { return _map.size(); }
+    std::size_t capacity() const { return _capacity; }
+    const Stats &stats() const { return _stats; }
+
+    /** Hit rate over all lookups so far (1.0 when no lookups). */
+    double hitRate() const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::uint64_t answer;
+        std::list<std::uint64_t>::iterator lruIt;
+    };
+
+    std::size_t _capacity;
+    std::unordered_map<std::uint64_t, Entry> _map;
+    std::list<std::uint64_t> _lru;  ///< Front = most recent.
+    Stats _stats;
+
+    void touch(std::uint64_t requestHash, Entry &entry);
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_PROXY_ANSWER_CACHE_HH

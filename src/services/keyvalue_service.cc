@@ -1,0 +1,81 @@
+#include "services/keyvalue_service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+KeyValueService::KeyValueService(EventQueue &queue, Cluster &cluster,
+                                 Rng rng)
+    : KeyValueService(queue, cluster, rng, Config())
+{
+}
+
+KeyValueService::KeyValueService(EventQueue &queue, Cluster &cluster,
+                                 Rng rng, Config config)
+    : Service(queue, cluster, rng), _config(config),
+      _lastInstanceCount(cluster.target().instances)
+{
+    DEJAVU_ASSERT(_config.readCapacityPerEcu > 0.0, "bad capacity");
+    DEJAVU_ASSERT(_config.writeCostFactor >= 1.0, "bad write cost");
+    DEJAVU_ASSERT(_config.rebalanceDip > 0.0 && _config.rebalanceDip <= 1.0,
+                  "bad rebalance dip");
+}
+
+double
+KeyValueService::capacityPerEcu(const RequestMix &mix) const
+{
+    // A write costs writeCostFactor times a read; blend by mix.
+    const double writeFraction = 1.0 - mix.readFraction;
+    const double relativeCost =
+        mix.readFraction + writeFraction * _config.writeCostFactor;
+    // Memory-heavy mixes (wide rows, large values) shave capacity.
+    const double memPenalty = 1.0 + 0.1 * (mix.memWeight - 1.0);
+    return _config.readCapacityPerEcu / (relativeCost * memPenalty);
+}
+
+double
+KeyValueService::baseLatencyMs(const RequestMix &mix) const
+{
+    const double writeFraction = 1.0 - mix.readFraction;
+    return _config.readBaseLatencyMs
+        + writeFraction * _config.writeBaseLatencyExtraMs;
+}
+
+double
+KeyValueService::transientFactor() const
+{
+    if (!rebalancing())
+        return 1.0;
+    // Linear recovery from the dip back to full capacity.
+    const SimTime now = _queue.now();
+    const double progress =
+        static_cast<double>(now - _rebalanceStart)
+        / static_cast<double>(_rebalanceEnd - _rebalanceStart);
+    return _config.rebalanceDip
+        + (1.0 - _config.rebalanceDip) * std::clamp(progress, 0.0, 1.0);
+}
+
+void
+KeyValueService::onReconfigure()
+{
+    const int count = _cluster.target().instances;
+    if (count != _lastInstanceCount) {
+        // Ring membership changed: partitions move.
+        _rebalanceStart = _queue.now();
+        _rebalanceEnd = _rebalanceStart + _config.rebalanceDuration;
+        _lastInstanceCount = count;
+    }
+}
+
+bool
+KeyValueService::rebalancing() const
+{
+    const SimTime now = _queue.now();
+    return _rebalanceStart >= 0 && now >= _rebalanceStart &&
+        now < _rebalanceEnd;
+}
+
+} // namespace dejavu

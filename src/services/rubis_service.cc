@@ -1,0 +1,221 @@
+#include "services/rubis_service.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+const std::vector<RubisInteractionInfo> &
+rubisInteractions()
+{
+    using RI = RubisInteraction;
+    // Weights approximate the RUBiS browsing transition table's
+    // steady state; demands reflect which tier does the work.
+    static const std::vector<RubisInteractionInfo> catalog = {
+        {RI::Home, "Home", false, 0.090, 0.2, 0.3},
+        {RI::Register, "Register", false, 0.006, 0.1, 0.3},
+        {RI::RegisterUser, "RegisterUser", true, 0.004, 1.2, 0.8},
+        {RI::Browse, "Browse", false, 0.110, 0.3, 0.4},
+        {RI::BrowseCategories, "BrowseCategories", false, 0.080, 0.6, 0.5},
+        {RI::SearchItemsInCategory, "SearchItemsInCategory", false,
+         0.160, 1.4, 0.9},
+        {RI::BrowseRegions, "BrowseRegions", false, 0.030, 0.6, 0.5},
+        {RI::BrowseCategoriesInRegion, "BrowseCategoriesInRegion", false,
+         0.025, 0.7, 0.5},
+        {RI::SearchItemsInRegion, "SearchItemsInRegion", false,
+         0.060, 1.5, 0.9},
+        {RI::ViewItem, "ViewItem", false, 0.150, 1.0, 0.7},
+        {RI::ViewUserInfo, "ViewUserInfo", false, 0.035, 0.9, 0.6},
+        {RI::ViewBidHistory, "ViewBidHistory", false, 0.030, 1.1, 0.6},
+        {RI::BuyNowAuth, "BuyNowAuth", false, 0.010, 0.2, 0.4},
+        {RI::BuyNow, "BuyNow", false, 0.008, 0.8, 0.6},
+        {RI::StoreBuyNow, "StoreBuyNow", true, 0.005, 1.6, 0.9},
+        {RI::PutBidAuth, "PutBidAuth", false, 0.022, 0.2, 0.4},
+        {RI::PutBid, "PutBid", false, 0.020, 0.9, 0.7},
+        {RI::StoreBid, "StoreBid", true, 0.018, 1.7, 0.9},
+        {RI::PutCommentAuth, "PutCommentAuth", false, 0.008, 0.2, 0.4},
+        {RI::PutComment, "PutComment", false, 0.007, 0.8, 0.6},
+        {RI::StoreComment, "StoreComment", true, 0.006, 1.5, 0.8},
+        {RI::SellItemForm, "SellItemForm", false, 0.012, 0.2, 0.5},
+        {RI::Sell, "Sell", false, 0.015, 0.5, 0.6},
+        {RI::RegisterItem, "RegisterItem", true, 0.010, 1.8, 1.0},
+        {RI::AboutMe, "AboutMe", false, 0.040, 1.2, 0.8},
+        {RI::Logout, "Logout", false, 0.039, 0.1, 0.2},
+    };
+    DEJAVU_ASSERT(catalog.size() == kNumRubisInteractions,
+                  "catalog size mismatch");
+    return catalog;
+}
+
+RubisSessionGenerator::RubisSessionGenerator(Rng rng, double writeBias)
+    : _rng(rng), _writeBias(writeBias)
+{
+    DEJAVU_ASSERT(writeBias > 0.0, "write bias must be positive");
+}
+
+RubisInteraction
+RubisSessionGenerator::transition(RubisInteraction from)
+{
+    // Sample the next interaction from the catalog weights, with a
+    // locality boost: browse-like states tend to chain into item
+    // views and searches, write-auth states into their store action.
+    using RI = RubisInteraction;
+    switch (from) {
+      case RI::BuyNowAuth:
+        return RI::BuyNow;
+      case RI::BuyNow:
+        return _rng.bernoulli(0.7) ? RI::StoreBuyNow : RI::Browse;
+      case RI::PutBidAuth:
+        return RI::PutBid;
+      case RI::PutBid:
+        return _rng.bernoulli(0.8) ? RI::StoreBid : RI::ViewItem;
+      case RI::PutCommentAuth:
+        return RI::PutComment;
+      case RI::PutComment:
+        return _rng.bernoulli(0.8) ? RI::StoreComment : RI::ViewItem;
+      case RI::SellItemForm:
+        return RI::Sell;
+      case RI::Sell:
+        return _rng.bernoulli(0.7) ? RI::RegisterItem : RI::Home;
+      default:
+        break;
+    }
+    const auto &catalog = rubisInteractions();
+    double total = 0.0;
+    for (const auto &info : catalog)
+        total += info.write ? info.weight * _writeBias : info.weight;
+    double draw = _rng.uniform(0.0, total);
+    for (const auto &info : catalog) {
+        const double w =
+            info.write ? info.weight * _writeBias : info.weight;
+        if (draw < w)
+            return info.id;
+        draw -= w;
+    }
+    return RI::Home;
+}
+
+std::vector<RubisInteraction>
+RubisSessionGenerator::nextSession(int maxLength)
+{
+    DEJAVU_ASSERT(maxLength >= 1, "session length");
+    std::vector<RubisInteraction> session;
+    RubisInteraction state = RubisInteraction::Home;
+    session.push_back(state);
+    while (static_cast<int>(session.size()) < maxLength) {
+        if (state == RubisInteraction::Logout)
+            break;
+        if (_rng.bernoulli(0.08))  // abandonment
+            break;
+        state = transition(state);
+        session.push_back(state);
+    }
+    return session;
+}
+
+RequestMix
+RubisSessionGenerator::empiricalMix(int sessions)
+{
+    DEJAVU_ASSERT(sessions >= 1, "need at least one session");
+    const auto &catalog = rubisInteractions();
+    double writes = 0.0, total = 0.0, dbWork = 0.0, appWork = 0.0;
+    for (int s = 0; s < sessions; ++s) {
+        for (RubisInteraction ri : nextSession()) {
+            const auto &info = catalog[static_cast<int>(ri)];
+            total += 1.0;
+            if (info.write)
+                writes += 1.0;
+            dbWork += info.dbDemand;
+            appWork += info.appDemand;
+        }
+    }
+    RequestMix mix = rubisBidding();
+    mix.name = "rubis-empirical";
+    mix.readFraction = 1.0 - writes / total;
+    mix.cpuWeight = appWork / total;
+    mix.ioWeight = dbWork / total;
+    return mix;
+}
+
+RubisService::RubisService(EventQueue &queue, Cluster &cluster, Rng rng)
+    : RubisService(queue, cluster, rng, Config())
+{
+}
+
+RubisService::RubisService(EventQueue &queue, Cluster &cluster, Rng rng,
+                           Config config)
+    : Service(queue, cluster, rng), _config(config)
+{
+    double shareSum = 0.0;
+    for (double s : _config.tierShare)
+        shareSum += s;
+    DEJAVU_ASSERT(std::abs(shareSum - 1.0) < 1e-9,
+                  "tier shares must sum to 1");
+}
+
+std::array<double, 3>
+RubisService::tierDemand(const RequestMix &mix) const
+{
+    // Static content is served by the web tier alone; dynamic requests
+    // exercise app and DB. Writes hit the DB harder.
+    const double dynamic = 1.0 - mix.staticFraction;
+    const double writeFraction = 1.0 - mix.readFraction;
+    return {
+        1.0,                                      // web: every request
+        dynamic * (0.8 + 0.4 * mix.cpuWeight),    // app
+        dynamic * (0.7 + 0.9 * writeFraction + 0.2 * mix.ioWeight), // db
+    };
+}
+
+std::array<double, 3>
+RubisService::tierCapacities(const RequestMix &mix, double totalEcu) const
+{
+    const auto demand = tierDemand(mix);
+    const std::array<double, 3> perEcu = {
+        _config.webCapacityPerEcu,
+        _config.appCapacityPerEcu,
+        _config.dbCapacityPerEcu,
+    };
+    std::array<double, 3> cap;
+    for (int t = 0; t < 3; ++t) {
+        const double ecu = totalEcu * _config.tierShare[t];
+        const double d = std::max(demand[t], 1e-9);
+        cap[t] = ecu * perEcu[t] / d;
+    }
+    return cap;
+}
+
+double
+RubisService::capacityPerEcu(const RequestMix &mix) const
+{
+    // The tier that saturates first bounds throughput; normalize to
+    // one ECU so the base-class utilization math applies unchanged.
+    const auto cap = tierCapacities(mix, 1.0);
+    return *std::min_element(cap.begin(), cap.end());
+}
+
+double
+RubisService::baseLatencyMs(const RequestMix &mix) const
+{
+    const auto demand = tierDemand(mix);
+    double base = 0.0;
+    for (int t = 0; t < 3; ++t)
+        base += _config.tierBaseMs[t] * std::min(demand[t], 2.0);
+    return base;
+}
+
+std::array<double, 3>
+RubisService::tierUtilizations() const
+{
+    const double ecu = _cluster.effectiveComputeUnits();
+    const auto cap = tierCapacities(_workload.mix, std::max(ecu, 1e-9));
+    const double rate = offeredRate();
+    std::array<double, 3> rho;
+    for (int t = 0; t < 3; ++t)
+        rho[t] = PerfModel::utilization(rate, cap[t]);
+    return rho;
+}
+
+} // namespace dejavu

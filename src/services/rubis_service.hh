@@ -1,0 +1,126 @@
+/**
+ * @file
+ * RUBiS-like three-tier auction service model.
+ *
+ * RUBiS (an eBay clone) is used by the paper for the Figure 1
+ * motivation experiment, the Figure 4(b) signature study, the Table 1
+ * feature-selection dataset, and the §4.4 proxy-overhead measurement.
+ * It "consists of a front-end Apache web server, a Tomcat application
+ * server, and a MySQL database server [and] defines 26 client
+ * interactions whose frequencies are defined by RUBiS transition
+ * tables" (§4). We model the three tiers explicitly (latency is the
+ * sum of per-tier queueing latencies) and carry the full interaction
+ * catalog with a Markov session generator.
+ */
+
+#ifndef DEJAVU_SERVICES_RUBIS_SERVICE_HH
+#define DEJAVU_SERVICES_RUBIS_SERVICE_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "services/service.hh"
+
+namespace dejavu {
+
+/** The 26 RUBiS client interactions. */
+enum class RubisInteraction : int
+{
+    Home = 0, Register, RegisterUser, Browse, BrowseCategories,
+    SearchItemsInCategory, BrowseRegions, BrowseCategoriesInRegion,
+    SearchItemsInRegion, ViewItem, ViewUserInfo, ViewBidHistory,
+    BuyNowAuth, BuyNow, StoreBuyNow, PutBidAuth, PutBid, StoreBid,
+    PutCommentAuth, PutComment, StoreComment, SellItemForm, Sell,
+    RegisterItem, AboutMe, Logout,
+};
+
+constexpr int kNumRubisInteractions = 26;
+
+/** Static description of one interaction. */
+struct RubisInteractionInfo
+{
+    RubisInteraction id;
+    std::string name;
+    bool write;            ///< Mutates database state.
+    double weight;         ///< Steady-state frequency (browsing mix).
+    double dbDemand;       ///< Relative DB work per request.
+    double appDemand;      ///< Relative app-server work per request.
+};
+
+/** The full catalog, indexed by interaction id. */
+const std::vector<RubisInteractionInfo> &rubisInteractions();
+
+/**
+ * Markov-chain session generator following a RUBiS-style transition
+ * structure: sessions start at Home, browse with high probability,
+ * occasionally bid/sell/comment, and terminate at Logout or by
+ * abandonment.
+ */
+class RubisSessionGenerator
+{
+  public:
+    explicit RubisSessionGenerator(Rng rng, double writeBias = 1.0);
+
+    /** Generate one session as a sequence of interactions. */
+    std::vector<RubisInteraction> nextSession(int maxLength = 64);
+
+    /** Steady-state request mix implied by @p sessions sessions. */
+    RequestMix empiricalMix(int sessions = 200);
+
+  private:
+    Rng _rng;
+    double _writeBias;
+
+    RubisInteraction transition(RubisInteraction from);
+};
+
+/**
+ * Three-tier RUBiS service model.
+ */
+class RubisService : public Service
+{
+  public:
+    struct Config
+    {
+        /** Per-ECU request capacity of each tier at unit demand. */
+        double webCapacityPerEcu = 120.0;
+        double appCapacityPerEcu = 70.0;
+        double dbCapacityPerEcu = 90.0;
+        /** Fractions of cluster ECU assigned to web/app/db tiers. */
+        std::array<double, 3> tierShare = {0.30, 0.40, 0.30};
+        /** Per-tier no-load latencies (ms). */
+        std::array<double, 3> tierBaseMs = {5.0, 14.0, 11.0};
+    };
+
+    RubisService(EventQueue &queue, Cluster &cluster, Rng rng);
+    RubisService(EventQueue &queue, Cluster &cluster, Rng rng,
+                 Config config);
+
+    std::string name() const override { return "rubis"; }
+    ServiceKind kind() const override { return ServiceKind::Rubis; }
+
+    /** Aggregate capacity: the bottleneck tier saturates first. */
+    double capacityPerEcu(const RequestMix &mix) const override;
+    double baseLatencyMs(const RequestMix &mix) const override;
+
+    /** Per-tier utilizations under the current workload. */
+    std::array<double, 3> tierUtilizations() const;
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+
+    /** Per-tier demand multipliers for a mix. */
+    std::array<double, 3> tierDemand(const RequestMix &mix) const;
+
+    /** Capacity (req/s) of each tier for a mix at given total ECU. */
+    std::array<double, 3> tierCapacities(const RequestMix &mix,
+                                         double totalEcu) const;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SERVICES_RUBIS_SERVICE_HH

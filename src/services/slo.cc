@@ -1,0 +1,48 @@
+#include "services/slo.hh"
+
+#include <sstream>
+
+namespace dejavu {
+
+Slo
+Slo::latency(double boundMs)
+{
+    Slo s;
+    s.kind = SloKind::LatencyBound;
+    s.latencyBoundMs = boundMs;
+    return s;
+}
+
+Slo
+Slo::qos(double floorPercent)
+{
+    Slo s;
+    s.kind = SloKind::QosFloor;
+    s.qosFloorPercent = floorPercent;
+    return s;
+}
+
+bool
+Slo::satisfied(double meanLatencyMs, double qosPercent) const
+{
+    switch (kind) {
+      case SloKind::LatencyBound:
+        return meanLatencyMs <= latencyBoundMs;
+      case SloKind::QosFloor:
+        return qosPercent >= qosFloorPercent;
+    }
+    return false;
+}
+
+std::string
+Slo::toString() const
+{
+    std::ostringstream os;
+    if (kind == SloKind::LatencyBound)
+        os << "latency <= " << latencyBoundMs << " ms";
+    else
+        os << "QoS >= " << qosFloorPercent << "%";
+    return os.str();
+}
+
+} // namespace dejavu

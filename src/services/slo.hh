@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Service-level objectives.
+ *
+ * The evaluation uses two SLO styles: a mean-latency bound (Cassandra:
+ * 60 ms; RUBiS motivation: the "SLO latency" line of Figure 1) and a
+ * quality-of-service floor (SPECweb2009 support: at least 95% of
+ * downloads must meet 0.99 Mbps).
+ */
+
+#ifndef DEJAVU_SERVICES_SLO_HH
+#define DEJAVU_SERVICES_SLO_HH
+
+#include <string>
+
+namespace dejavu {
+
+/** Which performance dimension the SLO constrains. */
+enum class SloKind { LatencyBound, QosFloor };
+
+/**
+ * One service-level objective.
+ */
+struct Slo
+{
+    SloKind kind = SloKind::LatencyBound;
+    double latencyBoundMs = 60.0;  ///< Used when kind == LatencyBound.
+    double qosFloorPercent = 95.0; ///< Used when kind == QosFloor.
+
+    /** Latency-bound constructor (Cassandra-style). */
+    static Slo latency(double boundMs);
+
+    /** QoS-floor constructor (SPECweb-style). */
+    static Slo qos(double floorPercent);
+
+    /**
+     * Does a measurement satisfy this SLO?
+     * @param meanLatencyMs measured mean latency.
+     * @param qosPercent measured QoS percentage.
+     */
+    bool satisfied(double meanLatencyMs, double qosPercent) const;
+
+    std::string toString() const;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SERVICES_SLO_HH

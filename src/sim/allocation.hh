@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A resource allocation: the unit cached by DejaVu's repository and
+ * enforced on the cluster. EC2 exposes two axes (§2.1): the number of
+ * identical instances (horizontal / scale-out) and the instance type
+ * (vertical / scale-up).
+ */
+
+#ifndef DEJAVU_SIM_ALLOCATION_HH
+#define DEJAVU_SIM_ALLOCATION_HH
+
+#include <string>
+
+#include "sim/instance_type.hh"
+
+namespace dejavu {
+
+/**
+ * Number of instances of a given type. Orderable by capacity so that a
+ * linear-search tuner can sweep "increasing amounts of virtual
+ * resources" (§3.4).
+ */
+struct ResourceAllocation
+{
+    int instances = 1;
+    InstanceType type = InstanceType::Large;
+
+    /** Aggregate compute units (ECU) of the allocation. */
+    double computeUnits() const
+    { return instances * instanceSpec(type).computeUnits; }
+
+    /** On-demand cost per hour in USD. */
+    double dollarsPerHour() const
+    { return instances * instanceSpec(type).pricePerHour; }
+
+    bool operator==(const ResourceAllocation &o) const
+    { return instances == o.instances && type == o.type; }
+    bool operator!=(const ResourceAllocation &o) const
+    { return !(*this == o); }
+
+    /** Human-readable form, e.g. "4xL" or "5xXL". */
+    std::string toString() const
+    { return std::to_string(instances) + "x" + shortName(type); }
+};
+
+/** Strict capacity ordering (ties broken by cost). */
+inline bool
+lessCapacity(const ResourceAllocation &a, const ResourceAllocation &b)
+{
+    if (a.computeUnits() != b.computeUnits())
+        return a.computeUnits() < b.computeUnits();
+    return a.dollarsPerHour() < b.dollarsPerHour();
+}
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_ALLOCATION_HH

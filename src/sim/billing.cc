@@ -1,0 +1,18 @@
+#include "sim/billing.hh"
+
+namespace dejavu {
+
+void
+BillingMeter::setRate(SimTime now, double dollarsPerHour)
+{
+    _rate.set(now, dollarsPerHour);
+}
+
+double
+BillingMeter::accruedDollars(SimTime now) const
+{
+    // integralSeconds yields ($/hour)*seconds; divide by 3600 s/hour.
+    return _rate.integralSeconds(now) / 3600.0;
+}
+
+} // namespace dejavu

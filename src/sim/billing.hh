@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cost accounting for a cluster of virtual instances.
+ *
+ * EC2-style billing: any instance that is started (booting, warming or
+ * running) accrues its hourly on-demand price. The meter integrates the
+ * instantaneous $/hour rate over simulated time.
+ */
+
+#ifndef DEJAVU_SIM_BILLING_HH
+#define DEJAVU_SIM_BILLING_HH
+
+#include "common/sim_time.hh"
+#include "common/stats.hh"
+
+namespace dejavu {
+
+/**
+ * Integrates a piecewise-constant $/hour rate into accumulated dollars.
+ */
+class BillingMeter
+{
+  public:
+    /** Record that the billing rate changed to @p dollarsPerHour. */
+    void setRate(SimTime now, double dollarsPerHour);
+
+    /** Dollars accrued from the first setRate() until @p now. */
+    double accruedDollars(SimTime now) const;
+
+    /** Average $/hour over the metered window. */
+    double averageRate(SimTime now) const { return _rate.average(now); }
+
+    double currentRate() const { return _rate.current(); }
+
+  private:
+    TimeWeightedValue _rate;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_BILLING_HH

@@ -1,0 +1,56 @@
+#include "sim/energy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+EnergyModel::EnergyModel()
+    : EnergyModel(Config())
+{
+}
+
+EnergyModel::EnergyModel(Config config)
+    : _config(config)
+{
+    DEJAVU_ASSERT(_config.idleWattsPerInstance >= 0.0, "bad idle W");
+    DEJAVU_ASSERT(_config.dynamicWattsPerInstance >= 0.0, "bad dyn W");
+    DEJAVU_ASSERT(_config.referenceEcu > 0.0, "bad reference ECU");
+}
+
+double
+EnergyModel::watts(const ResourceAllocation &allocation,
+                   double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    // Scale by capacity: an XL instance is two large-equivalents.
+    const double largeEquivalents =
+        allocation.computeUnits() / _config.referenceEcu;
+    return largeEquivalents
+        * (_config.idleWattsPerInstance
+           + u * _config.dynamicWattsPerInstance);
+}
+
+double
+EnergyModel::clusterWatts(const Cluster &cluster,
+                          double utilization) const
+{
+    return watts(cluster.target(), utilization);
+}
+
+void
+EnergyMeter::update(SimTime now, double watts)
+{
+    DEJAVU_ASSERT(watts >= 0.0, "negative power draw");
+    _watts.set(now, watts);
+}
+
+double
+EnergyMeter::kiloWattHours(SimTime now) const
+{
+    // integralSeconds yields watt-seconds (joules); 3.6e6 J per kWh.
+    return _watts.integralSeconds(now) / 3.6e6;
+}
+
+} // namespace dejavu

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Energy accounting. The paper's introduction argues DejaVu "would
+ * also enable providers to lower their energy costs (e.g., by
+ * consolidating workloads on fewer machines, more machines can enter
+ * a low-power state)". We quantify that: a simple linear server power
+ * model (idle floor + utilization-proportional dynamic power, the
+ * standard datacenter approximation) integrated over the run. VMs
+ * that are stopped free their share of a physical machine, which can
+ * then power down.
+ */
+
+#ifndef DEJAVU_SIM_ENERGY_HH
+#define DEJAVU_SIM_ENERGY_HH
+
+#include "common/sim_time.hh"
+#include "common/stats.hh"
+#include "sim/cluster.hh"
+
+namespace dejavu {
+
+/**
+ * Linear server power model, per large-instance-equivalent.
+ */
+class EnergyModel
+{
+  public:
+    struct Config
+    {
+        /** Idle power of the PM share backing one large instance. */
+        double idleWattsPerInstance = 120.0;
+        /** Additional power at 100% utilization. */
+        double dynamicWattsPerInstance = 110.0;
+        /** ECU of the reference (large) instance. */
+        double referenceEcu = 4.0;
+    };
+
+    EnergyModel();
+    explicit EnergyModel(Config config);
+
+    /**
+     * Instantaneous power draw (watts) of an allocation running at
+     * the given utilization. Stopped instances draw nothing (their
+     * PM share can sleep — the consolidation benefit).
+     */
+    double watts(const ResourceAllocation &allocation,
+                 double utilization) const;
+
+    /** Convenience: power draw of a cluster's current target. */
+    double clusterWatts(const Cluster &cluster,
+                        double utilization) const;
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+};
+
+/**
+ * Integrates watts over simulated time into kWh.
+ */
+class EnergyMeter
+{
+  public:
+    /** Record that the draw changed to @p watts at time @p now. */
+    void update(SimTime now, double watts);
+
+    /** Energy consumed from the first update until @p now, in kWh. */
+    double kiloWattHours(SimTime now) const;
+
+    double currentWatts() const { return _watts.current(); }
+
+  private:
+    TimeWeightedValue _watts;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_ENERGY_HH

@@ -1,0 +1,112 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+EventId
+EventQueue::schedule(SimTime at, Callback fn)
+{
+    DEJAVU_ASSERT(at >= _now, "cannot schedule in the past: at=", at,
+                  " now=", _now);
+    const EventId id = _nextId++;
+    if (_callbacks.size() <= id)
+        _callbacks.resize(id + 1);
+    _callbacks[id] = std::move(fn);
+    _heap.push(Entry{at, _nextSeq++, id});
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimTime delay, Callback fn)
+{
+    DEJAVU_ASSERT(delay >= 0, "negative delay");
+    return schedule(_now + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == kInvalidEvent || id >= _nextId)
+        return false;
+    if (id < _callbacks.size() && _callbacks[id]) {
+        _callbacks[id] = nullptr;
+        _cancelled.insert(id);
+        return true;
+    }
+    return false;
+}
+
+bool
+EventQueue::popLive(Entry &out)
+{
+    while (!_heap.empty()) {
+        Entry e = _heap.top();
+        _heap.pop();
+        auto it = _cancelled.find(e.id);
+        if (it != _cancelled.end()) {
+            _cancelled.erase(it);
+            continue;
+        }
+        out = e;
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+EventQueue::runUntil(SimTime limit)
+{
+    std::size_t executed = 0;
+    Entry e;
+    while (!_heap.empty()) {
+        // Peek: find the next live entry without losing it.
+        if (!popLive(e))
+            break;
+        if (e.at > limit) {
+            // Push back and stop; limit reached.
+            _heap.push(e);
+            break;
+        }
+        _now = e.at;
+        Callback fn = std::move(_callbacks[e.id]);
+        _callbacks[e.id] = nullptr;
+        fn();
+        ++executed;
+    }
+    if (_now < limit)
+        _now = limit;
+    return executed;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t maxEvents)
+{
+    std::size_t executed = 0;
+    Entry e;
+    while (executed < maxEvents && popLive(e)) {
+        _now = e.at;
+        Callback fn = std::move(_callbacks[e.id]);
+        _callbacks[e.id] = nullptr;
+        fn();
+        ++executed;
+    }
+    DEJAVU_ASSERT(executed < maxEvents,
+                  "event budget exhausted; runaway self-scheduling?");
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    Entry e;
+    if (!popLive(e))
+        return false;
+    _now = e.at;
+    Callback fn = std::move(_callbacks[e.id]);
+    _callbacks[e.id] = nullptr;
+    fn();
+    return true;
+}
+
+} // namespace dejavu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue in the style of gem5's EventQueue: the
+ * queue owns a clock; callers schedule callbacks at absolute simulated
+ * times; execution order is (time, insertion sequence) so runs are
+ * deterministic.
+ */
+
+#ifndef DEJAVU_SIM_EVENT_QUEUE_HH
+#define DEJAVU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hh"
+
+namespace dejavu {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Deterministic min-heap event queue with cancellation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return _now; }
+
+    /**
+     * Schedule @p fn at absolute time @p at (>= now).
+     * @return a handle that can be passed to cancel().
+     */
+    EventId schedule(SimTime at, Callback fn);
+
+    /** Schedule @p fn @p delay after the current time. */
+    EventId scheduleAfter(SimTime delay, Callback fn);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was still pending.
+     */
+    bool cancel(EventId id);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return _heap.size() - _cancelled.size(); }
+
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Execute events until the queue is empty or the next event is
+     * after @p limit; the clock is left at min(limit, last event time).
+     * @return number of events executed.
+     */
+    std::size_t runUntil(SimTime limit);
+
+    /**
+     * Execute every pending event (including ones scheduled while
+     * draining). @p maxEvents guards against runaway self-scheduling.
+     * @return number of events executed.
+     */
+    std::size_t runAll(std::size_t maxEvents = 100000000);
+
+    /** Execute exactly one event if one is pending. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        SimTime at;
+        std::uint64_t seq;
+        EventId id;
+        // Ordered as a max-heap by default; invert for min-heap.
+        bool operator<(const Entry &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return seq > o.seq;
+        }
+    };
+
+    SimTime _now = 0;
+    std::uint64_t _nextSeq = 0;
+    EventId _nextId = 1;
+    std::priority_queue<Entry> _heap;
+    std::unordered_set<EventId> _cancelled;
+    std::vector<Callback> _callbacks;  // indexed by id (grow-only)
+
+    /** Pop entries until a live one is found; returns false if none. */
+    bool popLive(Entry &out);
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_EVENT_QUEUE_HH

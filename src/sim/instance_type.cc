@@ -1,0 +1,62 @@
+#include "sim/instance_type.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+namespace {
+
+const std::array<InstanceSpec, 3> kSpecs = {{
+    // EC2 first-generation (m1) family, on-demand pricing as of
+    // July 2011 (paper §4.5 quotes large and extra large).
+    {InstanceType::Small, "m1.small", 1.0, 1.7, 1.0, 0.085},
+    {InstanceType::Large, "m1.large", 4.0, 7.5, 2.0, 0.34},
+    {InstanceType::XLarge, "m1.xlarge", 8.0, 15.0, 4.0, 0.68},
+}};
+
+} // namespace
+
+const InstanceSpec &
+instanceSpec(InstanceType type)
+{
+    for (const auto &spec : kSpecs)
+        if (spec.type == type)
+            return spec;
+    DEJAVU_PANIC("unknown instance type");
+}
+
+std::string
+shortName(InstanceType type)
+{
+    switch (type) {
+      case InstanceType::Small:
+        return "S";
+      case InstanceType::Large:
+        return "L";
+      case InstanceType::XLarge:
+        return "XL";
+    }
+    DEJAVU_PANIC("unknown instance type");
+}
+
+InstanceType
+parseInstanceType(const std::string &name)
+{
+    std::string low(name);
+    std::transform(low.begin(), low.end(), low.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (low == "small" || low == "m1.small" || low == "s")
+        return InstanceType::Small;
+    if (low == "large" || low == "m1.large" || low == "l")
+        return InstanceType::Large;
+    if (low == "xlarge" || low == "extra large" || low == "m1.xlarge" ||
+        low == "xl")
+        return InstanceType::XLarge;
+    fatal("unknown instance type name: ", name);
+}
+
+} // namespace dejavu

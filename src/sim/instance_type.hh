@@ -1,0 +1,43 @@
+/**
+ * @file
+ * EC2-style virtual instance types.
+ *
+ * The paper's evaluation uses Amazon EC2 "large" and "extra large"
+ * instances at their July-2011 on-demand prices ($0.34/h and $0.68/h,
+ * §4.5). Capacity is expressed in EC2 Compute Units (ECU) which our
+ * service models translate into request-serving capacity.
+ */
+
+#ifndef DEJAVU_SIM_INSTANCE_TYPE_HH
+#define DEJAVU_SIM_INSTANCE_TYPE_HH
+
+#include <string>
+
+namespace dejavu {
+
+/** The instance sizes the evaluation scales across. */
+enum class InstanceType { Small, Large, XLarge };
+
+/** Static description of an instance type. */
+struct InstanceSpec
+{
+    InstanceType type;
+    std::string name;       ///< EC2-style API name.
+    double computeUnits;    ///< ECU; proportional to request capacity.
+    double memoryGb;
+    double ioUnits;         ///< Relative I/O performance.
+    double pricePerHour;    ///< USD, on-demand, July 2011.
+};
+
+/** Look up the spec for a type. */
+const InstanceSpec &instanceSpec(InstanceType type);
+
+/** Short display name ("L", "XL", ...), as used in Figures 9 and 10. */
+std::string shortName(InstanceType type);
+
+/** Parse "large"/"xlarge"/"small" (case-insensitive). */
+InstanceType parseInstanceType(const std::string &name);
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_INSTANCE_TYPE_HH

@@ -1,0 +1,67 @@
+#include "sim/interference.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+InterferenceInjector::InterferenceInjector(EventQueue &queue,
+                                           Cluster &cluster,
+                                           Config config, Rng rng)
+    : _queue(queue), _cluster(cluster), _config(std::move(config)),
+      _rng(rng)
+{
+    DEJAVU_ASSERT(!_config.levels.empty(),
+                  "interference injector needs at least one level");
+    for (double level : _config.levels)
+        DEJAVU_ASSERT(level >= 0.0 && level <= 0.95,
+                      "interference level out of range: ", level);
+}
+
+void
+InterferenceInjector::start()
+{
+    if (!_config.enabled || _active)
+        return;
+    _active = true;
+    applyOnce();
+    scheduleNext();
+}
+
+void
+InterferenceInjector::stop()
+{
+    _active = false;
+    for (int i = 0; i < _cluster.poolSize(); ++i)
+        _cluster.vm(i).setInterference(0.0);
+}
+
+void
+InterferenceInjector::applyOnce()
+{
+    if (!_config.enabled)
+        return;
+    for (int i = 0; i < _cluster.poolSize(); ++i) {
+        const std::size_t pick = static_cast<std::size_t>(
+            _rng.uniformInt(0, static_cast<int>(_config.levels.size()) - 1));
+        const double loss = std::min(
+            0.95, _config.levels[pick] * _config.contentionMultiplier);
+        _cluster.vm(i).setInterference(loss);
+    }
+}
+
+void
+InterferenceInjector::scheduleNext()
+{
+    _queue.scheduleAfter(_config.period, [this] {
+        if (!_active)
+            return;
+        applyOnce();
+        scheduleNext();
+    });
+}
+
+} // namespace dejavu

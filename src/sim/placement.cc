@@ -1,0 +1,115 @@
+#include "sim/placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+PlacementMap::PlacementMap(Cluster &cluster, Config config)
+    : _cluster(cluster), _config(config)
+{
+    DEJAVU_ASSERT(_config.vmsPerMachine >= 1, "need >= 1 VM per PM");
+    const int pool = cluster.poolSize();
+    _machineOfVm.resize(static_cast<std::size_t>(pool));
+    for (int v = 0; v < pool; ++v)
+        _machineOfVm[static_cast<std::size_t>(v)] =
+            v / _config.vmsPerMachine;
+    _numMachines =
+        (pool + _config.vmsPerMachine - 1) / _config.vmsPerMachine;
+}
+
+int
+PlacementMap::machineOf(int vmIndex) const
+{
+    DEJAVU_ASSERT(vmIndex >= 0 &&
+                  vmIndex < static_cast<int>(_machineOfVm.size()),
+                  "vm index out of range");
+    return _machineOfVm[static_cast<std::size_t>(vmIndex)];
+}
+
+std::vector<int>
+PlacementMap::vmsOn(int machine) const
+{
+    DEJAVU_ASSERT(machine >= 0 && machine < _numMachines,
+                  "machine index out of range");
+    std::vector<int> vms;
+    for (int v = 0; v < static_cast<int>(_machineOfVm.size()); ++v)
+        if (_machineOfVm[static_cast<std::size_t>(v)] == machine)
+            vms.push_back(v);
+    return vms;
+}
+
+void
+PlacementMap::setMachinePressure(int machine, double loss)
+{
+    for (int v : vmsOn(machine))
+        _cluster.vm(v).setInterference(loss);
+}
+
+void
+PlacementMap::clearPressure()
+{
+    for (int v = 0; v < _cluster.poolSize(); ++v)
+        _cluster.vm(v).setInterference(0.0);
+}
+
+PlacementAwareInjector::PlacementAwareInjector(EventQueue &queue,
+                                               PlacementMap &placement,
+                                               Config config, Rng rng)
+    : _queue(queue), _placement(placement), _config(std::move(config)),
+      _rng(rng)
+{
+    DEJAVU_ASSERT(!_config.levels.empty(), "need >= 1 level");
+    DEJAVU_ASSERT(_config.tenantedFraction >= 0.0 &&
+                  _config.tenantedFraction <= 1.0,
+                  "bad tenanted fraction");
+}
+
+void
+PlacementAwareInjector::applyOnce()
+{
+    for (int m = 0; m < _placement.machines(); ++m) {
+        if (!_rng.bernoulli(_config.tenantedFraction)) {
+            _placement.setMachinePressure(m, 0.0);
+            continue;
+        }
+        const std::size_t pick = static_cast<std::size_t>(
+            _rng.uniformInt(0,
+                            static_cast<int>(_config.levels.size()) - 1));
+        const double loss = std::min(
+            0.95, _config.levels[pick] * _config.contentionMultiplier);
+        _placement.setMachinePressure(m, loss);
+    }
+}
+
+void
+PlacementAwareInjector::start()
+{
+    if (_active)
+        return;
+    _active = true;
+    applyOnce();
+    scheduleNext();
+}
+
+void
+PlacementAwareInjector::stop()
+{
+    _active = false;
+    _placement.clearPressure();
+}
+
+void
+PlacementAwareInjector::scheduleNext()
+{
+    _queue.scheduleAfter(_config.period, [this] {
+        if (!_active)
+            return;
+        applyOnce();
+        scheduleNext();
+    });
+}
+
+} // namespace dejavu

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * VM-to-physical-machine placement.
+ *
+ * The paper's interference argument rests on multi-tenancy:
+ * "virtualization platforms do not provide ideal performance
+ * isolation... application performance may suffer due to the
+ * activities of the other virtual machines co-located on the same
+ * physical server" (§2.2). A PlacementMap assigns a cluster's VMs to
+ * physical machines; a co-located tenant then pressures *every* VM on
+ * its host equally, so interference is correlated within a PM — the
+ * structure that makes the paper's observation "even virtual
+ * instances of the same type might have very different performance
+ * over time" reproducible.
+ */
+
+#ifndef DEJAVU_SIM_PLACEMENT_HH
+#define DEJAVU_SIM_PLACEMENT_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/cluster.hh"
+
+namespace dejavu {
+
+/**
+ * Static assignment of a cluster's VM pool onto physical machines.
+ */
+class PlacementMap
+{
+  public:
+    struct Config
+    {
+        /** Cluster VMs packed per physical machine. */
+        int vmsPerMachine = 2;
+    };
+
+    PlacementMap(Cluster &cluster, Config config);
+
+    int machines() const
+    { return static_cast<int>(_machineOfVm.empty() ? 0 : _numMachines); }
+
+    /** Physical machine hosting a VM (by pool index). */
+    int machineOf(int vmIndex) const;
+
+    /** Pool indices of the VMs on one machine. */
+    std::vector<int> vmsOn(int machine) const;
+
+    /**
+     * Apply a per-machine co-located tenant pressure: every VM on
+     * machine @p machine gets capacity loss @p loss.
+     */
+    void setMachinePressure(int machine, double loss);
+
+    /** Clear all pressure. */
+    void clearPressure();
+
+    Cluster &cluster() { return _cluster; }
+
+  private:
+    Cluster &_cluster;
+    Config _config;
+    std::vector<int> _machineOfVm;
+    int _numMachines = 0;
+};
+
+/**
+ * Interference injection at physical-machine granularity: each
+ * machine's co-located tenant pressure is redrawn periodically, so
+ * VMs sharing a host rise and fall together.
+ */
+class PlacementAwareInjector
+{
+  public:
+    struct Config
+    {
+        std::vector<double> levels = {0.10, 0.20};
+        SimTime period = hours(2);
+        double contentionMultiplier = 1.8;
+        /** Fraction of machines with a co-located tenant at all. */
+        double tenantedFraction = 1.0;
+    };
+
+    PlacementAwareInjector(EventQueue &queue, PlacementMap &placement,
+                           Config config, Rng rng);
+
+    void start();
+    void stop();
+    void applyOnce();
+
+  private:
+    EventQueue &_queue;
+    PlacementMap &_placement;
+    Config _config;
+    Rng _rng;
+    bool _active = false;
+
+    void scheduleNext();
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_PLACEMENT_HH

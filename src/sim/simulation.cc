@@ -1,0 +1,10 @@
+#include "sim/simulation.hh"
+
+namespace dejavu {
+
+Simulation::Simulation(std::uint64_t seed)
+    : _root(seed)
+{
+}
+
+} // namespace dejavu

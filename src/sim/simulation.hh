@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Top-level simulation context: clock + event queue + root RNG, handed
+ * to every component so a whole run is reproducible from one seed.
+ */
+
+#ifndef DEJAVU_SIM_SIMULATION_HH
+#define DEJAVU_SIM_SIMULATION_HH
+
+#include "common/random.hh"
+#include "common/sim_time.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+/**
+ * Owns the event queue and the seed-derived RNG tree.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 42);
+
+    EventQueue &queue() { return _queue; }
+    const EventQueue &queue() const { return _queue; }
+
+    SimTime now() const { return _queue.now(); }
+
+    /** Derive an independent RNG stream for a subsystem. */
+    Rng forkRng() { return _root.fork(); }
+
+    /** Advance simulated time, executing due events. */
+    void runUntil(SimTime limit) { _queue.runUntil(limit); }
+
+    /** Advance by a duration. */
+    void runFor(SimTime duration) { _queue.runUntil(now() + duration); }
+
+  private:
+    EventQueue _queue;
+    Rng _root;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_SIMULATION_HH

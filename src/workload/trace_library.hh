@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Synthetic stand-ins for the paper's production traces.
+ *
+ * The real HotMail / Windows Live Messenger traces (Thereska et al.,
+ * EuroSys'11; Sept 7–13 2009) are not publicly available. The figures
+ * in the paper show: strong diurnal periodicity at 1 h granularity, a
+ * weekend dip (Sept 12–13), trace-specific shapes (Messenger smoother,
+ * HotMail with sharper peaks), and — exercised by Figure 7 — one
+ * workload on day 4 of HotMail that day 1 never saw. The generators
+ * here reproduce those statistics deterministically from a seed.
+ */
+
+#ifndef DEJAVU_WORKLOAD_TRACE_LIBRARY_HH
+#define DEJAVU_WORKLOAD_TRACE_LIBRARY_HH
+
+#include <cstdint>
+
+#include "workload/trace.hh"
+
+namespace dejavu {
+
+/** Options shared by the synthetic generators. */
+struct TraceOptions
+{
+    int numDays = 7;
+    std::uint64_t seed = 2009;
+    /** Multiplicative weekend attenuation (days 5 and 6, 0-based). */
+    double weekendFactor = 0.75;
+    /** Std-dev of per-hour multiplicative jitter. */
+    double jitter = 0.04;
+    /** Day-to-day variation (absent from day 0, the learning day):
+     *  each later day draws an amplitude factor in
+     *  [1 - amplitudeVariation, 1 + amplitudeVariation/2] and shifts
+     *  its diurnal peaks by up to maxPeakShiftHours. This is what
+     *  defeats blind time-based replay (Autopilot, §4.1): the same
+     *  hour of different days no longer carries the same load. */
+    double amplitudeVariation = 0.18;
+    int maxPeakShiftHours = 2;
+};
+
+/**
+ * Messenger-like trace: smooth double-humped diurnal curve (midday and
+ * evening peaks), moderate night floor.
+ */
+LoadTrace makeMessengerTrace(TraceOptions options = {});
+
+/**
+ * HotMail-like trace: sharper morning ramp, high midday plateau, lower
+ * night floor, and an anomalous surge in the evening of day 4 (index
+ * 3) that exceeds anything day 1 exhibits — the workload Figure 7
+ * shows DejaVu failing to classify and bridging at full capacity.
+ */
+LoadTrace makeHotmailTrace(TraceOptions options = {});
+
+/**
+ * Sine-wave load as used by the Figure 1 motivation experiment: the
+ * workload volume completes one full period every @p periodHours,
+ * oscillating in [floor, 1].
+ */
+LoadTrace makeSineTrace(int numHours, double periodHours,
+                        double floor = 0.2, std::uint64_t seed = 7);
+
+} // namespace dejavu
+
+#endif // DEJAVU_WORKLOAD_TRACE_LIBRARY_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the baseline provisioning policies in baselines/.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/autopilot.hh"
+#include "core/tuner.hh"
+#include "baselines/overprovision.hh"
+#include "baselines/reactive_tuning.hh"
+#include "baselines/rightscale.hh"
+#include "counters/profiler.hh"
+#include "services/keyvalue_service.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+class BaselineTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+    Cluster cluster{queue, {}};
+    KeyValueService service{queue, cluster, Rng(3)};
+    ProfilerHost profiler{
+        service,
+        Monitor(service, CounterModel(ServiceKind::KeyValue, Rng(5))),
+        Rng(7)};
+
+    Workload workloadFor(double clients)
+    {
+        return {cassandraUpdateHeavy(), clients};
+    }
+};
+
+TEST_F(BaselineTest, AutopilotReplaysSchedule)
+{
+    Autopilot::Schedule schedule;
+    for (int h = 0; h < 24; ++h)
+        schedule[static_cast<std::size_t>(h)] =
+            {1 + h % 10, InstanceType::Large};
+    Autopilot pilot(service, schedule);
+
+    queue.runUntil(hours(3));  // 03:00
+    pilot.onWorkloadChange(workloadFor(1000.0));
+    EXPECT_EQ(cluster.target().instances, 4);  // schedule[3]
+
+    queue.runUntil(hours(27));  // day 2, 03:00 -> same entry
+    pilot.onWorkloadChange(workloadFor(99999.0));  // load ignored
+    EXPECT_EQ(cluster.target().instances, 4);
+    EXPECT_DOUBLE_EQ(pilot.adaptationTimesSec().back(), 0.0);
+}
+
+TEST_F(BaselineTest, OverprovisionAlwaysMax)
+{
+    OverprovisionPolicy over(service, {10, InstanceType::Large});
+    over.onWorkloadChange(workloadFor(10.0));
+    EXPECT_EQ(cluster.target().instances, 10);
+    over.onWorkloadChange(workloadFor(90000.0));
+    EXPECT_EQ(cluster.target().instances, 10);
+}
+
+TEST_F(BaselineTest, RightScaleGrowsUnderPressure)
+{
+    RightScalePolicy::Config cfg;
+    cfg.resizeCalmTime = minutes(3);
+    RightScalePolicy rs(service, Rng(9), cfg);
+    service.setWorkload(workloadFor(25000.0));  // needs ~7 instances
+    cluster.setActiveInstances(2);
+    queue.runUntil(queue.now() + minutes(1));
+
+    rs.onWorkloadChange(service.workload());
+    const int before = cluster.target().instances;
+    // Feed monitoring ticks past the calm window until stable.
+    for (int tick = 0; tick < 40; ++tick) {
+        queue.runUntil(queue.now() + minutes(1));
+        rs.onMonitorTick(service.sample());
+    }
+    EXPECT_GT(cluster.target().instances, before);
+    // Grown allocation is adequate: utilization below threshold.
+    EXPECT_LT(service.utilization(), cfg.scaleUpThreshold);
+}
+
+TEST_F(BaselineTest, RightScaleShrinksWhenIdle)
+{
+    RightScalePolicy::Config cfg;
+    cfg.resizeCalmTime = minutes(3);
+    RightScalePolicy rs(service, Rng(11), cfg);
+    service.setWorkload(workloadFor(2000.0));
+    cluster.setActiveInstances(8);
+    queue.runUntil(queue.now() + minutes(1));
+    rs.onWorkloadChange(service.workload());
+    for (int tick = 0; tick < 60; ++tick) {
+        queue.runUntil(queue.now() + minutes(1));
+        rs.onMonitorTick(service.sample());
+    }
+    EXPECT_LT(cluster.target().instances, 8);
+}
+
+TEST_F(BaselineTest, RightScaleRespectsCalmTime)
+{
+    RightScalePolicy::Config cfg;
+    cfg.resizeCalmTime = minutes(15);
+    RightScalePolicy rs(service, Rng(13), cfg);
+    service.setWorkload(workloadFor(34000.0));
+    cluster.setActiveInstances(2);
+    queue.runUntil(queue.now() + minutes(1));
+    rs.onWorkloadChange(service.workload());
+
+    // Ticks every minute: resizes may happen at most every 15 min.
+    int resizes = 0;
+    int last = cluster.target().instances;
+    for (int tick = 0; tick < 30; ++tick) {
+        queue.runUntil(queue.now() + minutes(1));
+        rs.onMonitorTick(service.sample());
+        if (cluster.target().instances != last) {
+            ++resizes;
+            last = cluster.target().instances;
+        }
+    }
+    EXPECT_LE(resizes, 3);  // 30 min / 15 min calm + initial
+}
+
+TEST_F(BaselineTest, RightScaleStepSizes)
+{
+    RightScalePolicy::Config cfg;
+    cfg.resizeCalmTime = minutes(1);
+    cfg.growStep = 2;
+    RightScalePolicy rs(service, Rng(15), cfg);
+    service.setWorkload(workloadFor(34000.0));
+    cluster.setActiveInstances(2);
+    queue.runUntil(queue.now() + minutes(1));
+    rs.onWorkloadChange(service.workload());
+    const int before = cluster.target().instances;
+    queue.runUntil(queue.now() + minutes(2));
+    rs.onMonitorTick(service.sample());
+    // One action: +2 instances (the RightScale default).
+    EXPECT_EQ(cluster.target().instances, before + 2);
+}
+
+TEST_F(BaselineTest, RightScaleAdaptationTimeScalesWithCalm)
+{
+    // Multi-step adjustments cost (steps-1) * calm time; a single
+    // resize counts as instantaneous (§4.1).
+    for (SimTime calm : {minutes(3), minutes(15)}) {
+        EventQueue q2;
+        Cluster c2(q2, {});
+        KeyValueService s2(q2, c2, Rng(17));
+        RightScalePolicy::Config cfg;
+        cfg.resizeCalmTime = calm;
+        RightScalePolicy rs(s2, Rng(19), cfg);
+        s2.setWorkload({cassandraUpdateHeavy(), 34000.0});
+        c2.setActiveInstances(2);
+        q2.runUntil(minutes(1));
+        rs.onWorkloadChange(s2.workload());
+        for (int tick = 0; tick < 120; ++tick) {
+            q2.runUntil(q2.now() + minutes(1));
+            rs.onMonitorTick(s2.sample());
+        }
+        ASSERT_FALSE(rs.adaptationTimesSec().empty());
+        // 2 -> 10 requires 4 resizes of +2: 3 calm gaps.
+        EXPECT_NEAR(rs.adaptationTimesSec().front(),
+                    3.0 * toSeconds(calm),
+                    toSeconds(calm) + 61.0);
+    }
+}
+
+TEST_F(BaselineTest, ReactiveTuningDeploysAfterExperiments)
+{
+    ReactiveTuningPolicy reactive(service, profiler, Slo::latency(60.0),
+                                  scaleOutSearchSpace(10));
+    service.setWorkload(workloadFor(25000.0));
+    cluster.setActiveInstances(2);
+    queue.runUntil(queue.now() + minutes(1));
+
+    reactive.onWorkloadChange(service.workload());
+    EXPECT_GT(reactive.totalExperiments(), 1);
+    // Before the tuning time elapses the allocation is stale.
+    EXPECT_EQ(cluster.target().instances, 2);
+    // After the experiments complete the right allocation deploys.
+    queue.runUntil(queue.now() + hours(1));
+    EXPECT_GT(cluster.target().instances, 2);
+    EXPECT_LE(service.hypotheticalLatencyMs(
+                  service.workload(), cluster.target()), 60.0);
+}
+
+TEST_F(BaselineTest, ReactiveTuningAdaptationIsMinutes)
+{
+    ReactiveTuningPolicy reactive(service, profiler, Slo::latency(60.0),
+                                  scaleOutSearchSpace(10));
+    service.setWorkload(workloadFor(25000.0));
+    cluster.setActiveInstances(2);
+    queue.runUntil(queue.now() + minutes(1));
+    reactive.onWorkloadChange(service.workload());
+    ASSERT_FALSE(reactive.adaptationTimesSec().empty());
+    // Minutes, not seconds: each experiment costs 3 simulated min.
+    EXPECT_GE(reactive.adaptationTimesSec().front(), 3 * 60.0);
+}
+
+TEST_F(BaselineTest, ReactiveTuningScalesDownCheaply)
+{
+    ReactiveTuningPolicy reactive(service, profiler, Slo::latency(60.0),
+                                  scaleOutSearchSpace(10));
+    service.setWorkload(workloadFor(3000.0));
+    cluster.setActiveInstances(8);
+    queue.runUntil(queue.now() + minutes(1));
+    reactive.onWorkloadChange(service.workload());
+    queue.runUntil(queue.now() + hours(2));
+    EXPECT_LT(cluster.target().instances, 8);
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the billing meter (sim/billing.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/billing.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(BillingMeter, ConstantRate)
+{
+    BillingMeter m;
+    m.setRate(0, 3.40);
+    EXPECT_NEAR(m.accruedDollars(hours(10)), 34.0, 1e-9);
+}
+
+TEST(BillingMeter, RateChangeMidway)
+{
+    BillingMeter m;
+    m.setRate(0, 1.0);
+    m.setRate(hours(2), 2.0);
+    // 2h at $1 + 3h at $2 = $8.
+    EXPECT_NEAR(m.accruedDollars(hours(5)), 8.0, 1e-9);
+}
+
+TEST(BillingMeter, AverageRate)
+{
+    BillingMeter m;
+    m.setRate(0, 4.0);
+    m.setRate(hours(1), 0.0);
+    EXPECT_NEAR(m.averageRate(hours(2)), 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(m.currentRate(), 0.0);
+}
+
+TEST(BillingMeter, ZeroBeforeFirstRate)
+{
+    BillingMeter m;
+    EXPECT_DOUBLE_EQ(m.accruedDollars(hours(5)), 0.0);
+}
+
+TEST(BillingMeter, SubHourGranularity)
+{
+    BillingMeter m;
+    m.setRate(0, 0.34);
+    // 30 minutes at $0.34/h = $0.17.
+    EXPECT_NEAR(m.accruedDollars(minutes(30)), 0.17, 1e-9);
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for workload-class identification
+ * (core/clustering_engine.hh) — the §3.4 pipeline: profile, select
+ * features, cluster, pick representatives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/clustering_engine.hh"
+#include "counters/counter_model.hh"
+#include "counters/monitor.hh"
+#include "services/keyvalue_service.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+class ClusteringEngineTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+    Cluster cluster{queue, {}};
+    KeyValueService service{queue, cluster, Rng(3)};
+    Monitor monitor{service, CounterModel(ServiceKind::KeyValue, Rng(5))};
+
+    /** Profiling samples at a few distinct load plateaus. */
+    std::vector<MetricSample> plateauSamples(int trialsPerLevel)
+    {
+        std::vector<MetricSample> samples;
+        for (double clients : {3000.0, 3100.0, 15000.0, 15200.0,
+                               33000.0, 33500.0}) {
+            for (int t = 0; t < trialsPerLevel; ++t)
+                samples.push_back(monitor.collect(
+                    {cassandraUpdateHeavy(), clients}));
+        }
+        return samples;
+    }
+};
+
+TEST_F(ClusteringEngineTest, IdentifiesPlateausAsClasses)
+{
+    ClusteringEngine engine(Rng(7));
+    const auto result = engine.identifyClasses(plateauSamples(4));
+    // Three load plateaus -> three (or marginally more) classes.
+    EXPECT_GE(result.clustering.k, 3);
+    EXPECT_LE(result.clustering.k, 4);
+}
+
+TEST_F(ClusteringEngineTest, SamePlateauLandsInSameClass)
+{
+    ClusteringEngine engine(Rng(9));
+    const auto result = engine.identifyClasses(plateauSamples(4));
+    const auto &assign = result.clustering.assignment;
+    // Samples 0..7 are ~3000 clients: all in one class.
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(assign[static_cast<std::size_t>(i)], assign[0]);
+    // Samples 16..23 are ~33000 clients: a different class.
+    EXPECT_NE(assign[16], assign[0]);
+}
+
+TEST_F(ClusteringEngineTest, SchemaSelectsInformativeMetrics)
+{
+    ClusteringEngine engine(Rng(11));
+    const auto result = engine.identifyClasses(plateauSamples(4));
+    // Plateau data is so cleanly separable that CFS can justify a
+    // single metric; on real diurnal traces it picks 5-8.
+    EXPECT_GE(result.schema.size(), 1);
+    // None of the pure-noise decoys may appear in the signature.
+    for (const std::string &name : result.schema.names()) {
+        EXPECT_NE(name, "white_noise");
+        EXPECT_NE(name, "timer_tick");
+        EXPECT_NE(name, "therm_trip");
+        EXPECT_NE(name, "seg_reg_renames");
+    }
+}
+
+TEST_F(ClusteringEngineTest, RepresentativesBelongToTheirClass)
+{
+    ClusteringEngine engine(Rng(13));
+    const auto result = engine.identifyClasses(plateauSamples(4));
+    for (int c = 0; c < result.clustering.k; ++c) {
+        const int rep =
+            result.representatives[static_cast<std::size_t>(c)];
+        ASSERT_GE(rep, 0);
+        EXPECT_EQ(result.clustering.assignment[
+                      static_cast<std::size_t>(rep)], c);
+    }
+}
+
+TEST_F(ClusteringEngineTest, MembersPartitionSamples)
+{
+    ClusteringEngine engine(Rng(15));
+    const auto result = engine.identifyClasses(plateauSamples(3));
+    std::set<int> seen;
+    std::size_t total = 0;
+    for (const auto &cls : result.members) {
+        total += cls.size();
+        for (int idx : cls)
+            EXPECT_TRUE(seen.insert(idx).second)
+                << "sample in two classes";
+    }
+    EXPECT_EQ(total, 18u);
+}
+
+TEST_F(ClusteringEngineTest, LabeledDatasetMatchesAssignment)
+{
+    ClusteringEngine engine(Rng(17));
+    const auto result = engine.identifyClasses(plateauSamples(3));
+    ASSERT_EQ(result.labeledSignatures.size(),
+              static_cast<int>(result.clustering.assignment.size()));
+    for (int i = 0; i < result.labeledSignatures.size(); ++i)
+        EXPECT_EQ(result.labeledSignatures.label(i),
+                  result.clustering.assignment[
+                      static_cast<std::size_t>(i)]);
+}
+
+TEST_F(ClusteringEngineTest, DeterministicGivenSeed)
+{
+    ClusteringEngine a(Rng(21)), b(Rng(21));
+    // Use a fresh monitor stream per engine so inputs are identical.
+    Monitor m1(service, CounterModel(ServiceKind::KeyValue, Rng(23)));
+    Monitor m2(service, CounterModel(ServiceKind::KeyValue, Rng(23)));
+    std::vector<MetricSample> s1, s2;
+    for (double clients : {4000.0, 20000.0, 35000.0}) {
+        for (int t = 0; t < 4; ++t) {
+            s1.push_back(m1.collect({cassandraUpdateHeavy(), clients}));
+            s2.push_back(m2.collect({cassandraUpdateHeavy(), clients}));
+        }
+    }
+    const auto ra = a.identifyClasses(s1);
+    const auto rb = b.identifyClasses(s2);
+    EXPECT_EQ(ra.clustering.k, rb.clustering.k);
+    EXPECT_EQ(ra.clustering.assignment, rb.clustering.assignment);
+    EXPECT_EQ(ra.schema.indices(), rb.schema.indices());
+}
+
+TEST_F(ClusteringEngineTest, RejectsTooFewSamples)
+{
+    ClusteringEngine engine(Rng(25));
+    std::vector<MetricSample> few = {
+        monitor.collect({cassandraUpdateHeavy(), 1000.0})};
+    EXPECT_DEATH(engine.identifyClasses(few), "at least 4");
+}
+
+} // namespace
+} // namespace dejavu

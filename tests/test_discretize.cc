@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for discretization and information measures
+ * (ml/discretize.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/discretize.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(Discretize, EqualWidthBins)
+{
+    // Width 2.5 over [0, 10]: boundaries land in the upper bin, the
+    // maximum is clamped into the last bin.
+    const auto bins =
+        discretizeEqualWidth({0.0, 2.5, 5.0, 7.5, 10.0}, 4);
+    EXPECT_EQ(bins, (std::vector<int>{0, 1, 2, 3, 3}));
+}
+
+TEST(Discretize, ConstantColumnSingleBin)
+{
+    const auto bins = discretizeEqualWidth({3.0, 3.0, 3.0}, 5);
+    EXPECT_EQ(bins, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Discretize, MaxValueInLastBin)
+{
+    const auto bins = discretizeEqualWidth({0.0, 1.0}, 10);
+    EXPECT_EQ(bins.back(), 9);
+}
+
+TEST(Entropy, UniformIsLogN)
+{
+    EXPECT_NEAR(entropy({0, 1, 2, 3}), 2.0, 1e-12);
+    EXPECT_NEAR(entropy({0, 0, 1, 1}), 1.0, 1e-12);
+}
+
+TEST(Entropy, ConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(entropy({5, 5, 5}), 0.0);
+}
+
+TEST(JointEntropy, IndependentAddsUp)
+{
+    // Two independent fair bits: H(X,Y) = 2.
+    std::vector<int> x = {0, 0, 1, 1};
+    std::vector<int> y = {0, 1, 0, 1};
+    EXPECT_NEAR(jointEntropy(x, y), 2.0, 1e-12);
+}
+
+TEST(JointEntropy, PerfectlyDependent)
+{
+    std::vector<int> x = {0, 1, 0, 1};
+    EXPECT_NEAR(jointEntropy(x, x), entropy(x), 1e-12);
+}
+
+TEST(SymmetricUncertainty, PerfectCorrelationIsOne)
+{
+    std::vector<int> x = {0, 1, 2, 0, 1, 2};
+    EXPECT_NEAR(symmetricUncertainty(x, x), 1.0, 1e-12);
+}
+
+TEST(SymmetricUncertainty, IndependenceIsZero)
+{
+    std::vector<int> x = {0, 0, 1, 1};
+    std::vector<int> y = {0, 1, 0, 1};
+    EXPECT_NEAR(symmetricUncertainty(x, y), 0.0, 1e-12);
+}
+
+TEST(SymmetricUncertainty, SymmetricInArguments)
+{
+    std::vector<int> x = {0, 0, 1, 1, 2, 2};
+    std::vector<int> y = {0, 1, 1, 1, 2, 0};
+    EXPECT_DOUBLE_EQ(symmetricUncertainty(x, y),
+                     symmetricUncertainty(y, x));
+}
+
+TEST(SymmetricUncertainty, BothConstantIsZero)
+{
+    std::vector<int> x = {1, 1, 1};
+    EXPECT_DOUBLE_EQ(symmetricUncertainty(x, x), 0.0);
+}
+
+TEST(SymmetricUncertainty, BoundedUnitInterval)
+{
+    std::vector<int> x = {0, 1, 2, 3, 0, 1, 2, 3};
+    std::vector<int> y = {0, 0, 1, 1, 2, 2, 3, 3};
+    const double su = symmetricUncertainty(x, y);
+    EXPECT_GE(su, 0.0);
+    EXPECT_LE(su, 1.0);
+}
+
+TEST(DiscretizeDeath, BadArguments)
+{
+    EXPECT_DEATH(discretizeEqualWidth({}, 4), "empty");
+    EXPECT_DEATH(discretizeEqualWidth({1.0}, 0), "bin");
+    EXPECT_DEATH(entropy({}), "empty");
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Integration tests: the full case-study pipeline (scenario ->
+ * learning -> reuse) reproduces the paper's headline behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "experiments/scenario.hh"
+
+namespace dejavu {
+namespace {
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        _before = logLevel();
+        setLogLevel(LogLevel::Silent);
+    }
+    void TearDown() override { setLogLevel(_before); }
+
+  private:
+    LogLevel _before = LogLevel::Info;
+};
+
+using IntegrationTest = QuietLogs;
+
+TEST_F(IntegrationTest, CassandraMessengerEndToEnd)
+{
+    ScenarioOptions opt;
+    opt.seed = 42;
+    opt.traceName = "messenger";
+    auto stack = makeCassandraScaleOut(opt);
+    const auto report = stack->learnDayOne();
+
+    // A handful of classes (paper: 4 for Messenger).
+    EXPECT_GE(report.classes, 3);
+    EXPECT_LE(report.classes, 6);
+
+    DejaVuPolicy policy(*stack->service, *stack->controller);
+    const ExperimentResult r = stack->experiment->run(policy);
+
+    // Headline claims (§4.1 / §4.5).
+    EXPECT_GT(r.savingsPercent, 35.0);   // paper: ~55% scale-out
+    EXPECT_LT(r.sloViolationFraction, 0.05);
+    EXPECT_NEAR(r.adaptationSec.mean(), 10.0, 2.0);
+    EXPECT_GT(stack->controller->repository().hitRate(), 0.9);
+}
+
+TEST_F(IntegrationTest, CassandraHotmailUnknownWorkloadDay4)
+{
+    ScenarioOptions opt;
+    opt.seed = 42;
+    opt.traceName = "hotmail";
+    auto stack = makeCassandraScaleOut(opt);
+    stack->learnDayOne();
+    DejaVuPolicy policy(*stack->service, *stack->controller);
+    const ExperimentResult r = stack->experiment->run(policy);
+
+    // The day-4 flash crowd is unclassifiable -> full capacity
+    // (§4.1, Figure 7): at least one such event, but rare.
+    EXPECT_GE(policy.unknownWorkloadEvents(), 1);
+    EXPECT_LE(policy.unknownWorkloadEvents(), 5);
+    EXPECT_GT(r.savingsPercent, 40.0);   // paper: ~60%
+    EXPECT_LT(r.sloViolationFraction, 0.05);
+}
+
+TEST_F(IntegrationTest, SpecWebScaleUpMeetsQos)
+{
+    ScenarioOptions opt;
+    opt.seed = 42;
+    opt.traceName = "hotmail";
+    auto stack = makeSpecWebScaleUp(opt);
+    stack->learnDayOne();
+    DejaVuPolicy policy(*stack->service, *stack->controller);
+    const ExperimentResult r = stack->experiment->run(policy);
+
+    // §4.2: QoS stays above the 95% floor almost always and savings
+    // land in the 35-45% band (two allocation choices only).
+    EXPECT_GT(r.meanQosPercent, 95.0);
+    EXPECT_LT(r.sloViolationFraction, 0.08);
+    EXPECT_GT(r.savingsPercent, 20.0);
+    EXPECT_LT(r.savingsPercent, 55.0);
+}
+
+TEST_F(IntegrationTest, ScaleOutSavesMoreThanScaleUp)
+{
+    // §4.5: finer allocation granularity (1..10 instances vs L/XL)
+    // yields higher savings.
+    ScenarioOptions opt;
+    opt.seed = 42;
+    opt.traceName = "hotmail";
+    auto scaleOut = makeCassandraScaleOut(opt);
+    scaleOut->learnDayOne();
+    DejaVuPolicy outPolicy(*scaleOut->service, *scaleOut->controller);
+    const auto outResult = scaleOut->experiment->run(outPolicy);
+
+    auto scaleUp = makeSpecWebScaleUp(opt);
+    scaleUp->learnDayOne();
+    DejaVuPolicy upPolicy(*scaleUp->service, *scaleUp->controller);
+    const auto upResult = scaleUp->experiment->run(upPolicy);
+
+    EXPECT_GT(outResult.savingsPercent, upResult.savingsPercent);
+}
+
+TEST_F(IntegrationTest, DeterministicAcrossRuns)
+{
+    ScenarioOptions opt;
+    opt.seed = 1234;
+    auto run = [&] {
+        auto stack = makeCassandraScaleOut(opt);
+        stack->learnDayOne();
+        DejaVuPolicy policy(*stack->service, *stack->controller);
+        return stack->experiment->run(policy);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_DOUBLE_EQ(a.costDollars, b.costDollars);
+    EXPECT_DOUBLE_EQ(a.sloViolationFraction, b.sloViolationFraction);
+    EXPECT_EQ(a.instances.size(), b.instances.size());
+}
+
+TEST_F(IntegrationTest, InterferenceDetectionProtectsSlo)
+{
+    // Figure 11: with detection on, the SLO holds under 10-20%
+    // co-located load; with it off, violations dominate.
+    auto runWith = [](bool detection) {
+        ScenarioOptions opt;
+        opt.seed = 42;
+        opt.traceName = "messenger";
+        opt.interference = true;
+        opt.interferenceDetection = detection;
+        auto stack = makeCassandraScaleOut(opt);
+        stack->injector->start();
+        stack->learnDayOne();
+        DejaVuPolicy policy(*stack->service, *stack->controller);
+        return stack->experiment->run(policy);
+    };
+    const auto on = runWith(true);
+    const auto off = runWith(false);
+    EXPECT_LT(on.sloViolationFraction, 0.2);
+    EXPECT_GT(off.sloViolationFraction,
+              2.0 * on.sloViolationFraction);
+}
+
+TEST_F(IntegrationTest, InterferenceCostsExtraResources)
+{
+    auto runWith = [](bool interference) {
+        ScenarioOptions opt;
+        opt.seed = 42;
+        opt.traceName = "messenger";
+        opt.interference = interference;
+        auto stack = makeCassandraScaleOut(opt);
+        if (stack->injector)
+            stack->injector->start();
+        stack->learnDayOne();
+        DejaVuPolicy policy(*stack->service, *stack->controller);
+        return stack->experiment->run(policy);
+    };
+    const auto clean = runWith(false);
+    const auto noisy = runWith(true);
+    // Figure 11(b): DejaVu provisions more under interference.
+    EXPECT_GT(noisy.costDollars, clean.costDollars);
+}
+
+TEST_F(IntegrationTest, AdaptiveAllocationSavesEnergy)
+{
+    // §1: consolidating onto fewer instances lets the rest power
+    // down; the energy meter must show savings alongside dollars.
+    ScenarioOptions opt;
+    opt.seed = 42;
+    opt.traceName = "messenger";
+    auto stack = makeCassandraScaleOut(opt);
+    stack->learnDayOne();
+    DejaVuPolicy policy(*stack->service, *stack->controller);
+    const auto r = stack->experiment->run(policy);
+    EXPECT_GT(r.energyKwh, 0.0);
+    EXPECT_GT(r.maxEnergyKwh, r.energyKwh);
+    EXPECT_GT(r.energySavingsPercent, 15.0);
+    // Dollar savings exceed energy savings: busy instances still
+    // draw dynamic power, while stopped ones cost nothing.
+    EXPECT_GT(r.savingsPercent, r.energySavingsPercent - 10.0);
+}
+
+TEST_F(IntegrationTest, ExperimentSeriesAreComplete)
+{
+    ScenarioOptions opt;
+    opt.seed = 9;
+    opt.days = 3;
+    auto stack = makeCassandraScaleOut(opt);
+    stack->learnDayOne();
+    DejaVuPolicy policy(*stack->service, *stack->controller);
+    const auto r = stack->experiment->run(policy);
+    EXPECT_EQ(r.latencyMs.size(), r.instances.size());
+    EXPECT_EQ(r.latencyMs.size(), r.loadFraction.size());
+    EXPECT_GT(r.latencyMs.size(), 3u * 24 * 50);  // ~60 ticks/hour
+    // Time stamps are monotone.
+    for (std::size_t i = 1; i < r.latencyMs.size(); ++i)
+        EXPECT_GE(r.latencyMs[i].timeHours,
+                  r.latencyMs[i - 1].timeHours);
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the deployment-oriented extensions: the multi-service
+ * fleet with a shared profiling host (Figure 2 / §3.3 isolation),
+ * the energy model (§1's consolidation argument), and repository
+ * persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/controller.hh"
+#include "core/repository.hh"
+#include "counters/profiler.hh"
+#include "experiments/fleet.hh"
+#include "services/keyvalue_service.hh"
+#include "sim/cluster.hh"
+#include "sim/energy.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+// --------------------------------------------------------------------
+// Energy model and meter.
+// --------------------------------------------------------------------
+
+TEST(EnergyModel, IdleFloorAndDynamicRange)
+{
+    EnergyModel model;
+    const ResourceAllocation one{1, InstanceType::Large};
+    const double idle = model.watts(one, 0.0);
+    const double busy = model.watts(one, 1.0);
+    EXPECT_DOUBLE_EQ(idle, 120.0);
+    EXPECT_DOUBLE_EQ(busy, 230.0);
+}
+
+TEST(EnergyModel, ScalesWithAllocation)
+{
+    EnergyModel model;
+    const ResourceAllocation one{1, InstanceType::Large};
+    const ResourceAllocation five{5, InstanceType::Large};
+    const ResourceAllocation xl{1, InstanceType::XLarge};
+    EXPECT_DOUBLE_EQ(model.watts(five, 0.5),
+                     5.0 * model.watts(one, 0.5));
+    // An XL draws as much as two larges (two large-equivalents).
+    EXPECT_DOUBLE_EQ(model.watts(xl, 0.5), 2.0 * model.watts(one, 0.5));
+}
+
+TEST(EnergyModel, UtilizationClamped)
+{
+    EnergyModel model;
+    const ResourceAllocation a{2, InstanceType::Large};
+    EXPECT_DOUBLE_EQ(model.watts(a, 1.7), model.watts(a, 1.0));
+    EXPECT_DOUBLE_EQ(model.watts(a, -0.3), model.watts(a, 0.0));
+}
+
+TEST(EnergyMeter, IntegratesToKwh)
+{
+    EnergyMeter meter;
+    meter.update(0, 1000.0);       // 1 kW
+    EXPECT_NEAR(meter.kiloWattHours(hours(2)), 2.0, 1e-9);
+    meter.update(hours(2), 0.0);
+    EXPECT_NEAR(meter.kiloWattHours(hours(5)), 2.0, 1e-9);
+}
+
+TEST(EnergyMeter, ConsolidationSavesEnergy)
+{
+    // Fewer instances at higher utilization beat many idle ones —
+    // the §1 argument for adaptive allocation.
+    EnergyModel model;
+    const double consolidated =
+        model.watts({3, InstanceType::Large}, 0.8);
+    const double sprawled = model.watts({10, InstanceType::Large}, 0.24);
+    EXPECT_LT(consolidated, sprawled);
+}
+
+// --------------------------------------------------------------------
+// Repository persistence.
+// --------------------------------------------------------------------
+
+TEST(RepositoryPersistence, RoundTrip)
+{
+    Repository repo;
+    repo.store({0, 0}, {3, InstanceType::Large});
+    repo.store({0, 2}, {6, InstanceType::Large});
+    repo.store({1, 0}, {10, InstanceType::XLarge});
+    std::stringstream buffer;
+    repo.save(buffer);
+    Repository loaded = Repository::load(buffer);
+    EXPECT_EQ(loaded.entries(), 3u);
+    EXPECT_EQ(loaded.peek({0, 2})->instances, 6);
+    EXPECT_EQ(loaded.peek({1, 0})->type, InstanceType::XLarge);
+}
+
+TEST(RepositoryPersistence, LoadSkipsHeaderAndComments)
+{
+    std::istringstream in(
+        "class,bucket,instances,type\n"
+        "# cached allocations\n"
+        "2,1,4,m1.large\n");
+    Repository repo = Repository::load(in);
+    EXPECT_EQ(repo.entries(), 1u);
+    EXPECT_EQ(repo.peek({2, 1})->instances, 4);
+}
+
+TEST(RepositoryPersistenceDeath, RejectsMalformed)
+{
+    std::istringstream bad("1,2,3\n");
+    EXPECT_EXIT(Repository::load(bad), ::testing::ExitedWithCode(1),
+                "expected");
+    std::istringstream nan("a,b,c,m1.large\n");
+    EXPECT_EXIT(Repository::load(nan), ::testing::ExitedWithCode(1),
+                "unparsable");
+    std::istringstream range("0,0,-2,m1.large\n");
+    EXPECT_EXIT(Repository::load(range), ::testing::ExitedWithCode(1),
+                "out-of-range");
+}
+
+// --------------------------------------------------------------------
+// Multi-service fleet with a shared profiling host.
+// --------------------------------------------------------------------
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+
+    struct ServiceStack
+    {
+        std::unique_ptr<Cluster> cluster;
+        std::unique_ptr<KeyValueService> service;
+        std::unique_ptr<ProfilerHost> profiler;
+        std::unique_ptr<DejaVuController> controller;
+    };
+
+    ServiceStack makeStack(std::uint64_t seed)
+    {
+        ServiceStack s;
+        s.cluster = std::make_unique<Cluster>(queue, Cluster::Config{});
+        s.service = std::make_unique<KeyValueService>(
+            queue, *s.cluster, Rng(seed));
+        s.profiler = std::make_unique<ProfilerHost>(
+            *s.service,
+            Monitor(*s.service,
+                    CounterModel(ServiceKind::KeyValue, Rng(seed + 1))),
+            Rng(seed + 2));
+        DejaVuController::Config cfg;
+        cfg.slo = Slo::latency(60.0);
+        cfg.searchSpace = scaleOutSearchSpace(10);
+        s.controller = std::make_unique<DejaVuController>(
+            *s.service, *s.profiler, cfg, Rng(seed + 3));
+
+        std::vector<Workload> learning;
+        for (double clients : {3000.0, 3400.0, 12000.0, 12500.0,
+                               25000.0, 26000.0})
+            learning.push_back({cassandraUpdateHeavy(), clients});
+        s.controller->learn(learning);
+        return s;
+    }
+};
+
+TEST_F(FleetTest, SchedulerSerializesSlots)
+{
+    ProfilingSlotScheduler sched(queue, seconds(10));
+    const SimTime a = sched.acquire();
+    const SimTime b = sched.acquire();
+    const SimTime c = sched.acquire();
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, seconds(10));
+    EXPECT_EQ(c, seconds(20));
+    EXPECT_EQ(sched.slotsGranted(), 3u);
+}
+
+TEST_F(FleetTest, SchedulerFreesUpOverTime)
+{
+    ProfilingSlotScheduler sched(queue, seconds(10));
+    (void)sched.acquire();
+    queue.runUntil(minutes(5));
+    // Long idle: the next slot starts immediately.
+    EXPECT_EQ(sched.acquire(), minutes(5));
+}
+
+TEST_F(FleetTest, ConcurrentRequestsQueueForTheProfiler)
+{
+    auto s1 = makeStack(100);
+    auto s2 = makeStack(200);
+    auto s3 = makeStack(300);
+    DejaVuFleet fleet(queue, seconds(10));
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+    fleet.addService("C", *s3.service, *s3.controller);
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    fleet.requestAdaptation("C", w);
+    queue.runUntil(minutes(5));
+
+    ASSERT_EQ(fleet.log().size(), 3u);
+    // First service profiles immediately; the third waits two slots.
+    EXPECT_EQ(fleet.log()[0].queueDelay(), 0);
+    EXPECT_EQ(fleet.log()[1].queueDelay(), seconds(10));
+    EXPECT_EQ(fleet.log()[2].queueDelay(), seconds(20));
+    EXPECT_EQ(fleet.maxQueueDelay(), seconds(20));
+    // Every service still classified and deployed.
+    for (const auto &entry : fleet.log())
+        EXPECT_EQ(entry.decision.kind,
+                  DejaVuController::DecisionKind::CacheHit);
+}
+
+TEST_F(FleetTest, SpacedRequestsPayNoQueueing)
+{
+    auto s1 = makeStack(400);
+    auto s2 = makeStack(500);
+    DejaVuFleet fleet(queue, seconds(10));
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+
+    const Workload w{cassandraUpdateHeavy(), 3100.0};
+    fleet.requestAdaptation("A", w);
+    queue.runUntil(minutes(1));
+    fleet.requestAdaptation("B", w);
+    queue.runUntil(minutes(2));
+
+    ASSERT_EQ(fleet.log().size(), 2u);
+    EXPECT_EQ(fleet.log()[1].queueDelay(), 0);
+}
+
+TEST_F(FleetTest, TotalAdaptationIncludesQueueDelay)
+{
+    auto s1 = makeStack(600);
+    auto s2 = makeStack(700);
+    DejaVuFleet fleet(queue, seconds(10));
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+    const Workload w{cassandraUpdateHeavy(), 25500.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    queue.runUntil(minutes(5));
+    ASSERT_EQ(fleet.log().size(), 2u);
+    EXPECT_GT(fleet.log()[1].totalAdaptation(),
+              fleet.log()[1].decision.adaptationTime);
+}
+
+TEST_F(FleetTest, DuplicateNamesRejected)
+{
+    auto s1 = makeStack(800);
+    DejaVuFleet fleet(queue);
+    fleet.addService("A", *s1.service, *s1.controller);
+    EXPECT_DEATH(fleet.addService("A", *s1.service, *s1.controller),
+                 "duplicate");
+}
+
+TEST_F(FleetTest, UnknownServiceIsFatal)
+{
+    DejaVuFleet fleet(queue);
+    EXPECT_EXIT(fleet.requestAdaptation(
+                    "ghost", {cassandraUpdateHeavy(), 1.0}),
+                ::testing::ExitedWithCode(1), "unknown service");
+}
+
+} // namespace
+} // namespace dejavu

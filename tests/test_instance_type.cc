@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for instance types and allocations (sim/instance_type.hh,
+ * sim/allocation.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/allocation.hh"
+#include "sim/instance_type.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(InstanceType, PaperPricing)
+{
+    // §4.5: "$0.34/hour for a large instance on EC2 and $0.68/hour
+    // for extra large as of July 2011".
+    EXPECT_DOUBLE_EQ(instanceSpec(InstanceType::Large).pricePerHour,
+                     0.34);
+    EXPECT_DOUBLE_EQ(instanceSpec(InstanceType::XLarge).pricePerHour,
+                     0.68);
+}
+
+TEST(InstanceType, CapacityOrdering)
+{
+    EXPECT_LT(instanceSpec(InstanceType::Small).computeUnits,
+              instanceSpec(InstanceType::Large).computeUnits);
+    EXPECT_LT(instanceSpec(InstanceType::Large).computeUnits,
+              instanceSpec(InstanceType::XLarge).computeUnits);
+    // XL = 2x L in both ECU and price (cost-neutral per ECU).
+    EXPECT_DOUBLE_EQ(instanceSpec(InstanceType::XLarge).computeUnits,
+                     2 * instanceSpec(InstanceType::Large).computeUnits);
+}
+
+TEST(InstanceType, ShortNames)
+{
+    EXPECT_EQ(shortName(InstanceType::Small), "S");
+    EXPECT_EQ(shortName(InstanceType::Large), "L");
+    EXPECT_EQ(shortName(InstanceType::XLarge), "XL");
+}
+
+TEST(InstanceType, ParseAcceptsVariants)
+{
+    EXPECT_EQ(parseInstanceType("large"), InstanceType::Large);
+    EXPECT_EQ(parseInstanceType("LARGE"), InstanceType::Large);
+    EXPECT_EQ(parseInstanceType("m1.xlarge"), InstanceType::XLarge);
+    EXPECT_EQ(parseInstanceType("XL"), InstanceType::XLarge);
+    EXPECT_EQ(parseInstanceType("s"), InstanceType::Small);
+}
+
+TEST(InstanceTypeDeath, ParseRejectsUnknown)
+{
+    EXPECT_EXIT(parseInstanceType("quantum"),
+                ::testing::ExitedWithCode(1), "unknown instance type");
+}
+
+TEST(Allocation, ComputeUnitsAndCost)
+{
+    ResourceAllocation a{4, InstanceType::Large};
+    EXPECT_DOUBLE_EQ(a.computeUnits(), 16.0);
+    EXPECT_DOUBLE_EQ(a.dollarsPerHour(), 4 * 0.34);
+    EXPECT_EQ(a.toString(), "4xL");
+}
+
+TEST(Allocation, Equality)
+{
+    ResourceAllocation a{2, InstanceType::Large};
+    ResourceAllocation b{2, InstanceType::Large};
+    ResourceAllocation c{2, InstanceType::XLarge};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Allocation, CapacityOrdering)
+{
+    ResourceAllocation small{1, InstanceType::Large};
+    ResourceAllocation big{3, InstanceType::Large};
+    ResourceAllocation xl{2, InstanceType::XLarge};  // 16 ECU
+    EXPECT_TRUE(lessCapacity(small, big));
+    EXPECT_FALSE(lessCapacity(big, small));
+    EXPECT_TRUE(lessCapacity(big, xl));  // 12 < 16
+}
+
+TEST(Allocation, TieBrokenByCost)
+{
+    // 2xXL and 4xL have equal ECU (16) and equal cost here; ordering
+    // must at least be consistent (not both less-than).
+    ResourceAllocation a{4, InstanceType::Large};
+    ResourceAllocation b{2, InstanceType::XLarge};
+    EXPECT_FALSE(lessCapacity(a, b) && lessCapacity(b, a));
+}
+
+} // namespace
+} // namespace dejavu

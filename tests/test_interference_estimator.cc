@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for interference index estimation
+ * (core/interference_estimator.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/interference_estimator.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(InterferenceEstimator, LatencyIndexConvention)
+{
+    // §3.6: production / isolation; > 1 means production is worse.
+    EXPECT_DOUBLE_EQ(InterferenceEstimator::latencyIndex(90.0, 60.0),
+                     1.5);
+    EXPECT_DOUBLE_EQ(InterferenceEstimator::latencyIndex(60.0, 60.0),
+                     1.0);
+}
+
+TEST(InterferenceEstimator, QosIndexInverted)
+{
+    // Lower production QoS = more interference = bigger index.
+    EXPECT_GT(InterferenceEstimator::qosIndex(90.0, 99.0), 1.0);
+    EXPECT_DOUBLE_EQ(InterferenceEstimator::qosIndex(99.0, 99.0), 1.0);
+}
+
+TEST(InterferenceEstimator, BucketZeroWithinTolerance)
+{
+    InterferenceEstimator est;
+    EXPECT_EQ(est.bucketOf(1.0), 0);
+    EXPECT_EQ(est.bucketOf(1.1), 0);   // tolerance 0.2
+    EXPECT_EQ(est.bucketOf(0.9), 0);   // faster than isolation
+}
+
+TEST(InterferenceEstimator, BucketsQuantizeIndex)
+{
+    InterferenceEstimator est;  // tolerance .2, width .25
+    EXPECT_EQ(est.bucketOf(1.25), 1);
+    EXPECT_EQ(est.bucketOf(1.44), 1);
+    EXPECT_EQ(est.bucketOf(1.50), 2);
+    EXPECT_EQ(est.bucketOf(2.00), 4);
+}
+
+TEST(InterferenceEstimator, ExtremeIndicesShareTopBucket)
+{
+    // Deep saturation produces numerically unbounded ratios; they
+    // must not each mint a fresh repository key.
+    InterferenceEstimator est;
+    const int top = est.config().maxBucket;
+    EXPECT_EQ(est.bucketOf(10.0), top);
+    EXPECT_EQ(est.bucketOf(50.0), top);
+    EXPECT_LE(est.bucketOf(3.0), top);
+}
+
+TEST(InterferenceEstimator, BucketFloorsAreMonotone)
+{
+    InterferenceEstimator est;
+    double prev = 0.0;
+    for (int b = 0; b < 6; ++b) {
+        EXPECT_GT(est.bucketFloor(b), prev - 1e-12);
+        prev = est.bucketFloor(b);
+    }
+    EXPECT_DOUBLE_EQ(est.bucketFloor(0), 1.0);
+}
+
+TEST(InterferenceEstimator, BucketOfFloorIsThatBucket)
+{
+    InterferenceEstimator est;
+    for (int b = 1; b < 5; ++b)
+        EXPECT_EQ(est.bucketOf(est.bucketFloor(b) + 1e-9), b);
+}
+
+TEST(InterferenceEstimator, CapacityLossGrowsWithBucket)
+{
+    InterferenceEstimator est;
+    EXPECT_DOUBLE_EQ(est.assumedCapacityLoss(0), 0.0);
+    double prev = 0.0;
+    for (int b = 1; b < 6; ++b) {
+        const double loss = est.assumedCapacityLoss(b);
+        EXPECT_GT(loss, prev);
+        EXPECT_LE(loss, 0.6);  // clamped
+        prev = loss;
+    }
+}
+
+TEST(InterferenceEstimator, ConservativePercentile)
+{
+    InterferenceEstimator::Config cfg;
+    cfg.percentile = 0.95;
+    InterferenceEstimator est(cfg);
+    std::vector<double> probes;
+    for (int i = 1; i <= 100; ++i)
+        probes.push_back(1.0 + i * 0.01);
+    const double idx = est.conservativeIndex(probes);
+    // The 95th percentile sits near the top of the distribution:
+    // "chooses an instance at which interference is higher than in
+    // X% of the probed instances" (§3.6).
+    EXPECT_GT(idx, 1.90);
+    EXPECT_LT(idx, 2.00);
+}
+
+TEST(InterferenceEstimator, ConservativeSingleProbe)
+{
+    InterferenceEstimator est;
+    EXPECT_DOUBLE_EQ(est.conservativeIndex({1.4}), 1.4);
+}
+
+TEST(InterferenceEstimatorDeath, BadInputs)
+{
+    InterferenceEstimator est;
+    EXPECT_DEATH(est.bucketOf(0.0), "positive");
+    EXPECT_DEATH(InterferenceEstimator::latencyIndex(-1.0, 1.0),
+                 "positive");
+    EXPECT_DEATH(est.conservativeIndex({}), "probes");
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for interference injection (sim/interference.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+#include "sim/interference.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(InterferenceInjector, AppliesConfiguredLevels)
+{
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    cfg.levels = {0.10, 0.20};
+    cfg.contentionMultiplier = 1.0;  // raw occupancy for this test
+    InterferenceInjector inj(q, c, cfg, Rng(5));
+    inj.start();
+    for (int i = 0; i < c.poolSize(); ++i) {
+        const double level = c.vm(i).interference();
+        EXPECT_TRUE(level == 0.10 || level == 0.20)
+            << "vm " << i << " has " << level;
+    }
+}
+
+TEST(InterferenceInjector, ContentionAmplifiesOccupancy)
+{
+    // A 10-20% co-located occupancy costs the victim more than its
+    // raw CPU share (cache/memory-bandwidth contention, [44]).
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    cfg.levels = {0.20};
+    cfg.contentionMultiplier = 1.8;
+    InterferenceInjector inj(q, c, cfg, Rng(5));
+    inj.applyOnce();
+    for (int i = 0; i < c.poolSize(); ++i)
+        EXPECT_NEAR(c.vm(i).interference(), 0.36, 1e-12);
+}
+
+TEST(InterferenceInjector, PeriodicReassignmentChangesLevels)
+{
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    cfg.levels = {0.10, 0.20};
+    cfg.period = hours(1);
+    InterferenceInjector inj(q, c, cfg, Rng(7));
+    inj.start();
+    std::vector<double> initial;
+    for (int i = 0; i < c.poolSize(); ++i)
+        initial.push_back(c.vm(i).interference());
+    q.runUntil(hours(3) + minutes(1));
+    int changed = 0;
+    for (int i = 0; i < c.poolSize(); ++i)
+        if (c.vm(i).interference() !=
+            initial[static_cast<std::size_t>(i)])
+            ++changed;
+    EXPECT_GT(changed, 0);  // with 10 VMs and 3 rounds, some flip
+}
+
+TEST(InterferenceInjector, StopClearsInterference)
+{
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    InterferenceInjector inj(q, c, cfg, Rng(9));
+    inj.start();
+    inj.stop();
+    for (int i = 0; i < c.poolSize(); ++i)
+        EXPECT_DOUBLE_EQ(c.vm(i).interference(), 0.0);
+    // Pending reassignment events must be inert after stop.
+    q.runUntil(hours(5));
+    for (int i = 0; i < c.poolSize(); ++i)
+        EXPECT_DOUBLE_EQ(c.vm(i).interference(), 0.0);
+}
+
+TEST(InterferenceInjector, DisabledInjectorDoesNothing)
+{
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    cfg.enabled = false;
+    InterferenceInjector inj(q, c, cfg, Rng(11));
+    inj.start();
+    q.runUntil(hours(3));
+    for (int i = 0; i < c.poolSize(); ++i)
+        EXPECT_DOUBLE_EQ(c.vm(i).interference(), 0.0);
+}
+
+TEST(InterferenceInjector, SingleLevelAppliesUniformly)
+{
+    EventQueue q;
+    Cluster c(q, {});
+    InterferenceInjector::Config cfg;
+    cfg.levels = {0.15};
+    cfg.contentionMultiplier = 1.0;
+    InterferenceInjector inj(q, c, cfg, Rng(13));
+    inj.applyOnce();
+    for (int i = 0; i < c.poolSize(); ++i)
+        EXPECT_DOUBLE_EQ(c.vm(i).interference(), 0.15);
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for logging (common/logging.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, FoldConcatenatesMixedTypes)
+{
+    EXPECT_EQ(detail::fold("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::fold(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(DEJAVU_PANIC("broken invariant ", 7),
+                 "broken invariant 7");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(DEJAVU_ASSERT(1 == 2, "math works"),
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    DEJAVU_ASSERT(2 + 2 == 4, "never fires");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("user error: ", "bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace dejavu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for Gaussian naive Bayes (ml/naive_bayes.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "ml/naive_bayes.hh"
+
+namespace dejavu {
+namespace {
+
+Dataset
+gaussianClasses(int perClass, std::uint64_t seed)
+{
+    Dataset d({"x", "y"});
+    Rng rng(seed);
+    for (int i = 0; i < perClass; ++i) {
+        d.add({rng.gaussian(-2.0, 0.5), rng.gaussian(0.0, 0.5)}, 0);
+        d.add({rng.gaussian(2.0, 0.5), rng.gaussian(1.0, 0.5)}, 1);
+    }
+    return d;
+}
+
+TEST(NaiveBayes, SeparatesGaussianClasses)
+{
+    NaiveBayes nb;
+    nb.train(gaussianClasses(200, 3));
+    EXPECT_EQ(nb.predict({-2.0, 0.0}).label, 0);
+    EXPECT_EQ(nb.predict({2.0, 1.0}).label, 1);
+}
+
+TEST(NaiveBayes, PosteriorsSumToOne)
+{
+    NaiveBayes nb;
+    nb.train(gaussianClasses(100, 5));
+    const auto post = nb.posteriors({0.3, 0.5});
+    double sum = 0.0;
+    for (double p : post) {
+        EXPECT_GE(p, 0.0);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NaiveBayes, ConfidenceHighAtClassCenters)
+{
+    NaiveBayes nb;
+    nb.train(gaussianClasses(200, 7));
+    EXPECT_GT(nb.predict({-2.0, 0.0}).confidence, 0.95);
+}
+
+TEST(NaiveBayes, ConfidenceLowerAtBoundary)
+{
+    NaiveBayes nb;
+    nb.train(gaussianClasses(200, 9));
+    const double center = nb.predict({-2.0, 0.0}).confidence;
+    const double boundary = nb.predict({0.0, 0.5}).confidence;
+    EXPECT_LT(boundary, center);
+}
+
+TEST(NaiveBayes, HandlesSingleInstanceClass)
+{
+    Dataset d({"x"});
+    d.add({0.0}, 0);
+    d.add({0.1}, 0);
+    d.add({10.0}, 1);  // one-member class: variance falls back
+    NaiveBayes nb;
+    nb.train(d);
+    EXPECT_EQ(nb.predict({10.0}).label, 1);
+    EXPECT_EQ(nb.predict({0.05}).label, 0);
+}
+
+TEST(NaiveBayes, PriorsMatter)
+{
+    // 9:1 class imbalance shifts ambiguous predictions to the
+    // majority class.
+    Dataset d({"x"});
+    Rng rng(11);
+    for (int i = 0; i < 90; ++i)
+        d.add({rng.gaussian(0.0, 1.0)}, 0);
+    for (int i = 0; i < 10; ++i)
+        d.add({rng.gaussian(1.0, 1.0)}, 1);
+    NaiveBayes nb;
+    nb.train(d);
+    EXPECT_EQ(nb.predict({0.5}).label, 0);
+}
+
+TEST(NaiveBayesDeath, PredictBeforeTrain)
+{
+    NaiveBayes nb;
+    EXPECT_DEATH(nb.predict({1.0}), "not trained");
+}
+
+TEST(NaiveBayesDeath, WidthMismatch)
+{
+    NaiveBayes nb;
+    nb.train(gaussianClasses(10, 13));
+    EXPECT_DEATH(nb.predict({1.0}), "width mismatch");
+}
+
+} // namespace
+} // namespace dejavu

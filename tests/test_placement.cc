@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for VM-to-PM placement and placement-correlated interference
+ * (sim/placement.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+#include "sim/placement.hh"
+
+namespace dejavu {
+namespace {
+
+class PlacementTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+    Cluster cluster{queue, {}};  // pool of 10 VMs
+};
+
+TEST_F(PlacementTest, PacksVmsOntoMachines)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    EXPECT_EQ(placement.machines(), 5);
+    EXPECT_EQ(placement.machineOf(0), 0);
+    EXPECT_EQ(placement.machineOf(1), 0);
+    EXPECT_EQ(placement.machineOf(2), 1);
+    EXPECT_EQ(placement.machineOf(9), 4);
+}
+
+TEST_F(PlacementTest, UnevenPoolGetsExtraMachine)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 3});
+    EXPECT_EQ(placement.machines(), 4);  // 3+3+3+1
+    EXPECT_EQ(placement.vmsOn(3), (std::vector<int>{9}));
+}
+
+TEST_F(PlacementTest, VmsOnPartitionsThePool)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 4});
+    std::set<int> seen;
+    int total = 0;
+    for (int m = 0; m < placement.machines(); ++m) {
+        for (int v : placement.vmsOn(m)) {
+            EXPECT_TRUE(seen.insert(v).second);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, cluster.poolSize());
+}
+
+TEST_F(PlacementTest, MachinePressureHitsAllItsVms)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    placement.setMachinePressure(1, 0.3);
+    EXPECT_DOUBLE_EQ(cluster.vm(2).interference(), 0.3);
+    EXPECT_DOUBLE_EQ(cluster.vm(3).interference(), 0.3);
+    EXPECT_DOUBLE_EQ(cluster.vm(0).interference(), 0.0);
+    EXPECT_DOUBLE_EQ(cluster.vm(4).interference(), 0.0);
+    placement.clearPressure();
+    EXPECT_DOUBLE_EQ(cluster.vm(2).interference(), 0.0);
+}
+
+TEST_F(PlacementTest, InjectorCorrelatesCoHostedVms)
+{
+    // VMs sharing a machine always carry identical pressure: the
+    // co-located tenant is a property of the host, not the VM.
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    PlacementAwareInjector injector(queue, placement, {}, Rng(7));
+    injector.start();
+    for (int round = 0; round < 4; ++round) {
+        for (int m = 0; m < placement.machines(); ++m) {
+            const auto vms = placement.vmsOn(m);
+            for (std::size_t i = 1; i < vms.size(); ++i)
+                EXPECT_DOUBLE_EQ(
+                    cluster.vm(vms[i]).interference(),
+                    cluster.vm(vms[0]).interference());
+        }
+        queue.runUntil(queue.now() + hours(2) + minutes(1));
+    }
+}
+
+TEST_F(PlacementTest, InjectorVariesAcrossMachines)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    PlacementAwareInjector::Config cfg;
+    cfg.levels = {0.10, 0.20};
+    PlacementAwareInjector injector(queue, placement, cfg, Rng(11));
+    injector.start();
+    // Over several rounds, different machines see different levels.
+    std::set<double> levels;
+    for (int round = 0; round < 6; ++round) {
+        for (int m = 0; m < placement.machines(); ++m)
+            levels.insert(
+                cluster.vm(placement.vmsOn(m)[0]).interference());
+        queue.runUntil(queue.now() + hours(2) + minutes(1));
+    }
+    EXPECT_GE(levels.size(), 2u);
+}
+
+TEST_F(PlacementTest, TenantedFractionLeavesMachinesQuiet)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    PlacementAwareInjector::Config cfg;
+    cfg.tenantedFraction = 0.0;
+    PlacementAwareInjector injector(queue, placement, cfg, Rng(13));
+    injector.start();
+    for (int v = 0; v < cluster.poolSize(); ++v)
+        EXPECT_DOUBLE_EQ(cluster.vm(v).interference(), 0.0);
+}
+
+TEST_F(PlacementTest, StopClearsPressure)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 5});
+    PlacementAwareInjector injector(queue, placement, {}, Rng(17));
+    injector.start();
+    injector.stop();
+    for (int v = 0; v < cluster.poolSize(); ++v)
+        EXPECT_DOUBLE_EQ(cluster.vm(v).interference(), 0.0);
+    queue.runUntil(hours(5));
+    for (int v = 0; v < cluster.poolSize(); ++v)
+        EXPECT_DOUBLE_EQ(cluster.vm(v).interference(), 0.0);
+}
+
+TEST_F(PlacementTest, PerVmHeterogeneityAcrossHosts)
+{
+    // "even virtual instances of the same type might have very
+    // different performance over time" (§2.2): with per-machine
+    // tenants, effective capacity differs across co-hosted groups.
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    placement.setMachinePressure(0, 0.36);
+    placement.setMachinePressure(1, 0.0);
+    cluster.setActiveInstances(4);
+    queue.runUntil(minutes(1));
+    EXPECT_LT(cluster.vm(0).effectiveCapacityFactor(),
+              cluster.vm(2).effectiveCapacityFactor());
+}
+
+TEST_F(PlacementTest, BadIndicesDie)
+{
+    PlacementMap placement(cluster, {.vmsPerMachine = 2});
+    EXPECT_DEATH(placement.machineOf(99), "out of range");
+    EXPECT_DEATH(placement.vmsOn(99), "out of range");
+}
+
+} // namespace
+} // namespace dejavu

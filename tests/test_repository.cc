@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the DejaVu cache (core/repository.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/repository.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(Repository, StoreAndLookup)
+{
+    Repository repo;
+    repo.store({0, 0}, {4, InstanceType::Large});
+    const auto hit = repo.lookup({0, 0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, (ResourceAllocation{4, InstanceType::Large}));
+}
+
+TEST(Repository, MissOnUnknownKey)
+{
+    Repository repo;
+    EXPECT_FALSE(repo.lookup({7, 0}).has_value());
+    EXPECT_EQ(repo.stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(repo.hitRate(), 0.0);
+}
+
+TEST(Repository, InterferenceBucketsAreDistinctKeys)
+{
+    Repository repo;
+    repo.store({1, 0}, {3, InstanceType::Large});
+    repo.store({1, 2}, {6, InstanceType::Large});
+    EXPECT_EQ(repo.lookup({1, 0})->instances, 3);
+    EXPECT_EQ(repo.lookup({1, 2})->instances, 6);
+    EXPECT_FALSE(repo.lookup({1, 1}).has_value());
+}
+
+TEST(Repository, OverwriteUpdatesEntry)
+{
+    Repository repo;
+    repo.store({0, 0}, {2, InstanceType::Large});
+    repo.store({0, 0}, {5, InstanceType::Large});
+    EXPECT_EQ(repo.entries(), 1u);
+    EXPECT_EQ(repo.lookup({0, 0})->instances, 5);
+}
+
+TEST(Repository, HitRateAccounting)
+{
+    Repository repo;
+    repo.store({0, 0}, {1, InstanceType::Large});
+    (void)repo.lookup({0, 0});
+    (void)repo.lookup({0, 0});
+    (void)repo.lookup({9, 9});
+    EXPECT_NEAR(repo.hitRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Repository, PeekDoesNotCount)
+{
+    Repository repo;
+    repo.store({0, 0}, {1, InstanceType::Large});
+    (void)repo.peek({0, 0});
+    (void)repo.peek({5, 5});
+    EXPECT_EQ(repo.stats().lookups, 0u);
+}
+
+TEST(Repository, KeysSorted)
+{
+    Repository repo;
+    repo.store({2, 0}, {1, InstanceType::Large});
+    repo.store({0, 1}, {1, InstanceType::Large});
+    repo.store({0, 0}, {1, InstanceType::Large});
+    const auto keys = repo.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], (RepositoryKey{0, 0}));
+    EXPECT_EQ(keys[1], (RepositoryKey{0, 1}));
+    EXPECT_EQ(keys[2], (RepositoryKey{2, 0}));
+}
+
+TEST(Repository, ClearDropsEntriesKeepsStats)
+{
+    Repository repo;
+    repo.store({0, 0}, {1, InstanceType::Large});
+    (void)repo.lookup({0, 0});
+    repo.clear();
+    EXPECT_EQ(repo.entries(), 0u);
+    EXPECT_EQ(repo.stats().hits, 1u);  // history preserved
+    EXPECT_FALSE(repo.contains({0, 0}));
+}
+
+TEST(Repository, ToStringListsEntries)
+{
+    Repository repo;
+    repo.store({1, 2}, {7, InstanceType::XLarge});
+    const std::string s = repo.toString();
+    EXPECT_NE(s.find("c1"), std::string::npos);
+    EXPECT_NE(s.find("i2"), std::string::npos);
+    EXPECT_NE(s.find("7xXL"), std::string::npos);
+}
+
+} // namespace
+} // namespace dejavu

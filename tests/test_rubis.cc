@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the RUBiS three-tier model and its interaction
+ * catalog / session generator (services/rubis_service.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "services/rubis_service.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(RubisCatalog, HasTwentySixInteractions)
+{
+    // "RUBiS defines 26 client interactions" (§4).
+    EXPECT_EQ(rubisInteractions().size(),
+              static_cast<std::size_t>(kNumRubisInteractions));
+    EXPECT_EQ(kNumRubisInteractions, 26);
+}
+
+TEST(RubisCatalog, IdsMatchIndices)
+{
+    const auto &catalog = rubisInteractions();
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(static_cast<int>(catalog[i].id), static_cast<int>(i));
+}
+
+TEST(RubisCatalog, WeightsFormDistribution)
+{
+    double total = 0.0;
+    for (const auto &info : rubisInteractions()) {
+        EXPECT_GT(info.weight, 0.0);
+        total += info.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST(RubisCatalog, WriteInteractionsAreDbHeavy)
+{
+    // Store* and Register* mutate the database and must demand more
+    // DB work than the average read.
+    const auto &catalog = rubisInteractions();
+    double writeDb = 0.0, readDb = 0.0;
+    int writes = 0, reads = 0;
+    for (const auto &info : catalog) {
+        if (info.write) {
+            writeDb += info.dbDemand;
+            ++writes;
+        } else {
+            readDb += info.dbDemand;
+            ++reads;
+        }
+    }
+    EXPECT_GT(writeDb / writes, readDb / reads);
+}
+
+TEST(RubisSession, StartsAtHomeAndTerminates)
+{
+    RubisSessionGenerator gen(Rng(3));
+    for (int s = 0; s < 50; ++s) {
+        const auto session = gen.nextSession();
+        ASSERT_FALSE(session.empty());
+        EXPECT_EQ(session.front(), RubisInteraction::Home);
+        EXPECT_LE(session.size(), 64u);
+    }
+}
+
+TEST(RubisSession, AuthFlowsChainToStores)
+{
+    // PutBidAuth must always be followed by PutBid.
+    RubisSessionGenerator gen(Rng(5));
+    int authSeen = 0;
+    for (int s = 0; s < 500; ++s) {
+        const auto session = gen.nextSession();
+        for (std::size_t i = 0; i + 1 < session.size(); ++i) {
+            if (session[i] == RubisInteraction::PutBidAuth) {
+                ++authSeen;
+                EXPECT_EQ(session[i + 1], RubisInteraction::PutBid);
+            }
+        }
+    }
+    EXPECT_GT(authSeen, 0);
+}
+
+TEST(RubisSession, CoversMostInteractions)
+{
+    RubisSessionGenerator gen(Rng(7));
+    std::set<RubisInteraction> seen;
+    for (int s = 0; s < 2000; ++s)
+        for (RubisInteraction ri : gen.nextSession())
+            seen.insert(ri);
+    EXPECT_GE(seen.size(), 24u);
+}
+
+TEST(RubisSession, EmpiricalMixTracksWriteBias)
+{
+    RubisSessionGenerator browsing(Rng(9), /*writeBias=*/0.2);
+    RubisSessionGenerator bidding(Rng(9), /*writeBias=*/3.0);
+    const RequestMix lite = browsing.empiricalMix(300);
+    const RequestMix heavy = bidding.empiricalMix(300);
+    EXPECT_GT(lite.readFraction, heavy.readFraction);
+}
+
+class RubisServiceTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+    Cluster cluster{queue, {}};
+    RubisService service{queue, cluster, Rng(11)};
+};
+
+TEST_F(RubisServiceTest, TierUtilizationsTrackLoad)
+{
+    cluster.setActiveInstances(5);
+    queue.runUntil(minutes(1));
+    service.setWorkload({rubisBidding(), 2000.0});
+    const auto low = service.tierUtilizations();
+    service.setWorkload({rubisBidding(), 8000.0});
+    const auto high = service.tierUtilizations();
+    for (int t = 0; t < 3; ++t)
+        EXPECT_GT(high[static_cast<std::size_t>(t)],
+                  low[static_cast<std::size_t>(t)]);
+}
+
+TEST_F(RubisServiceTest, BottleneckBoundsCapacity)
+{
+    // Aggregate capacity equals the min tier capacity.
+    const RequestMix mix = rubisBidding();
+    const double cap = service.capacityPerEcu(mix);
+    EXPECT_GT(cap, 0.0);
+    // Browsing (read-only, more static) is cheaper than bidding.
+    EXPECT_GT(service.capacityPerEcu(rubisBrowsing()), cap);
+}
+
+TEST_F(RubisServiceTest, LatencySumsTierContributions)
+{
+    const double base = service.baseLatencyMs(rubisBidding());
+    // Three tiers, each >= its configured floor.
+    EXPECT_GT(base, 15.0);
+    EXPECT_LT(base, 120.0);
+}
+
+TEST_F(RubisServiceTest, WritesStressDbTier)
+{
+    RequestMix writeHeavy = rubisBidding();
+    writeHeavy.readFraction = 0.5;
+    const RequestMix readOnly = rubisBrowsing();
+    // Write-heavy mixes saturate the DB tier earlier.
+    EXPECT_LT(service.capacityPerEcu(writeHeavy),
+              service.capacityPerEcu(readOnly));
+}
+
+} // namespace
+} // namespace dejavu

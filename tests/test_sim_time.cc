@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Unit tests for simulated-time helpers (common/sim_time.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.hh"
+
+namespace dejavu {
+namespace {
+
+TEST(SimTime, UnitRelations)
+{
+    EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+    EXPECT_EQ(kSecond, 1000 * kMillisecond);
+    EXPECT_EQ(kMinute, 60 * kSecond);
+    EXPECT_EQ(kHour, 60 * kMinute);
+    EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(SimTime, Constructors)
+{
+    EXPECT_EQ(seconds(1.5), 1500 * kMillisecond);
+    EXPECT_EQ(minutes(2), 120 * kSecond);
+    EXPECT_EQ(hours(0.5), 30 * kMinute);
+    EXPECT_EQ(days(1), 24 * kHour);
+    EXPECT_EQ(milliseconds(0.5), 500 * kMicrosecond);
+}
+
+TEST(SimTime, RoundTripConversions)
+{
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(12.5)), 12.5);
+    EXPECT_DOUBLE_EQ(toMinutes(minutes(3.25)), 3.25);
+    EXPECT_DOUBLE_EQ(toHours(hours(7)), 7.0);
+    EXPECT_DOUBLE_EQ(toDays(days(2)), 2.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(42)), 42.0);
+}
+
+TEST(SimTime, FormatTime)
+{
+    EXPECT_EQ(formatTime(0), "0d 00:00:00");
+    EXPECT_EQ(formatTime(days(1) + hours(2) + minutes(3) + seconds(4)),
+              "1d 02:03:04");
+    EXPECT_EQ(formatTime(-hours(1)), "-0d 01:00:00");
+}
+
+} // namespace
+} // namespace dejavu

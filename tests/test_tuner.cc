@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the linear-search Tuner (core/tuner.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tuner.hh"
+#include "counters/profiler.hh"
+#include "services/keyvalue_service.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+namespace {
+
+class TunerTest : public ::testing::Test
+{
+  protected:
+    EventQueue queue;
+    Cluster cluster{queue, {}};
+    KeyValueService service{queue, cluster, Rng(3)};
+    ProfilerHost profiler{
+        service, Monitor(service, CounterModel(ServiceKind::KeyValue,
+                                               Rng(5))),
+        Rng(7)};
+
+    Workload workloadFor(double clients)
+    {
+        return {cassandraUpdateHeavy(), clients};
+    }
+};
+
+TEST_F(TunerTest, FindsMinimalAdequateAllocation)
+{
+    Tuner tuner(profiler, Slo::latency(60.0), scaleOutSearchSpace(10));
+    const auto result = tuner.tune(workloadFor(20000.0));
+    EXPECT_TRUE(result.feasible);
+    // The chosen allocation meets the SLO...
+    EXPECT_LE(service.hypotheticalLatencyMs(workloadFor(20000.0),
+                                            result.allocation),
+              60.0);
+    // ...and one instance less does not (minimality).
+    if (result.allocation.instances > 1) {
+        ResourceAllocation smaller = result.allocation;
+        --smaller.instances;
+        EXPECT_GT(service.hypotheticalLatencyMs(workloadFor(20000.0),
+                                                smaller),
+                  60.0 * 0.9);
+    }
+}
+
+TEST_F(TunerTest, AllocationMonotoneInLoad)
+{
+    Tuner tuner(profiler, Slo::latency(60.0), scaleOutSearchSpace(10));
+    int prev = 0;
+    for (double clients : {5000.0, 15000.0, 30000.0, 45000.0}) {
+        const auto r = tuner.tune(workloadFor(clients));
+        EXPECT_GE(r.allocation.instances, prev);
+        prev = r.allocation.instances;
+    }
+}
+
+TEST_F(TunerTest, ExperimentsCostTime)
+{
+    Tuner tuner(profiler, Slo::latency(60.0), scaleOutSearchSpace(10));
+    const auto r = tuner.tune(workloadFor(25000.0));
+    EXPECT_GT(r.experiments, 1);
+    EXPECT_EQ(r.tuningTime,
+              r.experiments * profiler.config().experimentDuration);
+}
+
+TEST_F(TunerTest, InterferenceRequiresMoreResources)
+{
+    Tuner tuner(profiler, Slo::latency(60.0), scaleOutSearchSpace(10));
+    const auto clean = tuner.tune(workloadFor(20000.0), 0.0);
+    const auto dirty = tuner.tune(workloadFor(20000.0), 0.20);
+    EXPECT_GT(dirty.allocation.instances, clean.allocation.instances);
+}
+
+TEST_F(TunerTest, InfeasibleFallsBackToFullCapacity)
+{
+    Tuner tuner(profiler, Slo::latency(60.0), scaleOutSearchSpace(10));
+    const auto r = tuner.tune(workloadFor(500000.0));
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.allocation.instances, 10);
+    EXPECT_EQ(r.experiments, 10);  // exhausted the search space
+}
+
+TEST_F(TunerTest, QosSloSearch)
+{
+    Tuner tuner(profiler, Slo::qos(95.0),
+                scaleUpSearchSpace(10, {InstanceType::Large,
+                                        InstanceType::XLarge}));
+    // Light load: large suffices.
+    const auto light = tuner.tune(workloadFor(5000.0));
+    EXPECT_EQ(light.allocation.type, InstanceType::Large);
+    // Heavy load: extra-large required.
+    const auto heavy = tuner.tune(workloadFor(55000.0));
+    EXPECT_EQ(heavy.allocation.type, InstanceType::XLarge);
+}
+
+TEST_F(TunerTest, SearchSpaceSortedByCapacity)
+{
+    std::vector<ResourceAllocation> unordered = {
+        {5, InstanceType::Large},
+        {1, InstanceType::Large},
+        {3, InstanceType::Large},
+    };
+    Tuner tuner(profiler, Slo::latency(60.0), unordered);
+    const auto &space = tuner.searchSpace();
+    for (std::size_t i = 1; i < space.size(); ++i)
+        EXPECT_TRUE(lessCapacity(space[i - 1], space[i]) ||
+                    space[i - 1] == space[i]);
+}
+
+TEST(TunerHelpers, ScaleOutSpace)
+{
+    const auto space = scaleOutSearchSpace(4);
+    ASSERT_EQ(space.size(), 4u);
+    EXPECT_EQ(space.front().instances, 1);
+    EXPECT_EQ(space.back().instances, 4);
+}
+
+TEST(TunerHelpers, ScaleUpSpace)
+{
+    const auto space = scaleUpSearchSpace(5);
+    ASSERT_EQ(space.size(), 2u);
+    EXPECT_EQ(space[0].type, InstanceType::Large);
+    EXPECT_EQ(space[1].type, InstanceType::XLarge);
+    EXPECT_EQ(space[0].instances, 5);
+}
+
+} // namespace
+} // namespace dejavu
