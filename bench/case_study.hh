@@ -2,7 +2,10 @@
  * @file
  * Shared driver for the scale-out / scale-up case-study benches
  * (Figures 6, 7, 9, 10): runs DejaVu plus the Autopilot baseline on
- * one trace and prints the figure's three panels.
+ * one trace and prints the figure's three panels. The two policy runs
+ * are independent cells fanned across the ExperimentRunner's thread
+ * pool; each builds its own stack, so the output is identical to the
+ * old serial driver.
  */
 
 #ifndef DEJAVU_BENCH_CASE_STUDY_HH
@@ -14,28 +17,10 @@
 #include "baselines/autopilot.hh"
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "experiments/runner.hh"
 #include "experiments/scenario.hh"
 
 namespace dejavu {
-
-/** Build the Autopilot hour-of-day schedule by tuning each hour of
- *  day 1 — "the hourly resource allocations learned during the first
- *  day of the trace" (§4.1). */
-inline Autopilot::Schedule
-learnAutopilotSchedule(ScenarioStack &stack)
-{
-    Autopilot::Schedule schedule;
-    Tuner tuner(*stack.profiler, stack.controllerConfig.slo,
-                stack.controllerConfig.searchSpace);
-    const auto workloads = stack.experiment->learningWorkloads();
-    for (int h = 0; h < 24; ++h) {
-        const std::size_t idx = std::min<std::size_t>(
-            static_cast<std::size_t>(h), workloads.size() - 1);
-        schedule[static_cast<std::size_t>(h)] =
-            tuner.tune(workloads[idx]).allocation;
-    }
-    return schedule;
-}
 
 struct CaseStudyOutput
 {
@@ -46,33 +31,46 @@ struct CaseStudyOutput
 };
 
 /**
- * Run one case study: DejaVu and Autopilot over the same scenario.
+ * Run one case study: DejaVu and Autopilot over the same scenario,
+ * one runner cell per policy.
  * @param makeStack scenario factory call, invoked once per policy so
  *        each run starts from identical initial state.
  */
 template <typename MakeStack>
 CaseStudyOutput
-runCaseStudy(MakeStack makeStack, bool withAutopilot = true)
+runCaseStudy(MakeStack makeStack, bool withAutopilot = true,
+             ExperimentRunner::Config runnerConfig =
+                 ExperimentRunner::Config())
 {
     CaseStudyOutput out;
-    {
+    std::vector<SweepCell> cells = {{"case-study", "dejavu", 0}};
+    if (withAutopilot)
+        cells.push_back({"case-study", "autopilot", 0});
+
+    // Each cell builds its own stack from the factory; the dejavu
+    // cell alone writes the classes/unknown-events fields, and the
+    // runner's join orders those writes before we read them.
+    const auto fn = [&](const SweepCell &cell) -> ExperimentResult {
         auto stack = makeStack();
         if (stack->injector)
             stack->injector->start();
-        const auto report = stack->learnDayOne();
-        out.classes = report.classes;
-        DejaVuPolicy policy(*stack->service, *stack->controller);
-        out.dejavu = stack->experiment->run(policy);
-        out.unknownEvents = policy.unknownWorkloadEvents();
-    }
-    if (withAutopilot) {
-        auto stack = makeStack();
-        if (stack->injector)
-            stack->injector->start();
+        if (cell.policy == "dejavu") {
+            const auto report = stack->learnDayOne();
+            out.classes = report.classes;
+            DejaVuPolicy policy(*stack->service, *stack->controller);
+            ExperimentResult result = stack->experiment->run(policy);
+            out.unknownEvents = policy.unknownWorkloadEvents();
+            return result;
+        }
         const auto schedule = learnAutopilotSchedule(*stack);
         Autopilot pilot(*stack->service, schedule);
-        out.autopilot = stack->experiment->run(pilot);
-    }
+        return stack->experiment->run(pilot);
+    };
+
+    const auto results = ExperimentRunner(runnerConfig).sweep(cells, fn);
+    out.dejavu = results[0].result;
+    if (withAutopilot)
+        out.autopilot = results[1].result;
     return out;
 }
 

@@ -11,47 +11,17 @@
  * For each trace we measure per-workload-change adaptation times for
  * DejaVu and for RightScale with resize calm times of 3 and 15
  * minutes (the two settings the figure shows), reporting mean and
- * standard error.
+ * standard error. The six (trace x policy) cells fan out across the
+ * ExperimentRunner thread pool.
  */
 
 #include <iostream>
 
-#include "baselines/rightscale.hh"
 #include "bench_util.hh"
 #include "common/logging.hh"
-#include "experiments/scenario.hh"
+#include "experiments/runner.hh"
 
 using namespace dejavu;
-
-namespace {
-
-RunningStats
-dejavuAdaptation(const std::string &trace)
-{
-    ScenarioOptions options;
-    options.seed = 42;
-    options.traceName = trace;
-    auto stack = makeCassandraScaleOut(options);
-    stack->learnDayOne();
-    DejaVuPolicy policy(*stack->service, *stack->controller);
-    return stack->experiment->run(policy).adaptationSec;
-}
-
-RunningStats
-rightscaleAdaptation(const std::string &trace, SimTime calmTime)
-{
-    ScenarioOptions options;
-    options.seed = 42;
-    options.traceName = trace;
-    auto stack = makeCassandraScaleOut(options);
-    RightScalePolicy::Config cfg;
-    cfg.resizeCalmTime = calmTime;
-    RightScalePolicy policy(*stack->service, stack->sim->forkRng(),
-                            cfg);
-    return stack->experiment->run(policy).adaptationSec;
-}
-
-} // namespace
 
 int
 main()
@@ -62,29 +32,38 @@ main()
                 "(mean +/- standard error, seconds; log-scale in the "
                 "paper)");
 
+    const auto cells = ExperimentRunner::grid(
+        {"cassandra-messenger", "cassandra-hotmail"},
+        {"dejavu", "rightscale-3m", "rightscale-15m"}, {42});
+    const auto results =
+        ExperimentRunner().sweep(cells, runStandardCell);
+
+    auto policyLabel = [](const std::string &policy) -> std::string {
+        if (policy == "rightscale-3m")
+            return "rightscale calm=3min";
+        if (policy == "rightscale-15m")
+            return "rightscale calm=15min";
+        return policy;
+    };
+    auto traceLabel = [](const std::string &scenario) {
+        return scenario.substr(scenario.find('-') + 1);
+    };
+
     Table table({"trace", "policy", "mean_s", "stderr_s", "n"});
     double dejavuMean[2] = {0, 0};
     double rsMean[2] = {0, 0};
-    int i = 0;
-    for (const std::string trace : {"messenger", "hotmail"}) {
-        const auto dv = dejavuAdaptation(trace);
-        table.addRow({trace, "dejavu", Table::num(dv.mean(), 1),
-                      Table::num(dv.stderror(), 2),
-                      std::to_string(dv.count())});
-        dejavuMean[i] = dv.mean();
-
-        const auto rs3 = rightscaleAdaptation(trace, minutes(3));
-        table.addRow({trace, "rightscale calm=3min",
-                      Table::num(rs3.mean(), 1),
-                      Table::num(rs3.stderror(), 2),
-                      std::to_string(rs3.count())});
-        const auto rs15 = rightscaleAdaptation(trace, minutes(15));
-        table.addRow({trace, "rightscale calm=15min",
-                      Table::num(rs15.mean(), 1),
-                      Table::num(rs15.stderror(), 2),
-                      std::to_string(rs15.count())});
-        rsMean[i] = rs15.mean();
-        ++i;
+    for (const auto &cr : results) {
+        const RunningStats &stats = cr.result.adaptationSec;
+        table.addRow({traceLabel(cr.cell.scenario),
+                      policyLabel(cr.cell.policy),
+                      Table::num(stats.mean(), 1),
+                      Table::num(stats.stderror(), 2),
+                      std::to_string(stats.count())});
+        const int t = cr.cell.scenario == "cassandra-messenger" ? 0 : 1;
+        if (cr.cell.policy == "dejavu")
+            dejavuMean[t] = stats.mean();
+        else if (cr.cell.policy == "rightscale-15m")
+            rsMean[t] = stats.mean();
     }
     table.printText(std::cout);
 

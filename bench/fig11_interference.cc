@@ -12,26 +12,30 @@
  * corresponds to the interference condition such that the SLO is met
  * at all times... DejaVu indeed provisions the service with more
  * resources to compensate for interference."
+ *
+ * The detection-on/off ablation runs as two independent runner cells
+ * in parallel.
  */
 
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
-#include "experiments/scenario.hh"
+#include "experiments/runner.hh"
 
 using namespace dejavu;
 
 namespace {
 
+/** Cell function: the ablation knob rides in the policy name. */
 ExperimentResult
-runWithDetection(bool detection)
+runDetectionCell(const SweepCell &cell)
 {
     ScenarioOptions options;
-    options.seed = 42;
+    options.seed = cell.seed;
     options.traceName = "messenger";
     options.interference = true;
-    options.interferenceDetection = detection;
+    options.interferenceDetection = cell.policy == "dejavu";
     auto stack = makeCassandraScaleOut(options);
     stack->injector->start();
     stack->learnDayOne();
@@ -45,8 +49,12 @@ int
 main()
 {
     setLogLevel(LogLevel::Warn);
-    const ExperimentResult with = runWithDetection(true);
-    const ExperimentResult without = runWithDetection(false);
+    const auto results = ExperimentRunner().sweep(
+        {{"cassandra-messenger+interference", "dejavu", 42},
+         {"cassandra-messenger+interference", "dejavu-nodetect", 42}},
+        runDetectionCell);
+    const ExperimentResult &with = results[0].result;
+    const ExperimentResult &without = results[1].result;
 
     printSeries(std::cout,
                 "Figure 11(a): latency under 10-20% co-located "

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ExperimentRunner scaling study: a (policy x seed) sweep on the
+ * Figure 6 scenario (Cassandra scale-out, Messenger trace), run at 1
+ * and at 8 threads.
+ *
+ * Checks the two properties the parallel engine promises:
+ *  1. determinism — the aggregate digest is byte-identical at every
+ *     thread count (each cell owns its Simulation; the merge is by
+ *     input order, not completion order);
+ *  2. scaling — wall-clock speedup on the embarrassingly parallel
+ *     sweep (target >= 3x at 8 threads, hardware permitting).
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "experiments/runner.hh"
+
+using namespace dejavu;
+
+namespace {
+
+double
+timedSweep(const std::vector<SweepCell> &cells, int threads,
+           std::string &digest)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = ExperimentRunner(
+        ExperimentRunner::Config(threads)).sweep(cells,
+                                                 runStandardCell);
+    const auto stop = std::chrono::steady_clock::now();
+    digest = sweepCsv(aggregateSweep(results));
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    // 3 policies x 8 seeds = 24 cells of the fig06 scenario.
+    const auto cells = ExperimentRunner::grid(
+        {"cassandra-messenger"},
+        {"dejavu", "autopilot", "rightscale-3m"},
+        {1, 2, 3, 4, 5, 6, 7, 8});
+
+    printBanner(std::cout, "ExperimentRunner scaling ("
+                + std::to_string(cells.size()) + " cells, fig06 "
+                "scenario)");
+
+    std::string digest1, digest8;
+    const double t1 = timedSweep(cells, 1, digest1);
+    const double t8 = timedSweep(cells, 8, digest8);
+
+    Table table({"threads", "wall_s", "speedup", "digest_bytes"});
+    table.addRow({"1", Table::num(t1, 3), "1.0",
+                  std::to_string(digest1.size())});
+    table.addRow({"8", Table::num(t8, 3), Table::num(t1 / t8, 2),
+                  std::to_string(digest8.size())});
+    table.printText(std::cout);
+
+    std::cout << "aggregate digests byte-identical: "
+              << (digest1 == digest8 ? "YES" : "NO — BUG") << "\n\n"
+              << digest1;
+
+    if (digest1 != digest8)
+        return 1;
+    return 0;
+}

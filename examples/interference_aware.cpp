@@ -7,13 +7,18 @@
  * caches an interference-aware allocation per (class, bucket), and
  * steps back down when the neighbours go quiet.
  *
- * The run prints each interference reaction so the §3.6 machinery is
- * visible end to end.
+ * The reuse phase is driven by the event runtime directly — a
+ * TraceDriver applies each hourly workload and a MonitorProbe samples
+ * production performance every minute — with plain listeners feeding
+ * the controller, so each §3.6 interference reaction is printed as it
+ * happens. This is the template for wiring custom telemetry into the
+ * actor runtime.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "experiments/actors.hh"
 #include "experiments/scenario.hh"
 
 using namespace dejavu;
@@ -34,39 +39,48 @@ main()
 
     stack->learnDayOne();
 
-    // Drive the reuse phase manually so reactions are visible.
     Service &service = *stack->service;
     DejaVuController &dejavu = *stack->controller;
     Simulation &sim = *stack->sim;
-    const auto &trace = stack->trace;
-    const double peakClients =
-        stack->experiment->config().peakClients;
+    const auto &config = stack->experiment->config();
+
+    // Hold the learning allocation, then let the actors drive.
+    service.cluster().deploy(config.learningAllocation);
+    service.onReconfigure();
+
+    TraceDriver driver(
+        sim, service, stack->trace,
+        TraceDriver::Config{static_cast<int>(stack->trace.hours()),
+                            config.peakClients});
+    MonitorProbe probe(sim, service, driver,
+                       MonitorProbe::Config{minutes(1), minutes(1)});
+
+    const int reuseStartHour = config.reuseStartHour;
+    driver.addListener([&](int hour, const Workload &w) {
+        if (hour >= reuseStartHour)
+            dejavu.onWorkloadChange(w);
+    });
 
     int adjustments = 0, violations = 0, ticks = 0;
-    for (std::size_t h = 24; h < trace.hours(); ++h) {
-        const Workload w{service.workload().mix,
-                         trace.at(h) * peakClients};
-        service.setWorkload(w);
-        dejavu.onWorkloadChange(w);
-        for (int m = 0; m < 60; ++m) {
-            sim.runFor(minutes(1));
-            const auto sample = service.sample();
-            ++ticks;
-            if (sample.meanLatencyMs > 60.0)
-                ++violations;
-            const auto reaction = dejavu.onSloFeedback(sample);
-            if (reaction) {
-                ++adjustments;
-                std::printf("t=%s  interference reaction: class %d "
-                            "-> %s (mean co-located loss %.0f%%)\n",
-                            formatTime(sim.now()).c_str(),
-                            reaction->classId,
-                            reaction->allocation.toString().c_str(),
-                            100.0 * service.cluster()
-                                .meanInterference());
-            }
+    probe.addListener([&](int hour, const Service::PerfSample &sample) {
+        if (hour < reuseStartHour)
+            return;
+        ++ticks;
+        if (sample.meanLatencyMs > 60.0)
+            ++violations;
+        const auto reaction = dejavu.onSloFeedback(sample);
+        if (reaction) {
+            ++adjustments;
+            std::printf("t=%s  interference reaction: class %d "
+                        "-> %s (mean co-located loss %.0f%%)\n",
+                        formatTime(sim.now()).c_str(),
+                        reaction->classId,
+                        reaction->allocation.toString().c_str(),
+                        100.0 * service.cluster().meanInterference());
         }
-    }
+    });
+
+    sim.runUntil(static_cast<SimTime>(stack->trace.hours()) * kHour);
 
     std::printf("\ninterference-aware run complete:\n");
     std::printf("  interference adjustments: %d\n", adjustments);

@@ -18,6 +18,25 @@ namespace dejavu {
 /** Microseconds of simulated time. */
 using SimTime = std::int64_t;
 
+/** Largest representable instant ("the end of simulated time"). */
+constexpr SimTime kSimTimeMax = INT64_MAX;
+
+/**
+ * Overflow-checked addition: clamps to the representable range instead
+ * of wrapping. `now + duration` near the end of time (e.g. an open-ended
+ * Simulation::runFor or a periodic event rescheduling itself) must
+ * saturate at kSimTimeMax rather than produce a negative instant.
+ */
+constexpr SimTime
+saturatingAdd(SimTime a, SimTime b)
+{
+    if (b > 0 && a > kSimTimeMax - b)
+        return kSimTimeMax;
+    if (b < 0 && a < INT64_MIN - b)
+        return INT64_MIN;
+    return a + b;
+}
+
 constexpr SimTime kMicrosecond = 1;
 constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 constexpr SimTime kSecond = 1000 * kMillisecond;

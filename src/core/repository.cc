@@ -1,5 +1,6 @@
 #include "core/repository.hh"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -59,6 +60,7 @@ Repository::keys() const
     out.reserve(_entries.size());
     for (const auto &[key, _] : _entries)
         out.push_back(key);
+    std::sort(out.begin(), out.end());
     return out;
 }
 
@@ -72,7 +74,8 @@ void
 Repository::save(std::ostream &out) const
 {
     out << "class,bucket,instances,type\n";
-    for (const auto &[key, alloc] : _entries) {
+    for (const RepositoryKey &key : keys()) {
+        const ResourceAllocation &alloc = _entries.at(key);
         out << key.classId << ',' << key.interferenceBucket << ','
             << alloc.instances << ',' << instanceSpec(alloc.type).name
             << '\n';
@@ -119,12 +122,12 @@ Repository::toString() const
     std::ostringstream os;
     os << "repository{";
     bool first = true;
-    for (const auto &[key, alloc] : _entries) {
+    for (const RepositoryKey &key : keys()) {
         if (!first)
             os << ", ";
         first = false;
         os << "(c" << key.classId << ",i" << key.interferenceBucket
-           << ")->" << alloc.toString();
+           << ")->" << _entries.at(key).toString();
     }
     os << "}";
     return os.str();

@@ -10,10 +10,11 @@
 #ifndef DEJAVU_CORE_REPOSITORY_HH
 #define DEJAVU_CORE_REPOSITORY_HH
 
+#include <cstdint>
 #include <iosfwd>
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/allocation.hh"
@@ -36,6 +37,28 @@ struct RepositoryKey
     {
         return classId == o.classId &&
             interferenceBucket == o.interferenceBucket;
+    }
+};
+
+/**
+ * Hash for the O(1) reuse-phase lookup: both fields are small
+ * non-negative ints, so pack them into one word and mix (splitmix64
+ * finalizer) rather than combining two weak int hashes.
+ */
+struct RepositoryKeyHash
+{
+    std::size_t operator()(const RepositoryKey &key) const
+    {
+        std::uint64_t x =
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint32_t>(key.classId)) << 32)
+            | static_cast<std::uint32_t>(key.interferenceBucket);
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        return static_cast<std::size_t>(x);
     }
 };
 
@@ -69,7 +92,8 @@ class Repository
     const Stats &stats() const { return _stats; }
     double hitRate() const;
 
-    /** All keys currently cached (sorted). */
+    /** All keys currently cached, sorted (the backing table is
+     *  unordered; sorting keeps reports and persistence stable). */
     std::vector<RepositoryKey> keys() const;
 
     /** Drop everything (re-clustering invalidates the cache). */
@@ -87,7 +111,8 @@ class Repository
     /** @} */
 
   private:
-    std::map<RepositoryKey, ResourceAllocation> _entries;
+    std::unordered_map<RepositoryKey, ResourceAllocation,
+                       RepositoryKeyHash> _entries;
     Stats _stats;
 };
 

@@ -1,9 +1,7 @@
 #include "experiments/experiment.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
-#include "sim/energy.hh"
+#include "experiments/actors.hh"
 
 namespace dejavu {
 
@@ -25,11 +23,8 @@ ProvisioningExperiment::ProvisioningExperiment(Simulation &sim,
 Workload
 ProvisioningExperiment::workloadAtHour(int hour) const
 {
-    Workload w;
-    w.mix = _service.workload().mix;
-    w.clients = _trace.at(static_cast<std::size_t>(hour))
-        * _config.peakClients;
-    return w;
+    return TraceDriver::workloadFor(_service, _trace,
+                                    _config.peakClients, hour);
 }
 
 std::vector<Workload>
@@ -45,118 +40,35 @@ ProvisioningExperiment::learningWorkloads() const
 ExperimentResult
 ProvisioningExperiment::run(ProvisioningPolicy &policy)
 {
-    ExperimentResult result;
-    result.policyName = policy.name();
-
-    PercentileSampler reuseLatency;
-    RunningStats reuseQos;
-    std::size_t violations = 0, reuseTicks = 0;
-
-    const SimTime reuseStart = _config.reuseStartHour * kHour;
-    double costAtReuseStart = 0.0;
-
-    // Energy accounting (§1's consolidation argument): actual draw
-    // vs the draw of always running full capacity under the same
-    // offered load. The max allocation is read after the learning
-    // deployment below, which registers the largest instance type
-    // the scenario uses.
-    const EnergyModel energyModel;
-    EnergyMeter energyMeter, maxEnergyMeter;
-    double energyAtReuseStart = 0.0, maxEnergyAtReuseStart = 0.0;
-    ResourceAllocation maxAlloc;
-
-    auto recordTick = [&](bool inReuse) {
-        const Service::PerfSample s = _service.sample();
-        policy.onMonitorTick(s);
-        const double tHours = toHours(_sim.now());
-        result.latencyMs.push_back({tHours, s.meanLatencyMs});
-        result.qosPercent.push_back({tHours, s.qosPercent});
-        result.instances.push_back(
-            {tHours,
-             static_cast<double>(_service.cluster().target().instances)});
-        result.computeUnits.push_back(
-            {tHours, _service.cluster().nominalComputeUnits()});
-        result.loadFraction.push_back(
-            {tHours, _trace.atTime(_sim.now())});
-        energyMeter.update(_sim.now(), energyModel.clusterWatts(
-            _service.cluster(), s.utilization));
-        // Full capacity would serve the same load at lower
-        // utilization: scale by the capacity ratio.
-        const double maxUtil = s.utilization
-            * _service.cluster().nominalComputeUnits()
-            / std::max(maxAlloc.computeUnits(), 1e-9);
-        maxEnergyMeter.update(_sim.now(),
-                              energyModel.watts(maxAlloc, maxUtil));
-        if (inReuse) {
-            ++reuseTicks;
-            reuseLatency.add(s.meanLatencyMs);
-            reuseQos.add(s.qosPercent);
-            if (!_config.slo.satisfied(s.meanLatencyMs, s.qosPercent))
-                ++violations;
-        }
-    };
-
     // Learning day(s): hold the configured learning allocation (the
     // operator overprovisions while DejaVu collects its samples).
     if (_service.cluster().target() != _config.learningAllocation) {
         _service.cluster().deploy(_config.learningAllocation);
         _service.onReconfigure();
     }
-    maxAlloc = _service.cluster().maxAllocation();
 
-    for (int hour = 0; hour < _config.totalHours; ++hour) {
-        const bool inReuse = hour >= _config.reuseStartHour;
-        if (_sim.now() == reuseStart)
-            costAtReuseStart = _service.cluster().accruedDollars();
+    // The experiment is four actors interleaving on the simulation's
+    // queue. Construction order fixes same-instant listener order:
+    // the policy consumes each sample before the recorder logs it,
+    // mirroring a production control loop reacting to fresh metrics.
+    TraceDriver driver(
+        _sim, _service, _trace,
+        TraceDriver::Config{_config.totalHours, _config.peakClients});
+    MonitorProbe probe(
+        _sim, _service, driver,
+        MonitorProbe::Config{_config.monitorPeriod,
+                             _config.postChangeProbe});
+    PolicyActor policyActor(_sim, policy, driver, probe,
+                            _config.reuseStartHour);
+    MetricsRecorder recorder(
+        _sim, _service, _trace, driver, probe,
+        MetricsRecorder::Config{_config.reuseStartHour, _config.slo});
+    recorder.setMaxAllocation(_service.cluster().maxAllocation());
 
-        const Workload w = workloadAtHour(hour);
-        _service.setWorkload(w);
-        if (_sim.now() == reuseStart) {
-            energyAtReuseStart = energyMeter.kiloWattHours(_sim.now());
-            maxEnergyAtReuseStart =
-                maxEnergyMeter.kiloWattHours(_sim.now());
-        }
-        if (inReuse)
-            policy.onWorkloadChange(w);
+    _sim.runUntil(_config.totalHours * static_cast<SimTime>(kHour));
 
-        // Early probe right after the change exposes the adaptation
-        // window (profiling + redeployment) in the latency series.
-        SimTime hourEnd = (hour + 1) * static_cast<SimTime>(kHour);
-        _sim.runUntil(hour * static_cast<SimTime>(kHour)
-                      + _config.postChangeProbe);
-        recordTick(inReuse);
-        while (_sim.now() + _config.monitorPeriod <= hourEnd) {
-            _sim.runFor(_config.monitorPeriod);
-            recordTick(inReuse);
-        }
-        _sim.runUntil(hourEnd);
-    }
-
-    // Aggregates over the reuse window.
-    result.sloViolationFraction = reuseTicks
-        ? static_cast<double>(violations) / reuseTicks : 0.0;
-    result.meanLatencyMs = reuseLatency.mean();
-    result.p95LatencyMs = reuseLatency.quantile(0.95);
-    result.meanQosPercent = reuseQos.mean();
-
-    const double totalCost = _service.cluster().accruedDollars();
-    result.costDollars = totalCost - costAtReuseStart;
-    const double reuseHours =
-        static_cast<double>(_config.totalHours - _config.reuseStartHour);
-    result.maxCostDollars =
-        _service.cluster().maxAllocation().dollarsPerHour() * reuseHours;
-    result.savingsPercent = result.maxCostDollars > 0.0
-        ? 100.0 * (1.0 - result.costDollars / result.maxCostDollars)
-        : 0.0;
-
-    result.energyKwh =
-        energyMeter.kiloWattHours(_sim.now()) - energyAtReuseStart;
-    result.maxEnergyKwh = maxEnergyMeter.kiloWattHours(_sim.now())
-        - maxEnergyAtReuseStart;
-    result.energySavingsPercent = result.maxEnergyKwh > 0.0
-        ? 100.0 * (1.0 - result.energyKwh / result.maxEnergyKwh)
-        : 0.0;
-
+    ExperimentResult result = recorder.finish();
+    result.policyName = policy.name();
     for (double t : policy.adaptationTimesSec())
         result.adaptationSec.add(t);
     return result;

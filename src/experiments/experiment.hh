@@ -6,6 +6,11 @@
  * granularity), fine-grained production monitoring in between, and
  * bookkeeping for every series the figures plot (instance counts,
  * latency/QoS versus SLO, cost, savings, adaptation times).
+ *
+ * The run is event-driven: run() wires a TraceDriver, MonitorProbe,
+ * PolicyActor and MetricsRecorder (experiments/actors.hh) onto the
+ * simulation's queue and advances the clock once, so any number of
+ * experiments/services can interleave on one Simulation.
  */
 
 #ifndef DEJAVU_EXPERIMENTS_EXPERIMENT_HH

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
-#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
 
 namespace dejavu {
 
@@ -18,7 +18,7 @@ SimTime
 ProfilingSlotScheduler::acquire()
 {
     const SimTime start = std::max(_queue.now(), _busyUntil);
-    _busyUntil = start + _slotDuration;
+    _busyUntil = saturatingAdd(start, _slotDuration);
     ++_granted;
     return start;
 }
@@ -29,8 +29,8 @@ ProfilingSlotScheduler::nextFreeAt() const
     return std::max(_queue.now(), _busyUntil);
 }
 
-DejaVuFleet::DejaVuFleet(EventQueue &queue, SimTime profilingSlot)
-    : _queue(queue), _scheduler(queue, profilingSlot)
+DejaVuFleet::DejaVuFleet(Simulation &sim, SimTime profilingSlot)
+    : Actor(sim, "dejavu-fleet"), _scheduler(sim.queue(), profilingSlot)
 {
 }
 
@@ -42,6 +42,12 @@ DejaVuFleet::addService(const std::string &name, Service &service,
     for (const auto &m : _members)
         DEJAVU_ASSERT(m.name != name, "duplicate service name: ", name);
     _members.push_back({name, &service, &controller});
+}
+
+void
+DejaVuFleet::addListener(AdaptationListener fn)
+{
+    _listeners.push_back(std::move(fn));
 }
 
 void
@@ -57,21 +63,22 @@ DejaVuFleet::requestAdaptation(const std::string &name,
     if (memberIdx == _members.size())
         fatal("unknown service in fleet: ", name);
 
-    const SimTime requestedAt = _queue.now();
+    const SimTime requestedAt = now();
     const SimTime slotStart = _scheduler.acquire();
 
     // The controller runs when the shared profiling host frees up;
     // its own adaptation time (signature collection etc.) is measured
     // from that point.
-    _queue.schedule(slotStart, [this, memberIdx, workload, requestedAt,
-                                slotStart] {
+    at(slotStart, [this, memberIdx, workload, requestedAt, slotStart] {
         Member &member = _members[memberIdx];
         CompletedAdaptation entry;
         entry.service = member.name;
         entry.requestedAt = requestedAt;
         entry.profilingStartedAt = slotStart;
         entry.decision = member.controller->onWorkloadChange(workload);
-        _log.push_back(std::move(entry));
+        _log.push_back(entry);
+        for (const auto &listener : _listeners)
+            listener(_log.back());
     });
 }
 

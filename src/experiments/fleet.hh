@@ -10,20 +10,25 @@
  * profiler" — is enforced by serializing profiling slots: concurrent
  * adaptation requests queue for the shared host, and the queueing
  * delay is charged to their adaptation time.
+ *
+ * The fleet is an Actor on the shared simulation: profiling-slot
+ * starts are ordinary tracked events, so a fleet interleaves with any
+ * number of per-service trace drivers and monitor probes on one
+ * queue, and cancels cleanly when destroyed.
  */
 
 #ifndef DEJAVU_EXPERIMENTS_FLEET_HH
 #define DEJAVU_EXPERIMENTS_FLEET_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/controller.hh"
 #include "services/service.hh"
+#include "sim/actor.hh"
 
 namespace dejavu {
-
-class EventQueue;
 
 /**
  * Serializes access to the shared profiling host.
@@ -57,7 +62,7 @@ class ProfilingSlotScheduler
 /**
  * A fleet of services managed by one DejaVu installation.
  */
-class DejaVuFleet
+class DejaVuFleet : public Actor
 {
   public:
     /** One completed adaptation, for auditing/aggregation. */
@@ -75,21 +80,29 @@ class DejaVuFleet
         { return queueDelay() + decision.adaptationTime; }
     };
 
-    DejaVuFleet(EventQueue &queue, SimTime profilingSlot = seconds(10));
+    /** Notified after each adaptation completes (in request order). */
+    using AdaptationListener =
+        std::function<void(const CompletedAdaptation &)>;
 
-    /** Register a service with its controller (must be learned or
-     *  learned before the first adaptation request). */
+    explicit DejaVuFleet(Simulation &sim,
+                         SimTime profilingSlot = seconds(10));
+
+    /** Register a service with its controller (must be learned
+     *  before the first adaptation request). */
     void addService(const std::string &name, Service &service,
                     DejaVuController &controller);
 
     /**
      * A workload change arrived for @p name: queue a profiling slot
      * on the shared host and run the controller when it starts. The
-     * decision lands in log() once processed (advance the event
-     * queue past the slot start).
+     * decision lands in log() once processed (advance the simulation
+     * past the slot start).
      */
     void requestAdaptation(const std::string &name,
                            const Workload &workload);
+
+    /** Subscribe to completed adaptations. */
+    void addListener(AdaptationListener fn);
 
     int services() const { return static_cast<int>(_members.size()); }
     const std::vector<CompletedAdaptation> &log() const { return _log; }
@@ -107,10 +120,10 @@ class DejaVuFleet
         DejaVuController *controller;
     };
 
-    EventQueue &_queue;
     ProfilingSlotScheduler _scheduler;
     std::vector<Member> _members;
     std::vector<CompletedAdaptation> _log;
+    std::vector<AdaptationListener> _listeners;
 };
 
 } // namespace dejavu

@@ -1,0 +1,126 @@
+#include "experiments/fleet_experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/simulation.hh"
+
+namespace dejavu {
+
+FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot)
+    : _sim(sim), _fleet(sim, profilingSlot)
+{
+    // Charge every completed adaptation — including its shared-host
+    // queueing delay (§3.3) — to the service that requested it.
+    _fleet.addListener(
+        [this](const DejaVuFleet::CompletedAdaptation &entry) {
+            for (auto &member : _members) {
+                if (member->name != entry.service)
+                    continue;
+                member->adaptationSec.add(
+                    toSeconds(entry.totalAdaptation()));
+                member->queueDelaySec.add(
+                    toSeconds(entry.queueDelay()));
+                ++member->adaptations;
+                member->maxQueueDelay = std::max(member->maxQueueDelay,
+                                                 entry.queueDelay());
+            }
+        });
+}
+
+void
+FleetExperiment::addService(const std::string &name, Service &service,
+                            DejaVuController &controller,
+                            LoadTrace trace,
+                            ProvisioningExperiment::Config config)
+{
+    DEJAVU_ASSERT(!_ran, "fleet experiment already ran");
+    if (config.totalHours < 0)
+        config.totalHours = static_cast<int>(trace.hours());
+    DEJAVU_ASSERT(config.totalHours > config.reuseStartHour,
+                  "no reuse window for service ", name);
+
+    auto member = std::make_unique<Member>();
+    member->name = name;
+    member->service = &service;
+    member->controller = &controller;
+    member->trace = std::move(trace);
+    member->config = config;
+
+    _fleet.addService(name, service, controller);
+    _members.push_back(std::move(member));
+}
+
+std::vector<FleetExperiment::ServiceResult>
+FleetExperiment::run()
+{
+    DEJAVU_ASSERT(!_members.empty(), "fleet experiment has no services");
+    DEJAVU_ASSERT(!_ran, "fleet experiment already ran");
+    _ran = true;
+
+    SimTime horizon = 0;
+    for (auto &memberPtr : _members) {
+        Member &m = *memberPtr;
+        Service &service = *m.service;
+
+        // Hold the learning allocation through the learning phase.
+        if (service.cluster().target() != m.config.learningAllocation) {
+            service.cluster().deploy(m.config.learningAllocation);
+            service.onReconfigure();
+        }
+
+        m.driver = std::make_unique<TraceDriver>(
+            _sim, service, m.trace,
+            TraceDriver::Config{m.config.totalHours,
+                                m.config.peakClients},
+            "trace:" + m.name);
+        m.probe = std::make_unique<MonitorProbe>(
+            _sim, service, *m.driver,
+            MonitorProbe::Config{m.config.monitorPeriod,
+                                 m.config.postChangeProbe},
+            "probe:" + m.name);
+
+        // Reuse-window workload changes route through the shared
+        // profiling host rather than straight to the controller.
+        Member *mp = &m;
+        m.driver->addListener([this, mp](int hour, const Workload &w) {
+            if (hour >= mp->config.reuseStartHour)
+                _fleet.requestAdaptation(mp->name, w);
+        });
+        // Production SLO feedback (§3.6 interference path) stays
+        // service-local; it needs no profiling slot.
+        m.probe->addListener([mp](int, const Service::PerfSample &s) {
+            mp->controller->onSloFeedback(s);
+        });
+
+        m.recorder = std::make_unique<MetricsRecorder>(
+            _sim, service, m.trace, *m.driver, *m.probe,
+            MetricsRecorder::Config{m.config.reuseStartHour,
+                                    m.config.slo},
+            "metrics:" + m.name);
+        m.recorder->setMaxAllocation(service.cluster().maxAllocation());
+
+        horizon = std::max(horizon, m.config.totalHours
+                           * static_cast<SimTime>(kHour));
+    }
+
+    _sim.runUntil(horizon);
+
+    std::vector<ServiceResult> results;
+    results.reserve(_members.size());
+    for (auto &memberPtr : _members) {
+        Member &m = *memberPtr;
+        ServiceResult sr;
+        sr.name = m.name;
+        sr.result = m.recorder->finish();
+        sr.result.policyName = "dejavu-fleet";
+        sr.result.adaptationSec = m.adaptationSec;
+        sr.adaptations = m.adaptations;
+        sr.maxQueueDelay = m.maxQueueDelay;
+        sr.queueDelaySec = m.queueDelaySec;
+        results.push_back(std::move(sr));
+    }
+    return results;
+}
+
+} // namespace dejavu

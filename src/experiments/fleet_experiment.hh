@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fleet-scale provisioning experiment: N co-hosted services, each with
+ * its own trace driver, monitor probe and DejaVu controller, all
+ * interleaving on one shared event queue, with adaptation requests
+ * serialized through the fleet's shared profiling host (§3.3).
+ *
+ * This is the paper's Figure 2 deployment turned into a harness:
+ * adding a hosted service is one registration call, the run records a
+ * full per-service SLO/latency/instances series, and every completed
+ * adaptation is charged its shared-profiler queueing delay.
+ */
+
+#ifndef DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
+#define DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "experiments/actors.hh"
+#include "experiments/experiment.hh"
+#include "experiments/fleet.hh"
+
+namespace dejavu {
+
+/**
+ * Runs a multi-service fleet through the shared event queue.
+ */
+class FleetExperiment
+{
+  public:
+    /** Per-service outcome: the usual figure series plus the
+     *  shared-profiler queueing statistics. */
+    struct ServiceResult
+    {
+        std::string name;
+        ExperimentResult result;
+        int adaptations = 0;
+        SimTime maxQueueDelay = 0;
+        RunningStats queueDelaySec;
+    };
+
+    FleetExperiment(Simulation &sim,
+                    SimTime profilingSlot = seconds(10));
+
+    /**
+     * Register a hosted service. The controller must have completed
+     * its learning phase before run(). The trace is copied; @p config
+     * carries the same knobs as a single-service experiment.
+     */
+    void addService(const std::string &name, Service &service,
+                    DejaVuController &controller, LoadTrace trace,
+                    ProvisioningExperiment::Config config);
+
+    /**
+     * Run every registered service to the end of its configured
+     * horizon, interleaved on the shared queue. Results are in
+     * registration order.
+     */
+    std::vector<ServiceResult> run();
+
+    DejaVuFleet &fleet() { return _fleet; }
+    const DejaVuFleet &fleet() const { return _fleet; }
+    int services() const { return static_cast<int>(_members.size()); }
+
+  private:
+    /** One hosted service's actors and bookkeeping. */
+    struct Member
+    {
+        std::string name;
+        Service *service;
+        DejaVuController *controller;
+        LoadTrace trace;
+        ProvisioningExperiment::Config config;
+        std::unique_ptr<TraceDriver> driver;
+        std::unique_ptr<MonitorProbe> probe;
+        std::unique_ptr<MetricsRecorder> recorder;
+        RunningStats adaptationSec;
+        RunningStats queueDelaySec;
+        int adaptations = 0;
+        SimTime maxQueueDelay = 0;
+    };
+
+    Simulation &_sim;
+    DejaVuFleet _fleet;
+    std::vector<std::unique_ptr<Member>> _members;
+    bool _ran = false;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH

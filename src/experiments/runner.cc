@@ -1,0 +1,204 @@
+#include "experiments/runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "baselines/overprovision.hh"
+#include "baselines/reactive_tuning.hh"
+#include "baselines/rightscale.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace dejavu {
+
+ExperimentRunner::ExperimentRunner(Config config)
+{
+    _threads = config.threads;
+    if (_threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        _threads = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+}
+
+std::vector<CellResult>
+ExperimentRunner::sweep(const std::vector<SweepCell> &cells,
+                        const CellFn &fn) const
+{
+    std::vector<CellResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    // Work stealing via a shared counter; result slots are fixed by
+    // input order, so the merge is identical at any thread count.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= cells.size())
+                return;
+            results[i].cell = cells[i];
+            results[i].result = fn(cells[i]);
+        }
+    };
+
+    const int n = std::min<int>(_threads,
+                                static_cast<int>(cells.size()));
+    if (n <= 1) {
+        worker();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+    return results;
+}
+
+std::vector<SweepCell>
+ExperimentRunner::grid(const std::vector<std::string> &scenarios,
+                       const std::vector<std::string> &policies,
+                       const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(scenarios.size() * policies.size() * seeds.size());
+    for (const auto &scenario : scenarios)
+        for (const auto &policy : policies)
+            for (std::uint64_t seed : seeds)
+                cells.push_back({scenario, policy, seed});
+    return cells;
+}
+
+std::unique_ptr<ScenarioStack>
+makeStandardScenario(const std::string &scenario, std::uint64_t seed)
+{
+    std::string base = scenario;
+    ScenarioOptions options;
+    options.seed = seed;
+
+    const std::string suffix = "+interference";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        options.interference = true;
+        base.erase(base.size() - suffix.size());
+    }
+
+    const std::size_t dash = base.find('-');
+    if (dash == std::string::npos)
+        fatal("scenario name must be '<service>-<trace>', got: ",
+              scenario);
+    const std::string service = base.substr(0, dash);
+    options.traceName = base.substr(dash + 1);
+
+    if (service == "cassandra")
+        return makeCassandraScaleOut(options);
+    if (service == "specweb")
+        return makeSpecWebScaleUp(options);
+    fatal("unknown scenario service: ", service,
+          " (use cassandra|specweb)");
+}
+
+Autopilot::Schedule
+learnAutopilotSchedule(ScenarioStack &stack)
+{
+    Autopilot::Schedule schedule;
+    Tuner tuner(*stack.profiler, stack.controllerConfig.slo,
+                stack.controllerConfig.searchSpace);
+    const auto workloads = stack.experiment->learningWorkloads();
+    for (int h = 0; h < 24; ++h) {
+        const std::size_t idx = std::min<std::size_t>(
+            static_cast<std::size_t>(h), workloads.size() - 1);
+        schedule[static_cast<std::size_t>(h)] =
+            tuner.tune(workloads[idx]).allocation;
+    }
+    return schedule;
+}
+
+ExperimentResult
+runStandardCell(const SweepCell &cell)
+{
+    auto stack = makeStandardScenario(cell.scenario, cell.seed);
+    if (stack->injector)
+        stack->injector->start();
+
+    if (cell.policy == "dejavu") {
+        stack->learnDayOne();
+        DejaVuPolicy policy(*stack->service, *stack->controller);
+        return stack->experiment->run(policy);
+    }
+    if (cell.policy == "autopilot") {
+        const auto schedule = learnAutopilotSchedule(*stack);
+        Autopilot policy(*stack->service, schedule);
+        return stack->experiment->run(policy);
+    }
+    if (cell.policy == "rightscale-3m" ||
+        cell.policy == "rightscale-15m") {
+        RightScalePolicy::Config cfg;
+        cfg.resizeCalmTime =
+            cell.policy == "rightscale-3m" ? minutes(3) : minutes(15);
+        RightScalePolicy policy(*stack->service,
+                                stack->sim->forkRng(), cfg);
+        return stack->experiment->run(policy);
+    }
+    if (cell.policy == "overprovision") {
+        OverprovisionPolicy policy(
+            *stack->service, stack->cluster->maxAllocation());
+        return stack->experiment->run(policy);
+    }
+    if (cell.policy == "reactive-tuning") {
+        ReactiveTuningPolicy policy(*stack->service, *stack->profiler,
+                                    stack->controllerConfig.slo,
+                                    stack->controllerConfig.searchSpace);
+        return stack->experiment->run(policy);
+    }
+    fatal("unknown policy in sweep cell: ", cell.policy);
+}
+
+std::vector<SweepAggregate>
+aggregateSweep(const std::vector<CellResult> &results)
+{
+    std::vector<SweepAggregate> rows;
+    auto rowFor = [&rows](const SweepCell &cell) -> SweepAggregate & {
+        for (auto &row : rows)
+            if (row.scenario == cell.scenario &&
+                row.policy == cell.policy)
+                return row;
+        rows.push_back({cell.scenario, cell.policy, 0, {}, {}, {}, {},
+                        {}});
+        return rows.back();
+    };
+    for (const auto &cr : results) {
+        SweepAggregate &row = rowFor(cr.cell);
+        ++row.cells;
+        row.savingsPercent.add(cr.result.savingsPercent);
+        row.sloViolationPercent.add(
+            100.0 * cr.result.sloViolationFraction);
+        row.meanAdaptationSec.add(cr.result.adaptationSec.mean());
+        row.costDollars.add(cr.result.costDollars);
+        row.energySavingsPercent.add(cr.result.energySavingsPercent);
+    }
+    return rows;
+}
+
+std::string
+sweepCsv(const std::vector<SweepAggregate> &aggregates)
+{
+    std::ostringstream os;
+    os << "scenario,policy,cells,savings_pct,slo_violation_pct,"
+          "adaptation_s,cost_usd,energy_savings_pct\n";
+    for (const auto &row : aggregates) {
+        os << row.scenario << ',' << row.policy << ',' << row.cells
+           << ',' << Table::num(row.savingsPercent.mean(), 3) << ','
+           << Table::num(row.sloViolationPercent.mean(), 3) << ','
+           << Table::num(row.meanAdaptationSec.mean(), 3) << ','
+           << Table::num(row.costDollars.mean(), 3) << ','
+           << Table::num(row.energySavingsPercent.mean(), 3) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace dejavu

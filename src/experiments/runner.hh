@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parallel experiment engine: fans (scenario x policy x seed) cells
+ * across a std::thread pool. Every cell builds its own Simulation from
+ * its seed, so results are bit-identical at any thread count — the
+ * merged result vector is ordered by the input cell order, never by
+ * completion order. This is what turns the paper's one-figure-at-a-
+ * time harness into an embarrassingly parallel sweep: fig06's two
+ * policies, fig08's six adaptation-time cells and a 3-policy x 8-seed
+ * robustness sweep are all the same call.
+ */
+
+#ifndef DEJAVU_EXPERIMENTS_RUNNER_HH
+#define DEJAVU_EXPERIMENTS_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/autopilot.hh"
+#include "experiments/experiment.hh"
+#include "experiments/scenario.hh"
+
+namespace dejavu {
+
+/** One point of a sweep: which scenario, which policy, which seed. */
+struct SweepCell
+{
+    std::string scenario;  ///< e.g. "cassandra-messenger".
+    std::string policy;    ///< e.g. "dejavu", "autopilot".
+    std::uint64_t seed = 42;
+
+    std::string toString() const
+    { return scenario + "/" + policy + "/s" + std::to_string(seed); }
+};
+
+/** A finished cell. */
+struct CellResult
+{
+    SweepCell cell;
+    ExperimentResult result;
+};
+
+/** Per-(scenario, policy) aggregate over seeds. */
+struct SweepAggregate
+{
+    std::string scenario;
+    std::string policy;
+    int cells = 0;
+    RunningStats savingsPercent;
+    RunningStats sloViolationPercent;
+    RunningStats meanAdaptationSec;
+    RunningStats costDollars;
+    RunningStats energySavingsPercent;
+};
+
+/**
+ * Fans experiment cells across a thread pool; deterministic merge.
+ */
+class ExperimentRunner
+{
+  public:
+    struct Config
+    {
+        /** @param threads worker threads; <= 0 means one per
+         *  hardware thread. */
+        explicit Config(int threads_ = 0) : threads(threads_) {}
+        int threads;
+    };
+
+    using CellFn = std::function<ExperimentResult(const SweepCell &)>;
+
+    explicit ExperimentRunner(Config config = Config());
+
+    /** Worker threads the next sweep will use. */
+    int threads() const { return _threads; }
+
+    /**
+     * Run every cell (each in its own Simulation) and return results
+     * in input order regardless of scheduling. @p fn must be
+     * self-contained: it builds the stack for a cell from the cell's
+     * seed and runs it (thread safety comes from sharing nothing).
+     */
+    std::vector<CellResult> sweep(const std::vector<SweepCell> &cells,
+                                  const CellFn &fn) const;
+
+    /** Cartesian product helper: scenarios x policies x seeds. */
+    static std::vector<SweepCell> grid(
+        const std::vector<std::string> &scenarios,
+        const std::vector<std::string> &policies,
+        const std::vector<std::uint64_t> &seeds);
+
+  private:
+    int _threads;
+};
+
+/**
+ * The standard cell function: builds the named scenario stack and
+ * drives the named policy over it.
+ *
+ * Scenarios: "cassandra-messenger", "cassandra-hotmail",
+ * "specweb-messenger", "specweb-hotmail"; append "+interference" to
+ * inject co-located load (e.g. "cassandra-messenger+interference").
+ * Policies: "dejavu", "autopilot", "rightscale-3m", "rightscale-15m",
+ * "overprovision", "reactive-tuning".
+ */
+ExperimentResult runStandardCell(const SweepCell &cell);
+
+/** Build the stack for a standard scenario name (shared with
+ *  runStandardCell; fatal() on unknown names). */
+std::unique_ptr<ScenarioStack> makeStandardScenario(
+    const std::string &scenario, std::uint64_t seed);
+
+/** Autopilot's hour-of-day schedule, tuned on day-1 workloads —
+ *  "the hourly resource allocations learned during the first day of
+ *  the trace" (§4.1). */
+Autopilot::Schedule learnAutopilotSchedule(ScenarioStack &stack);
+
+/**
+ * Aggregate cell results per (scenario, policy), in first-appearance
+ * order — deterministic for a deterministic input order.
+ */
+std::vector<SweepAggregate> aggregateSweep(
+    const std::vector<CellResult> &results);
+
+/** Render aggregates as CSV — a byte-comparable digest of a sweep. */
+std::string sweepCsv(const std::vector<SweepAggregate> &aggregates);
+
+} // namespace dejavu
+
+#endif // DEJAVU_EXPERIMENTS_RUNNER_HH

@@ -173,6 +173,87 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
     return stack;
 }
 
+void
+FleetStack::learnAll()
+{
+    DEJAVU_ASSERT(experiment, "fleet stack not fully wired");
+    for (auto &member : members) {
+        std::vector<Workload> learning;
+        const int hours = member->experimentConfig.reuseStartHour;
+        learning.reserve(static_cast<std::size_t>(hours));
+        for (int h = 0; h < hours; ++h)
+            learning.push_back(TraceDriver::workloadFor(
+                *member->service, member->trace,
+                member->experimentConfig.peakClients, h));
+        member->controller->learn(learning);
+    }
+}
+
+std::unique_ptr<FleetStack>
+makeCassandraFleet(int services, const ScenarioOptions &options,
+                   SimTime profilingSlot)
+{
+    DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
+    auto stack = std::make_unique<FleetStack>();
+    stack->sim = std::make_unique<Simulation>(options.seed);
+    Simulation &sim = *stack->sim;
+    stack->experiment =
+        std::make_unique<FleetExperiment>(sim, profilingSlot);
+
+    for (int i = 0; i < services; ++i) {
+        auto member = std::make_unique<FleetMember>();
+        member->name = "svc-" + std::string(1, char('A' + i % 26))
+            + (i >= 26 ? std::to_string(i / 26) : "");
+
+        Cluster::Config ccfg;
+        ccfg.maxInstances = 10;
+        ccfg.initialType = InstanceType::Large;
+        member->cluster = std::make_unique<Cluster>(sim.queue(), ccfg);
+
+        auto service = std::make_unique<KeyValueService>(
+            sim.queue(), *member->cluster, sim.forkRng());
+        const RequestMix mix = cassandraUpdateHeavy();
+        service->setWorkload({mix, 0.0});
+
+        CounterModel counters(service->kind(), sim.forkRng());
+        Monitor monitor(*service, counters);
+        member->profiler = std::make_unique<ProfilerHost>(
+            *service, std::move(monitor), sim.forkRng());
+
+        DejaVuController::Config dcfg;
+        dcfg.slo = Slo::latency(60.0);
+        dcfg.searchSpace = scaleOutSearchSpace(10, InstanceType::Large);
+        dcfg.interferenceDetection = options.interferenceDetection;
+        member->controller = std::make_unique<DejaVuController>(
+            *service, *member->profiler, dcfg, sim.forkRng());
+
+        // Same diurnal shape for every service (all hourly changes
+        // contend for the shared profiler), distinct per-service
+        // noise/anomalies via the seed offset.
+        member->trace = scenarioTrace(
+            options.traceName, options.days,
+            options.seed + 1000003ULL * static_cast<std::uint64_t>(i));
+
+        ProvisioningExperiment::Config ecfg;
+        ecfg.reuseStartHour = 24;
+        ecfg.slo = dcfg.slo;
+        ecfg.peakClients = clientsForUtilization(
+            *service, mix,
+            10 * instanceSpec(InstanceType::Large).computeUnits,
+            options.peakUtilization);
+        ecfg.learningAllocation = {10, InstanceType::Large};
+        member->experimentConfig = ecfg;
+
+        member->service = std::move(service);
+        stack->experiment->addService(member->name, *member->service,
+                                      *member->controller,
+                                      member->trace,
+                                      member->experimentConfig);
+        stack->members.push_back(std::move(member));
+    }
+    return stack;
+}
+
 std::unique_ptr<ScenarioStack>
 makeRubisStack(std::uint64_t seed)
 {

@@ -17,10 +17,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/dejavu.hh"
 #include "experiments/dejavu_policy.hh"
 #include "experiments/experiment.hh"
+#include "experiments/fleet_experiment.hh"
 
 namespace dejavu {
 
@@ -75,6 +77,46 @@ std::unique_ptr<ScenarioStack> makeSpecWebScaleUp(
  * signature studies and the proxy-overhead measurement.
  */
 std::unique_ptr<ScenarioStack> makeRubisStack(std::uint64_t seed);
+
+/**
+ * One hosted service of a fleet scenario: a full Cassandra-style
+ * stack sharing the fleet's Simulation, plus its own trace.
+ */
+struct FleetMember
+{
+    std::string name;
+    std::unique_ptr<Cluster> cluster;
+    std::unique_ptr<Service> service;
+    std::unique_ptr<ProfilerHost> profiler;
+    std::unique_ptr<DejaVuController> controller;
+    LoadTrace trace;
+    ProvisioningExperiment::Config experimentConfig;
+};
+
+/**
+ * A multi-service deployment (the paper's Figure 2): N hosted
+ * services on one Simulation, wired to a FleetExperiment whose
+ * adaptation requests serialize on the shared profiling host.
+ */
+struct FleetStack
+{
+    std::unique_ptr<Simulation> sim;
+    std::vector<std::unique_ptr<FleetMember>> members;
+    std::unique_ptr<FleetExperiment> experiment;
+
+    /** Run every member's learning phase on its day-1 workloads. */
+    void learnAll();
+};
+
+/**
+ * Cassandra scale-out fleet: @p services co-hosted key-value stores,
+ * each with a trace derived from options.seed (so daily shapes align
+ * — every hourly change contends for the shared profiler — while
+ * noise and anomalies differ per service).
+ */
+std::unique_ptr<FleetStack> makeCassandraFleet(
+    int services, const ScenarioOptions &options,
+    SimTime profilingSlot = seconds(10));
 
 } // namespace dejavu
 

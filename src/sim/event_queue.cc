@@ -5,7 +5,7 @@
 namespace dejavu {
 
 EventId
-EventQueue::schedule(SimTime at, Callback fn)
+EventQueue::schedule(SimTime at, Callback fn, EventBand band)
 {
     DEJAVU_ASSERT(at >= _now, "cannot schedule in the past: at=", at,
                   " now=", _now);
@@ -13,15 +13,28 @@ EventQueue::schedule(SimTime at, Callback fn)
     if (_callbacks.size() <= id)
         _callbacks.resize(id + 1);
     _callbacks[id] = std::move(fn);
-    _heap.push(Entry{at, _nextSeq++, id});
+    _heap.push(Entry{at, _nextSeq++, id, band});
     return id;
 }
 
 EventId
-EventQueue::scheduleAfter(SimTime delay, Callback fn)
+EventQueue::scheduleAfter(SimTime delay, Callback fn, EventBand band)
 {
     DEJAVU_ASSERT(delay >= 0, "negative delay");
-    return schedule(_now + delay, std::move(fn));
+    return schedule(saturatingAdd(_now, delay), std::move(fn), band);
+}
+
+EventId
+EventQueue::schedulePeriodic(SimTime first, SimTime period, Callback fn,
+                             EventBand band)
+{
+    DEJAVU_ASSERT(period > 0, "periodic event needs a positive period");
+    DEJAVU_ASSERT(first >= _now, "cannot schedule in the past: at=",
+                  first, " now=", _now);
+    const EventId id = _nextId++;
+    _periodic.emplace(id, Periodic{period, band, true, std::move(fn)});
+    _heap.push(Entry{first, _nextSeq++, id, band});
+    return id;
 }
 
 bool
@@ -29,6 +42,12 @@ EventQueue::cancel(EventId id)
 {
     if (id == kInvalidEvent || id >= _nextId)
         return false;
+    if (auto it = _periodic.find(id); it != _periodic.end()) {
+        if (it->second.armed)
+            _cancelled.insert(id);  // skip the armed occurrence
+        _periodic.erase(it);
+        return true;
+    }
     if (id < _callbacks.size() && _callbacks[id]) {
         _callbacks[id] = nullptr;
         _cancelled.insert(id);
@@ -54,6 +73,36 @@ EventQueue::popLive(Entry &out)
     return false;
 }
 
+void
+EventQueue::fire(const Entry &e)
+{
+    if (auto it = _periodic.find(e.id); it != _periodic.end()) {
+        // Invoke a copy: the callback may cancel its own series,
+        // erasing the stored closure out from under itself.
+        it->second.armed = false;
+        Callback fn = it->second.fn;
+        fn();
+        it = _periodic.find(e.id);
+        if (it != _periodic.end()) {
+            const SimTime next = saturatingAdd(_now, it->second.period);
+            if (next > _now) {
+                it->second.armed = true;
+                _heap.push(Entry{next, _nextSeq++, e.id,
+                                 it->second.band});
+            } else {
+                // Saturated at the end of simulated time: re-arming
+                // at the same instant would spin runUntil(kSimTimeMax)
+                // forever, so the series ends here.
+                _periodic.erase(it);
+            }
+        }
+        return;
+    }
+    Callback fn = std::move(_callbacks[e.id]);
+    _callbacks[e.id] = nullptr;
+    fn();
+}
+
 std::size_t
 EventQueue::runUntil(SimTime limit)
 {
@@ -69,9 +118,7 @@ EventQueue::runUntil(SimTime limit)
             break;
         }
         _now = e.at;
-        Callback fn = std::move(_callbacks[e.id]);
-        _callbacks[e.id] = nullptr;
-        fn();
+        fire(e);
         ++executed;
     }
     if (_now < limit)
@@ -86,9 +133,7 @@ EventQueue::runAll(std::size_t maxEvents)
     Entry e;
     while (executed < maxEvents && popLive(e)) {
         _now = e.at;
-        Callback fn = std::move(_callbacks[e.id]);
-        _callbacks[e.id] = nullptr;
-        fn();
+        fire(e);
         ++executed;
     }
     DEJAVU_ASSERT(executed < maxEvents,
@@ -103,9 +148,7 @@ EventQueue::step()
     if (!popLive(e))
         return false;
     _now = e.at;
-    Callback fn = std::move(_callbacks[e.id]);
-    _callbacks[e.id] = nullptr;
-    fn();
+    fire(e);
     return true;
 }
 

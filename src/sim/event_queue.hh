@@ -4,8 +4,9 @@
  *
  * A single-threaded event queue in the style of gem5's EventQueue: the
  * queue owns a clock; callers schedule callbacks at absolute simulated
- * times; execution order is (time, insertion sequence) so runs are
- * deterministic.
+ * times; execution order is (time, band, insertion sequence) so runs
+ * are deterministic. Events can be one-shot or recurring, and both are
+ * cancellable through the same handle.
  */
 
 #ifndef DEJAVU_SIM_EVENT_QUEUE_HH
@@ -14,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -28,7 +30,24 @@ using EventId = std::uint64_t;
 constexpr EventId kInvalidEvent = 0;
 
 /**
- * Deterministic min-heap event queue with cancellation.
+ * Execution band for events that land on the same instant. Within one
+ * instant, all Normal events run first, then Probe events, then Driver
+ * events; insertion order breaks remaining ties. The bands encode the
+ * harness's intra-instant contract: reconfigurations scheduled by
+ * controllers (Normal) are visible to monitoring probes (Probe), and
+ * an end-of-hour probe observes the system *before* the next hour's
+ * workload change (Driver) rewrites it.
+ */
+enum class EventBand : std::uint8_t
+{
+    Normal = 0,  ///< Default: model events, deployments, timeouts.
+    Probe = 1,   ///< Monitoring samples; observe same-instant effects.
+    Driver = 2,  ///< Workload/trace drivers; last word at an instant.
+};
+
+/**
+ * Deterministic min-heap event queue with cancellation and recurring
+ * events.
  */
 class EventQueue
 {
@@ -42,16 +61,37 @@ class EventQueue
      * Schedule @p fn at absolute time @p at (>= now).
      * @return a handle that can be passed to cancel().
      */
-    EventId schedule(SimTime at, Callback fn);
+    EventId schedule(SimTime at, Callback fn,
+                     EventBand band = EventBand::Normal);
 
     /** Schedule @p fn @p delay after the current time. */
-    EventId scheduleAfter(SimTime delay, Callback fn);
+    EventId scheduleAfter(SimTime delay, Callback fn,
+                          EventBand band = EventBand::Normal);
 
     /**
-     * Cancel a pending event.
+     * Schedule @p fn to run at @p first and then every @p period until
+     * cancelled. The returned handle stays valid across repetitions;
+     * cancel() (from inside the callback or outside) stops the series.
+     * Note runAll() never drains a queue holding a live periodic
+     * event — bound such runs with runUntil().
+     */
+    EventId schedulePeriodic(SimTime first, SimTime period, Callback fn,
+                             EventBand band = EventBand::Normal);
+
+    /**
+     * Cancel a pending event (one-shot or periodic).
      * @return true if the event was still pending.
      */
     bool cancel(EventId id);
+
+    /** Whether @p id refers to a not-yet-run, not-cancelled event
+     *  (a live periodic series counts as pending). */
+    bool isPending(EventId id) const
+    {
+        if (_periodic.count(id))
+            return true;
+        return id < _callbacks.size() && _callbacks[id] != nullptr;
+    }
 
     /** Number of pending (non-cancelled) events. */
     std::size_t pending() const { return _heap.size() - _cancelled.size(); }
@@ -81,13 +121,25 @@ class EventQueue
         SimTime at;
         std::uint64_t seq;
         EventId id;
+        EventBand band;
         // Ordered as a max-heap by default; invert for min-heap.
         bool operator<(const Entry &o) const
         {
             if (at != o.at)
                 return at > o.at;
+            if (band != o.band)
+                return band > o.band;
             return seq > o.seq;
         }
+    };
+
+    /** Rescheduling state of a live periodic event. */
+    struct Periodic
+    {
+        SimTime period;
+        EventBand band;
+        bool armed = true;  ///< An occurrence sits in the heap.
+        Callback fn;
     };
 
     SimTime _now = 0;
@@ -95,10 +147,14 @@ class EventQueue
     EventId _nextId = 1;
     std::priority_queue<Entry> _heap;
     std::unordered_set<EventId> _cancelled;
-    std::vector<Callback> _callbacks;  // indexed by id (grow-only)
+    std::vector<Callback> _callbacks;  // one-shot; indexed by id
+    std::unordered_map<EventId, Periodic> _periodic;
 
     /** Pop entries until a live one is found; returns false if none. */
     bool popLive(Entry &out);
+
+    /** Run one live entry's callback; periodic entries re-arm. */
+    void fire(const Entry &e);
 };
 
 } // namespace dejavu

@@ -7,4 +7,26 @@ Simulation::Simulation(std::uint64_t seed)
 {
 }
 
+Simulation::~Simulation() = default;
+
+void
+Simulation::start()
+{
+    // An onStart() hook may register further actors (which must also
+    // start) or destroy existing ones (which deregister), so rescan
+    // rather than iterate a snapshot.
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (Actor *actor : _actors) {
+            if (!actor->_started) {
+                actor->_started = true;
+                actor->onStart();
+                progressed = true;
+                break;
+            }
+        }
+    }
+}
+
 } // namespace dejavu

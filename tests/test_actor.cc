@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the actor runtime: recurring/cancellable events,
+ * execution bands, tracked scheduling, and the Simulation actor
+ * registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/actor.hh"
+#include "sim/simulation.hh"
+
+namespace dejavu {
+namespace {
+
+// --------------------------------------------------------------------
+// Recurring events.
+// --------------------------------------------------------------------
+
+TEST(EventQueuePeriodic, FiresEveryPeriod)
+{
+    EventQueue q;
+    int ticks = 0;
+    q.schedulePeriodic(seconds(1), seconds(1), [&] { ++ticks; });
+    q.runUntil(seconds(5) + milliseconds(500));
+    EXPECT_EQ(ticks, 5);  // at 1, 2, 3, 4, 5 s
+}
+
+TEST(EventQueuePeriodic, CancelStopsTheSeries)
+{
+    EventQueue q;
+    int ticks = 0;
+    const EventId id =
+        q.schedulePeriodic(seconds(1), seconds(1), [&] { ++ticks; });
+    q.runUntil(seconds(3));
+    EXPECT_EQ(ticks, 3);
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));  // already cancelled
+    q.runUntil(seconds(10));
+    EXPECT_EQ(ticks, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueuePeriodic, SelfCancelFromCallback)
+{
+    EventQueue q;
+    int ticks = 0;
+    EventId id = kInvalidEvent;
+    id = q.schedulePeriodic(seconds(1), seconds(1), [&] {
+        if (++ticks == 3)
+            q.cancel(id);
+    });
+    q.runUntil(minutes(1));
+    EXPECT_EQ(ticks, 3);
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueuePeriodic, HandleStaysValidAcrossOccurrences)
+{
+    EventQueue q;
+    const EventId id =
+        q.schedulePeriodic(seconds(1), seconds(1), [] {});
+    q.runUntil(seconds(4));
+    EXPECT_TRUE(q.isPending(id));
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.isPending(id));
+}
+
+TEST(EventQueuePeriodic, InterleavesWithOneShots)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedulePeriodic(seconds(2), seconds(2), [&] { order.push_back(0); });
+    q.schedule(seconds(3), [&] { order.push_back(1); });
+    q.runUntil(seconds(6));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 0}));
+}
+
+// --------------------------------------------------------------------
+// Execution bands.
+// --------------------------------------------------------------------
+
+TEST(EventBands, BandOrderBeatsInsertionOrderAtSameInstant)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(seconds(1), [&] { order.push_back(2); },
+               EventBand::Driver);
+    q.schedule(seconds(1), [&] { order.push_back(1); },
+               EventBand::Probe);
+    q.schedule(seconds(1), [&] { order.push_back(0); },
+               EventBand::Normal);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventBands, TimeStillDominatesBand)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(seconds(2), [&] { order.push_back(0); },
+               EventBand::Normal);
+    q.schedule(seconds(1), [&] { order.push_back(2); },
+               EventBand::Driver);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{2, 0}));
+}
+
+TEST(EventBands, FifoWithinBand)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(seconds(1), [&order, i] { order.push_back(i); },
+                   EventBand::Probe);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// --------------------------------------------------------------------
+// isPending.
+// --------------------------------------------------------------------
+
+TEST(EventQueue, IsPendingTracksLifecycle)
+{
+    EventQueue q;
+    const EventId id = q.schedule(seconds(1), [] {});
+    EXPECT_TRUE(q.isPending(id));
+    q.runAll();
+    EXPECT_FALSE(q.isPending(id));
+    const EventId id2 = q.schedule(seconds(2), [] {});
+    q.cancel(id2);
+    EXPECT_FALSE(q.isPending(id2));
+}
+
+// --------------------------------------------------------------------
+// Actor registry and lifecycle.
+// --------------------------------------------------------------------
+
+class TickActor : public Actor
+{
+  public:
+    explicit TickActor(Simulation &sim, SimTime period = seconds(1))
+        : Actor(sim, "ticker"), _period(period)
+    {
+    }
+
+    int starts = 0;
+    int ticks = 0;
+
+    void scheduleFarFuture()
+    { at(hours(1), [this] { ++ticks; }); }
+
+    void stopTicking() { cancelAll(); }
+
+    using Actor::pendingEvents;
+
+  protected:
+    void onStart() override
+    {
+        ++starts;
+        // `every` takes an absolute first occurrence (like `at`);
+        // offset from now() so late-registered actors work too.
+        every(saturatingAdd(now(), _period), _period,
+              [this] { ++ticks; });
+    }
+
+  private:
+    SimTime _period;
+};
+
+TEST(ActorTest, RegistersAndStartsExactlyOnce)
+{
+    Simulation sim;
+    TickActor &actor = sim.spawn<TickActor>();
+    EXPECT_EQ(sim.actorCount(), 1u);
+    EXPECT_FALSE(actor.started());
+
+    sim.runUntil(seconds(3));
+    EXPECT_TRUE(actor.started());
+    EXPECT_EQ(actor.starts, 1);
+    EXPECT_EQ(actor.ticks, 3);
+
+    sim.runFor(seconds(2));  // no re-start on subsequent runs
+    EXPECT_EQ(actor.starts, 1);
+    EXPECT_EQ(actor.ticks, 5);
+}
+
+TEST(ActorTest, LateRegistrationStartsOnNextRun)
+{
+    Simulation sim;
+    sim.runUntil(seconds(1));
+    TickActor &late = sim.spawn<TickActor>();
+    EXPECT_FALSE(late.started());
+    sim.runFor(seconds(2));
+    EXPECT_TRUE(late.started());
+    EXPECT_EQ(late.ticks, 2);
+}
+
+TEST(ActorTest, DestructionCancelsPendingEvents)
+{
+    Simulation sim;
+    int outside = 0;
+    {
+        auto actor = std::make_unique<TickActor>(sim);
+        sim.start();
+        actor->scheduleFarFuture();
+        EXPECT_GE(actor->pendingEvents(), 2u);
+        sim.queue().schedule(minutes(5), [&] { ++outside; });
+        // Actor dies with events still pending.
+    }
+    EXPECT_EQ(sim.actorCount(), 0u);
+    sim.runUntil(hours(2));
+    EXPECT_EQ(outside, 1);  // untracked events are untouched
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(ActorTest, CancelAllStopsTracking)
+{
+    Simulation sim;
+    TickActor &actor = sim.spawn<TickActor>();
+    sim.runUntil(seconds(2));
+    EXPECT_EQ(actor.ticks, 2);
+    actor.stopTicking();
+    sim.runUntil(minutes(1));
+    EXPECT_EQ(actor.ticks, 2);
+    EXPECT_EQ(actor.pendingEvents(), 0u);
+}
+
+TEST(ActorTest, ManyTrackedEventsCompact)
+{
+    Simulation sim;
+    TickActor &actor = sim.spawn<TickActor>(milliseconds(10));
+    sim.runUntil(seconds(10));  // 1000 occurrences, 1 tracked id
+    EXPECT_EQ(actor.ticks, 1000);
+    EXPECT_EQ(actor.pendingEvents(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Simulation::runFor overflow safety.
+// --------------------------------------------------------------------
+
+TEST(SimulationTest, RunForSaturatesAtEndOfTime)
+{
+    Simulation sim;
+    sim.runFor(kSimTimeMax);
+    EXPECT_EQ(sim.now(), kSimTimeMax);
+    sim.runFor(kSimTimeMax);  // would overflow without saturation
+    EXPECT_EQ(sim.now(), kSimTimeMax);
+}
+
+TEST(SimulationTest, RunForNearEndOfTimeDoesNotWrap)
+{
+    Simulation sim;
+    sim.runUntil(kSimTimeMax - seconds(1));
+    sim.runFor(hours(1));
+    EXPECT_EQ(sim.now(), kSimTimeMax);
+}
+
+TEST(SimulationTest, PeriodicSeriesEndsAtEndOfTime)
+{
+    // A periodic event whose re-arm saturates must not spin
+    // runUntil(kSimTimeMax) forever: the series ends instead.
+    EventQueue q;
+    int ticks = 0;
+    q.runUntil(kSimTimeMax - hours(2));
+    q.schedulePeriodic(kSimTimeMax - hours(1), hours(1),
+                       [&] { ++ticks; });
+    q.runUntil(kSimTimeMax);  // must terminate
+    EXPECT_EQ(ticks, 2);      // at max-1h and at max
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace dejavu

@@ -18,6 +18,7 @@
 #include "sim/cluster.hh"
 #include "sim/energy.hh"
 #include "sim/event_queue.hh"
+#include "sim/simulation.hh"
 
 namespace dejavu {
 namespace {
@@ -125,7 +126,8 @@ TEST(RepositoryPersistenceDeath, RejectsMalformed)
 class FleetTest : public ::testing::Test
 {
   protected:
-    EventQueue queue;
+    Simulation sim;
+    EventQueue &queue = sim.queue();
 
     struct ServiceStack
     {
@@ -187,7 +189,7 @@ TEST_F(FleetTest, ConcurrentRequestsQueueForTheProfiler)
     auto s1 = makeStack(100);
     auto s2 = makeStack(200);
     auto s3 = makeStack(300);
-    DejaVuFleet fleet(queue, seconds(10));
+    DejaVuFleet fleet(sim, seconds(10));
     fleet.addService("A", *s1.service, *s1.controller);
     fleet.addService("B", *s2.service, *s2.controller);
     fleet.addService("C", *s3.service, *s3.controller);
@@ -214,7 +216,7 @@ TEST_F(FleetTest, SpacedRequestsPayNoQueueing)
 {
     auto s1 = makeStack(400);
     auto s2 = makeStack(500);
-    DejaVuFleet fleet(queue, seconds(10));
+    DejaVuFleet fleet(sim, seconds(10));
     fleet.addService("A", *s1.service, *s1.controller);
     fleet.addService("B", *s2.service, *s2.controller);
 
@@ -232,7 +234,7 @@ TEST_F(FleetTest, TotalAdaptationIncludesQueueDelay)
 {
     auto s1 = makeStack(600);
     auto s2 = makeStack(700);
-    DejaVuFleet fleet(queue, seconds(10));
+    DejaVuFleet fleet(sim, seconds(10));
     fleet.addService("A", *s1.service, *s1.controller);
     fleet.addService("B", *s2.service, *s2.controller);
     const Workload w{cassandraUpdateHeavy(), 25500.0};
@@ -247,7 +249,7 @@ TEST_F(FleetTest, TotalAdaptationIncludesQueueDelay)
 TEST_F(FleetTest, DuplicateNamesRejected)
 {
     auto s1 = makeStack(800);
-    DejaVuFleet fleet(queue);
+    DejaVuFleet fleet(sim);
     fleet.addService("A", *s1.service, *s1.controller);
     EXPECT_DEATH(fleet.addService("A", *s1.service, *s1.controller),
                  "duplicate");
@@ -255,7 +257,7 @@ TEST_F(FleetTest, DuplicateNamesRejected)
 
 TEST_F(FleetTest, UnknownServiceIsFatal)
 {
-    DejaVuFleet fleet(queue);
+    DejaVuFleet fleet(sim);
     EXPECT_EXIT(fleet.requestAdaptation(
                     "ghost", {cassandraUpdateHeavy(), 1.0}),
                 ::testing::ExitedWithCode(1), "unknown service");

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: cartesian grids, ordered
+ * merges, and bit-identical results at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+#include "experiments/runner.hh"
+
+namespace dejavu {
+namespace {
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        _before = logLevel();
+        setLogLevel(LogLevel::Silent);
+    }
+    void TearDown() override { setLogLevel(_before); }
+
+  private:
+    LogLevel _before = LogLevel::Info;
+};
+
+TEST(RunnerGrid, CartesianProductInOrder)
+{
+    const auto cells = ExperimentRunner::grid(
+        {"s1", "s2"}, {"p1", "p2"}, {7, 8});
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].toString(), "s1/p1/s7");
+    EXPECT_EQ(cells[1].toString(), "s1/p1/s8");
+    EXPECT_EQ(cells[2].toString(), "s1/p2/s7");
+    EXPECT_EQ(cells[7].toString(), "s2/p2/s8");
+}
+
+TEST(RunnerSweep, ResultsInInputOrderRegardlessOfCompletion)
+{
+    // Cells finish in reverse order (later cells are quicker), but
+    // the merge must follow input order.
+    std::vector<SweepCell> cells;
+    for (int i = 0; i < 16; ++i)
+        cells.push_back({"scenario", "p" + std::to_string(i),
+                         static_cast<std::uint64_t>(i)});
+
+    std::atomic<int> running{0};
+    const auto fn = [&](const SweepCell &cell) {
+        ++running;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(16 - cell.seed));
+        ExperimentResult r;
+        r.policyName = cell.policy;
+        r.costDollars = static_cast<double>(cell.seed);
+        return r;
+    };
+    const auto results =
+        ExperimentRunner(ExperimentRunner::Config(8)).sweep(cells, fn);
+    EXPECT_EQ(running.load(), 16);
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].cell.toString(), cells[i].toString());
+        EXPECT_EQ(results[i].result.policyName, cells[i].policy);
+        EXPECT_DOUBLE_EQ(results[i].result.costDollars,
+                         static_cast<double>(i));
+    }
+}
+
+TEST(RunnerSweep, ThreadCountDefaultsToHardware)
+{
+    ExperimentRunner runner;
+    EXPECT_GE(runner.threads(), 1);
+    ExperimentRunner one(ExperimentRunner::Config(1));
+    EXPECT_EQ(one.threads(), 1);
+}
+
+using RunnerIntegration = QuietLogs;
+
+TEST_F(RunnerIntegration, BitIdenticalAcrossThreadCounts)
+{
+    // The ISSUE acceptance bar: a >= 3 policy x >= 4 seed sweep must
+    // produce byte-identical aggregates at 1 and 8 threads (and the
+    // full per-cell series must match, not just the digest).
+    const auto cells = ExperimentRunner::grid(
+        {"cassandra-messenger"},
+        {"dejavu", "autopilot", "rightscale-3m"}, {1, 2, 3, 4});
+
+    auto runAt = [&](int threads) {
+        return ExperimentRunner(ExperimentRunner::Config(threads))
+            .sweep(cells, runStandardCell);
+    };
+    const auto at1 = runAt(1);
+    const auto at4 = runAt(4);
+    const auto at8 = runAt(8);
+
+    const std::string digest1 = sweepCsv(aggregateSweep(at1));
+    EXPECT_EQ(digest1, sweepCsv(aggregateSweep(at4)));
+    EXPECT_EQ(digest1, sweepCsv(aggregateSweep(at8)));
+
+    for (std::size_t i = 0; i < at1.size(); ++i) {
+        const auto &a = at1[i].result;
+        const auto &b = at8[i].result;
+        EXPECT_DOUBLE_EQ(a.costDollars, b.costDollars);
+        EXPECT_DOUBLE_EQ(a.sloViolationFraction,
+                         b.sloViolationFraction);
+        EXPECT_DOUBLE_EQ(a.savingsPercent, b.savingsPercent);
+        ASSERT_EQ(a.latencyMs.size(), b.latencyMs.size());
+        for (std::size_t k = 0; k < a.latencyMs.size(); ++k) {
+            EXPECT_DOUBLE_EQ(a.latencyMs[k].timeHours,
+                             b.latencyMs[k].timeHours);
+            EXPECT_DOUBLE_EQ(a.latencyMs[k].value,
+                             b.latencyMs[k].value);
+        }
+    }
+}
+
+TEST_F(RunnerIntegration, AggregateGroupsByScenarioAndPolicy)
+{
+    const auto cells = ExperimentRunner::grid(
+        {"cassandra-messenger"}, {"dejavu", "autopilot"}, {1, 2});
+    const auto results =
+        ExperimentRunner(ExperimentRunner::Config(4))
+            .sweep(cells, runStandardCell);
+    const auto aggregates = aggregateSweep(results);
+    ASSERT_EQ(aggregates.size(), 2u);
+    EXPECT_EQ(aggregates[0].policy, "dejavu");
+    EXPECT_EQ(aggregates[0].cells, 2);
+    EXPECT_EQ(aggregates[1].policy, "autopilot");
+    EXPECT_EQ(aggregates[1].cells, 2);
+    // DejaVu must beat the schedule-replay baseline on SLO quality.
+    EXPECT_LT(aggregates[0].sloViolationPercent.mean(),
+              aggregates[1].sloViolationPercent.mean());
+}
+
+TEST_F(RunnerIntegration, StandardCellCoversEveryPolicy)
+{
+    for (const char *policy :
+         {"dejavu", "overprovision", "reactive-tuning"}) {
+        const ExperimentResult r =
+            runStandardCell({"cassandra-messenger", policy, 42});
+        EXPECT_FALSE(r.latencyMs.empty()) << policy;
+        EXPECT_GT(r.costDollars, 0.0) << policy;
+    }
+    // Overprovision pins max capacity: zero savings by construction.
+    const ExperimentResult over =
+        runStandardCell({"cassandra-messenger", "overprovision", 42});
+    EXPECT_NEAR(over.savingsPercent, 0.0, 1.0);
+}
+
+TEST_F(RunnerIntegration, UnknownScenarioOrPolicyIsFatal)
+{
+    EXPECT_EXIT(runStandardCell({"nonsense", "dejavu", 1}),
+                ::testing::ExitedWithCode(1), "scenario");
+    EXPECT_EXIT(runStandardCell({"cassandra-messenger", "nope", 1}),
+                ::testing::ExitedWithCode(1), "unknown policy");
+}
+
+} // namespace
+} // namespace dejavu

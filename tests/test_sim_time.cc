@@ -45,5 +45,29 @@ TEST(SimTime, FormatTime)
     EXPECT_EQ(formatTime(-hours(1)), "-0d 01:00:00");
 }
 
+TEST(SimTime, SaturatingAddOrdinaryValues)
+{
+    EXPECT_EQ(saturatingAdd(hours(1), minutes(30)),
+              hours(1) + minutes(30));
+    EXPECT_EQ(saturatingAdd(hours(1), -minutes(30)), minutes(30));
+    EXPECT_EQ(saturatingAdd(0, 0), 0);
+}
+
+TEST(SimTime, SaturatingAddClampsOverflow)
+{
+    EXPECT_EQ(saturatingAdd(kSimTimeMax, 1), kSimTimeMax);
+    EXPECT_EQ(saturatingAdd(kSimTimeMax, kSimTimeMax), kSimTimeMax);
+    EXPECT_EQ(saturatingAdd(kSimTimeMax - seconds(1), hours(1)),
+              kSimTimeMax);
+    // Still exact right at the boundary.
+    EXPECT_EQ(saturatingAdd(kSimTimeMax - 1, 1), kSimTimeMax);
+}
+
+TEST(SimTime, SaturatingAddClampsUnderflow)
+{
+    EXPECT_EQ(saturatingAdd(INT64_MIN, -1), INT64_MIN);
+    EXPECT_EQ(saturatingAdd(INT64_MIN + 1, -2), INT64_MIN);
+}
+
 } // namespace
 } // namespace dejavu
