@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fleet-wide adaptation-time tails per §3.3 slot-scheduling policy.
+ *
+ * A 100-service mixed fleet (KeyValue + SPECweb + RUBiS round-robin,
+ * heterogeneous SLOs and profiling-slot durations) is run under each
+ * slot scheduler — FIFO, shortest-job-first, SLO-debt-first — and the
+ * p50/p95/max of the shared-profiler queue delay and of the
+ * end-to-end adaptation time are tabulated. The same cells are swept
+ * at 1 and at 4 runner threads and must produce byte-identical CSV
+ * digests (each cell owns its Simulation; the merge is input-ordered).
+ *
+ * Also reports event-queue throughput for the 100-actor case: the
+ * fleet run executes ~300k tracked events (drivers, probes, slot
+ * grants, host-free dispatches) on one queue, and events/second of
+ * wall clock is the number the indexed-slot queue rework moves.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "experiments/runner.hh"
+
+using namespace dejavu;
+
+namespace {
+
+constexpr int kServices = 100;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const std::string scenario =
+        "fleet-mixed-" + std::to_string(kServices);
+
+    printBanner(std::cout, "Fleet adaptation-time tails ("
+                + std::to_string(kServices) + " services, "
+                "KeyValue+SPECweb+RUBiS, one shared profiling host)");
+
+    // One cell per slot policy; identical fleet, identical traces —
+    // only the order waiting requests get the host differs.
+    const auto cells = ExperimentRunner::grid(
+        {scenario}, slotPolicyNames(), {42});
+
+    const auto start1 = std::chrono::steady_clock::now();
+    const auto summaries = ExperimentRunner(
+        ExperimentRunner::Config(1)).sweepInto(cells, runFleetCell);
+    const double t1 = secondsSince(start1);
+
+    const auto start4 = std::chrono::steady_clock::now();
+    const auto summaries4 = ExperimentRunner(
+        ExperimentRunner::Config(4)).sweepInto(cells, runFleetCell);
+    const double t4 = secondsSince(start4);
+
+    std::vector<FleetCellResult> rows, rows4;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        rows.push_back({cells[i], summaries[i]});
+        rows4.push_back({cells[i], summaries4[i]});
+    }
+    const std::string digest1 = fleetSweepCsv(rows);
+    const std::string digest4 = fleetSweepCsv(rows4);
+
+    Table table({"policy", "adaptations", "queue_p50_s", "queue_p95_s",
+                 "queue_max_s", "adapt_p50_s", "adapt_p95_s",
+                 "adapt_max_s"});
+    for (const auto &row : rows) {
+        const auto &s = row.summary;
+        table.addRow({s.policy, std::to_string(s.adaptations),
+                      Table::num(s.queueDelayP50Sec, 1),
+                      Table::num(s.queueDelayP95Sec, 1),
+                      Table::num(s.queueDelayMaxSec, 1),
+                      Table::num(s.adaptationP50Sec, 1),
+                      Table::num(s.adaptationP95Sec, 1),
+                      Table::num(s.adaptationMaxSec, 1)});
+    }
+    table.printText(std::cout);
+
+    std::cout << "sweep wall clock: " << Table::num(t1, 1)
+              << " s at 1 thread, " << Table::num(t4, 1)
+              << " s at 4 threads\n"
+              << "digests byte-identical at 1 vs 4 threads: "
+              << (digest1 == digest4 ? "YES" : "NO — BUG") << "\n\n";
+
+    // Event-queue throughput for the 100-actor case: one full fleet
+    // run, all services' drivers/probes/recorders plus the fleet's
+    // slot grants interleaving on a single queue.
+    printBanner(std::cout, "Event-queue throughput (100-actor fleet)");
+    auto stack = makeFleetScenario(scenario, 42, SlotPolicy::Fifo);
+    stack->learnAll();
+    const auto runStart = std::chrono::steady_clock::now();
+    stack->experiment->run();
+    const double runSec = secondsSince(runStart);
+    const std::uint64_t events = stack->sim->queue().executed();
+    std::cout << events << " events in " << Table::num(runSec, 2)
+              << " s of wall clock = "
+              << Table::num(static_cast<double>(events) / runSec / 1e6,
+                            2)
+              << " M events/s (simulated horizon: 2 days x "
+              << kServices << " services)\n";
+
+    if (digest1 != digest4)
+        return 1;
+    return 0;
+}

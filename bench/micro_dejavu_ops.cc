@@ -155,5 +155,55 @@ BM_FullLearningPipeline(benchmark::State &state)
 }
 BENCHMARK(BM_FullLearningPipeline);
 
+/**
+ * Event-queue hot path at fleet scale: N actors each running a
+ * 1-minute periodic probe (the MonitorProbe cadence) for one simulated
+ * hour. Items processed = events executed, so the reported rate is
+ * queue throughput in events/second.
+ */
+void
+BM_EventQueuePeriodicFleet(benchmark::State &state)
+{
+    const int actors = static_cast<int>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        EventQueue q;
+        for (int i = 0; i < actors; ++i)
+            q.schedulePeriodic(seconds(i % 60), minutes(1), [] {});
+        events += q.runUntil(hours(1));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueuePeriodicFleet)->Arg(10)->Arg(100);
+
+/**
+ * Cancellation-heavy churn: every actor re-arms a watchdog timeout
+ * each second (cancel + reschedule), leaving one stale heap entry per
+ * tick — the lazy-deletion pattern the fleet's adaptation timeouts
+ * produce. Stresses cancel() and the dead-entry skip in the pop path.
+ */
+void
+BM_EventQueueCancelChurn(benchmark::State &state)
+{
+    const int actors = static_cast<int>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        EventQueue q;
+        std::vector<EventId> timeout(static_cast<std::size_t>(actors),
+                                     kInvalidEvent);
+        std::function<void(int)> tick = [&](int a) {
+            q.cancel(timeout[static_cast<std::size_t>(a)]);
+            timeout[static_cast<std::size_t>(a)] =
+                q.scheduleAfter(minutes(5), [] {});
+            q.scheduleAfter(seconds(1), [&tick, a] { tick(a); });
+        };
+        for (int a = 0; a < actors; ++a)
+            q.schedule(0, [&tick, a] { tick(a); });
+        events += q.runUntil(minutes(2));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(100);
+
 } // namespace
 } // namespace dejavu

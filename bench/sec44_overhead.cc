@@ -118,24 +118,66 @@ main()
 
     // §4.4 opens with: "DejaVu requires only one or a few machines to
     // host the profiling instances of the services that it manages."
-    // Quantify that: N services whose hourly workload changes all
-    // land at once (the worst case) queue for 10-second profiling
-    // slots; the last service's adaptation stretches by the queue.
+    // Quantify that with the real fleet: N services whose hourly
+    // workload changes all land at once (the worst case) queue for
+    // 10-second profiling slots on one DejaVuFleet host; the last
+    // service's adaptation stretches by the measured queue.
     printBanner(std::cout, "Section 4.4: one profiling host shared by "
                            "N services (worst-case simultaneous "
                            "changes)");
     Table fleetTable({"services", "max_queue_delay_s",
                       "last_adaptation_s", "host_busy_fraction_%"});
     for (int n : {1, 4, 16, 64}) {
-        EventQueue q;
-        ProfilingSlotScheduler sched(q, seconds(10));
-        SimTime last = 0;
+        Simulation sim(42);
+        struct MiniStack
+        {
+            std::unique_ptr<Cluster> cluster;
+            std::unique_ptr<KeyValueService> service;
+            std::unique_ptr<ProfilerHost> profiler;
+            std::unique_ptr<DejaVuController> controller;
+        };
+        std::vector<MiniStack> stacks;
+        stacks.reserve(static_cast<std::size_t>(n));
+        DejaVuFleet fleet(sim, seconds(10));
+        for (int s = 0; s < n; ++s) {
+            MiniStack stack;
+            stack.cluster = std::make_unique<Cluster>(
+                sim.queue(), Cluster::Config{});
+            stack.service = std::make_unique<KeyValueService>(
+                sim.queue(), *stack.cluster, sim.forkRng());
+            stack.profiler = std::make_unique<ProfilerHost>(
+                *stack.service,
+                Monitor(*stack.service,
+                        CounterModel(ServiceKind::KeyValue,
+                                     sim.forkRng())),
+                sim.forkRng());
+            DejaVuController::Config cfg;
+            cfg.slo = Slo::latency(60.0);
+            cfg.searchSpace = scaleOutSearchSpace(10);
+            stack.controller = std::make_unique<DejaVuController>(
+                *stack.service, *stack.profiler, cfg, sim.forkRng());
+            stack.controller->learn(
+                {{cassandraUpdateHeavy(), 3000.0},
+                 {cassandraUpdateHeavy(), 12000.0},
+                 {cassandraUpdateHeavy(), 25000.0}});
+            stacks.push_back(std::move(stack));
+            fleet.addService("svc" + std::to_string(s),
+                             *stacks.back().service,
+                             *stacks.back().controller);
+        }
+        const Workload change{cassandraUpdateHeavy(), 12200.0};
         for (int s = 0; s < n; ++s)
-            last = sched.acquire();
-        const double maxDelay = toSeconds(last);
+            fleet.requestAdaptation("svc" + std::to_string(s), change);
+        sim.runUntil(hours(1));
+
+        SimTime lastAdaptation = 0;
+        for (const auto &entry : fleet.log())
+            lastAdaptation = std::max(lastAdaptation,
+                                      entry.totalAdaptation());
         fleetTable.addRow({
-            std::to_string(n), Table::num(maxDelay, 0),
-            Table::num(maxDelay + 10.0, 0),
+            std::to_string(n),
+            Table::num(toSeconds(fleet.maxQueueDelay()), 0),
+            Table::num(toSeconds(lastAdaptation), 0),
             Table::num(100.0 * n * 10.0 / 3600.0, 1)});
     }
     fleetTable.printText(std::cout);

@@ -7,10 +7,13 @@
  * concurrent adaptation requests serialize on the profiling host
  * (§3.3), with the queueing delay charged to adaptation time.
  *
- * Expected output: three services each holding their SLO, plus a
- * profiler-contention report — at every trace hour all services
- * request adaptation simultaneously, so the 2nd and 3rd in line pay
- * 10 s and 20 s of queueing on top of their own ~10 s profiling.
+ * The fleet here is heterogeneous — Cassandra-style key-value stores
+ * (60 ms SLO, 10 s profiling slots), SPECweb front-ends (QoS >= 95%,
+ * 15 s slots) and three-tier RUBiS (150 ms SLO, 20 s slots) — and the
+ * same fleet is run under each §3.3 slot-scheduling policy to show
+ * how the contention *policy* moves the fleet-wide adaptation tails:
+ * shortest-job-first trims the median queue delay, SLO-debt-first
+ * steers slots toward currently violating services.
  */
 
 #include <cstdio>
@@ -28,35 +31,47 @@ main()
     ScenarioOptions options;
     options.seed = 42;
     options.traceName = "messenger";
-    auto stack = makeCassandraFleet(/*services=*/3, options,
-                                    /*profilingSlot=*/seconds(10));
+    options.days = 3;
 
-    // Learning phase for every hosted service (offline, day 1).
-    stack->learnAll();
+    std::printf("mixed fleet of 6 services "
+                "(2x KeyValue + 2x SPECweb + 2x RUBiS), one shared "
+                "profiling host:\n\n");
 
-    // Reuse phase: everything event-driven on the shared queue.
-    const auto results = stack->experiment->run();
+    for (const auto &policyName : slotPolicyNames()) {
+        auto stack = makeMixedFleet(/*services=*/6, options,
+                                    slotPolicyFromName(policyName));
 
-    std::printf("fleet of %d services, one shared profiling host:\n\n",
-                stack->experiment->services());
-    std::printf("%-8s %12s %14s %14s %16s %14s\n", "service",
-                "savings_%", "slo_viol_%", "adaptations",
-                "mean_adapt_s", "max_queue_s");
-    for (const auto &sr : results) {
-        std::printf("%-8s %12.1f %14.2f %14d %16.1f %14.1f\n",
-                    sr.name.c_str(), sr.result.savingsPercent,
-                    100.0 * sr.result.sloViolationFraction,
-                    sr.adaptations, sr.result.adaptationSec.mean(),
-                    toSeconds(sr.maxQueueDelay));
+        // Learning phase for every hosted service (offline, day 1).
+        stack->learnAll();
+
+        // Reuse phase: everything event-driven on the shared queue.
+        const auto results = stack->experiment->run();
+        const auto summary = stack->experiment->summary();
+        const auto &fleet = stack->experiment->fleet();
+
+        std::printf("--- slot policy: %s ---\n", policyName.c_str());
+        std::printf("%-8s %6s %12s %14s %14s %14s %14s\n", "service",
+                    "slot_s", "savings_%", "slo_viol_%",
+                    "adaptations", "mean_adapt_s", "max_queue_s");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &sr = results[i];
+            std::printf("%-8s %6.0f %12.1f %14.2f %14d %14.1f "
+                        "%14.1f\n",
+                        sr.name.c_str(),
+                        toSeconds(stack->members[i]->profilingSlot),
+                        sr.result.savingsPercent,
+                        100.0 * sr.result.sloViolationFraction,
+                        sr.adaptations, sr.result.adaptationSec.mean(),
+                        toSeconds(sr.maxQueueDelay));
+        }
+        std::printf("fleet: %llu slots granted, queue delay "
+                    "p50/p95/max = %.1f/%.1f/%.1f s, total adaptation "
+                    "p50/p95/max = %.1f/%.1f/%.1f s\n\n",
+                    static_cast<unsigned long long>(
+                        fleet.slotsGranted()),
+                    summary.queueDelayP50Sec, summary.queueDelayP95Sec,
+                    summary.queueDelayMaxSec, summary.adaptationP50Sec,
+                    summary.adaptationP95Sec, summary.adaptationMaxSec);
     }
-
-    const auto &fleet = stack->experiment->fleet();
-    std::printf("\nshared profiler: %llu slots granted, "
-                "max queue delay %.1f s\n",
-                static_cast<unsigned long long>(
-                    fleet.scheduler().slotsGranted()),
-                toSeconds(fleet.maxQueueDelay()));
-    std::printf("per-service latency series recorded: %zu points "
-                "each\n", results.front().result.latencyMs.size());
     return 0;
 }

@@ -7,41 +7,133 @@
 
 namespace dejavu {
 
-ProfilingSlotScheduler::ProfilingSlotScheduler(EventQueue &queue,
-                                               SimTime slotDuration)
-    : _queue(queue), _slotDuration(slotDuration)
+namespace {
+
+/** Arrival order — the §3.3 behavior the paper implies. */
+class FifoSlotScheduler : public ProfilingSlotScheduler
 {
-    DEJAVU_ASSERT(_slotDuration > 0, "slot duration must be positive");
+  public:
+    std::string name() const override { return "fifo"; }
+
+    std::size_t
+    pick(const std::vector<ProfilingRequest> &waiting) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i)
+            if (waiting[i].seq < waiting[best].seq)
+                best = i;
+        return best;
+    }
+};
+
+/** Smallest host occupancy first; arrival order breaks ties. */
+class ShortestJobFirstSlotScheduler : public ProfilingSlotScheduler
+{
+  public:
+    std::string name() const override { return "sjf"; }
+
+    std::size_t
+    pick(const std::vector<ProfilingRequest> &waiting) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const auto &a = waiting[i];
+            const auto &b = waiting[best];
+            if (a.slotDuration < b.slotDuration ||
+                (a.slotDuration == b.slotDuration && a.seq < b.seq))
+                best = i;
+        }
+        return best;
+    }
+};
+
+/** Deepest SLO debtor first; arrival order breaks ties (so a fleet
+ *  with no violations degrades to FIFO). */
+class SloDebtFirstSlotScheduler : public ProfilingSlotScheduler
+{
+  public:
+    std::string name() const override { return "slo-debt"; }
+
+    std::size_t
+    pick(const std::vector<ProfilingRequest> &waiting) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < waiting.size(); ++i) {
+            const auto &a = waiting[i];
+            const auto &b = waiting[best];
+            if (a.sloDebt > b.sloDebt ||
+                (a.sloDebt == b.sloDebt && a.seq < b.seq))
+                best = i;
+        }
+        return best;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ProfilingSlotScheduler>
+makeSlotScheduler(SlotPolicy policy)
+{
+    switch (policy) {
+      case SlotPolicy::Fifo:
+        return std::make_unique<FifoSlotScheduler>();
+      case SlotPolicy::ShortestJobFirst:
+        return std::make_unique<ShortestJobFirstSlotScheduler>();
+      case SlotPolicy::SloDebtFirst:
+        return std::make_unique<SloDebtFirstSlotScheduler>();
+    }
+    fatal("unknown slot policy");
 }
 
-SimTime
-ProfilingSlotScheduler::acquire()
+SlotPolicy
+slotPolicyFromName(const std::string &name)
 {
-    const SimTime start = std::max(_queue.now(), _busyUntil);
-    _busyUntil = saturatingAdd(start, _slotDuration);
-    ++_granted;
-    return start;
+    if (name == "fifo")
+        return SlotPolicy::Fifo;
+    if (name == "sjf")
+        return SlotPolicy::ShortestJobFirst;
+    if (name == "slo-debt")
+        return SlotPolicy::SloDebtFirst;
+    fatal("unknown slot policy: ", name, " (use fifo|sjf|slo-debt)");
 }
 
-SimTime
-ProfilingSlotScheduler::nextFreeAt() const
+std::unique_ptr<ProfilingSlotScheduler>
+makeSlotScheduler(const std::string &name)
 {
-    return std::max(_queue.now(), _busyUntil);
+    return makeSlotScheduler(slotPolicyFromName(name));
 }
 
-DejaVuFleet::DejaVuFleet(Simulation &sim, SimTime profilingSlot)
-    : Actor(sim, "dejavu-fleet"), _scheduler(sim.queue(), profilingSlot)
+const std::vector<std::string> &
+slotPolicyNames()
 {
+    static const std::vector<std::string> names{"fifo", "sjf",
+                                                "slo-debt"};
+    return names;
+}
+
+DejaVuFleet::DejaVuFleet(
+    Simulation &sim, SimTime profilingSlot,
+    std::unique_ptr<ProfilingSlotScheduler> scheduler)
+    : Actor(sim, "dejavu-fleet"), _defaultSlot(profilingSlot),
+      _scheduler(scheduler ? std::move(scheduler)
+                           : makeSlotScheduler(SlotPolicy::Fifo))
+{
+    DEJAVU_ASSERT(_defaultSlot > 0, "slot duration must be positive");
 }
 
 void
 DejaVuFleet::addService(const std::string &name, Service &service,
-                        DejaVuController &controller)
+                        DejaVuController &controller,
+                        SimTime profilingSlot)
 {
     DEJAVU_ASSERT(!name.empty(), "service needs a name");
-    for (const auto &m : _members)
-        DEJAVU_ASSERT(m.name != name, "duplicate service name: ", name);
-    _members.push_back({name, &service, &controller});
+    DEJAVU_ASSERT(profilingSlot >= 0, "negative profiling slot");
+    DEJAVU_ASSERT(!_memberIndex.count(name),
+                  "duplicate service name: ", name);
+    _memberIndex.emplace(name, _members.size());
+    _members.push_back({name, &service, &controller,
+                        profilingSlot > 0 ? profilingSlot : _defaultSlot,
+                        0.0});
 }
 
 void
@@ -50,35 +142,93 @@ DejaVuFleet::addListener(AdaptationListener fn)
     _listeners.push_back(std::move(fn));
 }
 
+std::size_t
+DejaVuFleet::memberIndex(const std::string &name) const
+{
+    const auto it = _memberIndex.find(name);
+    if (it == _memberIndex.end())
+        fatal("unknown service in fleet: ", name);
+    return it->second;
+}
+
 void
 DejaVuFleet::requestAdaptation(const std::string &name,
                                const Workload &workload)
 {
+    QueuedRequest req;
+    req.info.member = memberIndex(name);
+    req.info.seq = _nextSeq++;
+    req.info.requestedAt = now();
+    req.info.slotDuration = _members[req.info.member].slotDuration;
+    req.workload = workload;
+    _waiting.push_back(std::move(req));
+    dispatch();
+}
+
+void
+DejaVuFleet::noteSloViolation(const std::string &name)
+{
+    _members[memberIndex(name)].sloDebt += 1.0;
+}
+
+double
+DejaVuFleet::sloDebt(const std::string &name) const
+{
+    return _members[memberIndex(name)].sloDebt;
+}
+
+void
+DejaVuFleet::dispatch()
+{
+    if (_hostBusy || _waiting.empty())
+        return;
+
+    // Refresh each request's debt so the scheduler sees the debtor's
+    // state *now*, not at enqueue time.
+    std::vector<ProfilingRequest> view;
+    view.reserve(_waiting.size());
+    for (auto &queued : _waiting) {
+        queued.info.sloDebt = _members[queued.info.member].sloDebt;
+        view.push_back(queued.info);
+    }
+    const std::size_t pick = _scheduler->pick(view);
+    DEJAVU_ASSERT(pick < view.size(), "scheduler '",
+                  _scheduler->name(), "' picked out of range: ", pick);
+    QueuedRequest req = std::move(_waiting[pick]);
+    _waiting.erase(_waiting.begin()
+                   + static_cast<std::ptrdiff_t>(pick));
+
+    _hostBusy = true;
+    ++_granted;
+    // The granted member's accumulated debt is spent: prioritization
+    // starts over after it gets the host.
+    _members[req.info.member].sloDebt = 0.0;
+
+    const std::size_t memberIdx = req.info.member;
+    const SimTime requestedAt = req.info.requestedAt;
+    const SimTime start = now();
+    const SimTime duration = req.info.slotDuration;
+
+    // The controller runs when the slot starts; its own adaptation
+    // time (signature collection etc.) is measured from that point.
     // Capture the member by index: a later addService() may grow the
     // vector and would invalidate references held by pending events.
-    std::size_t memberIdx = _members.size();
-    for (std::size_t i = 0; i < _members.size(); ++i)
-        if (_members[i].name == name)
-            memberIdx = i;
-    if (memberIdx == _members.size())
-        fatal("unknown service in fleet: ", name);
-
-    const SimTime requestedAt = now();
-    const SimTime slotStart = _scheduler.acquire();
-
-    // The controller runs when the shared profiling host frees up;
-    // its own adaptation time (signature collection etc.) is measured
-    // from that point.
-    at(slotStart, [this, memberIdx, workload, requestedAt, slotStart] {
+    at(start, [this, memberIdx, requestedAt, start, duration,
+               workload = std::move(req.workload)] {
         Member &member = _members[memberIdx];
         CompletedAdaptation entry;
         entry.service = member.name;
         entry.requestedAt = requestedAt;
-        entry.profilingStartedAt = slotStart;
+        entry.profilingStartedAt = start;
+        entry.slotDuration = duration;
         entry.decision = member.controller->onWorkloadChange(workload);
         _log.push_back(entry);
         for (const auto &listener : _listeners)
             listener(_log.back());
+    });
+    at(saturatingAdd(start, duration), [this] {
+        _hostBusy = false;
+        dispatch();
     });
 }
 

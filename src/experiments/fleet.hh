@@ -11,6 +11,12 @@
  * adaptation requests queue for the shared host, and the queueing
  * delay is charged to their adaptation time.
  *
+ * *Which* waiting request gets the host when it frees up is a policy,
+ * not a law: the fleet delegates the choice to a pluggable
+ * ProfilingSlotScheduler (FIFO, shortest-job-first, SLO-debt-first),
+ * which is what lets experiments measure how contention policy — not
+ * just contention existence — shapes fleet-wide adaptation-time tails.
+ *
  * The fleet is an Actor on the shared simulation: profiling-slot
  * starts are ordinary tracked events, so a fleet interleaves with any
  * number of per-service trace drivers and monitor probes on one
@@ -20,8 +26,11 @@
 #ifndef DEJAVU_EXPERIMENTS_FLEET_HH
 #define DEJAVU_EXPERIMENTS_FLEET_HH
 
+#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/controller.hh"
@@ -31,33 +40,62 @@
 namespace dejavu {
 
 /**
- * Serializes access to the shared profiling host.
+ * One adaptation request waiting for the shared profiling host — the
+ * view a slot scheduler picks from.
+ */
+struct ProfilingRequest
+{
+    std::size_t member = 0;    ///< Index into the fleet's member table.
+    std::uint64_t seq = 0;     ///< Arrival order; never reused.
+    SimTime requestedAt = 0;
+    SimTime slotDuration = 0;  ///< This member's profiling time.
+    double sloDebt = 0.0;      ///< Member's SLO debt right now.
+};
+
+/**
+ * Policy choosing which waiting adaptation request gets the shared
+ * profiling host next. Implementations must be deterministic pure
+ * functions of the waiting list (ties broken by arrival seq), so fleet
+ * runs are bit-identical at any experiment-runner thread count.
  */
 class ProfilingSlotScheduler
 {
   public:
-    ProfilingSlotScheduler(EventQueue &queue, SimTime slotDuration);
+    virtual ~ProfilingSlotScheduler() = default;
+
+    virtual std::string name() const = 0;
 
     /**
-     * Reserve the next free profiling slot.
-     * @return the absolute time at which the slot begins (>= now).
+     * Pick the next request to grant.
+     * @param waiting non-empty, ordered by arrival (seq ascending).
+     * @return index into @p waiting.
      */
-    SimTime acquire();
-
-    /** When the host next becomes free. */
-    SimTime nextFreeAt() const;
-
-    /** Slots handed out so far. */
-    std::uint64_t slotsGranted() const { return _granted; }
-
-    SimTime slotDuration() const { return _slotDuration; }
-
-  private:
-    EventQueue &_queue;
-    SimTime _slotDuration;
-    SimTime _busyUntil = 0;
-    std::uint64_t _granted = 0;
+    virtual std::size_t pick(
+        const std::vector<ProfilingRequest> &waiting) const = 0;
 };
+
+/** The built-in slot scheduling policies. */
+enum class SlotPolicy
+{
+    Fifo,              ///< Arrival order (the paper's implicit policy).
+    ShortestJobFirst,  ///< Smallest slot duration first.
+    SloDebtFirst,      ///< Most SLO-violating service first.
+};
+
+/** Factory for the built-in policies. */
+std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
+    SlotPolicy policy);
+
+/** Parse a policy name: "fifo" | "sjf" | "slo-debt" (fatal
+ *  otherwise). */
+SlotPolicy slotPolicyFromName(const std::string &name);
+
+/** Factory by name: "fifo" | "sjf" | "slo-debt". */
+std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
+    const std::string &name);
+
+/** All built-in policy names, in SlotPolicy order. */
+const std::vector<std::string> &slotPolicyNames();
 
 /**
  * A fleet of services managed by one DejaVu installation.
@@ -71,6 +109,7 @@ class DejaVuFleet : public Actor
         std::string service;
         SimTime requestedAt = 0;
         SimTime profilingStartedAt = 0;  ///< After any queueing.
+        SimTime slotDuration = 0;        ///< Host occupancy granted.
         DejaVuController::Decision decision;
 
         SimTime queueDelay() const
@@ -80,34 +119,64 @@ class DejaVuFleet : public Actor
         { return queueDelay() + decision.adaptationTime; }
     };
 
-    /** Notified after each adaptation completes (in request order). */
+    /** Notified after each adaptation completes (in grant order). */
     using AdaptationListener =
         std::function<void(const CompletedAdaptation &)>;
 
-    explicit DejaVuFleet(Simulation &sim,
-                         SimTime profilingSlot = seconds(10));
-
-    /** Register a service with its controller (must be learned
-     *  before the first adaptation request). */
-    void addService(const std::string &name, Service &service,
-                    DejaVuController &controller);
+    /** @p scheduler defaults to FIFO when null. */
+    explicit DejaVuFleet(
+        Simulation &sim, SimTime profilingSlot = seconds(10),
+        std::unique_ptr<ProfilingSlotScheduler> scheduler = nullptr);
 
     /**
-     * A workload change arrived for @p name: queue a profiling slot
-     * on the shared host and run the controller when it starts. The
-     * decision lands in log() once processed (advance the simulation
-     * past the slot start).
+     * Register a service with its controller (must be learned before
+     * the first adaptation request). @p profilingSlot is this member's
+     * host occupancy per adaptation; 0 means the fleet default.
+     */
+    void addService(const std::string &name, Service &service,
+                    DejaVuController &controller,
+                    SimTime profilingSlot = 0);
+
+    /**
+     * A workload change arrived for @p name: queue a profiling request
+     * for the shared host and run the controller when the scheduler
+     * grants it a slot. The decision lands in log() once processed
+     * (advance the simulation past the slot start).
      */
     void requestAdaptation(const std::string &name,
                            const Workload &workload);
+
+    /**
+     * Record one SLO-violating production sample for @p name. Debt
+     * accumulates until the member's next profiling slot is granted;
+     * the SLO-debt-first policy prioritizes the deepest debtor.
+     */
+    void noteSloViolation(const std::string &name);
 
     /** Subscribe to completed adaptations. */
     void addListener(AdaptationListener fn);
 
     int services() const { return static_cast<int>(_members.size()); }
+
+    /** Registration index of a member (fatal on unknown name) — the
+     *  single name-to-index map fleet-level aggregators share. */
+    std::size_t memberIndex(const std::string &name) const;
+
     const std::vector<CompletedAdaptation> &log() const { return _log; }
+
     const ProfilingSlotScheduler &scheduler() const
-    { return _scheduler; }
+    { return *_scheduler; }
+    SimTime defaultSlotDuration() const { return _defaultSlot; }
+
+    /** Profiling slots granted so far. */
+    std::uint64_t slotsGranted() const { return _granted; }
+
+    /** Requests still waiting for the host. */
+    std::size_t waiting() const { return _waiting.size(); }
+
+    /** Current SLO debt of a member (violating samples since its last
+     *  granted slot). */
+    double sloDebt(const std::string &name) const;
 
     /** Largest queueing delay any adaptation has paid so far. */
     SimTime maxQueueDelay() const;
@@ -118,10 +187,28 @@ class DejaVuFleet : public Actor
         std::string name;
         Service *service;
         DejaVuController *controller;
+        SimTime slotDuration;
+        double sloDebt = 0.0;
     };
 
-    ProfilingSlotScheduler _scheduler;
+    /** A queued request: the scheduler-visible view plus its payload. */
+    struct QueuedRequest
+    {
+        ProfilingRequest info;
+        Workload workload;
+    };
+
+    /** Grant the host to the scheduler's pick if it is free. */
+    void dispatch();
+
+    SimTime _defaultSlot;
+    std::unique_ptr<ProfilingSlotScheduler> _scheduler;
     std::vector<Member> _members;
+    std::unordered_map<std::string, std::size_t> _memberIndex;
+    std::deque<QueuedRequest> _waiting;
+    bool _hostBusy = false;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _granted = 0;
     std::vector<CompletedAdaptation> _log;
     std::vector<AdaptationListener> _listeners;
 };

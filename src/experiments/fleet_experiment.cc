@@ -3,28 +3,30 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "sim/simulation.hh"
 
 namespace dejavu {
 
-FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot)
-    : _sim(sim), _fleet(sim, profilingSlot)
+FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
+                                 SlotPolicy policy)
+    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy))
 {
     // Charge every completed adaptation — including its shared-host
-    // queueing delay (§3.3) — to the service that requested it.
+    // queueing delay (§3.3) — to the service that requested it. The
+    // fleet's name-to-index map is authoritative (members register in
+    // lockstep), and memberIndex() is fatal on a miss: an unknown
+    // name here is a wiring bug, not a condition to skip.
     _fleet.addListener(
         [this](const DejaVuFleet::CompletedAdaptation &entry) {
-            for (auto &member : _members) {
-                if (member->name != entry.service)
-                    continue;
-                member->adaptationSec.add(
-                    toSeconds(entry.totalAdaptation()));
-                member->queueDelaySec.add(
-                    toSeconds(entry.queueDelay()));
-                ++member->adaptations;
-                member->maxQueueDelay = std::max(member->maxQueueDelay,
-                                                 entry.queueDelay());
-            }
+            Member &member =
+                *_members[_fleet.memberIndex(entry.service)];
+            member.adaptationSec.add(
+                toSeconds(entry.totalAdaptation()));
+            member.queueDelaySec.add(toSeconds(entry.queueDelay()));
+            ++member.adaptations;
+            member.maxQueueDelay = std::max(member.maxQueueDelay,
+                                            entry.queueDelay());
         });
 }
 
@@ -32,7 +34,8 @@ void
 FleetExperiment::addService(const std::string &name, Service &service,
                             DejaVuController &controller,
                             LoadTrace trace,
-                            ProvisioningExperiment::Config config)
+                            ProvisioningExperiment::Config config,
+                            SimTime profilingSlot)
 {
     DEJAVU_ASSERT(!_ran, "fleet experiment already ran");
     if (config.totalHours < 0)
@@ -47,7 +50,9 @@ FleetExperiment::addService(const std::string &name, Service &service,
     member->trace = std::move(trace);
     member->config = config;
 
-    _fleet.addService(name, service, controller);
+    _fleet.addService(name, service, controller, profilingSlot);
+    DEJAVU_ASSERT(_fleet.memberIndex(name) == _members.size(),
+                  "fleet/experiment member tables out of lockstep");
     _members.push_back(std::move(member));
 }
 
@@ -88,9 +93,15 @@ FleetExperiment::run()
                 _fleet.requestAdaptation(mp->name, w);
         });
         // Production SLO feedback (§3.6 interference path) stays
-        // service-local; it needs no profiling slot.
-        m.probe->addListener([mp](int, const Service::PerfSample &s) {
+        // service-local; it needs no profiling slot. Violations also
+        // accrue SLO debt on the fleet, which the SLO-debt-first slot
+        // policy consumes.
+        m.probe->addListener([this, mp](int,
+                                        const Service::PerfSample &s) {
             mp->controller->onSloFeedback(s);
+            if (!mp->config.slo.satisfied(s.meanLatencyMs,
+                                          s.qosPercent))
+                _fleet.noteSloViolation(mp->name);
         });
 
         m.recorder = std::make_unique<MetricsRecorder>(
@@ -113,7 +124,8 @@ FleetExperiment::run()
         ServiceResult sr;
         sr.name = m.name;
         sr.result = m.recorder->finish();
-        sr.result.policyName = "dejavu-fleet";
+        sr.result.policyName =
+            "dejavu-fleet/" + _fleet.scheduler().name();
         sr.result.adaptationSec = m.adaptationSec;
         sr.adaptations = m.adaptations;
         sr.maxQueueDelay = m.maxQueueDelay;
@@ -121,6 +133,29 @@ FleetExperiment::run()
         results.push_back(std::move(sr));
     }
     return results;
+}
+
+FleetExperiment::FleetSummary
+FleetExperiment::summary() const
+{
+    FleetSummary s;
+    s.policy = _fleet.scheduler().name();
+    s.services = services();
+    PercentileSampler queueDelay, total;
+    for (const auto &entry : _fleet.log()) {
+        queueDelay.add(toSeconds(entry.queueDelay()));
+        total.add(toSeconds(entry.totalAdaptation()));
+    }
+    s.adaptations = queueDelay.count();
+    if (s.adaptations == 0)
+        return s;
+    s.queueDelayP50Sec = queueDelay.quantile(0.50);
+    s.queueDelayP95Sec = queueDelay.quantile(0.95);
+    s.queueDelayMaxSec = queueDelay.quantile(1.0);
+    s.adaptationP50Sec = total.quantile(0.50);
+    s.adaptationP95Sec = total.quantile(0.95);
+    s.adaptationMaxSec = total.quantile(1.0);
+    return s;
 }
 
 } // namespace dejavu

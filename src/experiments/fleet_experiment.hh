@@ -3,12 +3,16 @@
  * Fleet-scale provisioning experiment: N co-hosted services, each with
  * its own trace driver, monitor probe and DejaVu controller, all
  * interleaving on one shared event queue, with adaptation requests
- * serialized through the fleet's shared profiling host (§3.3).
+ * serialized through the fleet's shared profiling host (§3.3) under a
+ * selectable slot-scheduling policy (FIFO, shortest-job-first,
+ * SLO-debt-first).
  *
  * This is the paper's Figure 2 deployment turned into a harness:
  * adding a hosted service is one registration call, the run records a
- * full per-service SLO/latency/instances series, and every completed
- * adaptation is charged its shared-profiler queueing delay.
+ * full per-service SLO/latency/instances series, every completed
+ * adaptation is charged its shared-profiler queueing delay, and the
+ * fleet-wide adaptation-time tails (p50/p95/max) fall out of one
+ * summary() call — the yardstick for comparing slot policies.
  */
 
 #ifndef DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
@@ -41,17 +45,37 @@ class FleetExperiment
         RunningStats queueDelaySec;
     };
 
+    /** Fleet-wide adaptation-time tails under one slot policy. */
+    struct FleetSummary
+    {
+        std::string policy;
+        int services = 0;
+        std::uint64_t adaptations = 0;
+        double queueDelayP50Sec = 0.0;
+        double queueDelayP95Sec = 0.0;
+        double queueDelayMaxSec = 0.0;
+        double adaptationP50Sec = 0.0;  ///< Queue delay included.
+        double adaptationP95Sec = 0.0;
+        double adaptationMaxSec = 0.0;
+    };
+
+    /** @p policy selects how waiting adaptation requests are granted
+     *  the shared profiling host. */
     FleetExperiment(Simulation &sim,
-                    SimTime profilingSlot = seconds(10));
+                    SimTime profilingSlot = seconds(10),
+                    SlotPolicy policy = SlotPolicy::Fifo);
 
     /**
      * Register a hosted service. The controller must have completed
      * its learning phase before run(). The trace is copied; @p config
      * carries the same knobs as a single-service experiment.
+     * @p profilingSlot is this member's host occupancy per adaptation
+     * (0 means the fleet default) — what shortest-job-first sorts by.
      */
     void addService(const std::string &name, Service &service,
                     DejaVuController &controller, LoadTrace trace,
-                    ProvisioningExperiment::Config config);
+                    ProvisioningExperiment::Config config,
+                    SimTime profilingSlot = 0);
 
     /**
      * Run every registered service to the end of its configured
@@ -59,6 +83,9 @@ class FleetExperiment
      * registration order.
      */
     std::vector<ServiceResult> run();
+
+    /** Fleet-wide adaptation-time tails; valid after run(). */
+    FleetSummary summary() const;
 
     DejaVuFleet &fleet() { return _fleet; }
     const DejaVuFleet &fleet() const { return _fleet; }
@@ -84,6 +111,8 @@ class FleetExperiment
 
     Simulation &_sim;
     DejaVuFleet _fleet;
+    /** Indexed in lockstep with the fleet's member table; lookups go
+     *  through DejaVuFleet::memberIndex(). */
     std::vector<std::unique_ptr<Member>> _members;
     bool _ran = false;
 };

@@ -26,36 +26,9 @@ std::vector<CellResult>
 ExperimentRunner::sweep(const std::vector<SweepCell> &cells,
                         const CellFn &fn) const
 {
-    std::vector<CellResult> results(cells.size());
-    if (cells.empty())
-        return results;
-
-    // Work stealing via a shared counter; result slots are fixed by
-    // input order, so the merge is identical at any thread count.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= cells.size())
-                return;
-            results[i].cell = cells[i];
-            results[i].result = fn(cells[i]);
-        }
-    };
-
-    const int n = std::min<int>(_threads,
-                                static_cast<int>(cells.size()));
-    if (n <= 1) {
-        worker();
-        return results;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(n));
-    for (int t = 0; t < n; ++t)
-        pool.emplace_back(worker);
-    for (auto &thread : pool)
-        thread.join();
-    return results;
+    return sweepInto(cells, [&fn](const SweepCell &cell) {
+        return CellResult{cell, fn(cell)};
+    });
 }
 
 std::vector<SweepCell>
@@ -100,6 +73,77 @@ makeStandardScenario(const std::string &scenario, std::uint64_t seed)
         return makeSpecWebScaleUp(options);
     fatal("unknown scenario service: ", service,
           " (use cassandra|specweb)");
+}
+
+std::unique_ptr<FleetStack>
+makeFleetScenario(const std::string &scenario, std::uint64_t seed,
+                  SlotPolicy policy, int days)
+{
+    const std::string prefix = "fleet-";
+    if (scenario.compare(0, prefix.size(), prefix) != 0)
+        fatal("fleet scenario name must be 'fleet-<mix>-<N>', got: ",
+              scenario);
+    const std::string rest = scenario.substr(prefix.size());
+    const std::size_t dash = rest.rfind('-');
+    if (dash == std::string::npos || dash + 1 >= rest.size())
+        fatal("fleet scenario name must be 'fleet-<mix>-<N>', got: ",
+              scenario);
+    const std::string mix = rest.substr(0, dash);
+    const std::string sizeStr = rest.substr(dash + 1);
+    int services = 0;
+    std::size_t parsed = 0;
+    try {
+        services = std::stoi(sizeStr, &parsed);
+    } catch (const std::exception &) {
+        fatal("bad fleet size in scenario name: ", scenario);
+    }
+    if (parsed != sizeStr.size())
+        fatal("bad fleet size in scenario name: ", scenario);
+    if (services < 1)
+        fatal("fleet needs at least one service: ", scenario);
+
+    ScenarioOptions options;
+    options.seed = seed;
+    options.days = days;
+
+    if (mix == "cassandra")
+        return makeCassandraFleet(services, options, seconds(10),
+                                  policy);
+    if (mix == "mixed")
+        return makeMixedFleet(services, options, policy);
+    fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
+}
+
+FleetExperiment::FleetSummary
+runFleetCell(const SweepCell &cell)
+{
+    auto stack = makeFleetScenario(cell.scenario, cell.seed,
+                                   slotPolicyFromName(cell.policy));
+    stack->learnAll();
+    stack->experiment->run();
+    return stack->experiment->summary();
+}
+
+std::string
+fleetSweepCsv(const std::vector<FleetCellResult> &results)
+{
+    std::ostringstream os;
+    os << "scenario,policy,seed,services,adaptations,"
+          "queue_p50_s,queue_p95_s,queue_max_s,"
+          "adapt_p50_s,adapt_p95_s,adapt_max_s\n";
+    for (const auto &fr : results) {
+        const auto &s = fr.summary;
+        os << fr.cell.scenario << ',' << fr.cell.policy << ','
+           << fr.cell.seed << ',' << s.services << ','
+           << s.adaptations << ','
+           << Table::num(s.queueDelayP50Sec, 3) << ','
+           << Table::num(s.queueDelayP95Sec, 3) << ','
+           << Table::num(s.queueDelayMaxSec, 3) << ','
+           << Table::num(s.adaptationP50Sec, 3) << ','
+           << Table::num(s.adaptationP95Sec, 3) << ','
+           << Table::num(s.adaptationMaxSec, 3) << '\n';
+    }
+    return os.str();
 }
 
 Autopilot::Schedule

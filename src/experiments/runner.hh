@@ -13,8 +13,12 @@
 #ifndef DEJAVU_EXPERIMENTS_RUNNER_HH
 #define DEJAVU_EXPERIMENTS_RUNNER_HH
 
+#include <algorithm>
+#include <atomic>
 #include <functional>
 #include <string>
+#include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/autopilot.hh"
@@ -39,6 +43,13 @@ struct CellResult
 {
     SweepCell cell;
     ExperimentResult result;
+};
+
+/** A finished fleet cell (see runFleetCell). */
+struct FleetCellResult
+{
+    SweepCell cell;
+    FleetExperiment::FleetSummary summary;
 };
 
 /** Per-(scenario, policy) aggregate over seeds. */
@@ -84,6 +95,55 @@ class ExperimentRunner
     std::vector<CellResult> sweep(const std::vector<SweepCell> &cells,
                                   const CellFn &fn) const;
 
+    /**
+     * Generic sweep over any per-cell result type (deduced from the
+     * callable) — same work-stealing pool and input-order merge as
+     * sweep(). Fleet sweeps pass runFleetCell directly and get
+     * std::vector<FleetExperiment::FleetSummary> back.
+     */
+    template <typename Fn,
+              typename ResultT = std::decay_t<
+                  std::invoke_result_t<Fn &, const SweepCell &>>>
+    std::vector<ResultT> sweepInto(
+        const std::vector<SweepCell> &cells, Fn &&fn) const
+    {
+        // std::vector<bool> packs bits: adjacent slots share a word,
+        // so concurrent per-cell writes would race. Wrap a boolean
+        // result in a struct instead.
+        static_assert(!std::is_same_v<ResultT, bool>,
+                      "sweepInto result type must not be bool");
+        std::vector<ResultT> results(cells.size());
+        if (cells.empty())
+            return results;
+
+        // Work stealing via a shared counter; result slots are fixed
+        // by input order, so the merge is identical at any thread
+        // count.
+        std::atomic<std::size_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= cells.size())
+                    return;
+                results[i] = fn(cells[i]);
+            }
+        };
+
+        const int n = std::min<int>(_threads,
+                                    static_cast<int>(cells.size()));
+        if (n <= 1) {
+            worker();
+            return results;
+        }
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(n));
+        for (int t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+        return results;
+    }
+
     /** Cartesian product helper: scenarios x policies x seeds. */
     static std::vector<SweepCell> grid(
         const std::vector<std::string> &scenarios,
@@ -110,6 +170,27 @@ ExperimentResult runStandardCell(const SweepCell &cell);
  *  runStandardCell; fatal() on unknown names). */
 std::unique_ptr<ScenarioStack> makeStandardScenario(
     const std::string &scenario, std::uint64_t seed);
+
+/**
+ * One fleet sweep cell: scenario "fleet-<mix>-<N>" where <mix> is
+ * "cassandra" (homogeneous key-value stores) or "mixed" (KeyValue +
+ * SPECweb + RUBiS round-robin) and <N> is the service count; the
+ * cell's policy names the §3.3 slot scheduler ("fifo" | "sjf" |
+ * "slo-debt"). Runs 2 trace days (1 learning + 1 reuse) so
+ * 100-service cells stay affordable, and returns the fleet-wide
+ * adaptation-time tails.
+ */
+FleetExperiment::FleetSummary runFleetCell(const SweepCell &cell);
+
+/** Build (but don't learn/run) the fleet stack for a fleet-cell
+ *  scenario name (shared with runFleetCell). */
+std::unique_ptr<FleetStack> makeFleetScenario(
+    const std::string &scenario, std::uint64_t seed,
+    SlotPolicy policy, int days = 2);
+
+/** Render fleet-cell summaries as CSV — a byte-comparable digest of
+ *  a fleet sweep at any thread count. */
+std::string fleetSweepCsv(const std::vector<FleetCellResult> &results);
 
 /** Autopilot's hour-of-day schedule, tuned on day-1 workloads —
  *  "the hourly resource allocations learned during the first day of

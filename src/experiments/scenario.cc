@@ -37,6 +37,45 @@ clientsForUtilization(const Service &service, const RequestMix &mix,
     return service.clients().clientsForRate(rate);
 }
 
+/**
+ * SPECweb peak sizing: the large type suffices for load below ~72% of
+ * the *learning-day* peak and extra-large is required around the
+ * daily peaks — the regime Figures 9/10 show ("the smaller instance
+ * was capable of accommodating the load most of the time; only during
+ * the peak load ... DejaVu deploys the full capacity"). Anchoring on
+ * day 1 keeps the boundary stable regardless of how later anomalies
+ * normalize the trace.
+ */
+double
+specwebPeakClients(const Service &service, const RequestMix &mix,
+                   const LoadTrace &trace)
+{
+    const double largeEcu =
+        10 * instanceSpec(InstanceType::Large).computeUnits;
+    // QoS-feasible utilization bound: qos(rho) == floor + headroom.
+    const double kneeRho = 0.82;
+    const double feasibleRho = kneeRho
+        + std::pow((99.5 - 95.0 - 0.5) / 120.0, 1.0 / 1.4);
+    const double largeFeasibleRate =
+        feasibleRho * largeEcu * service.capacityPerEcu(mix);
+    double dayOneMax = 0.0;
+    for (int h = 0; h < 24; ++h)
+        dayOneMax = std::max(dayOneMax, trace.at(0, h));
+    // Large suffices below 90% of the learning-day peak: only the
+    // hours hugging the daily maximum need the extra-large type.
+    const double peakRate =
+        largeFeasibleRate / (0.90 * std::max(dayOneMax, 1e-6));
+    return service.clients().clientsForRate(peakRate);
+}
+
+/** Fleet member auto-naming: svc-A..svc-Z, then svc-A1, svc-B1, ... */
+std::string
+autoServiceName(std::size_t i)
+{
+    return "svc-" + std::string(1, char('A' + i % 26))
+        + (i >= 26 ? std::to_string(i / 26) : "");
+}
+
 } // namespace
 
 std::unique_ptr<ScenarioStack>
@@ -138,33 +177,10 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
     stack->trace =
         scenarioTrace(options.traceName, options.days, options.seed);
 
-    // Size the peak so that the large type suffices for load below
-    // ~72% of the *learning-day* peak and extra-large is required
-    // around the daily peaks — the regime Figures 9/10 show ("the
-    // smaller instance was capable of accommodating the load most of
-    // the time; only during the peak load ... DejaVu deploys the
-    // full capacity"). Anchoring on day 1 keeps the boundary stable
-    // regardless of how later anomalies normalize the trace.
-    const double largeEcu =
-        10 * instanceSpec(InstanceType::Large).computeUnits;
-    // QoS-feasible utilization bound: qos(rho) == floor + headroom.
-    const double kneeRho = 0.82;
-    const double feasibleRho = kneeRho
-        + std::pow((99.5 - 95.0 - 0.5) / 120.0, 1.0 / 1.4);
-    const double largeFeasibleRate =
-        feasibleRho * largeEcu * service->capacityPerEcu(mix);
-    double dayOneMax = 0.0;
-    for (int h = 0; h < 24; ++h)
-        dayOneMax = std::max(dayOneMax, stack->trace.at(0, h));
-    // Large suffices below 90% of the learning-day peak: only the
-    // hours hugging the daily maximum need the extra-large type.
-    const double peakRate =
-        largeFeasibleRate / (0.90 * std::max(dayOneMax, 1e-6));
-
     ProvisioningExperiment::Config ecfg;
     ecfg.reuseStartHour = 24;
     ecfg.slo = dcfg.slo;
-    ecfg.peakClients = service->clients().clientsForRate(peakRate);
+    ecfg.peakClients = specwebPeakClients(*service, mix, stack->trace);
     ecfg.learningAllocation = {10, InstanceType::XLarge};
 
     stack->service = std::move(service);
@@ -189,30 +205,103 @@ FleetStack::learnAll()
     }
 }
 
-std::unique_ptr<FleetStack>
-makeCassandraFleet(int services, const ScenarioOptions &options,
-                   SimTime profilingSlot)
+FleetBuilder::FleetBuilder(ScenarioOptions options)
+    : _options(std::move(options))
 {
-    DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
-    auto stack = std::make_unique<FleetStack>();
-    stack->sim = std::make_unique<Simulation>(options.seed);
-    Simulation &sim = *stack->sim;
-    stack->experiment =
-        std::make_unique<FleetExperiment>(sim, profilingSlot);
+}
 
-    for (int i = 0; i < services; ++i) {
+FleetBuilder &
+FleetBuilder::slotPolicy(SlotPolicy policy)
+{
+    _policy = policy;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::profilingSlot(SimTime slot)
+{
+    DEJAVU_ASSERT(slot >= 0, "negative profiling slot");
+    _defaultSlot = slot;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::add(ServiceKind kind, int count)
+{
+    DEJAVU_ASSERT(count >= 1, "need at least one member to add");
+    for (int i = 0; i < count; ++i) {
+        FleetMemberSpec spec;
+        spec.kind = kind;
+        _specs.push_back(std::move(spec));
+    }
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::add(FleetMemberSpec spec)
+{
+    _specs.push_back(std::move(spec));
+    return *this;
+}
+
+std::unique_ptr<FleetStack>
+FleetBuilder::build() const
+{
+    DEJAVU_ASSERT(!_specs.empty(), "fleet needs at least one service");
+    auto stack = std::make_unique<FleetStack>();
+    stack->sim = std::make_unique<Simulation>(_options.seed);
+    Simulation &sim = *stack->sim;
+    stack->experiment = std::make_unique<FleetExperiment>(
+        sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy);
+
+    for (std::size_t i = 0; i < _specs.size(); ++i) {
+        const FleetMemberSpec &spec = _specs[i];
         auto member = std::make_unique<FleetMember>();
-        member->name = "svc-" + std::string(1, char('A' + i % 26))
-            + (i >= 26 ? std::to_string(i / 26) : "");
+        member->name =
+            spec.name.empty() ? autoServiceName(i) : spec.name;
 
         Cluster::Config ccfg;
         ccfg.maxInstances = 10;
         ccfg.initialType = InstanceType::Large;
         member->cluster = std::make_unique<Cluster>(sim.queue(), ccfg);
 
-        auto service = std::make_unique<KeyValueService>(
-            sim.queue(), *member->cluster, sim.forkRng());
-        const RequestMix mix = cassandraUpdateHeavy();
+        // Per-kind service model, request mix, search space and
+        // default SLO — the same stacks the single-service case
+        // studies build (§4.1 Cassandra, §4.2 SPECweb, RUBiS).
+        std::unique_ptr<Service> service;
+        RequestMix mix;
+        DejaVuController::Config dcfg;
+        ProvisioningExperiment::Config ecfg;
+        ecfg.reuseStartHour = 24;
+        ecfg.learningAllocation = {10, InstanceType::Large};
+        switch (spec.kind) {
+          case ServiceKind::SpecWeb:
+            service = std::make_unique<SpecWebService>(
+                sim.queue(), *member->cluster, sim.forkRng());
+            mix = specwebSupport();
+            dcfg.slo = Slo::qos(95.0);
+            dcfg.searchSpace = scaleUpSearchSpace(
+                10, {InstanceType::Large, InstanceType::XLarge});
+            ecfg.learningAllocation = {10, InstanceType::XLarge};
+            break;
+          case ServiceKind::Rubis:
+            service = std::make_unique<RubisService>(
+                sim.queue(), *member->cluster, sim.forkRng());
+            mix = rubisBidding();
+            dcfg.slo = Slo::latency(150.0);
+            dcfg.searchSpace =
+                scaleOutSearchSpace(10, InstanceType::Large);
+            break;
+          case ServiceKind::KeyValue:
+          case ServiceKind::Generic:
+            service = std::make_unique<KeyValueService>(
+                sim.queue(), *member->cluster, sim.forkRng());
+            mix = cassandraUpdateHeavy();
+            dcfg.slo = Slo::latency(60.0);
+            dcfg.searchSpace =
+                scaleOutSearchSpace(10, InstanceType::Large);
+            break;
+        }
         service->setWorkload({mix, 0.0});
 
         CounterModel counters(service->kind(), sim.forkRng());
@@ -220,38 +309,83 @@ makeCassandraFleet(int services, const ScenarioOptions &options,
         member->profiler = std::make_unique<ProfilerHost>(
             *service, std::move(monitor), sim.forkRng());
 
-        DejaVuController::Config dcfg;
-        dcfg.slo = Slo::latency(60.0);
-        dcfg.searchSpace = scaleOutSearchSpace(10, InstanceType::Large);
-        dcfg.interferenceDetection = options.interferenceDetection;
+        if (spec.slo)
+            dcfg.slo = *spec.slo;
+        dcfg.interferenceDetection = _options.interferenceDetection;
         member->controller = std::make_unique<DejaVuController>(
             *service, *member->profiler, dcfg, sim.forkRng());
 
         // Same diurnal shape for every service (all hourly changes
         // contend for the shared profiler), distinct per-service
         // noise/anomalies via the seed offset.
+        const std::string traceName =
+            spec.traceName.empty() ? _options.traceName
+                                   : spec.traceName;
         member->trace = scenarioTrace(
-            options.traceName, options.days,
-            options.seed + 1000003ULL * static_cast<std::uint64_t>(i));
+            traceName, _options.days,
+            _options.seed + 1000003ULL * static_cast<std::uint64_t>(i));
 
-        ProvisioningExperiment::Config ecfg;
-        ecfg.reuseStartHour = 24;
         ecfg.slo = dcfg.slo;
-        ecfg.peakClients = clientsForUtilization(
-            *service, mix,
-            10 * instanceSpec(InstanceType::Large).computeUnits,
-            options.peakUtilization);
-        ecfg.learningAllocation = {10, InstanceType::Large};
+        // An explicit per-member peakUtilization always wins. The
+        // SpecWeb kind-default uses the QoS-knee sizing instead of a
+        // utilization target (scale-up needs the Large/XLarge
+        // boundary anchored, not a fixed rho).
+        if (spec.peakUtilization > 0.0)
+            ecfg.peakClients = clientsForUtilization(
+                *service, mix,
+                10 * instanceSpec(InstanceType::Large).computeUnits,
+                spec.peakUtilization);
+        else if (spec.kind == ServiceKind::SpecWeb)
+            ecfg.peakClients =
+                specwebPeakClients(*service, mix, member->trace);
+        else
+            ecfg.peakClients = clientsForUtilization(
+                *service, mix,
+                10 * instanceSpec(InstanceType::Large).computeUnits,
+                _options.peakUtilization);
         member->experimentConfig = ecfg;
+
+        member->profilingSlot = spec.profilingSlot > 0
+            ? spec.profilingSlot
+            : (_defaultSlot > 0 ? _defaultSlot
+                                : service->profilingSlotHint());
 
         member->service = std::move(service);
         stack->experiment->addService(member->name, *member->service,
                                       *member->controller,
                                       member->trace,
-                                      member->experimentConfig);
+                                      member->experimentConfig,
+                                      member->profilingSlot);
         stack->members.push_back(std::move(member));
     }
     return stack;
+}
+
+std::unique_ptr<FleetStack>
+makeCassandraFleet(int services, const ScenarioOptions &options,
+                   SimTime profilingSlot, SlotPolicy policy)
+{
+    DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
+    return FleetBuilder(options)
+        .profilingSlot(profilingSlot)
+        .slotPolicy(policy)
+        .add(ServiceKind::KeyValue, services)
+        .build();
+}
+
+std::unique_ptr<FleetStack>
+makeMixedFleet(int services, const ScenarioOptions &options,
+               SlotPolicy policy)
+{
+    DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
+    static constexpr ServiceKind kCycle[] = {
+        ServiceKind::KeyValue, ServiceKind::SpecWeb,
+        ServiceKind::Rubis};
+    FleetBuilder builder(options);
+    builder.slotPolicy(policy);
+    for (int i = 0; i < services; ++i)
+        builder.add(kCycle[i % 3]);
+    return builder.build();
 }
 
 std::unique_ptr<ScenarioStack>

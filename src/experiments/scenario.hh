@@ -16,6 +16,7 @@
 #define DEJAVU_EXPERIMENTS_SCENARIO_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -79,8 +80,8 @@ std::unique_ptr<ScenarioStack> makeSpecWebScaleUp(
 std::unique_ptr<ScenarioStack> makeRubisStack(std::uint64_t seed);
 
 /**
- * One hosted service of a fleet scenario: a full Cassandra-style
- * stack sharing the fleet's Simulation, plus its own trace.
+ * One hosted service of a fleet scenario: a full per-service stack
+ * sharing the fleet's Simulation, plus its own trace.
  */
 struct FleetMember
 {
@@ -91,6 +92,7 @@ struct FleetMember
     std::unique_ptr<DejaVuController> controller;
     LoadTrace trace;
     ProvisioningExperiment::Config experimentConfig;
+    SimTime profilingSlot = 0;  ///< Host occupancy per adaptation.
 };
 
 /**
@@ -109,14 +111,79 @@ struct FleetStack
 };
 
 /**
- * Cassandra scale-out fleet: @p services co-hosted key-value stores,
- * each with a trace derived from options.seed (so daily shapes align
- * — every hourly change contends for the shared profiler — while
- * noise and anomalies differ per service).
+ * One requested member of a FleetBuilder fleet. Everything optional
+ * defaults from the service kind or the builder's ScenarioOptions, so
+ * `add(ServiceKind::Rubis)` is a complete spec and a fully custom
+ * member (own SLO, trace, profiling slot) is still one struct.
+ */
+struct FleetMemberSpec
+{
+    ServiceKind kind = ServiceKind::KeyValue;
+    std::string name;           ///< Auto ("svc-A", ...) when empty.
+    std::string traceName;      ///< Empty: the builder's trace.
+    SimTime profilingSlot = 0;  ///< 0: builder default or kind hint.
+    std::optional<Slo> slo;     ///< Unset: the kind's default SLO.
+    /** Target utilization at trace peak; 0 means the kind default
+     *  (the builder's value, except SpecWeb which anchors its
+     *  Large/XLarge boundary on the QoS knee instead). */
+    double peakUtilization = 0.0;
+};
+
+/**
+ * Composes heterogeneous fleets: mixed SPECweb + RUBiS + KeyValue
+ * members with per-member SLOs, traces and profiling-slot durations,
+ * under a selectable §3.3 slot-scheduling policy. Per-member traces
+ * derive from options.seed (so daily shapes align — every hourly
+ * change contends for the shared profiler — while noise and anomalies
+ * differ per service).
+ */
+class FleetBuilder
+{
+  public:
+    explicit FleetBuilder(ScenarioOptions options = {});
+
+    /** Slot-scheduling policy for the shared profiling host. */
+    FleetBuilder &slotPolicy(SlotPolicy policy);
+
+    /** Default host occupancy per adaptation; 0 means each service
+     *  kind's own profilingSlotHint(). */
+    FleetBuilder &profilingSlot(SimTime slot);
+
+    /** Add @p count members of @p kind with kind-default settings. */
+    FleetBuilder &add(ServiceKind kind, int count = 1);
+
+    /** Add one fully specified member. */
+    FleetBuilder &add(FleetMemberSpec spec);
+
+    int size() const { return static_cast<int>(_specs.size()); }
+
+    /** Construct the whole fleet stack (does not run learning). */
+    std::unique_ptr<FleetStack> build() const;
+
+  private:
+    ScenarioOptions _options;
+    SlotPolicy _policy = SlotPolicy::Fifo;
+    SimTime _defaultSlot = 0;
+    std::vector<FleetMemberSpec> _specs;
+};
+
+/**
+ * Cassandra scale-out fleet: @p services co-hosted key-value stores
+ * (the homogeneous baseline).
  */
 std::unique_ptr<FleetStack> makeCassandraFleet(
     int services, const ScenarioOptions &options,
-    SimTime profilingSlot = seconds(10));
+    SimTime profilingSlot = seconds(10),
+    SlotPolicy policy = SlotPolicy::Fifo);
+
+/**
+ * Mixed fleet: @p services members cycling through KeyValue, SPECweb
+ * and RUBiS, each with its kind's SLO (60 ms / QoS 95% / 150 ms) and
+ * profiling-slot hint (10 s / 15 s / 20 s).
+ */
+std::unique_ptr<FleetStack> makeMixedFleet(
+    int services, const ScenarioOptions &options,
+    SlotPolicy policy = SlotPolicy::Fifo);
 
 } // namespace dejavu
 

@@ -105,6 +105,10 @@ class RubisService : public Service
     double capacityPerEcu(const RequestMix &mix) const override;
     double baseLatencyMs(const RequestMix &mix) const override;
 
+    /** Three tiers must all reach steady state before the signature
+     *  stabilizes — the longest proxy replay in the fleet. */
+    SimTime profilingSlotHint() const override { return seconds(20); }
+
     /** Per-tier utilizations under the current workload. */
     std::array<double, 3> tierUtilizations() const;
 

@@ -78,6 +78,15 @@ class Service
     virtual double transientFactor() const { return 1.0; }
     /** Called by the harness right after the cluster was reconfigured. */
     virtual void onReconfigure() {}
+    /**
+     * Time the shared DejaVu profiler needs this service's proxy
+     * replay to produce a stable signature (§3.3 host occupancy per
+     * adaptation). Service families differ: a wider search space or
+     * more tiers means a longer replay. Fleet builders use this as
+     * the default profiling-slot duration — the quantity a
+     * shortest-job-first slot scheduler sorts by.
+     */
+    virtual SimTime profilingSlotHint() const { return seconds(10); }
     /** @} */
 
     /** @name Production observables @{ */

@@ -48,6 +48,10 @@ class SpecWebService : public Service
     double baseLatencyMs(const RequestMix &mix) const override;
     double qosPercent() const override;
 
+    /** Scale-up profiling replays both instance types (§4.2), so the
+     *  proxy occupies the shared host longer than a scale-out store. */
+    SimTime profilingSlotHint() const override { return seconds(15); }
+
     const Config &config() const { return _config; }
 
   private:

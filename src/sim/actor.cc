@@ -36,12 +36,15 @@ Actor::track(EventId id)
 {
     // Already-run ids are harmless (cancel() on them is a no-op), but
     // compact occasionally so long-lived actors don't accumulate one
-    // entry per event ever scheduled.
-    if (_scheduled.size() >= 64) {
+    // entry per event ever scheduled. The threshold doubles with the
+    // live set so an actor legitimately holding many pending events
+    // pays amortized O(1) per insert, not a rescan per insert.
+    if (_scheduled.size() >= _compactAt) {
         auto dead = [this](EventId e) { return !queue().isPending(e); };
         _scheduled.erase(std::remove_if(_scheduled.begin(),
                                         _scheduled.end(), dead),
                          _scheduled.end());
+        _compactAt = std::max<std::size_t>(64, 2 * _scheduled.size());
     }
     _scheduled.push_back(id);
     return id;

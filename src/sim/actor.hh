@@ -81,6 +81,7 @@ class Actor
     std::string _name;
     bool _started = false;
     std::vector<EventId> _scheduled;  ///< May contain already-run ids.
+    std::size_t _compactAt = 64;      ///< Next compaction threshold.
 };
 
 } // namespace dejavu

@@ -4,15 +4,34 @@
 
 namespace dejavu {
 
+EventQueue::Slot &
+EventQueue::newSlot(EventId id)
+{
+    if (_slots.size() <= id)
+        _slots.resize(id + 1);
+    Slot &slot = _slots[id];
+    slot.live = true;
+    ++_live;
+    return slot;
+}
+
+void
+EventQueue::killSlot(Slot &slot)
+{
+    slot.live = false;
+    slot.fn = nullptr;
+    --_live;
+}
+
 EventId
 EventQueue::schedule(SimTime at, Callback fn, EventBand band)
 {
     DEJAVU_ASSERT(at >= _now, "cannot schedule in the past: at=", at,
                   " now=", _now);
     const EventId id = _nextId++;
-    if (_callbacks.size() <= id)
-        _callbacks.resize(id + 1);
-    _callbacks[id] = std::move(fn);
+    Slot &slot = newSlot(id);
+    slot.fn = std::move(fn);
+    slot.band = band;
     _heap.push(Entry{at, _nextSeq++, id, band});
     return id;
 }
@@ -32,7 +51,10 @@ EventQueue::schedulePeriodic(SimTime first, SimTime period, Callback fn,
     DEJAVU_ASSERT(first >= _now, "cannot schedule in the past: at=",
                   first, " now=", _now);
     const EventId id = _nextId++;
-    _periodic.emplace(id, Periodic{period, band, true, std::move(fn)});
+    Slot &slot = newSlot(id);
+    slot.fn = std::move(fn);
+    slot.period = period;
+    slot.band = band;
     _heap.push(Entry{first, _nextSeq++, id, band});
     return id;
 }
@@ -40,20 +62,13 @@ EventQueue::schedulePeriodic(SimTime first, SimTime period, Callback fn,
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id == kInvalidEvent || id >= _nextId)
+    if (id >= _slots.size() || !_slots[id].live)
         return false;
-    if (auto it = _periodic.find(id); it != _periodic.end()) {
-        if (it->second.armed)
-            _cancelled.insert(id);  // skip the armed occurrence
-        _periodic.erase(it);
-        return true;
-    }
-    if (id < _callbacks.size() && _callbacks[id]) {
-        _callbacks[id] = nullptr;
-        _cancelled.insert(id);
-        return true;
-    }
-    return false;
+    // Any heap entry the event still owns goes stale and is skipped
+    // on pop; a periodic cancelled from inside its own callback (its
+    // entry already popped) simply never re-arms.
+    killSlot(_slots[id]);
+    return true;
 }
 
 bool
@@ -62,11 +77,8 @@ EventQueue::popLive(Entry &out)
     while (!_heap.empty()) {
         Entry e = _heap.top();
         _heap.pop();
-        auto it = _cancelled.find(e.id);
-        if (it != _cancelled.end()) {
-            _cancelled.erase(it);
-            continue;
-        }
+        if (!_slots[e.id].live)
+            continue;  // cancelled after arming; entry is stale
         out = e;
         return true;
     }
@@ -76,30 +88,29 @@ EventQueue::popLive(Entry &out)
 void
 EventQueue::fire(const Entry &e)
 {
-    if (auto it = _periodic.find(e.id); it != _periodic.end()) {
-        // Invoke a copy: the callback may cancel its own series,
-        // erasing the stored closure out from under itself.
-        it->second.armed = false;
-        Callback fn = it->second.fn;
+    ++_executed;
+    if (_slots[e.id].period > 0) {
+        // Invoke a copy: the callback may cancel its own series
+        // (releasing the stored closure) or schedule new events
+        // (reallocating the slot vector out from under a reference).
+        Callback fn = _slots[e.id].fn;
         fn();
-        it = _periodic.find(e.id);
-        if (it != _periodic.end()) {
-            const SimTime next = saturatingAdd(_now, it->second.period);
-            if (next > _now) {
-                it->second.armed = true;
-                _heap.push(Entry{next, _nextSeq++, e.id,
-                                 it->second.band});
-            } else {
-                // Saturated at the end of simulated time: re-arming
-                // at the same instant would spin runUntil(kSimTimeMax)
-                // forever, so the series ends here.
-                _periodic.erase(it);
-            }
+        Slot &slot = _slots[e.id];
+        if (!slot.live)
+            return;  // cancelled during the callback
+        const SimTime next = saturatingAdd(_now, slot.period);
+        if (next > _now) {
+            _heap.push(Entry{next, _nextSeq++, e.id, slot.band});
+        } else {
+            // Saturated at the end of simulated time: re-arming at
+            // the same instant would spin runUntil(kSimTimeMax)
+            // forever, so the series ends here.
+            killSlot(slot);
         }
         return;
     }
-    Callback fn = std::move(_callbacks[e.id]);
-    _callbacks[e.id] = nullptr;
+    Callback fn = std::move(_slots[e.id].fn);
+    killSlot(_slots[e.id]);
     fn();
 }
 
@@ -136,7 +147,7 @@ EventQueue::runAll(std::size_t maxEvents)
         fire(e);
         ++executed;
     }
-    DEJAVU_ASSERT(executed < maxEvents,
+    DEJAVU_ASSERT(executed < maxEvents || empty(),
                   "event budget exhausted; runaway self-scheduling?");
     return executed;
 }

@@ -138,6 +138,135 @@ TEST(EventQueue, PendingCountsLiveEvents)
     EXPECT_EQ(q.pending(), 1u);
 }
 
+TEST(EventQueue, ExactBudgetDrainDoesNotTrip)
+{
+    // A queue that drains in exactly maxEvents events exhausts no
+    // budget: nothing is pending, so the runaway guard must not fire.
+    EventQueue q;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(seconds(i), [] {});
+    EXPECT_EQ(q.runAll(5), 5u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExactBudgetDrainWithSelfScheduling)
+{
+    // Also exact when the budget-filling events are created while
+    // draining.
+    EventQueue q;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        if (++ticks < 7)
+            q.scheduleAfter(seconds(1), tick);
+    };
+    q.schedule(0, tick);
+    EXPECT_EQ(q.runAll(7), 7u);
+    EXPECT_EQ(ticks, 7);
+}
+
+TEST(EventQueue, PendingCountsLiveSeriesDuringPeriodicFire)
+{
+    // While a periodic callback runs its heap entry is popped and the
+    // series is not yet re-armed — but the series is still live, so
+    // pending()/empty() must agree with isPending().
+    EventQueue q;
+    EventId id = kInvalidEvent;
+    int fires = 0;
+    std::size_t pendingDuringFire = 0;
+    bool emptyDuringFire = true;
+    bool isPendingDuringFire = false;
+    id = q.schedulePeriodic(seconds(1), seconds(1), [&] {
+        if (++fires == 1) {
+            pendingDuringFire = q.pending();
+            emptyDuringFire = q.empty();
+            isPendingDuringFire = q.isPending(id);
+        } else {
+            q.cancel(id);
+        }
+    });
+    q.runUntil(minutes(1));
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(pendingDuringFire, 1u);
+    EXPECT_FALSE(emptyDuringFire);
+    EXPECT_TRUE(isPendingDuringFire);
+}
+
+TEST(EventQueue, PendingDropsToZeroOnCancelDuringFire)
+{
+    EventQueue q;
+    EventId id = kInvalidEvent;
+    std::size_t pendingAfterSelfCancel = 99;
+    id = q.schedulePeriodic(seconds(1), seconds(1), [&] {
+        q.cancel(id);
+        pendingAfterSelfCancel = q.pending();
+    });
+    q.runUntil(minutes(1));
+    EXPECT_EQ(pendingAfterSelfCancel, 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.isPending(id));
+}
+
+TEST(EventQueue, PeriodicSelfCancelStopsSeries)
+{
+    EventQueue q;
+    EventId id = kInvalidEvent;
+    int fires = 0;
+    id = q.schedulePeriodic(seconds(1), seconds(1), [&] {
+        if (++fires == 3)
+            EXPECT_TRUE(q.cancel(id));
+    });
+    q.runUntil(minutes(5));
+    EXPECT_EQ(fires, 3);
+    EXPECT_FALSE(q.cancel(id));  // already cancelled
+}
+
+TEST(EventQueue, CancelOtherEventAtSameInstant)
+{
+    // A (Normal, earlier seq) cancels B scheduled for the same
+    // instant: B's armed heap entry goes stale and must be skipped.
+    EventQueue q;
+    bool bRan = false;
+    EventId b = kInvalidEvent;
+    q.schedule(seconds(1), [&] { EXPECT_TRUE(q.cancel(b)); });
+    b = q.schedule(seconds(1), [&] { bRan = true; });
+    EXPECT_EQ(q.runAll(), 1u);
+    EXPECT_FALSE(bRan);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelArmedPeriodicFromOneShot)
+{
+    EventQueue q;
+    int fires = 0;
+    const EventId series =
+        q.schedulePeriodic(seconds(1), seconds(1), [&] { ++fires; });
+    q.schedule(seconds(2) + 1, [&] { EXPECT_TRUE(q.cancel(series)); });
+    q.runUntil(minutes(1));
+    EXPECT_EQ(fires, 2);  // fired at 1 s and 2 s, then cancelled
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, PeriodicRescheduleAfterCancelGetsFreshId)
+{
+    EventQueue q;
+    const EventId a = q.schedulePeriodic(seconds(1), seconds(1), [] {});
+    q.cancel(a);
+    const EventId b = q.schedulePeriodic(seconds(1), seconds(1), [] {});
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(q.isPending(a));
+    EXPECT_TRUE(q.isPending(b));
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ExecutedCountsLifetimeEvents)
+{
+    EventQueue q;
+    q.schedule(seconds(1), [] {});
+    q.schedulePeriodic(seconds(2), seconds(2), [] {});
+    q.runUntil(seconds(6));
+    EXPECT_EQ(q.executed(), 4u);  // one-shot + fires at 2/4/6 s
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue q;

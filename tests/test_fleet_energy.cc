@@ -163,25 +163,58 @@ class FleetTest : public ::testing::Test
     }
 };
 
-TEST_F(FleetTest, SchedulerSerializesSlots)
+TEST(SlotSchedulerPolicy, FifoPicksArrivalOrder)
 {
-    ProfilingSlotScheduler sched(queue, seconds(10));
-    const SimTime a = sched.acquire();
-    const SimTime b = sched.acquire();
-    const SimTime c = sched.acquire();
-    EXPECT_EQ(a, 0);
-    EXPECT_EQ(b, seconds(10));
-    EXPECT_EQ(c, seconds(20));
-    EXPECT_EQ(sched.slotsGranted(), 3u);
+    const auto sched = makeSlotScheduler(SlotPolicy::Fifo);
+    EXPECT_EQ(sched->name(), "fifo");
+    const std::vector<ProfilingRequest> waiting{
+        {0, 5, 0, seconds(30), 9.0},
+        {1, 2, 0, seconds(10), 0.0},
+        {2, 7, 0, seconds(1), 99.0}};
+    EXPECT_EQ(sched->pick(waiting), 1u);  // seq 2 arrived first
 }
 
-TEST_F(FleetTest, SchedulerFreesUpOverTime)
+TEST(SlotSchedulerPolicy, SjfPicksShortestSlotTiesByArrival)
 {
-    ProfilingSlotScheduler sched(queue, seconds(10));
-    (void)sched.acquire();
-    queue.runUntil(minutes(5));
-    // Long idle: the next slot starts immediately.
-    EXPECT_EQ(sched.acquire(), minutes(5));
+    const auto sched =
+        makeSlotScheduler(SlotPolicy::ShortestJobFirst);
+    EXPECT_EQ(sched->name(), "sjf");
+    std::vector<ProfilingRequest> waiting{
+        {0, 1, 0, seconds(20), 0.0},
+        {1, 2, 0, seconds(10), 0.0},
+        {2, 3, 0, seconds(15), 0.0}};
+    EXPECT_EQ(sched->pick(waiting), 1u);  // 10 s slot
+    waiting[2].slotDuration = seconds(10);
+    EXPECT_EQ(sched->pick(waiting), 1u);  // tie: earlier seq wins
+}
+
+TEST(SlotSchedulerPolicy, SloDebtPicksDeepestDebtorTiesFifo)
+{
+    const auto sched = makeSlotScheduler(SlotPolicy::SloDebtFirst);
+    EXPECT_EQ(sched->name(), "slo-debt");
+    std::vector<ProfilingRequest> waiting{
+        {0, 1, 0, seconds(10), 2.0},
+        {1, 2, 0, seconds(10), 8.0},
+        {2, 3, 0, seconds(10), 8.0}};
+    EXPECT_EQ(sched->pick(waiting), 1u);  // deepest debt, first in
+    // No debt anywhere: degrades to FIFO.
+    for (auto &r : waiting)
+        r.sloDebt = 0.0;
+    EXPECT_EQ(sched->pick(waiting), 0u);
+}
+
+TEST(SlotSchedulerPolicy, FactoryByNameMatchesEnum)
+{
+    EXPECT_EQ(makeSlotScheduler("fifo")->name(), "fifo");
+    EXPECT_EQ(makeSlotScheduler("sjf")->name(), "sjf");
+    EXPECT_EQ(makeSlotScheduler("slo-debt")->name(), "slo-debt");
+    EXPECT_EQ(slotPolicyNames().size(), 3u);
+}
+
+TEST(SlotSchedulerPolicyDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeSlotScheduler("lifo"),
+                ::testing::ExitedWithCode(1), "unknown slot policy");
 }
 
 TEST_F(FleetTest, ConcurrentRequestsQueueForTheProfiler)
@@ -244,6 +277,70 @@ TEST_F(FleetTest, TotalAdaptationIncludesQueueDelay)
     ASSERT_EQ(fleet.log().size(), 2u);
     EXPECT_GT(fleet.log()[1].totalAdaptation(),
               fleet.log()[1].decision.adaptationTime);
+}
+
+TEST_F(FleetTest, ShortestJobFirstReordersWaitingRequests)
+{
+    auto s1 = makeStack(900);
+    auto s2 = makeStack(1000);
+    auto s3 = makeStack(1100);
+    DejaVuFleet fleet(sim, seconds(10),
+                      makeSlotScheduler(SlotPolicy::ShortestJobFirst));
+    fleet.addService("A", *s1.service, *s1.controller, seconds(30));
+    fleet.addService("B", *s2.service, *s2.controller, seconds(20));
+    fleet.addService("C", *s3.service, *s3.controller, seconds(5));
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    fleet.requestAdaptation("C", w);
+    queue.runUntil(minutes(5));
+
+    // A takes the free host on arrival; C's 5 s job then jumps B's
+    // 20 s job.
+    ASSERT_EQ(fleet.log().size(), 3u);
+    EXPECT_EQ(fleet.log()[0].service, "A");
+    EXPECT_EQ(fleet.log()[1].service, "C");
+    EXPECT_EQ(fleet.log()[2].service, "B");
+    EXPECT_EQ(fleet.log()[0].profilingStartedAt, 0);
+    EXPECT_EQ(fleet.log()[1].profilingStartedAt, seconds(30));
+    EXPECT_EQ(fleet.log()[2].profilingStartedAt, seconds(35));
+    EXPECT_EQ(fleet.log()[1].slotDuration, seconds(5));
+    EXPECT_EQ(fleet.slotsGranted(), 3u);
+    EXPECT_EQ(fleet.waiting(), 0u);
+}
+
+TEST_F(FleetTest, SloDebtFirstGrantsDeepestDebtor)
+{
+    auto s1 = makeStack(1200);
+    auto s2 = makeStack(1300);
+    auto s3 = makeStack(1400);
+    DejaVuFleet fleet(sim, seconds(10),
+                      makeSlotScheduler(SlotPolicy::SloDebtFirst));
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+    fleet.addService("C", *s3.service, *s3.controller);
+
+    fleet.noteSloViolation("B");
+    for (int i = 0; i < 3; ++i)
+        fleet.noteSloViolation("C");
+    EXPECT_EQ(fleet.sloDebt("C"), 3.0);
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    fleet.requestAdaptation("C", w);
+    queue.runUntil(minutes(5));
+
+    // A takes the free host on arrival; then C (debt 3) beats B
+    // (debt 1).
+    ASSERT_EQ(fleet.log().size(), 3u);
+    EXPECT_EQ(fleet.log()[0].service, "A");
+    EXPECT_EQ(fleet.log()[1].service, "C");
+    EXPECT_EQ(fleet.log()[2].service, "B");
+    // Granted members' debt is spent.
+    EXPECT_EQ(fleet.sloDebt("B"), 0.0);
+    EXPECT_EQ(fleet.sloDebt("C"), 0.0);
 }
 
 TEST_F(FleetTest, DuplicateNamesRejected)

@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "common/logging.hh"
 #include "experiments/scenario.hh"
@@ -76,13 +78,14 @@ TEST_F(FleetExperimentTest, ProfilingSlotsNeverOverlap)
 
     const auto &fleet = stack->experiment->fleet();
     ASSERT_GT(fleet.log().size(), 10u);
-    std::vector<SimTime> starts;
+    std::vector<std::pair<SimTime, SimTime>> slots;  // (start, end)
     for (const auto &entry : fleet.log())
-        starts.push_back(entry.profilingStartedAt);
-    std::sort(starts.begin(), starts.end());
-    const SimTime slot = fleet.scheduler().slotDuration();
-    for (std::size_t i = 1; i < starts.size(); ++i)
-        ASSERT_GE(starts[i], starts[i - 1] + slot);
+        slots.emplace_back(entry.profilingStartedAt,
+                           entry.profilingStartedAt
+                               + entry.slotDuration);
+    std::sort(slots.begin(), slots.end());
+    for (std::size_t i = 1; i < slots.size(); ++i)
+        ASSERT_GE(slots[i].first, slots[i - 1].second);
 }
 
 TEST_F(FleetExperimentTest, ConcurrentChangesPayQueueingDelay)
@@ -170,6 +173,158 @@ TEST_F(FleetExperimentTest, ShortHorizonMemberStopsAccruing)
     // The long member still covers its full 3-day reuse window.
     EXPECT_GT(results[1].result.latencyMs.size(),
               shortResult.latencyMs.size());
+}
+
+TEST_F(FleetExperimentTest, MixedFleetComposesHeterogeneousMembers)
+{
+    ScenarioOptions options;
+    options.seed = 42;
+    options.days = 2;
+    auto stack = makeMixedFleet(6, options);
+    ASSERT_EQ(stack->members.size(), 6u);
+
+    // KeyValue, SpecWeb, Rubis cycling, each with its kind's SLO and
+    // profiling-slot hint.
+    const ServiceKind kinds[] = {ServiceKind::KeyValue,
+                                 ServiceKind::SpecWeb,
+                                 ServiceKind::Rubis};
+    const SimTime slots[] = {seconds(10), seconds(15), seconds(20)};
+    for (std::size_t i = 0; i < stack->members.size(); ++i) {
+        const auto &m = *stack->members[i];
+        EXPECT_EQ(m.service->kind(), kinds[i % 3]) << m.name;
+        EXPECT_EQ(m.profilingSlot, slots[i % 3]) << m.name;
+        EXPECT_EQ(m.service->profilingSlotHint(), slots[i % 3]);
+    }
+    EXPECT_EQ(stack->members[0]->experimentConfig.slo.kind,
+              SloKind::LatencyBound);
+    EXPECT_DOUBLE_EQ(
+        stack->members[0]->experimentConfig.slo.latencyBoundMs, 60.0);
+    EXPECT_EQ(stack->members[1]->experimentConfig.slo.kind,
+              SloKind::QosFloor);
+    EXPECT_DOUBLE_EQ(
+        stack->members[1]->experimentConfig.slo.qosFloorPercent, 95.0);
+    EXPECT_DOUBLE_EQ(
+        stack->members[2]->experimentConfig.slo.latencyBoundMs, 150.0);
+}
+
+TEST_F(FleetExperimentTest, BuilderHonorsPerMemberOverrides)
+{
+    ScenarioOptions options;
+    options.seed = 7;
+    options.days = 2;
+    FleetMemberSpec custom;
+    custom.kind = ServiceKind::KeyValue;
+    custom.name = "tenant-x";
+    custom.traceName = "hotmail";
+    custom.profilingSlot = seconds(3);
+    custom.slo = Slo::latency(80.0);
+    auto stack = FleetBuilder(options)
+                     .add(ServiceKind::Rubis)
+                     .add(custom)
+                     .build();
+    ASSERT_EQ(stack->members.size(), 2u);
+    EXPECT_EQ(stack->members[0]->name, "svc-A");
+    const auto &m = *stack->members[1];
+    EXPECT_EQ(m.name, "tenant-x");
+    EXPECT_EQ(m.profilingSlot, seconds(3));
+    EXPECT_DOUBLE_EQ(m.experimentConfig.slo.latencyBoundMs, 80.0);
+    // Different trace family than the default messenger member.
+    EXPECT_EQ(m.trace.hours(), 2u * 24u);
+}
+
+TEST_F(FleetExperimentTest, MixedFleetRunsUnderEveryPolicy)
+{
+    for (const auto &policyName : slotPolicyNames()) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        auto stack = makeMixedFleet(6, options,
+                                    slotPolicyFromName(policyName));
+        stack->learnAll();
+        const auto results = stack->experiment->run();
+        ASSERT_EQ(results.size(), 6u) << policyName;
+        for (const auto &sr : results)
+            EXPECT_GT(sr.adaptations, 0)
+                << policyName << "/" << sr.name;
+
+        // §3.3 isolation holds under every policy: heterogeneous
+        // slots never overlap.
+        const auto &fleet = stack->experiment->fleet();
+        std::vector<std::pair<SimTime, SimTime>> slots;
+        for (const auto &entry : fleet.log())
+            slots.emplace_back(entry.profilingStartedAt,
+                               entry.profilingStartedAt
+                                   + entry.slotDuration);
+        std::sort(slots.begin(), slots.end());
+        for (std::size_t i = 1; i < slots.size(); ++i)
+            ASSERT_GE(slots[i].first, slots[i - 1].second)
+                << policyName;
+
+        const auto summary = stack->experiment->summary();
+        EXPECT_EQ(summary.policy, policyName);
+        EXPECT_EQ(summary.services, 6);
+        EXPECT_EQ(summary.adaptations, fleet.log().size());
+        // Interpolated quantiles can differ from the exact max by
+        // rounding in the last bits.
+        EXPECT_GE(summary.adaptationP95Sec + 1e-9,
+                  summary.adaptationP50Sec);
+        EXPECT_GE(summary.adaptationMaxSec + 1e-9,
+                  summary.adaptationP95Sec);
+    }
+}
+
+TEST_F(FleetExperimentTest, SjfGrantsShortSlotsFirstUnderContention)
+{
+    ScenarioOptions options;
+    options.seed = 42;
+    options.days = 2;
+    auto stack = makeMixedFleet(6, options,
+                                SlotPolicy::ShortestJobFirst);
+    stack->learnAll();
+    stack->experiment->run();
+
+    // All services request at each trace hour simultaneously. The
+    // first in line takes the free host (arrival order), but every
+    // later grant within the burst must pick the shortest waiting
+    // slot: start-ordered entries of one burst have non-decreasing
+    // durations after the first.
+    const auto &log = stack->experiment->fleet().log();
+    ASSERT_GT(log.size(), 10u);
+    std::map<SimTime, std::vector<std::pair<SimTime, SimTime>>> bursts;
+    for (const auto &entry : log)
+        bursts[entry.requestedAt].emplace_back(
+            entry.profilingStartedAt, entry.slotDuration);
+    int checkedBursts = 0;
+    for (auto &[requestedAt, grants] : bursts) {
+        if (grants.size() < 3)
+            continue;
+        std::sort(grants.begin(), grants.end());
+        for (std::size_t i = 2; i < grants.size(); ++i)
+            ASSERT_GE(grants[i].second, grants[i - 1].second)
+                << "burst at " << requestedAt;
+        ++checkedBursts;
+    }
+    EXPECT_GT(checkedBursts, 0);
+}
+
+TEST_F(FleetExperimentTest, ScalesTo100MixedServices)
+{
+    for (int n : {10, 50, 100}) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        auto stack = makeMixedFleet(n, options);
+        stack->learnAll();
+        const auto results = stack->experiment->run();
+        ASSERT_EQ(results.size(), static_cast<std::size_t>(n));
+        for (const auto &sr : results)
+            EXPECT_GT(sr.adaptations, 0) << n << "/" << sr.name;
+        const auto summary = stack->experiment->summary();
+        EXPECT_EQ(summary.services, n);
+        // 24 reuse hours, one request per service per hour.
+        EXPECT_EQ(summary.adaptations,
+                  static_cast<std::uint64_t>(24 * n));
+    }
 }
 
 TEST_F(FleetExperimentTest, ServicesKeepIndependentAllocations)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -118,6 +119,54 @@ TEST_F(RunnerIntegration, BitIdenticalAcrossThreadCounts)
                              b.latencyMs[k].value);
         }
     }
+}
+
+TEST_F(RunnerIntegration, FleetPolicySweepBitIdenticalAcrossThreads)
+{
+    // Scheduler-policy determinism: a (policy x seed) fleet sweep on
+    // a 9-service mixed fleet must digest byte-identically at 1, 4
+    // and 8 runner threads — slot scheduling is pure simulation
+    // state, never wall clock.
+    const auto cells = ExperimentRunner::grid(
+        {"fleet-mixed-9"}, slotPolicyNames(), {1, 2});
+
+    auto digestAt = [&](int threads) {
+        const auto summaries =
+            ExperimentRunner(ExperimentRunner::Config(threads))
+                .sweepInto(cells, runFleetCell);
+        std::vector<FleetCellResult> rows;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            rows.push_back({cells[i], summaries[i]});
+        return fleetSweepCsv(rows);
+    };
+
+    const std::string digest1 = digestAt(1);
+    EXPECT_EQ(digest1, digestAt(4));
+    EXPECT_EQ(digest1, digestAt(8));
+    // Every (scenario, policy, seed) row made it into the digest
+    // with a populated tail.
+    EXPECT_EQ(std::count(digest1.begin(), digest1.end(), '\n'),
+              static_cast<std::ptrdiff_t>(cells.size() + 1));
+    EXPECT_NE(digest1.find("fleet-mixed-9,sjf,1,9,216"),
+              std::string::npos);
+}
+
+TEST_F(RunnerIntegration, FleetCellRejectsMalformedScenarios)
+{
+    EXPECT_EXIT(makeFleetScenario("mixed-10", 1, SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "fleet-");
+    EXPECT_EXIT(makeFleetScenario("fleet-mixed", 1, SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "fleet scenario");
+    EXPECT_EXIT(makeFleetScenario("fleet-lustre-4", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "unknown fleet mix");
+    EXPECT_EXIT(makeFleetScenario("fleet-mixed-0", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "at least one");
+    // Trailing garbage must not silently parse as a smaller fleet.
+    EXPECT_EXIT(makeFleetScenario("fleet-mixed-9x", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "bad fleet size");
 }
 
 TEST_F(RunnerIntegration, AggregateGroupsByScenarioAndPolicy)
