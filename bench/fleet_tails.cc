@@ -1,14 +1,20 @@
 /**
  * @file
- * Fleet-wide adaptation-time tails per §3.3 slot-scheduling policy.
+ * Fleet-wide adaptation-time tails per §3.3 slot policy and profiling
+ * host-pool size.
  *
  * A 100-service mixed fleet (KeyValue + SPECweb + RUBiS round-robin,
  * heterogeneous SLOs and profiling-slot durations) is run under each
- * slot scheduler — FIFO, shortest-job-first, SLO-debt-first — and the
- * p50/p95/max of the shared-profiler queue delay and of the
- * end-to-end adaptation time are tabulated. The same cells are swept
- * at 1 and at 4 runner threads and must produce byte-identical CSV
- * digests (each cell owns its Simulation; the merge is input-ordered).
+ * slot scheduler — FIFO, shortest-job-first, SLO-debt-first, and the
+ * adaptive policy that switches between them on observed contention —
+ * for each host-pool size M in {1, 2, 4, 8} (the paper's "one or a
+ * few machines"), and the p50/p95/max of the pool queue delay and of
+ * the end-to-end adaptation time are tabulated. The hosts-vs-p95 knee
+ * — the smallest M past which doubling the pool no longer buys a
+ * meaningful p95 cut — is located per policy. The same cells are
+ * swept at 1 and at 4 runner threads and must produce byte-identical
+ * CSV digests (each cell owns its Simulation; the merge is
+ * input-ordered).
  *
  * Also reports event-queue throughput for the 100-actor case: the
  * fleet run executes ~300k tracked events (drivers, probes, slot
@@ -18,6 +24,7 @@
 
 #include <chrono>
 #include <iostream>
+#include <map>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
@@ -28,6 +35,7 @@ using namespace dejavu;
 namespace {
 
 constexpr int kServices = 100;
+const int kHostCounts[] = {1, 2, 4, 8};
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -36,23 +44,32 @@ secondsSince(std::chrono::steady_clock::time_point start)
                std::chrono::steady_clock::now() - start).count();
 }
 
+std::string
+scenarioFor(int hosts)
+{
+    return "fleet-mixed-" + std::to_string(kServices) + "-h"
+        + std::to_string(hosts);
+}
+
 } // namespace
 
 int
 main()
 {
     setLogLevel(LogLevel::Warn);
-    const std::string scenario =
-        "fleet-mixed-" + std::to_string(kServices);
 
     printBanner(std::cout, "Fleet adaptation-time tails ("
                 + std::to_string(kServices) + " services, "
-                "KeyValue+SPECweb+RUBiS, one shared profiling host)");
+                "KeyValue+SPECweb+RUBiS, M profiling hosts)");
 
-    // One cell per slot policy; identical fleet, identical traces —
-    // only the order waiting requests get the host differs.
+    // One cell per (pool size x slot policy); identical fleet,
+    // identical traces — only the host count and the order waiting
+    // requests get a host differ.
+    std::vector<std::string> scenarios;
+    for (int hosts : kHostCounts)
+        scenarios.push_back(scenarioFor(hosts));
     const auto cells = ExperimentRunner::grid(
-        {scenario}, slotPolicyNames(), {42});
+        scenarios, slotPolicyNames(), {42});
 
     const auto start1 = std::chrono::steady_clock::now();
     const auto summaries = ExperimentRunner(
@@ -72,22 +89,76 @@ main()
     const std::string digest1 = fleetSweepCsv(rows);
     const std::string digest4 = fleetSweepCsv(rows4);
 
-    Table table({"policy", "adaptations", "queue_p50_s", "queue_p95_s",
-                 "queue_max_s", "adapt_p50_s", "adapt_p95_s",
-                 "adapt_max_s"});
-    for (const auto &row : rows) {
-        const auto &s = row.summary;
-        table.addRow({s.policy, std::to_string(s.adaptations),
-                      Table::num(s.queueDelayP50Sec, 1),
-                      Table::num(s.queueDelayP95Sec, 1),
-                      Table::num(s.queueDelayMaxSec, 1),
-                      Table::num(s.adaptationP50Sec, 1),
-                      Table::num(s.adaptationP95Sec, 1),
-                      Table::num(s.adaptationMaxSec, 1)});
+    Table table({"policy", "hosts", "adaptations", "queue_p50_s",
+                 "queue_p95_s", "queue_max_s", "adapt_p50_s",
+                 "adapt_p95_s", "adapt_max_s"});
+    // Group rows per policy so the hosts progression reads top-down.
+    std::map<std::string, std::vector<const FleetCellResult *>>
+        byPolicy;
+    for (const auto &row : rows)
+        byPolicy[row.cell.policy].push_back(&row);
+    for (const auto &policyName : slotPolicyNames()) {
+        for (const FleetCellResult *row : byPolicy[policyName]) {
+            const auto &s = row->summary;
+            table.addRow({s.policy, std::to_string(s.hosts),
+                          std::to_string(s.adaptations),
+                          Table::num(s.queueDelayP50Sec, 1),
+                          Table::num(s.queueDelayP95Sec, 1),
+                          Table::num(s.queueDelayMaxSec, 1),
+                          Table::num(s.adaptationP50Sec, 1),
+                          Table::num(s.adaptationP95Sec, 1),
+                          Table::num(s.adaptationMaxSec, 1)});
+        }
     }
     table.printText(std::cout);
 
-    std::cout << "sweep wall clock: " << Table::num(t1, 1)
+    // The knee of hosts-vs-p95. The hourly burst is synchronized
+    // (every service requests at the top of the hour), so p95 scales
+    // ~1/M and never flattens in relative terms — the meaningful knee
+    // is *marginal*: the smallest M past which doubling the pool buys
+    // less than kMarginalSecPerHost seconds of p95 per added machine.
+    constexpr double kMarginalSecPerHost = 60.0;
+    std::cout << "hosts-vs-p95 knee (smallest M whose doubling buys "
+              << "< " << Table::num(kMarginalSecPerHost, 0)
+              << " s of p95 per added host):\n";
+    for (const auto &policyName : slotPolicyNames()) {
+        const auto &progression = byPolicy[policyName];
+        const int largestM = progression.back()->summary.hosts;
+        int knee = 0;  // 0: no doubling dipped under the threshold.
+        double kneeMarginal = 0.0;
+        for (std::size_t i = 1; i < progression.size(); ++i) {
+            const auto &prev = progression[i - 1]->summary;
+            const auto &cur = progression[i]->summary;
+            const double marginal =
+                (prev.adaptationP95Sec - cur.adaptationP95Sec)
+                / static_cast<double>(cur.hosts - prev.hosts);
+            if (marginal < kMarginalSecPerHost) {
+                knee = prev.hosts;
+                kneeMarginal = marginal;
+                break;
+            }
+        }
+        std::cout << "  " << policyName << ": ";
+        if (knee > 0)
+            std::cout << "M = " << knee << " (p95 "
+                      << Table::num(
+                             progression.front()
+                                 ->summary.adaptationP95Sec, 1)
+                      << " s at M=1 -> "
+                      << Table::num(
+                             progression.back()
+                                 ->summary.adaptationP95Sec, 1)
+                      << " s at M=" << largestM
+                      << "; next doubling pays "
+                      << Table::num(kneeMarginal, 1) << " s/host)\n";
+        else
+            std::cout << "no knee up to M=" << largestM
+                      << " (every doubling still pays >= "
+                      << Table::num(kMarginalSecPerHost, 0)
+                      << " s/host)\n";
+    }
+
+    std::cout << "\nsweep wall clock: " << Table::num(t1, 1)
               << " s at 1 thread, " << Table::num(t4, 1)
               << " s at 4 threads\n"
               << "digests byte-identical at 1 vs 4 threads: "
@@ -97,7 +168,8 @@ main()
     // run, all services' drivers/probes/recorders plus the fleet's
     // slot grants interleaving on a single queue.
     printBanner(std::cout, "Event-queue throughput (100-actor fleet)");
-    auto stack = makeFleetScenario(scenario, 42, SlotPolicy::Fifo);
+    auto stack = makeFleetScenario(scenarioFor(4), 42,
+                                   SlotPolicy::Adaptive);
     stack->learnAll();
     const auto runStart = std::chrono::steady_clock::now();
     stack->experiment->run();
@@ -108,7 +180,7 @@ main()
               << Table::num(static_cast<double>(events) / runSec / 1e6,
                             2)
               << " M events/s (simulated horizon: 2 days x "
-              << kServices << " services)\n";
+              << kServices << " services, 4 profiling hosts)\n";
 
     if (digest1 != digest4)
         return 1;

@@ -1,19 +1,26 @@
 /**
  * @file
  * Fleet deployment (the paper's Figure 2): one DejaVu installation
- * hosts several services whose proxies all feed a single dedicated
- * profiling machine. Each service has its own trace, cluster and
- * controller; all of them interleave on one shared event queue, and
- * concurrent adaptation requests serialize on the profiling host
- * (§3.3), with the queueing delay charged to adaptation time.
+ * hosts several services whose proxies all feed the profiling pool —
+ * the paper's "one or a few machines". Each service has its own
+ * trace, cluster and controller; all of them interleave on one shared
+ * event queue, and concurrent adaptation requests queue for a free
+ * profiling host (§3.3), with the queueing delay charged to
+ * adaptation time.
  *
  * The fleet here is heterogeneous — Cassandra-style key-value stores
  * (60 ms SLO, 10 s profiling slots), SPECweb front-ends (QoS >= 95%,
  * 15 s slots) and three-tier RUBiS (150 ms SLO, 20 s slots) — and the
- * same fleet is run under each §3.3 slot-scheduling policy to show
- * how the contention *policy* moves the fleet-wide adaptation tails:
- * shortest-job-first trims the median queue delay, SLO-debt-first
- * steers slots toward currently violating services.
+ * same fleet is run twice over:
+ *
+ *  1. under each §3.3 slot-scheduling policy (single host) to show
+ *     how the contention *policy* moves the fleet-wide adaptation
+ *     tails: shortest-job-first trims the median queue delay,
+ *     SLO-debt-first steers slots toward currently violating
+ *     services, and the adaptive policy switches between them on
+ *     observed queue depth and outstanding debt;
+ *  2. under a growing host pool (M = 1, 2, 4) to show the *capacity*
+ *     axis: the knee where more profiling machines stop paying.
  */
 
 #include <cstdio>
@@ -22,6 +29,12 @@
 #include "experiments/scenario.hh"
 
 using namespace dejavu;
+
+namespace {
+
+constexpr int kServices = 6;
+
+} // namespace
 
 int
 main()
@@ -33,12 +46,12 @@ main()
     options.traceName = "messenger";
     options.days = 3;
 
-    std::printf("mixed fleet of 6 services "
-                "(2x KeyValue + 2x SPECweb + 2x RUBiS), one shared "
-                "profiling host:\n\n");
+    std::printf("mixed fleet of %d services "
+                "(2x KeyValue + 2x SPECweb + 2x RUBiS)\n\n", kServices);
+    std::printf("== slot policies on a single profiling host ==\n\n");
 
     for (const auto &policyName : slotPolicyNames()) {
-        auto stack = makeMixedFleet(/*services=*/6, options,
+        auto stack = makeMixedFleet(kServices, options,
                                     slotPolicyFromName(policyName));
 
         // Learning phase for every hosted service (offline, day 1).
@@ -73,5 +86,22 @@ main()
                     summary.queueDelayMaxSec, summary.adaptationP50Sec,
                     summary.adaptationP95Sec, summary.adaptationMaxSec);
     }
+
+    std::printf("== growing the profiling pool (adaptive policy) ==\n\n");
+    std::printf("%6s %14s %16s %16s\n", "hosts", "slots",
+                "queue_p95_s", "adapt_p95_s");
+    for (int hosts : {1, 2, 4}) {
+        auto stack = makeMixedFleet(kServices, options,
+                                    SlotPolicy::Adaptive, hosts);
+        stack->learnAll();
+        stack->experiment->run();
+        const auto summary = stack->experiment->summary();
+        std::printf("%6d %14llu %16.1f %16.1f\n", hosts,
+                    static_cast<unsigned long long>(
+                        stack->experiment->fleet().slotsGranted()),
+                    summary.queueDelayP95Sec,
+                    summary.adaptationP95Sec);
+    }
+    std::printf("\n");
     return 0;
 }

@@ -71,6 +71,116 @@ class SloDebtFirstSlotScheduler : public ProfilingSlotScheduler
 
 } // namespace
 
+ProfilingHostPool::ProfilingHostPool(int hosts)
+    : _busy(static_cast<std::size_t>(std::max(hosts, 0)), 0)
+{
+    DEJAVU_ASSERT(hosts >= 1, "profiling pool needs >= 1 host, got ",
+                  hosts);
+}
+
+std::vector<std::size_t>
+ProfilingHostPool::freeHosts() const
+{
+    std::vector<std::size_t> free;
+    free.reserve(_busy.size() - static_cast<std::size_t>(_busyCount));
+    for (std::size_t h = 0; h < _busy.size(); ++h)
+        if (!_busy[h])
+            free.push_back(h);
+    return free;
+}
+
+void
+ProfilingHostPool::acquire(std::size_t host)
+{
+    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
+                  host);
+    DEJAVU_ASSERT(!_busy[host], "profiling host ", host,
+                  " already busy");
+    _busy[host] = 1;
+    ++_busyCount;
+}
+
+void
+ProfilingHostPool::release(std::size_t host)
+{
+    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
+                  host);
+    DEJAVU_ASSERT(_busy[host], "profiling host ", host, " not busy");
+    _busy[host] = 0;
+    --_busyCount;
+}
+
+AdaptiveSlotScheduler::AdaptiveSlotScheduler()
+    : AdaptiveSlotScheduler(Thresholds{})
+{
+}
+
+AdaptiveSlotScheduler::AdaptiveSlotScheduler(Thresholds thresholds)
+    : _thresholds(thresholds),
+      _fifo(std::make_unique<FifoSlotScheduler>()),
+      _sjf(std::make_unique<ShortestJobFirstSlotScheduler>()),
+      _debt(std::make_unique<SloDebtFirstSlotScheduler>())
+{
+    DEJAVU_ASSERT(_thresholds.sjfQueueDepth >= 1,
+                  "sjf queue-depth threshold must be >= 1");
+    DEJAVU_ASSERT(_thresholds.debtTrigger > 0.0,
+                  "debt trigger must be positive");
+}
+
+AdaptiveSlotScheduler::Mode
+AdaptiveSlotScheduler::modeOf(
+    const std::vector<ProfilingRequest> &waiting) const
+{
+    double totalDebt = 0.0;
+    for (const auto &req : waiting)
+        totalDebt += req.sloDebt;
+    if (totalDebt >= _thresholds.debtTrigger)
+        return Mode::SloDebt;
+    if (waiting.size() >= _thresholds.sjfQueueDepth)
+        return Mode::Sjf;
+    return Mode::Fifo;
+}
+
+const ProfilingSlotScheduler &
+AdaptiveSlotScheduler::delegateFor(
+    const std::vector<ProfilingRequest> &waiting) const
+{
+    switch (modeOf(waiting)) {
+      case Mode::SloDebt:
+        ++_debtPicks;
+        return *_debt;
+      case Mode::Sjf:
+        ++_sjfPicks;
+        return *_sjf;
+      case Mode::Fifo:
+        break;
+    }
+    ++_fifoPicks;
+    return *_fifo;
+}
+
+std::size_t
+AdaptiveSlotScheduler::pick(
+    const std::vector<ProfilingRequest> &waiting) const
+{
+    return delegateFor(waiting).pick(waiting);
+}
+
+std::string
+AdaptiveSlotScheduler::modeFor(
+    const std::vector<ProfilingRequest> &waiting) const
+{
+    switch (modeOf(waiting)) {
+      case Mode::SloDebt:
+        return "slo-debt";
+      case Mode::Sjf:
+        return "sjf";
+      case Mode::Fifo:
+        break;
+    }
+    return "fifo";
+}
+
 std::unique_ptr<ProfilingSlotScheduler>
 makeSlotScheduler(SlotPolicy policy)
 {
@@ -81,6 +191,8 @@ makeSlotScheduler(SlotPolicy policy)
         return std::make_unique<ShortestJobFirstSlotScheduler>();
       case SlotPolicy::SloDebtFirst:
         return std::make_unique<SloDebtFirstSlotScheduler>();
+      case SlotPolicy::Adaptive:
+        return std::make_unique<AdaptiveSlotScheduler>();
     }
     fatal("unknown slot policy");
 }
@@ -94,7 +206,10 @@ slotPolicyFromName(const std::string &name)
         return SlotPolicy::ShortestJobFirst;
     if (name == "slo-debt")
         return SlotPolicy::SloDebtFirst;
-    fatal("unknown slot policy: ", name, " (use fifo|sjf|slo-debt)");
+    if (name == "adaptive")
+        return SlotPolicy::Adaptive;
+    fatal("unknown slot policy: ", name,
+          " (use fifo|sjf|slo-debt|adaptive)");
 }
 
 std::unique_ptr<ProfilingSlotScheduler>
@@ -107,16 +222,19 @@ const std::vector<std::string> &
 slotPolicyNames()
 {
     static const std::vector<std::string> names{"fifo", "sjf",
-                                                "slo-debt"};
+                                                "slo-debt",
+                                                "adaptive"};
     return names;
 }
 
 DejaVuFleet::DejaVuFleet(
     Simulation &sim, SimTime profilingSlot,
-    std::unique_ptr<ProfilingSlotScheduler> scheduler)
+    std::unique_ptr<ProfilingSlotScheduler> scheduler,
+    int profilingHosts)
     : Actor(sim, "dejavu-fleet"), _defaultSlot(profilingSlot),
       _scheduler(scheduler ? std::move(scheduler)
-                           : makeSlotScheduler(SlotPolicy::Fifo))
+                           : makeSlotScheduler(SlotPolicy::Fifo)),
+      _hosts(profilingHosts)
 {
     DEJAVU_ASSERT(_defaultSlot > 0, "slot duration must be positive");
 }
@@ -180,56 +298,68 @@ DejaVuFleet::sloDebt(const std::string &name) const
 void
 DejaVuFleet::dispatch()
 {
-    if (_hostBusy || _waiting.empty())
-        return;
+    // Grant until the pool or the queue is exhausted. The scheduler
+    // sees a fresh view each iteration: every grant shrinks the
+    // waiting list and removes the granted host from the free list,
+    // and each granted member's debt is reset before the next pick.
+    while (_hosts.anyFree() && !_waiting.empty()) {
+        // Refresh each request's debt so the scheduler sees the
+        // debtor's state *now*, not at enqueue time.
+        std::vector<ProfilingRequest> view;
+        view.reserve(_waiting.size());
+        for (auto &queued : _waiting) {
+            queued.info.sloDebt = _members[queued.info.member].sloDebt;
+            view.push_back(queued.info);
+        }
+        const std::vector<std::size_t> freeHosts = _hosts.freeHosts();
+        const SlotGrant grant = _scheduler->grant(view, freeHosts);
+        DEJAVU_ASSERT(grant.request < view.size(), "scheduler '",
+                      _scheduler->name(), "' picked out of range: ",
+                      grant.request);
+        DEJAVU_ASSERT(std::find(freeHosts.begin(), freeHosts.end(),
+                                grant.host) != freeHosts.end(),
+                      "scheduler '", _scheduler->name(),
+                      "' granted a busy or unknown host: ", grant.host);
+        QueuedRequest req = std::move(_waiting[grant.request]);
+        _waiting.erase(_waiting.begin()
+                       + static_cast<std::ptrdiff_t>(grant.request));
 
-    // Refresh each request's debt so the scheduler sees the debtor's
-    // state *now*, not at enqueue time.
-    std::vector<ProfilingRequest> view;
-    view.reserve(_waiting.size());
-    for (auto &queued : _waiting) {
-        queued.info.sloDebt = _members[queued.info.member].sloDebt;
-        view.push_back(queued.info);
+        _hosts.acquire(grant.host);
+        ++_granted;
+        // The granted member's accumulated debt is spent:
+        // prioritization starts over after it gets a host.
+        _members[req.info.member].sloDebt = 0.0;
+
+        const std::size_t memberIdx = req.info.member;
+        const std::size_t host = grant.host;
+        const SimTime requestedAt = req.info.requestedAt;
+        const SimTime start = now();
+        const SimTime duration = req.info.slotDuration;
+
+        // The controller runs when the slot starts; its own adaptation
+        // time (signature collection etc.) is measured from that
+        // point. Capture the member by index: a later addService() may
+        // grow the vector and would invalidate references held by
+        // pending events.
+        at(start, [this, memberIdx, host, requestedAt, start, duration,
+                   workload = std::move(req.workload)] {
+            Member &member = _members[memberIdx];
+            CompletedAdaptation entry;
+            entry.service = member.name;
+            entry.requestedAt = requestedAt;
+            entry.profilingStartedAt = start;
+            entry.slotDuration = duration;
+            entry.host = host;
+            entry.decision = member.controller->onWorkloadChange(workload);
+            _log.push_back(entry);
+            for (const auto &listener : _listeners)
+                listener(_log.back());
+        });
+        at(saturatingAdd(start, duration), [this, host] {
+            _hosts.release(host);
+            dispatch();
+        });
     }
-    const std::size_t pick = _scheduler->pick(view);
-    DEJAVU_ASSERT(pick < view.size(), "scheduler '",
-                  _scheduler->name(), "' picked out of range: ", pick);
-    QueuedRequest req = std::move(_waiting[pick]);
-    _waiting.erase(_waiting.begin()
-                   + static_cast<std::ptrdiff_t>(pick));
-
-    _hostBusy = true;
-    ++_granted;
-    // The granted member's accumulated debt is spent: prioritization
-    // starts over after it gets the host.
-    _members[req.info.member].sloDebt = 0.0;
-
-    const std::size_t memberIdx = req.info.member;
-    const SimTime requestedAt = req.info.requestedAt;
-    const SimTime start = now();
-    const SimTime duration = req.info.slotDuration;
-
-    // The controller runs when the slot starts; its own adaptation
-    // time (signature collection etc.) is measured from that point.
-    // Capture the member by index: a later addService() may grow the
-    // vector and would invalidate references held by pending events.
-    at(start, [this, memberIdx, requestedAt, start, duration,
-               workload = std::move(req.workload)] {
-        Member &member = _members[memberIdx];
-        CompletedAdaptation entry;
-        entry.service = member.name;
-        entry.requestedAt = requestedAt;
-        entry.profilingStartedAt = start;
-        entry.slotDuration = duration;
-        entry.decision = member.controller->onWorkloadChange(workload);
-        _log.push_back(entry);
-        for (const auto &listener : _listeners)
-            listener(_log.back());
-    });
-    at(saturatingAdd(start, duration), [this] {
-        _hostBusy = false;
-        dispatch();
-    });
 }
 
 SimTime

@@ -2,20 +2,23 @@
  * @file
  * Multi-service DejaVu deployment (the paper's Figure 2): one DejaVu
  * installation profiles several hosted services (A, B, C ...) whose
- * proxies all feed "a dedicated profiling machine". §3.3's Isolation
- * requirement — "because the DejaVu profiler (possibly running on a
- * single machine) might be in charge of characterizing multiple
- * services, we need to make sure that the obtained signatures are not
- * disturbed by other profiling processes running on the same
- * profiler" — is enforced by serializing profiling slots: concurrent
- * adaptation requests queue for the shared host, and the queueing
- * delay is charged to their adaptation time.
+ * proxies all feed the paper's "one or a few machines" dedicated to
+ * profiling. §3.3's Isolation requirement — "because the DejaVu
+ * profiler (possibly running on a single machine) might be in charge
+ * of characterizing multiple services, we need to make sure that the
+ * obtained signatures are not disturbed by other profiling processes
+ * running on the same profiler" — is enforced per host: each of the
+ * pool's M hosts runs at most one profiling slot at a time, concurrent
+ * adaptation requests queue for a free host, and the queueing delay is
+ * charged to their adaptation time.
  *
- * *Which* waiting request gets the host when it frees up is a policy,
- * not a law: the fleet delegates the choice to a pluggable
- * ProfilingSlotScheduler (FIFO, shortest-job-first, SLO-debt-first),
- * which is what lets experiments measure how contention policy — not
- * just contention existence — shapes fleet-wide adaptation-time tails.
+ * *Which* waiting request gets a host when one frees up — and *which*
+ * host it gets — is a policy, not a law: the fleet delegates the
+ * choice to a pluggable ProfilingSlotScheduler (FIFO,
+ * shortest-job-first, SLO-debt-first, or the adaptive policy that
+ * switches between them on observed contention), which is what lets
+ * experiments measure how contention policy — not just contention
+ * existence — shapes fleet-wide adaptation-time tails.
  *
  * The fleet is an Actor on the shared simulation: profiling-slot
  * starts are ordinary tracked events, so a fleet interleaves with any
@@ -40,8 +43,8 @@
 namespace dejavu {
 
 /**
- * One adaptation request waiting for the shared profiling host — the
- * view a slot scheduler picks from.
+ * One adaptation request waiting for a profiling host — the view a
+ * slot scheduler picks from.
  */
 struct ProfilingRequest
 {
@@ -53,16 +56,64 @@ struct ProfilingRequest
 };
 
 /**
- * Policy choosing which waiting adaptation request gets the shared
- * profiling host next. Implementations must be deterministic pure
- * functions of the waiting list (ties broken by arrival seq), so fleet
- * runs are bit-identical at any experiment-runner thread count.
+ * The profiling machines of one DejaVu installation — the paper's
+ * "one or a few machines" (§3.3) as a scheduler-visible resource.
+ * Hosts are identified by dense indices [0, hosts()); each host runs
+ * at most one profiling slot at a time (per-host isolation). The pool
+ * only tracks busy/free state; who gets a free host is the slot
+ * scheduler's decision.
+ */
+class ProfilingHostPool
+{
+  public:
+    /** A pool of @p hosts identical profiling machines (>= 1). */
+    explicit ProfilingHostPool(int hosts);
+
+    /** Total machines in the pool. */
+    int hosts() const { return static_cast<int>(_busy.size()); }
+
+    /** Hosts currently running a profiling slot. */
+    int busy() const { return _busyCount; }
+
+    /** True iff at least one host is idle. */
+    bool anyFree() const { return _busyCount < hosts(); }
+
+    /** Indices of all idle hosts, ascending (deterministic order —
+     *  the tie-break schedulers rely on for host selection). */
+    std::vector<std::size_t> freeHosts() const;
+
+    /** Mark @p host busy (fatal if out of range or already busy). */
+    void acquire(std::size_t host);
+
+    /** Mark @p host idle again (fatal if out of range or not busy). */
+    void release(std::size_t host);
+
+  private:
+    std::vector<char> _busy;  ///< Not vector<bool>: plain flags.
+    int _busyCount = 0;
+};
+
+/** A scheduler decision: grant @p request (index into the waiting
+ *  view) a slot on @p host (index into the free-host list's values). */
+struct SlotGrant
+{
+    std::size_t request = 0;  ///< Index into the waiting vector.
+    std::size_t host = 0;     ///< A host id drawn from freeHosts.
+};
+
+/**
+ * Policy choosing which waiting adaptation request gets a free
+ * profiling host next — and which host. Implementations must be
+ * deterministic pure functions of the waiting list and free-host list
+ * (ties broken by arrival seq; hosts by lowest id), so fleet runs are
+ * bit-identical at any experiment-runner thread count.
  */
 class ProfilingSlotScheduler
 {
   public:
     virtual ~ProfilingSlotScheduler() = default;
 
+    /** Policy name as used in sweep cells and CSV digests. */
     virtual std::string name() const = 0;
 
     /**
@@ -72,6 +123,23 @@ class ProfilingSlotScheduler
      */
     virtual std::size_t pick(
         const std::vector<ProfilingRequest> &waiting) const = 0;
+
+    /**
+     * Pick both the request and the host for the next grant. The
+     * default placement takes pick()'s request on the lowest-numbered
+     * free host (hosts are identical, so lowest-id is the canonical
+     * deterministic choice); override to co-design who and where.
+     * @param waiting non-empty, ordered by arrival (seq ascending).
+     * @param freeHosts non-empty, ascending host ids.
+     * @return grant whose request indexes @p waiting and whose host is
+     *         an element of @p freeHosts.
+     */
+    virtual SlotGrant grant(
+        const std::vector<ProfilingRequest> &waiting,
+        const std::vector<std::size_t> &freeHosts) const
+    {
+        return {pick(waiting), freeHosts.front()};
+    }
 };
 
 /** The built-in slot scheduling policies. */
@@ -80,21 +148,99 @@ enum class SlotPolicy
     Fifo,              ///< Arrival order (the paper's implicit policy).
     ShortestJobFirst,  ///< Smallest slot duration first.
     SloDebtFirst,      ///< Most SLO-violating service first.
+    Adaptive,          ///< Switches between the three on observed load.
+};
+
+/**
+ * Adaptive slot policy: inspects the waiting queue at every grant and
+ * delegates to whichever fixed discipline the observed contention
+ * calls for (ADARES's adapt-to-load argument applied to the §3.3
+ * profiling queue):
+ *
+ *  - outstanding SLO debt among the waiters >= debtTrigger
+ *    -> SLO-debt-first (serve the violating service before its debt
+ *    compounds);
+ *  - else queue depth >= sjfQueueDepth -> shortest-job-first (a burst
+ *    is piling up; drain the many short slots to cut the median);
+ *  - else FIFO (an uncontended queue needs no reordering).
+ *
+ * Each rule inherits its delegate's tie-break (arrival seq, then
+ * lowest free host id), so the policy stays a deterministic pure
+ * function of the waiting view. Mode counters record how often each
+ * delegate was consulted — observability only, never fed back into
+ * decisions.
+ */
+class AdaptiveSlotScheduler : public ProfilingSlotScheduler
+{
+  public:
+    /** Switching thresholds (defaults picked for the 100-service
+     *  hourly burst; see bench/fleet_tails.cc). */
+    struct Thresholds
+    {
+        /** Queue depth at/above which a burst is assumed and
+         *  shortest-job-first takes over. */
+        std::size_t sjfQueueDepth = 8;
+        /** Total SLO debt among waiters at/above which the deepest
+         *  debtor is served first. */
+        double debtTrigger = 1.0;
+    };
+
+    /** Default thresholds (sjfQueueDepth = 8, debtTrigger = 1.0). */
+    AdaptiveSlotScheduler();
+    explicit AdaptiveSlotScheduler(Thresholds thresholds);
+
+    std::string name() const override { return "adaptive"; }
+
+    /** The delegate's pick under the mode the current queue selects. */
+    std::size_t pick(
+        const std::vector<ProfilingRequest> &waiting) const override;
+
+    /** The mode the current @p waiting queue would select
+     *  ("fifo" | "sjf" | "slo-debt"); does not bump counters. */
+    std::string modeFor(
+        const std::vector<ProfilingRequest> &waiting) const;
+
+    const Thresholds &thresholds() const { return _thresholds; }
+
+    /** Grants decided in FIFO mode so far. */
+    std::uint64_t fifoPicks() const { return _fifoPicks; }
+    /** Grants decided in shortest-job-first mode so far. */
+    std::uint64_t sjfPicks() const { return _sjfPicks; }
+    /** Grants decided in SLO-debt-first mode so far. */
+    std::uint64_t debtPicks() const { return _debtPicks; }
+
+  private:
+    enum class Mode { Fifo, Sjf, SloDebt };
+
+    /** The single threshold rule both pick() and modeFor() consult. */
+    Mode modeOf(const std::vector<ProfilingRequest> &waiting) const;
+
+    const ProfilingSlotScheduler &delegateFor(
+        const std::vector<ProfilingRequest> &waiting) const;
+
+    Thresholds _thresholds;
+    std::unique_ptr<ProfilingSlotScheduler> _fifo;
+    std::unique_ptr<ProfilingSlotScheduler> _sjf;
+    std::unique_ptr<ProfilingSlotScheduler> _debt;
+    mutable std::uint64_t _fifoPicks = 0;
+    mutable std::uint64_t _sjfPicks = 0;
+    mutable std::uint64_t _debtPicks = 0;
 };
 
 /** Factory for the built-in policies. */
 std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
     SlotPolicy policy);
 
-/** Parse a policy name: "fifo" | "sjf" | "slo-debt" (fatal
- *  otherwise). */
+/** Parse a policy name: "fifo" | "sjf" | "slo-debt" | "adaptive"
+ *  (fatal otherwise). */
 SlotPolicy slotPolicyFromName(const std::string &name);
 
-/** Factory by name: "fifo" | "sjf" | "slo-debt". */
+/** Factory by name: "fifo" | "sjf" | "slo-debt" | "adaptive". */
 std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
     const std::string &name);
 
-/** All built-in policy names, in SlotPolicy order. */
+/** All built-in policy names, in SlotPolicy order (the three fixed
+ *  disciplines, then "adaptive"). */
 const std::vector<std::string> &slotPolicyNames();
 
 /**
@@ -110,11 +256,13 @@ class DejaVuFleet : public Actor
         SimTime requestedAt = 0;
         SimTime profilingStartedAt = 0;  ///< After any queueing.
         SimTime slotDuration = 0;        ///< Host occupancy granted.
+        std::size_t host = 0;            ///< Pool host that ran it.
         DejaVuController::Decision decision;
 
+        /** Time spent waiting for a free profiling host. */
         SimTime queueDelay() const
         { return profilingStartedAt - requestedAt; }
-        /** End-to-end adaptation including the shared-host queue. */
+        /** End-to-end adaptation including the host-pool queue. */
         SimTime totalAdaptation() const
         { return queueDelay() + decision.adaptationTime; }
     };
@@ -123,10 +271,12 @@ class DejaVuFleet : public Actor
     using AdaptationListener =
         std::function<void(const CompletedAdaptation &)>;
 
-    /** @p scheduler defaults to FIFO when null. */
+    /** @p scheduler defaults to FIFO when null; @p profilingHosts is
+     *  the size M of the profiling host pool (>= 1). */
     explicit DejaVuFleet(
         Simulation &sim, SimTime profilingSlot = seconds(10),
-        std::unique_ptr<ProfilingSlotScheduler> scheduler = nullptr);
+        std::unique_ptr<ProfilingSlotScheduler> scheduler = nullptr,
+        int profilingHosts = 1);
 
     /**
      * Register a service with its controller (must be learned before
@@ -139,7 +289,7 @@ class DejaVuFleet : public Actor
 
     /**
      * A workload change arrived for @p name: queue a profiling request
-     * for the shared host and run the controller when the scheduler
+     * for the host pool and run the controller when the scheduler
      * grants it a slot. The decision lands in log() once processed
      * (advance the simulation past the slot start).
      */
@@ -156,22 +306,33 @@ class DejaVuFleet : public Actor
     /** Subscribe to completed adaptations. */
     void addListener(AdaptationListener fn);
 
+    /** Registered services. */
     int services() const { return static_cast<int>(_members.size()); }
 
     /** Registration index of a member (fatal on unknown name) — the
      *  single name-to-index map fleet-level aggregators share. */
     std::size_t memberIndex(const std::string &name) const;
 
+    /** Completed adaptations in grant order. */
     const std::vector<CompletedAdaptation> &log() const { return _log; }
 
+    /** The slot policy deciding grants. */
     const ProfilingSlotScheduler &scheduler() const
     { return *_scheduler; }
+
+    /** Fleet-default host occupancy per adaptation. */
     SimTime defaultSlotDuration() const { return _defaultSlot; }
+
+    /** Size M of the profiling host pool. */
+    int profilingHosts() const { return _hosts.hosts(); }
+
+    /** Pool hosts currently running a slot. */
+    int busyHosts() const { return _hosts.busy(); }
 
     /** Profiling slots granted so far. */
     std::uint64_t slotsGranted() const { return _granted; }
 
-    /** Requests still waiting for the host. */
+    /** Requests still waiting for a host. */
     std::size_t waiting() const { return _waiting.size(); }
 
     /** Current SLO debt of a member (violating samples since its last
@@ -198,15 +359,16 @@ class DejaVuFleet : public Actor
         Workload workload;
     };
 
-    /** Grant the host to the scheduler's pick if it is free. */
+    /** Grant free hosts to the scheduler's picks until the pool is
+     *  exhausted or the queue drains. */
     void dispatch();
 
     SimTime _defaultSlot;
     std::unique_ptr<ProfilingSlotScheduler> _scheduler;
+    ProfilingHostPool _hosts;
     std::vector<Member> _members;
     std::unordered_map<std::string, std::size_t> _memberIndex;
     std::deque<QueuedRequest> _waiting;
-    bool _hostBusy = false;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _granted = 0;
     std::vector<CompletedAdaptation> _log;

@@ -9,10 +9,11 @@
 namespace dejavu {
 
 FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
-                                 SlotPolicy policy)
-    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy))
+                                 SlotPolicy policy, int profilingHosts)
+    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy),
+                        profilingHosts)
 {
-    // Charge every completed adaptation — including its shared-host
+    // Charge every completed adaptation — including its host-pool
     // queueing delay (§3.3) — to the service that requested it. The
     // fleet's name-to-index map is authoritative (members register in
     // lockstep), and memberIndex() is fatal on a miss: an unknown
@@ -85,8 +86,8 @@ FleetExperiment::run()
                                  m.config.postChangeProbe},
             "probe:" + m.name);
 
-        // Reuse-window workload changes route through the shared
-        // profiling host rather than straight to the controller.
+        // Reuse-window workload changes route through the profiling
+        // host pool rather than straight to the controller.
         Member *mp = &m;
         m.driver->addListener([this, mp](int hour, const Workload &w) {
             if (hour >= mp->config.reuseStartHour)
@@ -141,6 +142,7 @@ FleetExperiment::summary() const
     FleetSummary s;
     s.policy = _fleet.scheduler().name();
     s.services = services();
+    s.hosts = _fleet.profilingHosts();
     PercentileSampler queueDelay, total;
     for (const auto &entry : _fleet.log()) {
         queueDelay.add(toSeconds(entry.queueDelay()));

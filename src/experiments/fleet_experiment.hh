@@ -3,16 +3,17 @@
  * Fleet-scale provisioning experiment: N co-hosted services, each with
  * its own trace driver, monitor probe and DejaVu controller, all
  * interleaving on one shared event queue, with adaptation requests
- * serialized through the fleet's shared profiling host (§3.3) under a
- * selectable slot-scheduling policy (FIFO, shortest-job-first,
- * SLO-debt-first).
+ * queued for the fleet's pool of M profiling hosts (§3.3's "one or a
+ * few machines") under a selectable slot-scheduling policy (FIFO,
+ * shortest-job-first, SLO-debt-first, adaptive).
  *
  * This is the paper's Figure 2 deployment turned into a harness:
  * adding a hosted service is one registration call, the run records a
  * full per-service SLO/latency/instances series, every completed
- * adaptation is charged its shared-profiler queueing delay, and the
+ * adaptation is charged its host-pool queueing delay, and the
  * fleet-wide adaptation-time tails (p50/p95/max) fall out of one
- * summary() call — the yardstick for comparing slot policies.
+ * summary() call — the yardstick for comparing slot policies and
+ * pool sizes (the hosts-vs-p95 knee).
  */
 
 #ifndef DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
@@ -35,22 +36,24 @@ class FleetExperiment
 {
   public:
     /** Per-service outcome: the usual figure series plus the
-     *  shared-profiler queueing statistics. */
+     *  host-pool queueing statistics. */
     struct ServiceResult
     {
-        std::string name;
-        ExperimentResult result;
-        int adaptations = 0;
-        SimTime maxQueueDelay = 0;
-        RunningStats queueDelaySec;
+        std::string name;               ///< Registered member name.
+        ExperimentResult result;        ///< Full per-service series.
+        int adaptations = 0;            ///< Granted slots for this member.
+        SimTime maxQueueDelay = 0;      ///< Worst host-pool wait paid.
+        RunningStats queueDelaySec;     ///< All waits, in seconds.
     };
 
-    /** Fleet-wide adaptation-time tails under one slot policy. */
+    /** Fleet-wide adaptation-time tails under one slot policy and
+     *  host-pool size. */
     struct FleetSummary
     {
-        std::string policy;
-        int services = 0;
-        std::uint64_t adaptations = 0;
+        std::string policy;             ///< Slot scheduler name.
+        int services = 0;               ///< Fleet size N.
+        int hosts = 0;                  ///< Profiling-pool size M.
+        std::uint64_t adaptations = 0;  ///< Slots granted fleet-wide.
         double queueDelayP50Sec = 0.0;
         double queueDelayP95Sec = 0.0;
         double queueDelayMaxSec = 0.0;
@@ -60,10 +63,11 @@ class FleetExperiment
     };
 
     /** @p policy selects how waiting adaptation requests are granted
-     *  the shared profiling host. */
+     *  profiling hosts; @p profilingHosts is the pool size M. */
     FleetExperiment(Simulation &sim,
                     SimTime profilingSlot = seconds(10),
-                    SlotPolicy policy = SlotPolicy::Fifo);
+                    SlotPolicy policy = SlotPolicy::Fifo,
+                    int profilingHosts = 1);
 
     /**
      * Register a hosted service. The controller must have completed
@@ -87,8 +91,11 @@ class FleetExperiment
     /** Fleet-wide adaptation-time tails; valid after run(). */
     FleetSummary summary() const;
 
+    /** The underlying fleet actor (host pool, slot log, debt). */
     DejaVuFleet &fleet() { return _fleet; }
     const DejaVuFleet &fleet() const { return _fleet; }
+
+    /** Registered services. */
     int services() const { return static_cast<int>(_members.size()); }
 
   private:

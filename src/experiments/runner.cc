@@ -81,24 +81,46 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 {
     const std::string prefix = "fleet-";
     if (scenario.compare(0, prefix.size(), prefix) != 0)
-        fatal("fleet scenario name must be 'fleet-<mix>-<N>', got: ",
-              scenario);
-    const std::string rest = scenario.substr(prefix.size());
+        fatal("fleet scenario name must be 'fleet-<mix>-<N>[-h<M>]', "
+              "got: ", scenario);
+    std::string rest = scenario.substr(prefix.size());
+
+    // Parse one integer field; fatal unless the whole token is a
+    // number (trailing garbage must not silently shrink the fleet).
+    const auto parseCount = [&scenario](const std::string &token,
+                                        const char *what) {
+        int value = 0;
+        std::size_t parsed = 0;
+        try {
+            value = std::stoi(token, &parsed);
+        } catch (const std::exception &) {
+            fatal("bad ", what, " in scenario name: ", scenario);
+        }
+        if (parsed != token.size())
+            fatal("bad ", what, " in scenario name: ", scenario);
+        return value;
+    };
+
+    // Optional trailing "-h<M>" sizes the profiling host pool.
+    int hosts = 1;
+    const std::size_t hostDash = rest.rfind("-h");
+    if (hostDash != std::string::npos && hostDash + 2 < rest.size() &&
+        rest.find_first_not_of("0123456789", hostDash + 2)
+            == std::string::npos) {
+        hosts = parseCount(rest.substr(hostDash + 2), "host count");
+        if (hosts < 1)
+            fatal("profiling pool needs at least one host: ",
+                  scenario);
+        rest.erase(hostDash);
+    }
+
     const std::size_t dash = rest.rfind('-');
     if (dash == std::string::npos || dash + 1 >= rest.size())
-        fatal("fleet scenario name must be 'fleet-<mix>-<N>', got: ",
-              scenario);
+        fatal("fleet scenario name must be 'fleet-<mix>-<N>[-h<M>]', "
+              "got: ", scenario);
     const std::string mix = rest.substr(0, dash);
-    const std::string sizeStr = rest.substr(dash + 1);
-    int services = 0;
-    std::size_t parsed = 0;
-    try {
-        services = std::stoi(sizeStr, &parsed);
-    } catch (const std::exception &) {
-        fatal("bad fleet size in scenario name: ", scenario);
-    }
-    if (parsed != sizeStr.size())
-        fatal("bad fleet size in scenario name: ", scenario);
+    const int services =
+        parseCount(rest.substr(dash + 1), "fleet size");
     if (services < 1)
         fatal("fleet needs at least one service: ", scenario);
 
@@ -108,9 +130,9 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 
     if (mix == "cassandra")
         return makeCassandraFleet(services, options, seconds(10),
-                                  policy);
+                                  policy, hosts);
     if (mix == "mixed")
-        return makeMixedFleet(services, options, policy);
+        return makeMixedFleet(services, options, policy, hosts);
     fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
 }
 
@@ -128,14 +150,14 @@ std::string
 fleetSweepCsv(const std::vector<FleetCellResult> &results)
 {
     std::ostringstream os;
-    os << "scenario,policy,seed,services,adaptations,"
+    os << "scenario,policy,seed,services,hosts,adaptations,"
           "queue_p50_s,queue_p95_s,queue_max_s,"
           "adapt_p50_s,adapt_p95_s,adapt_max_s\n";
     for (const auto &fr : results) {
         const auto &s = fr.summary;
         os << fr.cell.scenario << ',' << fr.cell.policy << ','
            << fr.cell.seed << ',' << s.services << ','
-           << s.adaptations << ','
+           << s.hosts << ',' << s.adaptations << ','
            << Table::num(s.queueDelayP50Sec, 3) << ','
            << Table::num(s.queueDelayP95Sec, 3) << ','
            << Table::num(s.queueDelayMaxSec, 3) << ','

@@ -226,6 +226,14 @@ FleetBuilder::profilingSlot(SimTime slot)
 }
 
 FleetBuilder &
+FleetBuilder::profilingHosts(int hosts)
+{
+    DEJAVU_ASSERT(hosts >= 1, "profiling pool needs >= 1 host");
+    _profilingHosts = hosts;
+    return *this;
+}
+
+FleetBuilder &
 FleetBuilder::add(ServiceKind kind, int count)
 {
     DEJAVU_ASSERT(count >= 1, "need at least one member to add");
@@ -252,7 +260,8 @@ FleetBuilder::build() const
     stack->sim = std::make_unique<Simulation>(_options.seed);
     Simulation &sim = *stack->sim;
     stack->experiment = std::make_unique<FleetExperiment>(
-        sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy);
+        sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy,
+        _profilingHosts);
 
     for (std::size_t i = 0; i < _specs.size(); ++i) {
         const FleetMemberSpec &spec = _specs[i];
@@ -363,19 +372,21 @@ FleetBuilder::build() const
 
 std::unique_ptr<FleetStack>
 makeCassandraFleet(int services, const ScenarioOptions &options,
-                   SimTime profilingSlot, SlotPolicy policy)
+                   SimTime profilingSlot, SlotPolicy policy,
+                   int profilingHosts)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     return FleetBuilder(options)
         .profilingSlot(profilingSlot)
         .slotPolicy(policy)
+        .profilingHosts(profilingHosts)
         .add(ServiceKind::KeyValue, services)
         .build();
 }
 
 std::unique_ptr<FleetStack>
 makeMixedFleet(int services, const ScenarioOptions &options,
-               SlotPolicy policy)
+               SlotPolicy policy, int profilingHosts)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     static constexpr ServiceKind kCycle[] = {
@@ -383,6 +394,7 @@ makeMixedFleet(int services, const ScenarioOptions &options,
         ServiceKind::Rubis};
     FleetBuilder builder(options);
     builder.slotPolicy(policy);
+    builder.profilingHosts(profilingHosts);
     for (int i = 0; i < services; ++i)
         builder.add(kCycle[i % 3]);
     return builder.build();

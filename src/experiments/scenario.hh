@@ -98,7 +98,7 @@ struct FleetMember
 /**
  * A multi-service deployment (the paper's Figure 2): N hosted
  * services on one Simulation, wired to a FleetExperiment whose
- * adaptation requests serialize on the shared profiling host.
+ * adaptation requests queue for the pool of M profiling hosts.
  */
 struct FleetStack
 {
@@ -132,22 +132,26 @@ struct FleetMemberSpec
 /**
  * Composes heterogeneous fleets: mixed SPECweb + RUBiS + KeyValue
  * members with per-member SLOs, traces and profiling-slot durations,
- * under a selectable §3.3 slot-scheduling policy. Per-member traces
- * derive from options.seed (so daily shapes align — every hourly
- * change contends for the shared profiler — while noise and anomalies
- * differ per service).
+ * under a selectable §3.3 slot-scheduling policy and profiling
+ * host-pool size. Per-member traces derive from options.seed (so
+ * daily shapes align — every hourly change contends for the profiling
+ * pool — while noise and anomalies differ per service).
  */
 class FleetBuilder
 {
   public:
     explicit FleetBuilder(ScenarioOptions options = {});
 
-    /** Slot-scheduling policy for the shared profiling host. */
+    /** Slot-scheduling policy for the profiling host pool. */
     FleetBuilder &slotPolicy(SlotPolicy policy);
 
     /** Default host occupancy per adaptation; 0 means each service
      *  kind's own profilingSlotHint(). */
     FleetBuilder &profilingSlot(SimTime slot);
+
+    /** Size M of the profiling host pool (default 1 — the paper's
+     *  single dedicated machine). */
+    FleetBuilder &profilingHosts(int hosts);
 
     /** Add @p count members of @p kind with kind-default settings. */
     FleetBuilder &add(ServiceKind kind, int count = 1);
@@ -155,6 +159,7 @@ class FleetBuilder
     /** Add one fully specified member. */
     FleetBuilder &add(FleetMemberSpec spec);
 
+    /** Members requested so far. */
     int size() const { return static_cast<int>(_specs.size()); }
 
     /** Construct the whole fleet stack (does not run learning). */
@@ -164,26 +169,30 @@ class FleetBuilder
     ScenarioOptions _options;
     SlotPolicy _policy = SlotPolicy::Fifo;
     SimTime _defaultSlot = 0;
+    int _profilingHosts = 1;
     std::vector<FleetMemberSpec> _specs;
 };
 
 /**
  * Cassandra scale-out fleet: @p services co-hosted key-value stores
- * (the homogeneous baseline).
+ * (the homogeneous baseline), @p profilingHosts profiling machines.
  */
 std::unique_ptr<FleetStack> makeCassandraFleet(
     int services, const ScenarioOptions &options,
     SimTime profilingSlot = seconds(10),
-    SlotPolicy policy = SlotPolicy::Fifo);
+    SlotPolicy policy = SlotPolicy::Fifo,
+    int profilingHosts = 1);
 
 /**
  * Mixed fleet: @p services members cycling through KeyValue, SPECweb
  * and RUBiS, each with its kind's SLO (60 ms / QoS 95% / 150 ms) and
- * profiling-slot hint (10 s / 15 s / 20 s).
+ * profiling-slot hint (10 s / 15 s / 20 s), sharing @p profilingHosts
+ * profiling machines.
  */
 std::unique_ptr<FleetStack> makeMixedFleet(
     int services, const ScenarioOptions &options,
-    SlotPolicy policy = SlotPolicy::Fifo);
+    SlotPolicy policy = SlotPolicy::Fifo,
+    int profilingHosts = 1);
 
 } // namespace dejavu
 

@@ -203,12 +203,119 @@ TEST(SlotSchedulerPolicy, SloDebtPicksDeepestDebtorTiesFifo)
     EXPECT_EQ(sched->pick(waiting), 0u);
 }
 
+TEST(SlotSchedulerPolicy, DefaultGrantTakesLowestFreeHost)
+{
+    // Hosts are identical; the canonical placement is the pick()'ed
+    // request on the lowest-numbered free host.
+    const auto sched = makeSlotScheduler(SlotPolicy::ShortestJobFirst);
+    const std::vector<ProfilingRequest> waiting{
+        {0, 1, 0, seconds(20), 0.0},
+        {1, 2, 0, seconds(5), 0.0}};
+    const SlotGrant grant = sched->grant(waiting, {3, 5, 7});
+    EXPECT_EQ(grant.request, 1u);  // the 5 s job
+    EXPECT_EQ(grant.host, 3u);     // lowest free id
+}
+
+TEST(SlotSchedulerPolicy, AdaptiveSwitchesOnDepthAndDebt)
+{
+    AdaptiveSlotScheduler sched;  // depth >= 8, debt >= 1.0
+    EXPECT_EQ(sched.name(), "adaptive");
+
+    // Shallow queue, no debt: FIFO (arrival order, seq tie-break).
+    std::vector<ProfilingRequest> shallow{
+        {0, 5, 0, seconds(30), 0.0},
+        {1, 2, 0, seconds(10), 0.0}};
+    EXPECT_EQ(sched.modeFor(shallow), "fifo");
+    EXPECT_EQ(sched.pick(shallow), 1u);  // seq 2 first
+    EXPECT_EQ(sched.fifoPicks(), 1u);
+
+    // Deep queue (>= 8 waiters), still no debt: shortest-job-first.
+    std::vector<ProfilingRequest> deep;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        deep.push_back({i, i, 0, seconds(20 + i), 0.0});
+    deep[5].slotDuration = seconds(1);
+    EXPECT_EQ(sched.modeFor(deep), "sjf");
+    EXPECT_EQ(sched.pick(deep), 5u);  // the 1 s slot
+    EXPECT_EQ(sched.sjfPicks(), 1u);
+
+    // Outstanding debt trumps depth regardless of queue size.
+    shallow[0].sloDebt = 1.0;
+    EXPECT_EQ(sched.modeFor(shallow), "slo-debt");
+    EXPECT_EQ(sched.pick(shallow), 0u);  // the debtor
+    deep[3].sloDebt = 2.0;
+    EXPECT_EQ(sched.modeFor(deep), "slo-debt");
+    EXPECT_EQ(sched.pick(deep), 3u);
+    EXPECT_EQ(sched.debtPicks(), 2u);
+    EXPECT_EQ(sched.fifoPicks(), 1u);
+    EXPECT_EQ(sched.sjfPicks(), 1u);
+}
+
+TEST(SlotSchedulerPolicy, AdaptiveHonorsCustomThresholds)
+{
+    AdaptiveSlotScheduler::Thresholds t;
+    t.sjfQueueDepth = 2;
+    t.debtTrigger = 5.0;
+    AdaptiveSlotScheduler sched(t);
+
+    // Depth 2 already counts as a burst under the custom threshold.
+    std::vector<ProfilingRequest> waiting{
+        {0, 1, 0, seconds(20), 0.0},
+        {1, 2, 0, seconds(5), 0.0}};
+    EXPECT_EQ(sched.modeFor(waiting), "sjf");
+
+    // Debt below the trigger is ignored; the *total* across waiters
+    // crossing it flips the mode.
+    waiting[0].sloDebt = 2.0;
+    waiting[1].sloDebt = 2.9;
+    EXPECT_EQ(sched.modeFor(waiting), "sjf");
+    waiting[1].sloDebt = 3.0;
+    EXPECT_EQ(sched.modeFor(waiting), "slo-debt");
+}
+
+// --------------------------------------------------------------------
+// Profiling host pool.
+// --------------------------------------------------------------------
+
+TEST(ProfilingHostPool, TracksBusyAndFreeHosts)
+{
+    ProfilingHostPool pool(3);
+    EXPECT_EQ(pool.hosts(), 3);
+    EXPECT_EQ(pool.busy(), 0);
+    EXPECT_TRUE(pool.anyFree());
+    EXPECT_EQ(pool.freeHosts(), (std::vector<std::size_t>{0, 1, 2}));
+
+    pool.acquire(1);
+    EXPECT_EQ(pool.busy(), 1);
+    EXPECT_EQ(pool.freeHosts(), (std::vector<std::size_t>{0, 2}));
+
+    pool.acquire(0);
+    pool.acquire(2);
+    EXPECT_FALSE(pool.anyFree());
+    EXPECT_TRUE(pool.freeHosts().empty());
+
+    pool.release(1);
+    EXPECT_TRUE(pool.anyFree());
+    EXPECT_EQ(pool.freeHosts(), (std::vector<std::size_t>{1}));
+    EXPECT_EQ(pool.busy(), 2);
+}
+
+TEST(ProfilingHostPoolDeath, RejectsMisuse)
+{
+    EXPECT_DEATH(ProfilingHostPool(0), "1 host");
+    ProfilingHostPool pool(2);
+    EXPECT_DEATH(pool.acquire(2), "no such");
+    EXPECT_DEATH(pool.release(0), "not busy");
+    pool.acquire(0);
+    EXPECT_DEATH(pool.acquire(0), "already busy");
+}
+
 TEST(SlotSchedulerPolicy, FactoryByNameMatchesEnum)
 {
     EXPECT_EQ(makeSlotScheduler("fifo")->name(), "fifo");
     EXPECT_EQ(makeSlotScheduler("sjf")->name(), "sjf");
     EXPECT_EQ(makeSlotScheduler("slo-debt")->name(), "slo-debt");
-    EXPECT_EQ(slotPolicyNames().size(), 3u);
+    EXPECT_EQ(makeSlotScheduler("adaptive")->name(), "adaptive");
+    EXPECT_EQ(slotPolicyNames().size(), 4u);
 }
 
 TEST(SlotSchedulerPolicyDeath, UnknownNameIsFatal)
@@ -341,6 +448,115 @@ TEST_F(FleetTest, SloDebtFirstGrantsDeepestDebtor)
     // Granted members' debt is spent.
     EXPECT_EQ(fleet.sloDebt("B"), 0.0);
     EXPECT_EQ(fleet.sloDebt("C"), 0.0);
+}
+
+TEST_F(FleetTest, HostPoolRunsSlotsConcurrently)
+{
+    // M = 2: a three-request burst starts two slots immediately and
+    // only the third waits — with never more than two hosts busy.
+    auto s1 = makeStack(1500);
+    auto s2 = makeStack(1600);
+    auto s3 = makeStack(1700);
+    DejaVuFleet fleet(sim, seconds(10), nullptr, /*profilingHosts=*/2);
+    EXPECT_EQ(fleet.profilingHosts(), 2);
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+    fleet.addService("C", *s3.service, *s3.controller);
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    EXPECT_EQ(fleet.busyHosts(), 2);
+    fleet.requestAdaptation("C", w);
+    EXPECT_EQ(fleet.waiting(), 1u);
+    queue.runUntil(minutes(5));
+
+    ASSERT_EQ(fleet.log().size(), 3u);
+    // A and B profile in parallel on hosts 0 and 1; C takes the
+    // first host to free.
+    EXPECT_EQ(fleet.log()[0].queueDelay(), 0);
+    EXPECT_EQ(fleet.log()[1].queueDelay(), 0);
+    EXPECT_EQ(fleet.log()[0].host, 0u);
+    EXPECT_EQ(fleet.log()[1].host, 1u);
+    EXPECT_EQ(fleet.log()[2].queueDelay(), seconds(10));
+    EXPECT_EQ(fleet.maxQueueDelay(), seconds(10));
+    EXPECT_EQ(fleet.busyHosts(), 0);
+
+    // Per-host isolation (§3.3): slots on the *same* host never
+    // overlap even though the pool runs two at once.
+    for (std::size_t i = 0; i < fleet.log().size(); ++i)
+        for (std::size_t j = i + 1; j < fleet.log().size(); ++j) {
+            const auto &a = fleet.log()[i];
+            const auto &b = fleet.log()[j];
+            if (a.host != b.host)
+                continue;
+            const bool disjoint =
+                a.profilingStartedAt + a.slotDuration
+                    <= b.profilingStartedAt ||
+                b.profilingStartedAt + b.slotDuration
+                    <= a.profilingStartedAt;
+            EXPECT_TRUE(disjoint) << "host " << a.host;
+        }
+}
+
+TEST_F(FleetTest, PoolSizedToBurstPaysNoQueueing)
+{
+    // M = 3 hosts absorb a 3-request burst entirely.
+    auto s1 = makeStack(1800);
+    auto s2 = makeStack(1900);
+    auto s3 = makeStack(2000);
+    DejaVuFleet fleet(sim, seconds(10), nullptr, /*profilingHosts=*/3);
+    fleet.addService("A", *s1.service, *s1.controller);
+    fleet.addService("B", *s2.service, *s2.controller);
+    fleet.addService("C", *s3.service, *s3.controller);
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);
+    fleet.requestAdaptation("B", w);
+    fleet.requestAdaptation("C", w);
+    EXPECT_EQ(fleet.busyHosts(), 3);
+    queue.runUntil(minutes(5));
+
+    ASSERT_EQ(fleet.log().size(), 3u);
+    EXPECT_EQ(fleet.maxQueueDelay(), 0);
+    // Lowest-free-id placement: hosts 0, 1, 2 in grant order.
+    EXPECT_EQ(fleet.log()[0].host, 0u);
+    EXPECT_EQ(fleet.log()[1].host, 1u);
+    EXPECT_EQ(fleet.log()[2].host, 2u);
+}
+
+TEST_F(FleetTest, GrantReleaseInterleavingReusesFreedHosts)
+{
+    // Staggered arrivals against a 2-host pool: the host freed by an
+    // early finisher is re-granted while the other is still busy.
+    auto s1 = makeStack(2100);
+    auto s2 = makeStack(2200);
+    auto s3 = makeStack(2300);
+    auto s4 = makeStack(2400);
+    DejaVuFleet fleet(sim, seconds(10), nullptr, /*profilingHosts=*/2);
+    fleet.addService("A", *s1.service, *s1.controller, seconds(5));
+    fleet.addService("B", *s2.service, *s2.controller, seconds(30));
+    fleet.addService("C", *s3.service, *s3.controller, seconds(5));
+    fleet.addService("D", *s4.service, *s4.controller, seconds(5));
+
+    const Workload w{cassandraUpdateHeavy(), 12200.0};
+    fleet.requestAdaptation("A", w);  // host 0, 0..5 s
+    fleet.requestAdaptation("B", w);  // host 1, 0..30 s
+    fleet.requestAdaptation("C", w);  // waits for host 0 at 5 s
+    fleet.requestAdaptation("D", w);  // then host 0 again at 10 s
+    queue.runUntil(minutes(5));
+
+    ASSERT_EQ(fleet.log().size(), 4u);
+    EXPECT_EQ(fleet.log()[2].service, "C");
+    EXPECT_EQ(fleet.log()[2].host, 0u);
+    EXPECT_EQ(fleet.log()[2].profilingStartedAt, seconds(5));
+    EXPECT_EQ(fleet.log()[3].service, "D");
+    EXPECT_EQ(fleet.log()[3].host, 0u);
+    EXPECT_EQ(fleet.log()[3].profilingStartedAt, seconds(10));
+    // B's long slot kept host 1 busy throughout.
+    EXPECT_EQ(fleet.log()[1].service, "B");
+    EXPECT_EQ(fleet.log()[1].host, 1u);
+    EXPECT_EQ(fleet.slotsGranted(), 4u);
 }
 
 TEST_F(FleetTest, DuplicateNamesRejected)

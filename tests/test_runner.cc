@@ -147,12 +147,54 @@ TEST_F(RunnerIntegration, FleetPolicySweepBitIdenticalAcrossThreads)
     // with a populated tail.
     EXPECT_EQ(std::count(digest1.begin(), digest1.end(), '\n'),
               static_cast<std::ptrdiff_t>(cells.size() + 1));
-    EXPECT_NE(digest1.find("fleet-mixed-9,sjf,1,9,216"),
+    EXPECT_NE(digest1.find("fleet-mixed-9,sjf,1,9,1,216"),
               std::string::npos);
+}
+
+TEST_F(RunnerIntegration, HundredServicePoolSweepBitIdentical)
+{
+    // The ISSUE acceptance bar: the 100-service 4-host cell must
+    // digest byte-identically at 1, 4 and 8 runner threads. Two
+    // policies keep the 100-service cells affordable while still
+    // exercising cross-thread scheduling of multiple cells.
+    const auto cells = ExperimentRunner::grid(
+        {"fleet-mixed-100-h4"}, {"fifo", "adaptive"}, {42});
+
+    auto digestAt = [&](int threads) {
+        const auto summaries =
+            ExperimentRunner(ExperimentRunner::Config(threads))
+                .sweepInto(cells, runFleetCell);
+        std::vector<FleetCellResult> rows;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            rows.push_back({cells[i], summaries[i]});
+        return fleetSweepCsv(rows);
+    };
+
+    const std::string digest1 = digestAt(1);
+    EXPECT_EQ(digest1, digestAt(4));
+    EXPECT_EQ(digest1, digestAt(8));
+    // 24 reuse hours x 100 services, 4-host pool recorded in the CSV.
+    EXPECT_NE(digest1.find("fleet-mixed-100-h4,fifo,42,100,4,2400"),
+              std::string::npos);
+}
+
+TEST_F(RunnerIntegration, FleetScenarioParsesHostPoolSuffix)
+{
+    auto stack = makeFleetScenario("fleet-mixed-3-h2", 42,
+                                   SlotPolicy::Fifo);
+    EXPECT_EQ(stack->members.size(), 3u);
+    EXPECT_EQ(stack->experiment->fleet().profilingHosts(), 2);
+    // Default pool size is the paper's single dedicated machine.
+    auto single = makeFleetScenario("fleet-mixed-3", 42,
+                                    SlotPolicy::Fifo);
+    EXPECT_EQ(single->experiment->fleet().profilingHosts(), 1);
 }
 
 TEST_F(RunnerIntegration, FleetCellRejectsMalformedScenarios)
 {
+    EXPECT_EXIT(makeFleetScenario("fleet-mixed-9-h0", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1), "at least one host");
     EXPECT_EXIT(makeFleetScenario("mixed-10", 1, SlotPolicy::Fifo),
                 ::testing::ExitedWithCode(1), "fleet-");
     EXPECT_EXIT(makeFleetScenario("fleet-mixed", 1, SlotPolicy::Fifo),

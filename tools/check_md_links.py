@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Walks the markdown files given on the command line (files or
+directories; directories are scanned recursively for *.md), extracts
+inline links and images, and verifies that every *relative* target
+exists on disk. External links (http/https/mailto) are skipped —
+this guards the repo's own docs from rotting, not the internet.
+Heading anchors (``file.md#section``) are checked against the target
+file's headings.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken
+link is reported on stderr as ``file:line: message``).
+
+Usage:
+    python3 tools/check_md_links.py README.md ROADMAP.md docs
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) / ![alt](target). Reference
+# definitions ("[id]: target") are rare in this repo and external
+# when present, so inline coverage is the rot that matters.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor for a heading line."""
+    text = re.sub(r"[`*_~\[\]()!]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md.read_text(encoding="utf-8").splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            if target.startswith("#"):
+                if slugify(target[1:]) not in headings_of(md):
+                    errors.append((md, lineno,
+                                   f"broken anchor {target!r}"))
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append((md, lineno,
+                               f"broken link {target!r} -> {resolved}"))
+                continue
+            if anchor and resolved.suffix == ".md":
+                if slugify(anchor) not in headings_of(resolved):
+                    errors.append(
+                        (md, lineno,
+                         f"broken anchor {target!r} (no heading "
+                         f"#{anchor} in {resolved.name})"))
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"{arg}: no such file or directory", file=sys.stderr)
+            return 2
+
+    errors = []
+    for md in files:
+        errors.extend(check_file(md))
+    for md, lineno, message in errors:
+        print(f"{md}:{lineno}: {message}", file=sys.stderr)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} "
+              f"markdown file(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {checked} markdown file(s), all intra-repo links "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
