@@ -1,28 +1,36 @@
 /**
  * @file
- * Fleet-wide adaptation-time tails per §3.3 slot policy and profiling
- * host-pool size.
+ * Fleet-wide adaptation-time tails per §3.3 slot policy, profiling
+ * host-pool size and repository-sharing mode.
  *
  * A 100-service mixed fleet (KeyValue + SPECweb + RUBiS round-robin,
  * heterogeneous SLOs and profiling-slot durations) is run under each
  * slot scheduler — FIFO, shortest-job-first, SLO-debt-first, and the
- * adaptive policy that switches between them on observed contention —
- * for each host-pool size M in {1, 2, 4, 8} (the paper's "one or a
- * few machines"), and the p50/p95/max of the pool queue delay and of
- * the end-to-end adaptation time are tabulated. The hosts-vs-p95 knee
- * — the smallest M past which doubling the pool no longer buys a
- * meaningful p95 cut — is located per policy. The same cells are
- * swept at 1 and at 4 runner threads and must produce byte-identical
- * CSV digests (each cell owns its Simulation; the merge is
- * input-ordered).
+ * adaptive policy — for each host-pool size M in {1, 2, 4, 8} (the
+ * paper's "one or a few machines"), once with today's private
+ * per-controller repositories and once with the shared cross-service
+ * repository (per-kind namespaces). Tabulated per cell: p50/p95/max
+ * of pool queue delay and end-to-end adaptation time, the aggregate
+ * repository hit rate, and reused entries — distinct (member, key)
+ * points served by a peer's write, i.e. tuner runs the fleet
+ * avoided because a compatible peer had already tuned the point.
  *
- * Also reports event-queue throughput for the 100-actor case: the
- * fleet run executes ~300k tracked events (drivers, probes, slot
- * grants, host-free dispatches) on one queue, and events/second of
- * wall clock is the number the indexed-slot queue rework moves.
+ * The hosts-vs-p95 knee — the smallest M past which doubling the
+ * pool no longer buys a meaningful p95 cut — is located per policy
+ * for both sharing modes. The sweep answers whether fewer tuner
+ * runs shift the knee left; the measured answer is no — signature
+ * collection, not tuning, consumes the pool (see README).
+ *
+ * Determinism is part of the contract: the same cells are swept at
+ * 1, 4 and 8 runner threads and must produce byte-identical CSV
+ * digests (each cell owns its Simulation; the merge is
+ * input-ordered). `--smoke` runs a 10-service fleet with M in {1, 2}
+ * at 1 vs 4 threads only — small enough for CI to guard the digest
+ * match and the shared-beats-private hit-rate claim on every push.
  */
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <map>
 
@@ -34,8 +42,7 @@ using namespace dejavu;
 
 namespace {
 
-constexpr int kServices = 100;
-const int kHostCounts[] = {1, 2, 4, 8};
+const char *kSharings[] = {"private", "shared"};
 
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -45,144 +52,215 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 std::string
-scenarioFor(int hosts)
+scenarioFor(int services, int hosts, const std::string &sharing)
 {
-    return "fleet-mixed-" + std::to_string(kServices) + "-h"
-        + std::to_string(hosts);
+    return "fleet-mixed-" + std::to_string(services) + "-h"
+        + std::to_string(hosts) + "-" + sharing;
+}
+
+/** (sharing, policy) -> hosts-ascending rows of the sweep. */
+using Progressions =
+    std::map<std::pair<std::string, std::string>,
+             std::vector<const FleetCellResult *>>;
+
+/** The marginal-knee rule of PR 3, per sharing mode: the smallest M
+ *  whose next doubling buys < threshold seconds of p95 per added
+ *  host (0 if every doubling still pays off). */
+int
+kneeOf(const std::vector<const FleetCellResult *> &progression,
+       double thresholdSecPerHost)
+{
+    for (std::size_t i = 1; i < progression.size(); ++i) {
+        const auto &prev = progression[i - 1]->summary;
+        const auto &cur = progression[i]->summary;
+        const double marginal =
+            (prev.adaptationP95Sec - cur.adaptationP95Sec)
+            / static_cast<double>(cur.hosts - prev.hosts);
+        if (marginal < thresholdSecPerHost)
+            return prev.hosts;
+    }
+    return 0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
 
-    printBanner(std::cout, "Fleet adaptation-time tails ("
-                + std::to_string(kServices) + " services, "
-                "KeyValue+SPECweb+RUBiS, M profiling hosts)");
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else
+            fatal("unknown argument: ", argv[i], " (use --smoke)");
+    }
 
-    // One cell per (pool size x slot policy); identical fleet,
-    // identical traces — only the host count and the order waiting
-    // requests get a host differ.
+    const int services = smoke ? 10 : 100;
+    const std::vector<int> hostCounts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    // Smoke guards determinism at 1-vs-4 threads on every push; the
+    // full sweep also covers 8 threads (the acceptance bar).
+    const std::vector<int> threadCounts =
+        smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 8};
+
+    printBanner(std::cout, std::string(smoke ? "[smoke] " : "")
+                + "Fleet adaptation-time tails ("
+                + std::to_string(services) + " services, "
+                "KeyValue+SPECweb+RUBiS, M profiling hosts, "
+                "shared vs private repository)");
+
+    // One cell per (sharing x pool size x slot policy); identical
+    // fleet, identical traces — only the repository composition, the
+    // host count and the grant order differ.
     std::vector<std::string> scenarios;
-    for (int hosts : kHostCounts)
-        scenarios.push_back(scenarioFor(hosts));
+    for (const char *sharing : kSharings)
+        for (int hosts : hostCounts)
+            scenarios.push_back(scenarioFor(services, hosts, sharing));
     const auto cells = ExperimentRunner::grid(
         scenarios, slotPolicyNames(), {42});
 
-    const auto start1 = std::chrono::steady_clock::now();
-    const auto summaries = ExperimentRunner(
-        ExperimentRunner::Config(1)).sweepInto(cells, runFleetCell);
-    const double t1 = secondsSince(start1);
-
-    const auto start4 = std::chrono::steady_clock::now();
-    const auto summaries4 = ExperimentRunner(
-        ExperimentRunner::Config(4)).sweepInto(cells, runFleetCell);
-    const double t4 = secondsSince(start4);
-
-    std::vector<FleetCellResult> rows, rows4;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        rows.push_back({cells[i], summaries[i]});
-        rows4.push_back({cells[i], summaries4[i]});
+    std::vector<std::string> digests;
+    std::vector<double> wallClocks;
+    std::vector<FleetCellResult> rows;
+    for (int threads : threadCounts) {
+        const auto start = std::chrono::steady_clock::now();
+        const auto summaries = ExperimentRunner(
+            ExperimentRunner::Config(threads)).sweepInto(cells,
+                                                         runFleetCell);
+        wallClocks.push_back(secondsSince(start));
+        std::vector<FleetCellResult> result;
+        result.reserve(cells.size());
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            result.push_back({cells[i], summaries[i]});
+        digests.push_back(fleetSweepCsv(result));
+        if (rows.empty())
+            rows = std::move(result);
     }
-    const std::string digest1 = fleetSweepCsv(rows);
-    const std::string digest4 = fleetSweepCsv(rows4);
 
-    Table table({"policy", "hosts", "adaptations", "queue_p50_s",
-                 "queue_p95_s", "queue_max_s", "adapt_p50_s",
-                 "adapt_p95_s", "adapt_max_s"});
-    // Group rows per policy so the hosts progression reads top-down.
-    std::map<std::string, std::vector<const FleetCellResult *>>
-        byPolicy;
+    bool digestsMatch = true;
+    for (std::size_t i = 1; i < digests.size(); ++i)
+        digestsMatch = digestsMatch && digests[i] == digests[0];
+
+    Table table({"sharing", "policy", "hosts", "adaptations",
+                 "repo_hit_pct", "reused", "queue_p95_s",
+                 "adapt_p50_s", "adapt_p95_s", "adapt_max_s"});
+    Progressions byMode;
     for (const auto &row : rows)
-        byPolicy[row.cell.policy].push_back(&row);
-    for (const auto &policyName : slotPolicyNames()) {
-        for (const FleetCellResult *row : byPolicy[policyName]) {
-            const auto &s = row->summary;
-            table.addRow({s.policy, std::to_string(s.hosts),
-                          std::to_string(s.adaptations),
-                          Table::num(s.queueDelayP50Sec, 1),
-                          Table::num(s.queueDelayP95Sec, 1),
-                          Table::num(s.queueDelayMaxSec, 1),
-                          Table::num(s.adaptationP50Sec, 1),
-                          Table::num(s.adaptationP95Sec, 1),
-                          Table::num(s.adaptationMaxSec, 1)});
+        byMode[{row.summary.sharing, row.cell.policy}].push_back(&row);
+    for (const char *sharing : kSharings) {
+        for (const auto &policyName : slotPolicyNames()) {
+            for (const FleetCellResult *row :
+                 byMode[{sharing, policyName}]) {
+                const auto &s = row->summary;
+                table.addRow({s.sharing, s.policy,
+                              std::to_string(s.hosts),
+                              std::to_string(s.adaptations),
+                              Table::num(100.0 * s.repoHitRate, 2),
+                              std::to_string(s.repoReusedEntries),
+                              Table::num(s.queueDelayP95Sec, 1),
+                              Table::num(s.adaptationP50Sec, 1),
+                              Table::num(s.adaptationP95Sec, 1),
+                              Table::num(s.adaptationMaxSec, 1)});
+            }
         }
     }
     table.printText(std::cout);
 
-    // The knee of hosts-vs-p95. The hourly burst is synchronized
-    // (every service requests at the top of the hour), so p95 scales
-    // ~1/M and never flattens in relative terms — the meaningful knee
-    // is *marginal*: the smallest M past which doubling the pool buys
-    // less than kMarginalSecPerHost seconds of p95 per added machine.
+    // The hosts-vs-p95 knee per policy, shared vs private. The
+    // hourly burst is synchronized, so the meaningful knee is
+    // *marginal*: the smallest M past which doubling the pool buys
+    // less than kMarginalSecPerHost seconds of p95 per added host.
     constexpr double kMarginalSecPerHost = 60.0;
     std::cout << "hosts-vs-p95 knee (smallest M whose doubling buys "
               << "< " << Table::num(kMarginalSecPerHost, 0)
               << " s of p95 per added host):\n";
     for (const auto &policyName : slotPolicyNames()) {
-        const auto &progression = byPolicy[policyName];
-        const int largestM = progression.back()->summary.hosts;
-        int knee = 0;  // 0: no doubling dipped under the threshold.
-        double kneeMarginal = 0.0;
-        for (std::size_t i = 1; i < progression.size(); ++i) {
-            const auto &prev = progression[i - 1]->summary;
-            const auto &cur = progression[i]->summary;
-            const double marginal =
-                (prev.adaptationP95Sec - cur.adaptationP95Sec)
-                / static_cast<double>(cur.hosts - prev.hosts);
-            if (marginal < kMarginalSecPerHost) {
-                knee = prev.hosts;
-                kneeMarginal = marginal;
-                break;
-            }
+        std::cout << "  " << policyName << ":";
+        for (const char *sharing : kSharings) {
+            const auto &progression = byMode[{sharing, policyName}];
+            const int knee = kneeOf(progression, kMarginalSecPerHost);
+            const auto &first = progression.front()->summary;
+            const auto &last = progression.back()->summary;
+            std::cout << "  " << sharing << " ";
+            if (knee > 0)
+                std::cout << "M=" << knee;
+            else
+                std::cout << "M>" << last.hosts;
+            std::cout << " (p95 "
+                      << Table::num(first.adaptationP95Sec, 1)
+                      << "s@M=" << first.hosts << " -> "
+                      << Table::num(last.adaptationP95Sec, 1)
+                      << "s@M=" << last.hosts << ")";
         }
-        std::cout << "  " << policyName << ": ";
-        if (knee > 0)
-            std::cout << "M = " << knee << " (p95 "
-                      << Table::num(
-                             progression.front()
-                                 ->summary.adaptationP95Sec, 1)
-                      << " s at M=1 -> "
-                      << Table::num(
-                             progression.back()
-                                 ->summary.adaptationP95Sec, 1)
-                      << " s at M=" << largestM
-                      << "; next doubling pays "
-                      << Table::num(kneeMarginal, 1) << " s/host)\n";
-        else
-            std::cout << "no knee up to M=" << largestM
-                      << " (every doubling still pays >= "
-                      << Table::num(kMarginalSecPerHost, 0)
-                      << " s/host)\n";
+        std::cout << "\n";
     }
 
-    std::cout << "\nsweep wall clock: " << Table::num(t1, 1)
-              << " s at 1 thread, " << Table::num(t4, 1)
-              << " s at 4 threads\n"
-              << "digests byte-identical at 1 vs 4 threads: "
-              << (digest1 == digest4 ? "YES" : "NO — BUG") << "\n\n";
+    // The acceptance gate: at every pool size, the shared fleet's
+    // aggregate repository hit rate must beat the private baseline
+    // — cross-service reuse is measured, not assumed.
+    bool sharedBeatsPrivate = true;
+    std::cout << "\naggregate repository hit rate, shared vs private "
+              << "(every M must beat the baseline):\n";
+    for (const auto &policyName : slotPolicyNames()) {
+        std::cout << "  " << policyName << ":";
+        const auto &privRows = byMode[{"private", policyName}];
+        const auto &sharedRows = byMode[{"shared", policyName}];
+        for (std::size_t i = 0; i < privRows.size(); ++i) {
+            const auto &priv = privRows[i]->summary;
+            const auto &shared = sharedRows[i]->summary;
+            const bool beats = shared.repoHitRate > priv.repoHitRate;
+            sharedBeatsPrivate = sharedBeatsPrivate && beats;
+            std::cout << "  M=" << priv.hosts << " "
+                      << Table::num(100.0 * shared.repoHitRate, 2)
+                      << "% vs "
+                      << Table::num(100.0 * priv.repoHitRate, 2)
+                      << "%"
+                      << (beats ? "" : " ** NOT ABOVE BASELINE **");
+        }
+        std::cout << "  ("
+                  << sharedRows.back()->summary.repoReusedEntries
+                  << " tuner runs avoided at M="
+                  << sharedRows.back()->summary.hosts << ")\n";
+    }
 
-    // Event-queue throughput for the 100-actor case: one full fleet
-    // run, all services' drivers/probes/recorders plus the fleet's
-    // slot grants interleaving on a single queue.
-    printBanner(std::cout, "Event-queue throughput (100-actor fleet)");
-    auto stack = makeFleetScenario(scenarioFor(4), 42,
-                                   SlotPolicy::Adaptive);
-    stack->learnAll();
-    const auto runStart = std::chrono::steady_clock::now();
-    stack->experiment->run();
-    const double runSec = secondsSince(runStart);
-    const std::uint64_t events = stack->sim->queue().executed();
-    std::cout << events << " events in " << Table::num(runSec, 2)
-              << " s of wall clock = "
-              << Table::num(static_cast<double>(events) / runSec / 1e6,
-                            2)
-              << " M events/s (simulated horizon: 2 days x "
-              << kServices << " services, 4 profiling hosts)\n";
+    std::cout << "\nsweep wall clock:";
+    for (std::size_t i = 0; i < threadCounts.size(); ++i)
+        std::cout << (i ? ", " : " ")
+                  << Table::num(wallClocks[i], 1) << " s at "
+                  << threadCounts[i] << " thread"
+                  << (threadCounts[i] == 1 ? "" : "s");
+    std::cout << "\ndigests byte-identical at ";
+    for (std::size_t i = 0; i < threadCounts.size(); ++i)
+        std::cout << (i ? "/" : "") << threadCounts[i];
+    std::cout << " threads: " << (digestsMatch ? "YES" : "NO — BUG")
+              << "\n"
+              << "shared hit rate strictly above private baseline: "
+              << (sharedBeatsPrivate ? "YES" : "NO — BUG") << "\n\n";
 
-    if (digest1 != digest4)
-        return 1;
-    return 0;
+    if (!smoke) {
+        // Event-queue throughput for the 100-actor case: one full
+        // fleet run, all services' drivers/probes/recorders plus the
+        // fleet's slot grants interleaving on a single queue.
+        printBanner(std::cout,
+                    "Event-queue throughput (100-actor fleet)");
+        auto stack = makeFleetScenario(
+            scenarioFor(services, 4, "shared"), 42,
+            SlotPolicy::Adaptive);
+        stack->learnAll();
+        const auto runStart = std::chrono::steady_clock::now();
+        stack->experiment->run();
+        const double runSec = secondsSince(runStart);
+        const std::uint64_t events = stack->sim->queue().executed();
+        std::cout << events << " events in " << Table::num(runSec, 2)
+                  << " s of wall clock = "
+                  << Table::num(
+                         static_cast<double>(events) / runSec / 1e6, 2)
+                  << " M events/s (simulated horizon: 2 days x "
+                  << services << " services, 4 profiling hosts, "
+                  "shared repository)\n";
+    }
+
+    return digestsMatch && sharedBeatsPrivate ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "core/clustering_engine.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace dejavu {
@@ -53,6 +55,44 @@ ClusteringEngine::identifyClasses(const std::vector<MetricSample> &samples)
     Dataset sigStd = result.standardizer.transform(sig);
     KMeans finalKm(_rng.fork(), _config.kmeans);
     result.clustering = finalKm.runAuto(sigStd);
+
+    // Canonicalize class labels: k-means numbering is an artifact of
+    // seeding, so relabel clusters in ascending lexicographic order
+    // of their standardized centroids. Within one controller the
+    // permutation is behavior-neutral; across controllers it is what
+    // makes class ids comparable — same-kind fleet members that
+    // selected the same schema agree on which class is class 0, so a
+    // shared repository keyed by (kind, class, bucket) lines up.
+    {
+        Clustering &cl = result.clustering;
+        std::vector<int> order(static_cast<std::size_t>(cl.k));
+        for (int c = 0; c < cl.k; ++c)
+            order[static_cast<std::size_t>(c)] = c;
+        std::sort(order.begin(), order.end(),
+                  [&cl](int a, int b) {
+                      return cl.centroids[static_cast<std::size_t>(a)]
+                          < cl.centroids[static_cast<std::size_t>(b)];
+                  });
+        std::vector<int> newLabel(static_cast<std::size_t>(cl.k));
+        for (int pos = 0; pos < cl.k; ++pos)
+            newLabel[static_cast<std::size_t>(
+                order[static_cast<std::size_t>(pos)])] = pos;
+        std::vector<std::vector<double>> centroids(
+            static_cast<std::size_t>(cl.k));
+        std::vector<int> medoids(static_cast<std::size_t>(cl.k));
+        for (int c = 0; c < cl.k; ++c) {
+            const auto to =
+                static_cast<std::size_t>(
+                    newLabel[static_cast<std::size_t>(c)]);
+            centroids[to] =
+                std::move(cl.centroids[static_cast<std::size_t>(c)]);
+            medoids[to] = cl.medoids[static_cast<std::size_t>(c)];
+        }
+        cl.centroids = std::move(centroids);
+        cl.medoids = std::move(medoids);
+        for (int &label : cl.assignment)
+            label = newLabel[static_cast<std::size_t>(label)];
+    }
 
     for (int i = 0; i < sigStd.size(); ++i)
         sigStd.setLabel(i, result.clustering.assignment[

@@ -10,6 +10,12 @@
  * engine bootstraps: a provisional clustering over *all* standardized
  * metrics supplies labels for CFS, and the final clustering runs on
  * the selected signature metrics only.
+ *
+ * Class labels are canonical: clusters are relabeled in ascending
+ * lexicographic order of their standardized centroids, so the
+ * numbering is independent of k-means seeding. This is what lets a
+ * shared repository treat class ids as comparable across same-kind
+ * controllers (see core/shared_repository.hh).
  */
 
 #ifndef DEJAVU_CORE_CLUSTERING_ENGINE_HH

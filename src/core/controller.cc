@@ -13,11 +13,43 @@ DejaVuController::DejaVuController(Service &service,
                                    ProfilerHost &profiler, Config config,
                                    Rng rng)
     : _service(service), _profiler(profiler), _config(std::move(config)),
-      _rng(rng), _estimator(_config.interference)
+      _rng(rng),
+      _ownedRepo(std::make_unique<SharedRepository>()),
+      _repo(_ownedRepo->attach(service.kind(), service.name())),
+      _estimator(_config.interference)
 {
     DEJAVU_ASSERT(!_config.searchSpace.empty(),
                   "controller needs a tuning search space");
     DEJAVU_ASSERT(_config.trialsPerWorkload >= 1, "need >= 1 trial");
+}
+
+void
+DejaVuController::attachRepository(SharedRepository &repository,
+                                   std::string owner)
+{
+    DEJAVU_ASSERT(!_learned, "attachRepository after learn(): the "
+                  "repository is part of the learned state");
+    // Release the previous attachment so the old repository's live
+    // count stays truthful (re-attaching between shared repos is
+    // legal before learn()).
+    if (sharesRepository())
+        _repo.shared()->detach(_repo);
+    _repo = repository.attach(_service.kind(),
+                              owner.empty() ? _service.name()
+                                            : std::move(owner));
+    _ownedRepo.reset();
+}
+
+void
+DejaVuController::detachRepository()
+{
+    if (!sharesRepository())
+        return;
+    DEJAVU_ASSERT(!_learned, "detachRepository after learn(): the "
+                  "repository is part of the learned state");
+    _repo.shared()->detach(_repo);
+    _ownedRepo = std::make_unique<SharedRepository>();
+    _repo = _ownedRepo->attach(_service.kind(), _service.name());
 }
 
 Tuner
@@ -98,8 +130,23 @@ DejaVuController::learn(const std::vector<Workload> &workloads)
     report.samples = static_cast<int>(samples.size());
     report.classes = _clustering.k;
     Tuner tuner = makeTuner();
-    _repository.clear();
+    _repo.clear();
     for (int c = 0; c < _clustering.k; ++c) {
+        // Cross-service reuse (§3.4 applied fleet-wide): when a
+        // compatible controller already tuned this (kind, class), the
+        // shared repository serves its allocation and this service
+        // skips the tuner entirely. Private repositories were just
+        // cleared, so this probe always misses there — the lookup is
+        // still counted, making learning-phase reuse visible in the
+        // same hit/miss statistics the reuse phase reports.
+        if (auto reused = _repo.lookup({c, 0})) {
+            report.classAllocations.push_back(*reused);
+            ++report.classesReused;
+            inform("learning: class ", c,
+                   " reused from shared repository -> ",
+                   reused->toString());
+            continue;
+        }
         int sampleIdx = res.representatives[static_cast<std::size_t>(c)];
         DEJAVU_ASSERT(sampleIdx >= 0, "cluster ", c, " empty");
         if (_config.representativeRule ==
@@ -121,7 +168,7 @@ DejaVuController::learn(const std::vector<Workload> &workloads)
         const Tuner::Result tuned = tuner.tune(representative, 0.0);
         report.tuningExperiments += tuned.experiments;
         report.tuningTime += tuned.tuningTime;
-        _repository.store({c, 0}, tuned.allocation);
+        _repo.store({c, 0}, tuned.allocation);
         report.classAllocations.push_back(tuned.allocation);
         inform("learning: class ", c, " (", representative.clients,
                " clients) -> ", tuned.allocation.toString(),
@@ -228,11 +275,26 @@ DejaVuController::onWorkloadChange(const Workload &workload)
         // it via a fresh SLO violation every hour.
         std::optional<ResourceAllocation> cached;
         if (_currentBucket > 0)
-            cached = _repository.lookup(
+            cached = _repo.lookup(
                 {outcome.classId, _currentBucket});
         if (!cached) {
             _currentBucket = 0;
-            cached = _repository.lookup({outcome.classId, 0});
+            cached = _repo.lookup({outcome.classId, 0});
+        }
+        if (!cached && sharesRepository()) {
+            // A shared entry this controller reused can disappear
+            // under it when the peer that wrote it re-clusters and
+            // clears its own writes. Losing a *private* entry is a
+            // bug (assert below), but losing a shared one is a
+            // legitimate race in the sharing design — fall back to
+            // full capacity, the same do-no-harm answer §3.5 gives
+            // for unknown workloads.
+            warn("dejavu: shared repository entry for class ",
+                 outcome.classId, " was invalidated by a peer; "
+                 "deploying full capacity");
+            _lastClassId = -1;
+            decision.kind = DecisionKind::UnknownWorkload;
+            cached = _service.cluster().maxAllocation();
         }
         DEJAVU_ASSERT(cached.has_value(),
                       "repository lost class ", outcome.classId);
@@ -292,7 +354,7 @@ DejaVuController::onSloFeedback(const Service::PerfSample &sample)
     decision.certainty = 1.0;
     _currentBucket = bucket;
 
-    auto cached = _repository.lookup({_lastClassId, bucket});
+    auto cached = _repo.lookup({_lastClassId, bucket});
     if (cached) {
         decision.allocation = *cached;
         decision.adaptationTime = _config.classificationOverhead;
@@ -315,7 +377,7 @@ DejaVuController::onSloFeedback(const Service::PerfSample &sample)
                     _service.cluster().maxAllocation());
         Tuner tuner(_profiler, _config.slo, floored, _config.tuner);
         const Tuner::Result tuned = tuner.tune(_lastWorkload, loss);
-        _repository.store({_lastClassId, bucket}, tuned.allocation);
+        _repo.store({_lastClassId, bucket}, tuned.allocation);
         decision.allocation = tuned.allocation;
         decision.adaptationTime = tuned.tuningTime;
         inform("interference: class ", _lastClassId, " index ", index,
@@ -364,7 +426,7 @@ DejaVuController::maybeDeescalate(const Service::PerfSample &sample)
         return;
     _calmStreak = 0;
     _currentBucket = 0;
-    auto baseline = _repository.lookup({_lastClassId, 0});
+    auto baseline = _repo.lookup({_lastClassId, 0});
     if (baseline && _service.cluster().target() != *baseline) {
         inform("interference cleared: class ", _lastClassId,
                " back to baseline ", baseline->toString());

@@ -15,10 +15,12 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "core/classifier_engine.hh"
 #include "core/clustering_engine.hh"
 #include "core/interference_estimator.hh"
-#include "core/repository.hh"
+#include "core/shared_repository.hh"
 #include "core/signature.hh"
 #include "core/tuner.hh"
 #include "counters/profiler.hh"
@@ -116,6 +118,10 @@ class DejaVuController
         int classes = 0;
         int tuningExperiments = 0;
         SimTime tuningTime = 0;
+        /** Classes whose allocation came out of the (shared)
+         *  repository instead of a tuner run — the cross-service
+         *  reuse the shared-repository hypothesis predicts. */
+        int classesReused = 0;
         std::vector<ResourceAllocation> classAllocations;
     };
 
@@ -157,10 +163,31 @@ class DejaVuController
     std::optional<Decision> onSloFeedback(
         const Service::PerfSample &sample);
 
+    /**
+     * Attach this controller to a fleet-shared repository (§3.4's
+     * cross-service reuse): lookups and stores go through a handle
+     * namespaced by the service's kind, so entries tuned by one
+     * controller serve every compatible peer. Must be called before
+     * learn() — repository contents are part of the learned state.
+     * The caller is responsible for only co-attaching controllers
+     * whose same-kind peers share an SLO (entries carry none);
+     * FleetExperiment enforces that at registration time.
+     * @p owner is a diagnostic label (defaults to the service name).
+     */
+    void attachRepository(SharedRepository &repository,
+                          std::string owner = "");
+
+    /** Detach from a shared repository back to a fresh private one
+     *  (also only before learn()). No-op when already private. */
+    void detachRepository();
+
+    /** True when attached to an externally owned SharedRepository. */
+    bool sharesRepository() const { return _ownedRepo == nullptr; }
+
     /** @name Introspection @{ */
     bool learned() const { return _learned; }
-    const Repository &repository() const { return _repository; }
-    Repository &repository() { return _repository; }
+    const RepositoryHandle &repository() const { return _repo; }
+    RepositoryHandle &repository() { return _repo; }
     const SignatureSchema &schema() const { return _schema; }
     const ClassifierEngine &classifier() const { return _classifier; }
     const Clustering &clustering() const { return _clustering; }
@@ -183,7 +210,10 @@ class DejaVuController
     Config _config;
     Rng _rng;
 
-    Repository _repository;
+    /** The default private cache; null while attached to a shared
+     *  one. The handle below is the only access path either way. */
+    std::unique_ptr<SharedRepository> _ownedRepo;
+    RepositoryHandle _repo;
     SignatureSchema _schema;
     Standardizer _standardizer;
     ClassifierEngine _classifier;

@@ -23,6 +23,7 @@
 #include "core/controller.hh"
 #include "core/interference_estimator.hh"
 #include "core/repository.hh"
+#include "core/shared_repository.hh"
 #include "core/signature.hh"
 #include "core/tuner.hh"
 #include "counters/monitor.hh"

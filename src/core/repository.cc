@@ -82,6 +82,38 @@ Repository::save(std::ostream &out) const
     }
 }
 
+std::vector<std::string>
+splitRepositoryCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::istringstream cells(line);
+    std::string field;
+    while (std::getline(cells, field, ','))
+        fields.push_back(field);
+    return fields;
+}
+
+std::pair<RepositoryKey, ResourceAllocation>
+parseRepositoryCells(const std::vector<std::string> &fields,
+                     std::size_t offset, std::size_t lineNo,
+                     const std::string &line)
+{
+    try {
+        RepositoryKey key{std::stoi(fields[offset]),
+                          std::stoi(fields[offset + 1])};
+        ResourceAllocation alloc{
+            std::stoi(fields[offset + 2]),
+            parseInstanceType(fields[offset + 3])};
+        if (key.classId < 0 || key.interferenceBucket < 0 ||
+            alloc.instances < 1)
+            fatal("repository line ", lineNo,
+                  ": out-of-range values: ", line);
+        return {key, alloc};
+    } catch (const std::exception &) {
+        fatal("repository line ", lineNo, ": unparsable: ", line);
+    }
+}
+
 Repository
 Repository::load(std::istream &in)
 {
@@ -93,25 +125,21 @@ Repository::load(std::istream &in)
         if (line.empty() || line[0] == '#' ||
             line.rfind("class,", 0) == 0)
             continue;
-        std::istringstream cells(line);
-        std::string c, b, n, t;
-        if (!std::getline(cells, c, ',') ||
-            !std::getline(cells, b, ',') ||
-            !std::getline(cells, n, ',') || !std::getline(cells, t))
+        const std::vector<std::string> fields =
+            splitRepositoryCsv(line);
+        if (fields.size() != 4)
             fatal("repository line ", lineNo, ": expected "
                   "'class,bucket,instances,type', got: ", line);
-        try {
-            RepositoryKey key{std::stoi(c), std::stoi(b)};
-            ResourceAllocation alloc{std::stoi(n),
-                                     parseInstanceType(t)};
-            if (key.classId < 0 || key.interferenceBucket < 0 ||
-                alloc.instances < 1)
-                fatal("repository line ", lineNo,
-                      ": out-of-range values: ", line);
-            repo._entries[key] = alloc;
-        } catch (const std::exception &) {
-            fatal("repository line ", lineNo, ": unparsable: ", line);
-        }
+        const auto [key, alloc] =
+            parseRepositoryCells(fields, 0, lineNo, line);
+        // A duplicate (class,bucket) row means the file was
+        // corrupted or hand-merged badly; silently letting the last
+        // row win would hide it.
+        if (repo._entries.count(key))
+            fatal("repository line ", lineNo,
+                  ": duplicate entry for (", key.classId, ",",
+                  key.interferenceBucket, "): ", line);
+        repo._entries[key] = alloc;
     }
     return repo;
 }

@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/allocation.hh"
@@ -62,6 +63,23 @@ struct RepositoryKeyHash
     }
 };
 
+/** Split one repository CSV line on commas (no quoting — the format
+ *  never needs it). */
+std::vector<std::string> splitRepositoryCsv(const std::string &line);
+
+/**
+ * Parse the trailing class,bucket,instances,type cells of one
+ * repository CSV row — the grammar Repository::load and
+ * SharedRepository::load share, kept in one place so the two
+ * loaders cannot diverge. @p offset is the index of the class cell
+ * within @p fields (0 for the legacy 4-column form, 1 after a kind
+ * column). fatal() with @p lineNo context on unparsable or
+ * out-of-range cells.
+ */
+std::pair<RepositoryKey, ResourceAllocation> parseRepositoryCells(
+    const std::vector<std::string> &fields, std::size_t offset,
+    std::size_t lineNo, const std::string &line);
+
 /**
  * Allocation cache with hit statistics.
  */
@@ -106,7 +124,8 @@ class Repository
     void save(std::ostream &out) const;
 
     /** Load entries from a stream produced by save(). fatal() on
-     *  malformed input. Replaces current entries; stats reset. */
+     *  malformed input and on duplicate (class,bucket) rows.
+     *  Replaces current entries; stats reset. */
     static Repository load(std::istream &in);
     /** @} */
 

@@ -1,0 +1,521 @@
+#include "core/shared_repository.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+const char *
+repositorySharingName(RepositorySharing sharing)
+{
+    switch (sharing) {
+      case RepositorySharing::Private:
+        return "private";
+      case RepositorySharing::Shared:
+        return "shared";
+      case RepositorySharing::Isolated:
+        return "isolated";
+    }
+    fatal("unknown repository sharing mode: ",
+          static_cast<int>(sharing));
+}
+
+RepositorySharing
+repositorySharingFromName(const std::string &name)
+{
+    if (name == "private")
+        return RepositorySharing::Private;
+    if (name == "shared")
+        return RepositorySharing::Shared;
+    if (name == "isolated")
+        return RepositorySharing::Isolated;
+    fatal("unknown repository sharing mode: ", name,
+          " (use private|shared|isolated)");
+}
+
+// ---------------------------------------------------------------------
+// RepositoryHandle: thin id-carrying forwarders.
+// ---------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void
+unattached(const char *op)
+{
+    fatal("repository handle: ", op, "() on an unattached handle");
+}
+
+} // namespace
+
+ServiceKind
+RepositoryHandle::kind() const
+{
+    if (!attached())
+        unattached("kind");
+    return _repo->attachment(_id).kind;
+}
+
+const std::string &
+RepositoryHandle::owner() const
+{
+    if (!attached())
+        unattached("owner");
+    return _repo->attachment(_id).owner;
+}
+
+void
+RepositoryHandle::store(const RepositoryKey &key,
+                        const ResourceAllocation &allocation)
+{
+    if (!attached())
+        unattached("store");
+    _repo->handleStore(_id, key, allocation);
+}
+
+std::optional<ResourceAllocation>
+RepositoryHandle::lookup(const RepositoryKey &key)
+{
+    if (!attached())
+        unattached("lookup");
+    return _repo->handleLookup(_id, key);
+}
+
+std::optional<ResourceAllocation>
+RepositoryHandle::peek(const RepositoryKey &key) const
+{
+    if (!attached())
+        unattached("peek");
+    return _repo->handlePeek(_id, key);
+}
+
+bool
+RepositoryHandle::contains(const RepositoryKey &key) const
+{
+    return peek(key).has_value();
+}
+
+std::size_t
+RepositoryHandle::entries() const
+{
+    if (!attached())
+        unattached("entries");
+    return _repo->handleEntries(_id);
+}
+
+std::vector<RepositoryKey>
+RepositoryHandle::keys() const
+{
+    if (!attached())
+        unattached("keys");
+    return _repo->handleKeys(_id);
+}
+
+void
+RepositoryHandle::clear()
+{
+    if (!attached())
+        unattached("clear");
+    _repo->handleClear(_id);
+}
+
+const Repository::Stats &
+RepositoryHandle::stats() const
+{
+    if (!attached())
+        unattached("stats");
+    return _repo->attachment(_id).stats;
+}
+
+std::uint64_t
+RepositoryHandle::crossHits() const
+{
+    if (!attached())
+        unattached("crossHits");
+    return _repo->attachment(_id).crossHits;
+}
+
+std::uint64_t
+RepositoryHandle::reusedEntries() const
+{
+    if (!attached())
+        unattached("reusedEntries");
+    return _repo->attachment(_id).reused.size();
+}
+
+std::uint64_t
+RepositoryHandle::wouldHaveHit() const
+{
+    if (!attached())
+        unattached("wouldHaveHit");
+    return _repo->attachment(_id).wouldHaveHits;
+}
+
+double
+RepositoryHandle::hitRate() const
+{
+    const Repository::Stats &s = stats();
+    if (s.lookups == 0)
+        return 0.0;
+    return static_cast<double>(s.hits) / s.lookups;
+}
+
+std::string
+RepositoryHandle::toString() const
+{
+    if (!attached())
+        return "repository[unattached]{}";
+    std::ostringstream os;
+    os << "repository[" << serviceKindName(kind()) << "]{";
+    bool first = true;
+    for (const RepositoryKey &key : keys()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "(c" << key.classId << ",i" << key.interferenceBucket
+           << ")->" << peek(key)->toString();
+    }
+    os << "}";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// SharedRepository
+// ---------------------------------------------------------------------
+
+SharedRepository::SharedRepository(Mode mode)
+    : _mode(mode)
+{
+}
+
+const char *
+SharedRepository::modeName() const
+{
+    return _mode == Mode::Shared ? "shared" : "isolated";
+}
+
+RepositoryHandle
+SharedRepository::attach(ServiceKind kind, std::string owner)
+{
+    Attachment a;
+    a.kind = kind;
+    a.owner = std::move(owner);
+    _attachments.push_back(std::move(a));
+    ++_live;
+    return RepositoryHandle(
+        this, static_cast<int>(_attachments.size()) - 1);
+}
+
+void
+SharedRepository::detach(RepositoryHandle &handle)
+{
+    DEJAVU_ASSERT(handle._repo == this,
+                  "detach of a handle from another repository");
+    Attachment &a = attachment(handle._id);
+    DEJAVU_ASSERT(a.live, "attachment ", handle._id,
+                  " already detached");
+    a.live = false;
+    --_live;
+    handle = RepositoryHandle();
+}
+
+SharedRepository::Attachment &
+SharedRepository::attachment(int id)
+{
+    DEJAVU_ASSERT(id >= 0 &&
+                  id < static_cast<int>(_attachments.size()),
+                  "no such attachment: ", id);
+    return _attachments[static_cast<std::size_t>(id)];
+}
+
+const SharedRepository::Attachment &
+SharedRepository::attachment(int id) const
+{
+    DEJAVU_ASSERT(id >= 0 &&
+                  id < static_cast<int>(_attachments.size()),
+                  "no such attachment: ", id);
+    return _attachments[static_cast<std::size_t>(id)];
+}
+
+const SharedRepository::Table &
+SharedRepository::viewOf(const Attachment &a) const
+{
+    if (_mode == Mode::WriteThroughIsolated)
+        return a.isolated;
+    static const Table kEmpty;
+    const auto it = _byKind.find(a.kind);
+    return it == _byKind.end() ? kEmpty : it->second;
+}
+
+void
+SharedRepository::handleStore(int id, const RepositoryKey &key,
+                              const ResourceAllocation &allocation)
+{
+    Attachment &a = attachment(id);
+    DEJAVU_ASSERT(a.live, "store through a detached attachment");
+    ++a.stats.stores;
+    // The kind-level table is written in both modes: it is the shared
+    // truth in Shared mode and the write-through shadow (counting
+    // what sharing would have served) in the isolated A/B mode.
+    _byKind[a.kind][key] = Entry{allocation, id};
+    if (_mode == Mode::WriteThroughIsolated)
+        a.isolated[key] = Entry{allocation, id};
+}
+
+std::optional<ResourceAllocation>
+SharedRepository::handleLookup(int id, const RepositoryKey &key)
+{
+    Attachment &a = attachment(id);
+    DEJAVU_ASSERT(a.live, "lookup through a detached attachment");
+    ++a.stats.lookups;
+    const Table &view = viewOf(a);
+    const auto it = view.find(key);
+    if (it == view.end()) {
+        ++a.stats.misses;
+        if (_mode == Mode::WriteThroughIsolated) {
+            // The A/B counterfactual: would the kind-shared table
+            // have served this miss?
+            const auto kt = _byKind.find(a.kind);
+            if (kt != _byKind.end() && kt->second.count(key))
+                ++a.wouldHaveHits;
+        }
+        return std::nullopt;
+    }
+    ++a.stats.hits;
+    if (it->second.writer != id) {
+        ++a.crossHits;
+        a.reused.insert(key);
+    }
+    return it->second.allocation;
+}
+
+std::optional<ResourceAllocation>
+SharedRepository::handlePeek(int id, const RepositoryKey &key) const
+{
+    const Table &view = viewOf(attachment(id));
+    const auto it = view.find(key);
+    if (it == view.end())
+        return std::nullopt;
+    return it->second.allocation;
+}
+
+void
+SharedRepository::handleClear(int id)
+{
+    Attachment &a = attachment(id);
+    DEJAVU_ASSERT(a.live, "clear through a detached attachment");
+    a.isolated.clear();
+    const auto kt = _byKind.find(a.kind);
+    if (kt == _byKind.end())
+        return;
+    // Only this attachment's writes are invalidated: a peer's tuned
+    // allocations are still valid for the peer (and for reuse).
+    for (auto it = kt->second.begin(); it != kt->second.end();) {
+        if (it->second.writer == id)
+            it = kt->second.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+SharedRepository::handleEntries(int id) const
+{
+    return viewOf(attachment(id)).size();
+}
+
+std::vector<RepositoryKey>
+SharedRepository::handleKeys(int id) const
+{
+    const Table &view = viewOf(attachment(id));
+    std::vector<RepositoryKey> out;
+    out.reserve(view.size());
+    for (const auto &[key, _] : view)
+        out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Repository::Stats
+SharedRepository::aggregateStats() const
+{
+    Repository::Stats total;
+    for (const Attachment &a : _attachments) {
+        total.lookups += a.stats.lookups;
+        total.hits += a.stats.hits;
+        total.misses += a.stats.misses;
+        total.stores += a.stats.stores;
+    }
+    return total;
+}
+
+std::uint64_t
+SharedRepository::aggregateCrossHits() const
+{
+    std::uint64_t total = 0;
+    for (const Attachment &a : _attachments)
+        total += a.crossHits;
+    return total;
+}
+
+std::uint64_t
+SharedRepository::aggregateReusedEntries() const
+{
+    std::uint64_t total = 0;
+    for (const Attachment &a : _attachments)
+        total += a.reused.size();
+    return total;
+}
+
+std::uint64_t
+SharedRepository::aggregateWouldHaveHits() const
+{
+    std::uint64_t total = 0;
+    for (const Attachment &a : _attachments)
+        total += a.wouldHaveHits;
+    return total;
+}
+
+double
+SharedRepository::hitRate() const
+{
+    const Repository::Stats total = aggregateStats();
+    if (total.lookups == 0)
+        return 0.0;
+    return static_cast<double>(total.hits) / total.lookups;
+}
+
+std::size_t
+SharedRepository::entries() const
+{
+    std::size_t total = 0;
+    for (const auto &[_, table] : _byKind)
+        total += table.size();
+    return total;
+}
+
+std::size_t
+SharedRepository::entries(ServiceKind kind) const
+{
+    const auto it = _byKind.find(kind);
+    return it == _byKind.end() ? 0 : it->second.size();
+}
+
+std::vector<ServiceKind>
+SharedRepository::kinds() const
+{
+    std::vector<ServiceKind> out;
+    for (const auto &[kind, table] : _byKind)
+        if (!table.empty())
+            out.push_back(kind);
+    return out;
+}
+
+std::vector<RepositoryKey>
+SharedRepository::keys(ServiceKind kind) const
+{
+    std::vector<RepositoryKey> out;
+    const auto it = _byKind.find(kind);
+    if (it == _byKind.end())
+        return out;
+    out.reserve(it->second.size());
+    for (const auto &[key, _] : it->second)
+        out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::optional<ResourceAllocation>
+SharedRepository::peek(ServiceKind kind, const RepositoryKey &key) const
+{
+    const auto it = _byKind.find(kind);
+    if (it == _byKind.end())
+        return std::nullopt;
+    const auto et = it->second.find(key);
+    if (et == it->second.end())
+        return std::nullopt;
+    return et->second.allocation;
+}
+
+std::string
+SharedRepository::toString() const
+{
+    std::ostringstream os;
+    os << "shared-repository[" << modeName() << "]{";
+    bool firstKind = true;
+    for (const ServiceKind kind : kinds()) {
+        if (!firstKind)
+            os << "; ";
+        firstKind = false;
+        os << serviceKindName(kind) << ": ";
+        bool first = true;
+        for (const RepositoryKey &key : keys(kind)) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "(c" << key.classId << ",i"
+               << key.interferenceBucket << ")->"
+               << peek(kind, key)->toString();
+        }
+    }
+    os << "}";
+    return os.str();
+}
+
+void
+SharedRepository::save(std::ostream &out) const
+{
+    out << "kind,class,bucket,instances,type\n";
+    for (const auto &[kind, table] : _byKind) {
+        for (const RepositoryKey &key : keys(kind)) {
+            const ResourceAllocation &alloc = table.at(key).allocation;
+            out << serviceKindName(kind) << ',' << key.classId << ','
+                << key.interferenceBucket << ',' << alloc.instances
+                << ',' << instanceSpec(alloc.type).name << '\n';
+        }
+    }
+}
+
+SharedRepository
+SharedRepository::load(std::istream &in, Mode mode,
+                       ServiceKind legacyKind)
+{
+    SharedRepository repo(mode);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#' ||
+            line.rfind("kind,", 0) == 0 ||
+            line.rfind("class,", 0) == 0)
+            continue;
+        const std::vector<std::string> fields =
+            splitRepositoryCsv(line);
+        if (fields.size() != 4 && fields.size() != 5)
+            fatal("shared repository line ", lineNo, ": expected "
+                  "'kind,class,bucket,instances,type' (or the legacy "
+                  "4-column form), got: ", line);
+        // Legacy per-controller CSVs predate the kind column; their
+        // rows are filed under the caller's legacyKind. The trailing
+        // cells share Repository::load's grammar (one parser, so the
+        // loaders cannot diverge).
+        const ServiceKind kind = fields.size() == 5
+            ? serviceKindFromName(fields[0])
+            : legacyKind;
+        const auto [key, alloc] = parseRepositoryCells(
+            fields, fields.size() - 4, lineNo, line);
+        Table &table = repo._byKind[kind];
+        if (table.count(key))
+            fatal("shared repository line ", lineNo,
+                  ": duplicate entry for (", serviceKindName(kind),
+                  ",", key.classId, ",", key.interferenceBucket,
+                  "): ", line);
+        table[key] = Entry{alloc, -1};
+    }
+    return repo;
+}
+
+} // namespace dejavu

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * The shared cross-service signature repository: one DejaVu cache
+ * serving many controllers.
+ *
+ * The paper's repository "is most useful when its cached allocations
+ * can be repeatedly reused" (§3.4/§3.6), and a Figure-2 installation
+ * hosts many services — so allocations tuned for one service can be
+ * reused by every *compatible* fleet member instead of re-profiling
+ * the same (class, interference) point once per service (the
+ * cross-VM transfer lever of ADARES, arXiv:1812.01837). Compatibility
+ * is per service kind: entries are keyed by (kind, workload class,
+ * interference bucket), and a controller attaches with its kind as
+ * namespace, so a RUBiS hit can never serve a KeyValue lookup.
+ *
+ * Controllers do not own the cache; they hold a RepositoryHandle —
+ * an attachment carrying the kind namespace plus per-attachment
+ * hit/miss/store statistics (the aggregate across attachments is the
+ * fleet-wide number benches report). Two modes:
+ *
+ *  - Shared: lookups see every attachment's writes within the kind
+ *    namespace — the cross-service reuse hypothesis, live.
+ *  - WriteThroughIsolated: lookups see only the attachment's own
+ *    writes (behavior identical to today's private repositories), but
+ *    stores also write through to the kind-level table and misses
+ *    probe it, counting how often sharing *would* have hit — the A/B
+ *    instrument for comparing against private repos without changing
+ *    a single decision.
+ *
+ * Not thread-safe by design: a SharedRepository belongs to one
+ * Simulation (one experiment cell), and the ExperimentRunner's
+ * parallelism is across cells, never within one.
+ */
+
+#ifndef DEJAVU_CORE_SHARED_REPOSITORY_HH
+#define DEJAVU_CORE_SHARED_REPOSITORY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/repository.hh"
+#include "services/service.hh"
+
+namespace dejavu {
+
+class SharedRepository;
+
+/**
+ * How a fleet composes its members' repositories — the A/B axis the
+ * shared-repository experiments sweep.
+ */
+enum class RepositorySharing
+{
+    Private,  ///< Each controller owns its repository (the baseline).
+    Shared,   ///< One SharedRepository, kind-namespaced live reuse.
+    Isolated, ///< One SharedRepository in write-through isolation:
+              ///< private behavior, shared-counterfactual stats.
+};
+
+/** Stable name ("private" | "shared" | "isolated") for scenario
+ *  names and sweep digests. */
+const char *repositorySharingName(RepositorySharing sharing);
+
+/** Parse a name produced by repositorySharingName(); fatal()
+ *  otherwise. */
+RepositorySharing repositorySharingFromName(const std::string &name);
+
+/**
+ * One controller's attachment to a SharedRepository. A lightweight
+ * value (pointer + attachment id): copies refer to the same
+ * attachment and its statistics. A default-constructed handle is
+ * unattached; every operation on it is fatal.
+ */
+class RepositoryHandle
+{
+  public:
+    RepositoryHandle() = default;
+
+    bool attached() const { return _repo != nullptr; }
+
+    /** Attachment id, unique within the repository (dense from 0). */
+    int id() const { return _id; }
+
+    /** The kind namespace this attachment reads and writes. */
+    ServiceKind kind() const;
+
+    /** Diagnostic owner label given at attach time. */
+    const std::string &owner() const;
+
+    /** The underlying repository (null when unattached). */
+    SharedRepository *shared() { return _repo; }
+    const SharedRepository *shared() const { return _repo; }
+
+    /** Store (or overwrite) the preferred allocation for a key;
+     *  the entry is tagged with this attachment as its writer. */
+    void store(const RepositoryKey &key,
+               const ResourceAllocation &allocation);
+
+    /** Cache lookup within the kind namespace; counts hit/miss on
+     *  this attachment's statistics. */
+    std::optional<ResourceAllocation> lookup(const RepositoryKey &key);
+
+    /** Non-counting inspection of this attachment's view. */
+    std::optional<ResourceAllocation> peek(const RepositoryKey &key) const;
+
+    bool contains(const RepositoryKey &key) const;
+
+    /** Entries visible to this attachment's lookups. */
+    std::size_t entries() const;
+
+    /** Visible keys, sorted (stable for reports and tests). */
+    std::vector<RepositoryKey> keys() const;
+
+    /** Drop the entries this attachment wrote (a re-clustering
+     *  invalidates *its* allocations, not its peers'). */
+    void clear();
+
+    /** This attachment's statistics. */
+    const Repository::Stats &stats() const;
+
+    /** Hits served from entries written by *another* attachment —
+     *  reads the shared table answered on a peer's behalf. Repeated
+     *  lookups of the same key all count; for avoided work see
+     *  reusedEntries(). */
+    std::uint64_t crossHits() const;
+
+    /** Distinct keys this attachment read from a peer's write —
+     *  allocations it never had to produce itself, i.e. tuner runs
+     *  avoided (a repeated read of the same key counts once). */
+    std::uint64_t reusedEntries() const;
+
+    /** WriteThroughIsolated only: misses that the kind-level table
+     *  could have served — what sharing would have bought. */
+    std::uint64_t wouldHaveHit() const;
+
+    double hitRate() const;
+
+    std::string toString() const;
+
+  private:
+    friend class SharedRepository;
+
+    RepositoryHandle(SharedRepository *repo, int id)
+        : _repo(repo), _id(id) {}
+
+    SharedRepository *_repo = nullptr;
+    int _id = -1;
+};
+
+/**
+ * The shared allocation cache. See the file comment for semantics.
+ */
+class SharedRepository
+{
+  public:
+    enum class Mode
+    {
+        /** Kind-namespace sharing: all attachments of one kind read
+         *  and write one table. */
+        Shared,
+        /** Private views with write-through shadow accounting (the
+         *  A/B baseline against today's per-controller repos). */
+        WriteThroughIsolated,
+    };
+
+    explicit SharedRepository(Mode mode = Mode::Shared);
+
+    Mode mode() const { return _mode; }
+
+    /** Human-readable mode name ("shared" | "isolated"). */
+    const char *modeName() const;
+
+    /**
+     * Attach a controller with @p kind as its namespace. @p owner is
+     * a diagnostic label for per-attachment reports. Attachment ids
+     * are dense and never reused.
+     */
+    RepositoryHandle attach(ServiceKind kind, std::string owner = "");
+
+    /** Detach @p handle (its entries stay; its stats keep counting
+     *  toward the aggregate). The handle becomes unattached. */
+    void detach(RepositoryHandle &handle);
+
+    /** Live (attached, not detached) attachments. */
+    int attachments() const { return _live; }
+
+    /** All attachments ever made, detached included. */
+    int totalAttachments() const
+    { return static_cast<int>(_attachments.size()); }
+
+    /** Sum of all attachments' statistics — the fleet-wide numbers. */
+    Repository::Stats aggregateStats() const;
+
+    /** Fleet-wide cross-attachment hits (peer-served reads). */
+    std::uint64_t aggregateCrossHits() const;
+
+    /** Fleet-wide distinct reused entries (tuner runs avoided). */
+    std::uint64_t aggregateReusedEntries() const;
+
+    /** WriteThroughIsolated only: fleet-wide would-have-hit count. */
+    std::uint64_t aggregateWouldHaveHits() const;
+
+    /** Aggregate hit rate over every attachment's lookups. */
+    double hitRate() const;
+
+    /** Kind-level entry count (the union sharing exposes). */
+    std::size_t entries() const;
+    std::size_t entries(ServiceKind kind) const;
+
+    /** Kinds with at least one kind-level entry, ascending. */
+    std::vector<ServiceKind> kinds() const;
+
+    /** Kind-level keys, sorted. */
+    std::vector<RepositoryKey> keys(ServiceKind kind) const;
+
+    /** Non-counting kind-level inspection (ignores isolation). */
+    std::optional<ResourceAllocation> peek(ServiceKind kind,
+                                           const RepositoryKey &key) const;
+
+    std::string toString() const;
+
+    /** @name Persistence (CSV: kind,class,bucket,instances,type) @{ */
+    /** Serialize the kind-level tables; stats are not persisted. */
+    void save(std::ostream &out) const;
+
+    /**
+     * Load entries from a stream produced by save(). Also accepts the
+     * legacy per-controller 4-column format (class,bucket,instances,
+     * type), filing those rows under @p legacyKind. fatal() on
+     * malformed input and on duplicate (kind,class,bucket) rows.
+     * Loaded entries have no writer: every attachment's hit on them
+     * counts as a cross hit.
+     */
+    static SharedRepository load(std::istream &in,
+                                 Mode mode = Mode::Shared,
+                                 ServiceKind legacyKind =
+                                     ServiceKind::Generic);
+    /** @} */
+
+  private:
+    friend class RepositoryHandle;
+
+    struct Entry
+    {
+        ResourceAllocation allocation;
+        int writer = -1;  ///< Attachment id; -1 for loaded entries.
+    };
+
+    using Table =
+        std::unordered_map<RepositoryKey, Entry, RepositoryKeyHash>;
+
+    struct Attachment
+    {
+        ServiceKind kind = ServiceKind::Generic;
+        std::string owner;
+        bool live = true;
+        Repository::Stats stats;
+        std::uint64_t crossHits = 0;
+        std::uint64_t wouldHaveHits = 0;
+        /** Keys ever served to this attachment from a peer's write
+         *  (size() == reusedEntries()). */
+        std::unordered_set<RepositoryKey, RepositoryKeyHash> reused;
+        Table isolated;  ///< Private view (WriteThroughIsolated only).
+    };
+
+    /** @name Handle back-ends (id-checked) @{ */
+    void handleStore(int id, const RepositoryKey &key,
+                     const ResourceAllocation &allocation);
+    std::optional<ResourceAllocation> handleLookup(
+        int id, const RepositoryKey &key);
+    std::optional<ResourceAllocation> handlePeek(
+        int id, const RepositoryKey &key) const;
+    void handleClear(int id);
+    std::size_t handleEntries(int id) const;
+    std::vector<RepositoryKey> handleKeys(int id) const;
+    /** @} */
+
+    Attachment &attachment(int id);
+    const Attachment &attachment(int id) const;
+
+    /** The table @p id's lookups consult (kind or isolated view). */
+    const Table &viewOf(const Attachment &a) const;
+
+    Mode _mode;
+    /** Ordered by kind so save() and reports are deterministic. */
+    std::map<ServiceKind, Table> _byKind;
+    std::vector<Attachment> _attachments;
+    int _live = 0;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_CORE_SHARED_REPOSITORY_HH

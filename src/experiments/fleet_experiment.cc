@@ -8,11 +8,33 @@
 
 namespace dejavu {
 
-FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
-                                 SlotPolicy policy, int profilingHosts)
-    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy),
-                        profilingHosts)
+namespace {
+
+/** SLO equality on the dimension the SLO actually constrains. */
+bool
+sameSlo(const Slo &a, const Slo &b)
 {
+    if (a.kind != b.kind)
+        return false;
+    return a.kind == SloKind::LatencyBound
+        ? a.latencyBoundMs == b.latencyBoundMs
+        : a.qosFloorPercent == b.qosFloorPercent;
+}
+
+} // namespace
+
+FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
+                                 SlotPolicy policy, int profilingHosts,
+                                 RepositorySharing sharing)
+    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy),
+                        profilingHosts),
+      _sharing(sharing)
+{
+    if (_sharing != RepositorySharing::Private)
+        _sharedRepo = std::make_unique<SharedRepository>(
+            _sharing == RepositorySharing::Shared
+                ? SharedRepository::Mode::Shared
+                : SharedRepository::Mode::WriteThroughIsolated);
     // Charge every completed adaptation — including its host-pool
     // queueing delay (§3.3) — to the service that requested it. The
     // fleet's name-to-index map is authoritative (members register in
@@ -50,6 +72,33 @@ FleetExperiment::addService(const std::string &name, Service &service,
     member->controller = &controller;
     member->trace = std::move(trace);
     member->config = config;
+
+    // Compose the repository axis: under sharing, this controller's
+    // cache operations go through the fleet-wide repository (kind
+    // namespace = its service kind). Must precede learn().
+    if (_sharedRepo) {
+        // Live sharing is only sound between compatible services.
+        // Entries carry no SLO, so two same-kind members with
+        // different SLOs would silently serve each other allocations
+        // tuned for the wrong objective — reject the composition
+        // loudly instead. Isolated mode is exempt: its decisions
+        // stay private (it exists precisely to *measure* whether
+        // sharing a questionable composition would have helped).
+        if (_sharing == RepositorySharing::Shared) {
+            const ServiceKind kind = service.kind();
+            const auto it = _kindSlo.find(kind);
+            if (it == _kindSlo.end())
+                _kindSlo.emplace(kind, config.slo);
+            else if (!sameSlo(it->second, config.slo))
+                fatal("fleet member '", name, "': repository sharing "
+                      "requires one SLO per service kind, but ",
+                      serviceKindName(kind), " is already registered "
+                      "with ", it->second.toString(), " and '", name,
+                      "' wants ", config.slo.toString(), "; align "
+                      "the SLOs or use private repositories");
+        }
+        controller.attachRepository(*_sharedRepo, name);
+    }
 
     _fleet.addService(name, service, controller, profilingSlot);
     DEJAVU_ASSERT(_fleet.memberIndex(name) == _members.size(),
@@ -141,8 +190,25 @@ FleetExperiment::summary() const
 {
     FleetSummary s;
     s.policy = _fleet.scheduler().name();
+    s.sharing = repositorySharingName(_sharing);
     s.services = services();
     s.hosts = _fleet.profilingHosts();
+    // Aggregate the repository statistics over the member handles.
+    // This works identically in Private mode (each handle fronts its
+    // controller's own repository), so shared-vs-private hit rates
+    // are one column, not two code paths.
+    for (const auto &memberPtr : _members) {
+        const RepositoryHandle &handle =
+            memberPtr->controller->repository();
+        s.repoLookups += handle.stats().lookups;
+        s.repoHits += handle.stats().hits;
+        s.repoCrossHits += handle.crossHits();
+        s.repoReusedEntries += handle.reusedEntries();
+        s.repoWouldHaveHits += handle.wouldHaveHit();
+    }
+    if (s.repoLookups > 0)
+        s.repoHitRate =
+            static_cast<double>(s.repoHits) / s.repoLookups;
     PercentileSampler queueDelay, total;
     for (const auto &entry : _fleet.log()) {
         queueDelay.add(toSeconds(entry.queueDelay()));

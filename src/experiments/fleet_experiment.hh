@@ -14,11 +14,18 @@
  * fleet-wide adaptation-time tails (p50/p95/max) fall out of one
  * summary() call — the yardstick for comparing slot policies and
  * pool sizes (the hosts-vs-p95 knee).
+ *
+ * The experiment also owns the repository-sharing axis: under
+ * RepositorySharing::Shared (or ::Isolated) it holds one
+ * SharedRepository and attaches every registered controller, so the
+ * fleet-wide hit rate, cross-service hits (tuner runs avoided) and
+ * the shared-vs-private comparison come out of the same summary().
  */
 
 #ifndef DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
 #define DEJAVU_EXPERIMENTS_FLEET_EXPERIMENT_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,14 +53,31 @@ class FleetExperiment
         RunningStats queueDelaySec;     ///< All waits, in seconds.
     };
 
-    /** Fleet-wide adaptation-time tails under one slot policy and
-     *  host-pool size. */
+    /** Fleet-wide adaptation-time tails under one slot policy,
+     *  host-pool size and repository-sharing mode. */
     struct FleetSummary
     {
         std::string policy;             ///< Slot scheduler name.
+        std::string sharing;            ///< Repository-sharing mode.
         int services = 0;               ///< Fleet size N.
         int hosts = 0;                  ///< Profiling-pool size M.
         std::uint64_t adaptations = 0;  ///< Slots granted fleet-wide.
+        /** @name Repository aggregate (summed over member handles) @{ */
+        std::uint64_t repoLookups = 0;
+        std::uint64_t repoHits = 0;
+        /** Hits served by an entry another service wrote (repeated
+         *  reads of the same entry all count). */
+        std::uint64_t repoCrossHits = 0;
+        /** Distinct (member, key) pairs served by a peer's write —
+         *  allocations no tuner had to produce for that member, i.e.
+         *  tuner runs the fleet avoided. Note these tuner runs are
+         *  off the §3.3 host pool (each member's own profiler
+         *  sandbox), so sharing cuts tuning work, not slot demand. */
+        std::uint64_t repoReusedEntries = 0;
+        /** Isolated mode only: misses sharing would have served. */
+        std::uint64_t repoWouldHaveHits = 0;
+        double repoHitRate = 0.0;
+        /** @} */
         double queueDelayP50Sec = 0.0;
         double queueDelayP95Sec = 0.0;
         double queueDelayMaxSec = 0.0;
@@ -63,11 +87,16 @@ class FleetExperiment
     };
 
     /** @p policy selects how waiting adaptation requests are granted
-     *  profiling hosts; @p profilingHosts is the pool size M. */
+     *  profiling hosts; @p profilingHosts is the pool size M;
+     *  @p sharing composes member repositories (Shared/Isolated make
+     *  the experiment own one SharedRepository that every controller
+     *  registered through addService() is attached to). */
     FleetExperiment(Simulation &sim,
                     SimTime profilingSlot = seconds(10),
                     SlotPolicy policy = SlotPolicy::Fifo,
-                    int profilingHosts = 1);
+                    int profilingHosts = 1,
+                    RepositorySharing sharing =
+                        RepositorySharing::Private);
 
     /**
      * Register a hosted service. The controller must have completed
@@ -98,6 +127,14 @@ class FleetExperiment
     /** Registered services. */
     int services() const { return static_cast<int>(_members.size()); }
 
+    /** The repository-sharing mode this fleet runs under. */
+    RepositorySharing sharing() const { return _sharing; }
+
+    /** The fleet-shared repository; null in Private mode. */
+    SharedRepository *sharedRepository() { return _sharedRepo.get(); }
+    const SharedRepository *sharedRepository() const
+    { return _sharedRepo.get(); }
+
   private:
     /** One hosted service's actors and bookkeeping. */
     struct Member
@@ -118,6 +155,15 @@ class FleetExperiment
 
     Simulation &_sim;
     DejaVuFleet _fleet;
+    RepositorySharing _sharing;
+    /** Owned when sharing != Private; every controller registered
+     *  through addService() is attached to it. Callers must keep the
+     *  experiment alive as long as those controllers' handles are
+     *  used (FleetStack does). */
+    std::unique_ptr<SharedRepository> _sharedRepo;
+    /** First-registered SLO per kind — sharing requires same-kind
+     *  members to agree (addService() is fatal on a mismatch). */
+    std::map<ServiceKind, Slo> _kindSlo;
     /** Indexed in lockstep with the fleet's member table; lookups go
      *  through DejaVuFleet::memberIndex(). */
     std::vector<std::unique_ptr<Member>> _members;

@@ -81,9 +81,24 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 {
     const std::string prefix = "fleet-";
     if (scenario.compare(0, prefix.size(), prefix) != 0)
-        fatal("fleet scenario name must be 'fleet-<mix>-<N>[-h<M>]', "
-              "got: ", scenario);
+        fatal("fleet scenario name must be "
+              "'fleet-<mix>-<N>[-h<M>][-<sharing>]', got: ", scenario);
     std::string rest = scenario.substr(prefix.size());
+
+    // Optional trailing "-shared" / "-private" / "-isolated" selects
+    // the repository composition (default private — today's
+    // per-controller repositories).
+    RepositorySharing sharing = RepositorySharing::Private;
+    for (const char *name : {"shared", "private", "isolated"}) {
+        const std::string suffix = std::string("-") + name;
+        if (rest.size() > suffix.size() &&
+            rest.compare(rest.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            sharing = repositorySharingFromName(name);
+            rest.erase(rest.size() - suffix.size());
+            break;
+        }
+    }
 
     // Parse one integer field; fatal unless the whole token is a
     // number (trailing garbage must not silently shrink the fleet).
@@ -116,8 +131,8 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 
     const std::size_t dash = rest.rfind('-');
     if (dash == std::string::npos || dash + 1 >= rest.size())
-        fatal("fleet scenario name must be 'fleet-<mix>-<N>[-h<M>]', "
-              "got: ", scenario);
+        fatal("fleet scenario name must be "
+              "'fleet-<mix>-<N>[-h<M>][-<sharing>]', got: ", scenario);
     const std::string mix = rest.substr(0, dash);
     const int services =
         parseCount(rest.substr(dash + 1), "fleet size");
@@ -130,9 +145,10 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 
     if (mix == "cassandra")
         return makeCassandraFleet(services, options, seconds(10),
-                                  policy, hosts);
+                                  policy, hosts, sharing);
     if (mix == "mixed")
-        return makeMixedFleet(services, options, policy, hosts);
+        return makeMixedFleet(services, options, policy, hosts,
+                              sharing);
     fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
 }
 
@@ -150,14 +166,19 @@ std::string
 fleetSweepCsv(const std::vector<FleetCellResult> &results)
 {
     std::ostringstream os;
-    os << "scenario,policy,seed,services,hosts,adaptations,"
-          "queue_p50_s,queue_p95_s,queue_max_s,"
+    os << "scenario,policy,seed,services,hosts,sharing,adaptations,"
+          "repo_lookups,repo_hit_pct,repo_cross_hits,repo_reused,"
+          "repo_would_hit,queue_p50_s,queue_p95_s,queue_max_s,"
           "adapt_p50_s,adapt_p95_s,adapt_max_s\n";
     for (const auto &fr : results) {
         const auto &s = fr.summary;
         os << fr.cell.scenario << ',' << fr.cell.policy << ','
            << fr.cell.seed << ',' << s.services << ','
-           << s.hosts << ',' << s.adaptations << ','
+           << s.hosts << ',' << s.sharing << ','
+           << s.adaptations << ',' << s.repoLookups << ','
+           << Table::num(100.0 * s.repoHitRate, 3) << ','
+           << s.repoCrossHits << ',' << s.repoReusedEntries << ','
+           << s.repoWouldHaveHits << ','
            << Table::num(s.queueDelayP50Sec, 3) << ','
            << Table::num(s.queueDelayP95Sec, 3) << ','
            << Table::num(s.queueDelayMaxSec, 3) << ','

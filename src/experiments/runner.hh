@@ -172,14 +172,17 @@ std::unique_ptr<ScenarioStack> makeStandardScenario(
     const std::string &scenario, std::uint64_t seed);
 
 /**
- * One fleet sweep cell: scenario "fleet-<mix>-<N>[-h<M>]" where <mix>
- * is "cassandra" (homogeneous key-value stores) or "mixed" (KeyValue
- * + SPECweb + RUBiS round-robin), <N> is the service count and the
- * optional "-h<M>" suffix sizes the profiling host pool (default 1,
- * e.g. "fleet-mixed-100-h4"); the cell's policy names the §3.3 slot
- * scheduler ("fifo" | "sjf" | "slo-debt" | "adaptive"). Runs 2 trace
- * days (1 learning + 1 reuse) so 100-service cells stay affordable,
- * and returns the fleet-wide adaptation-time tails.
+ * One fleet sweep cell: scenario "fleet-<mix>-<N>[-h<M>][-<sharing>]"
+ * where <mix> is "cassandra" (homogeneous key-value stores) or
+ * "mixed" (KeyValue + SPECweb + RUBiS round-robin), <N> is the
+ * service count, the optional "-h<M>" suffix sizes the profiling
+ * host pool (default 1) and the optional trailing "-shared" /
+ * "-private" / "-isolated" selects the repository composition
+ * (default private; e.g. "fleet-mixed-100-h4-shared"); the cell's
+ * policy names the §3.3 slot scheduler ("fifo" | "sjf" | "slo-debt" |
+ * "adaptive"). Runs 2 trace days (1 learning + 1 reuse) so
+ * 100-service cells stay affordable, and returns the fleet-wide
+ * adaptation-time tails plus the aggregate repository statistics.
  */
 FleetExperiment::FleetSummary runFleetCell(const SweepCell &cell);
 

@@ -1,6 +1,8 @@
 #include "experiments/scenario.hh"
 
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -234,6 +236,13 @@ FleetBuilder::profilingHosts(int hosts)
 }
 
 FleetBuilder &
+FleetBuilder::shareRepository(RepositorySharing sharing)
+{
+    _sharing = sharing;
+    return *this;
+}
+
+FleetBuilder &
 FleetBuilder::add(ServiceKind kind, int count)
 {
     DEJAVU_ASSERT(count >= 1, "need at least one member to add");
@@ -256,12 +265,39 @@ std::unique_ptr<FleetStack>
 FleetBuilder::build() const
 {
     DEJAVU_ASSERT(!_specs.empty(), "fleet needs at least one service");
+    // Live repository sharing also requires same-kind members to
+    // draw from the same trace family: class ids align through
+    // canonical centroid ordering, which only holds when the members
+    // learn comparable workload distributions (per-member noise via
+    // seed offsets is fine; messenger-vs-hotmail shapes are not).
+    // Isolated mode is exempt — it measures, rather than assumes,
+    // that sharing a composition would help.
+    if (_sharing == RepositorySharing::Shared) {
+        std::map<ServiceKind, std::pair<std::string, std::size_t>>
+            kindTrace;  // kind -> (trace family, first member index)
+        for (std::size_t i = 0; i < _specs.size(); ++i) {
+            const std::string trace = _specs[i].traceName.empty()
+                ? _options.traceName : _specs[i].traceName;
+            const auto it = kindTrace.find(_specs[i].kind);
+            if (it == kindTrace.end())
+                kindTrace.emplace(_specs[i].kind,
+                                  std::make_pair(trace, i));
+            else if (it->second.first != trace)
+                fatal("fleet member #", i, ": repository sharing "
+                      "requires one trace family per service kind, "
+                      "but ", serviceKindName(_specs[i].kind),
+                      " member #", it->second.second, " uses '",
+                      it->second.first, "' and member #", i,
+                      " uses '", trace, "'; align the traces or use "
+                      "private/isolated repositories");
+        }
+    }
     auto stack = std::make_unique<FleetStack>();
     stack->sim = std::make_unique<Simulation>(_options.seed);
     Simulation &sim = *stack->sim;
     stack->experiment = std::make_unique<FleetExperiment>(
         sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy,
-        _profilingHosts);
+        _profilingHosts, _sharing);
 
     for (std::size_t i = 0; i < _specs.size(); ++i) {
         const FleetMemberSpec &spec = _specs[i];
@@ -373,20 +409,22 @@ FleetBuilder::build() const
 std::unique_ptr<FleetStack>
 makeCassandraFleet(int services, const ScenarioOptions &options,
                    SimTime profilingSlot, SlotPolicy policy,
-                   int profilingHosts)
+                   int profilingHosts, RepositorySharing sharing)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     return FleetBuilder(options)
         .profilingSlot(profilingSlot)
         .slotPolicy(policy)
         .profilingHosts(profilingHosts)
+        .shareRepository(sharing)
         .add(ServiceKind::KeyValue, services)
         .build();
 }
 
 std::unique_ptr<FleetStack>
 makeMixedFleet(int services, const ScenarioOptions &options,
-               SlotPolicy policy, int profilingHosts)
+               SlotPolicy policy, int profilingHosts,
+               RepositorySharing sharing)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     static constexpr ServiceKind kCycle[] = {
@@ -395,6 +433,7 @@ makeMixedFleet(int services, const ScenarioOptions &options,
     FleetBuilder builder(options);
     builder.slotPolicy(policy);
     builder.profilingHosts(profilingHosts);
+    builder.shareRepository(sharing);
     for (int i = 0; i < services; ++i)
         builder.add(kCycle[i % 3]);
     return builder.build();

@@ -153,6 +153,20 @@ class FleetBuilder
      *  single dedicated machine). */
     FleetBuilder &profilingHosts(int hosts);
 
+    /**
+     * Repository composition (default Private): Shared attaches all
+     * members to one fleet-wide SharedRepository with per-kind
+     * namespaces — a mixed KeyValue+SPECweb+RUBiS fleet gets one
+     * shared table per kind, so allocations tuned by one member are
+     * reused by every compatible peer; Isolated keeps private
+     * behavior but counts what sharing would have served (the A/B
+     * instrument). Live sharing requires same-kind members to agree
+     * on SLO and trace family (build()/addService() are fatal
+     * otherwise); Isolated accepts any composition — that is what
+     * it measures.
+     */
+    FleetBuilder &shareRepository(RepositorySharing sharing);
+
     /** Add @p count members of @p kind with kind-default settings. */
     FleetBuilder &add(ServiceKind kind, int count = 1);
 
@@ -170,6 +184,7 @@ class FleetBuilder
     SlotPolicy _policy = SlotPolicy::Fifo;
     SimTime _defaultSlot = 0;
     int _profilingHosts = 1;
+    RepositorySharing _sharing = RepositorySharing::Private;
     std::vector<FleetMemberSpec> _specs;
 };
 
@@ -181,7 +196,8 @@ std::unique_ptr<FleetStack> makeCassandraFleet(
     int services, const ScenarioOptions &options,
     SimTime profilingSlot = seconds(10),
     SlotPolicy policy = SlotPolicy::Fifo,
-    int profilingHosts = 1);
+    int profilingHosts = 1,
+    RepositorySharing sharing = RepositorySharing::Private);
 
 /**
  * Mixed fleet: @p services members cycling through KeyValue, SPECweb
@@ -192,7 +208,8 @@ std::unique_ptr<FleetStack> makeCassandraFleet(
 std::unique_ptr<FleetStack> makeMixedFleet(
     int services, const ScenarioOptions &options,
     SlotPolicy policy = SlotPolicy::Fifo,
-    int profilingHosts = 1);
+    int profilingHosts = 1,
+    RepositorySharing sharing = RepositorySharing::Private);
 
 } // namespace dejavu
 

@@ -7,6 +7,37 @@
 
 namespace dejavu {
 
+const char *
+serviceKindName(ServiceKind kind)
+{
+    switch (kind) {
+      case ServiceKind::KeyValue:
+        return "keyvalue";
+      case ServiceKind::SpecWeb:
+        return "specweb";
+      case ServiceKind::Rubis:
+        return "rubis";
+      case ServiceKind::Generic:
+        return "generic";
+    }
+    fatal("unknown service kind: ", static_cast<int>(kind));
+}
+
+ServiceKind
+serviceKindFromName(const std::string &name)
+{
+    if (name == "keyvalue")
+        return ServiceKind::KeyValue;
+    if (name == "specweb")
+        return ServiceKind::SpecWeb;
+    if (name == "rubis")
+        return ServiceKind::Rubis;
+    if (name == "generic")
+        return ServiceKind::Generic;
+    fatal("unknown service kind name: ", name,
+          " (use keyvalue|specweb|rubis|generic)");
+}
+
 Service::Service(EventQueue &queue, Cluster &cluster, Rng rng)
     : Service(queue, cluster, rng, ClientEmulator::Config())
 {

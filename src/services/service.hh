@@ -33,6 +33,14 @@ class EventQueue;
  *  surfaces on this (different services stress different units). */
 enum class ServiceKind { KeyValue, SpecWeb, Rubis, Generic };
 
+/** Stable lowercase name of a service kind ("keyvalue" | "specweb" |
+ *  "rubis" | "generic") — the kind column of repository CSVs and the
+ *  namespace label of shared-repository reports. */
+const char *serviceKindName(ServiceKind kind);
+
+/** Parse a name produced by serviceKindName(); fatal() otherwise. */
+ServiceKind serviceKindFromName(const std::string &name);
+
 /**
  * Base class for Cassandra-, SPECweb- and RUBiS-like service models.
  */

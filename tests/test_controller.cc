@@ -58,6 +58,57 @@ TEST_F(ControllerTest, LearningPopulatesRepository)
     EXPECT_EQ(report.samples, 8 * 3);  // trialsPerWorkload = 3
 }
 
+TEST_F(ControllerTest, SharedRepositoryReusesPeerClassTunings)
+{
+    SharedRepository repo;
+    DejaVuController first(service, profiler, config(), Rng(9));
+    EXPECT_FALSE(first.sharesRepository());
+    first.attachRepository(repo, "first");
+    EXPECT_TRUE(first.sharesRepository());
+    const auto ra = first.learn(learningSet());
+    EXPECT_EQ(ra.classesReused, 0);  // nothing to reuse yet
+
+    DejaVuController second(service, profiler, config(), Rng(13));
+    second.attachRepository(repo, "second");
+    const auto rb = second.learn(learningSet());
+    // Canonical class labels + the shared kind namespace: the
+    // second same-kind controller reuses the first one's tunings
+    // (both have >= 3 classes, so >= 3 probes hit).
+    EXPECT_GE(rb.classesReused, 3);
+    EXPECT_GT(second.repository().crossHits(), 0u);
+    EXPECT_EQ(repo.aggregateCrossHits(),
+              second.repository().crossHits());
+
+    // Both controllers still answer workload changes normally.
+    const auto decision =
+        second.onWorkloadChange({cassandraUpdateHeavy(), 9000.0});
+    EXPECT_GE(decision.classId, -1);
+}
+
+TEST_F(ControllerTest, DetachReturnsToPrivateRepository)
+{
+    SharedRepository repo;
+    DejaVuController dv(service, profiler, config(), Rng(9));
+    dv.attachRepository(repo);
+    EXPECT_EQ(repo.attachments(), 1);
+    dv.detachRepository();
+    EXPECT_FALSE(dv.sharesRepository());
+    // The live-attachment count stays truthful after the detach.
+    EXPECT_EQ(repo.attachments(), 0);
+    dv.learn(learningSet());
+    // Nothing leaked into the shared repository after the detach.
+    EXPECT_EQ(repo.entries(), 0u);
+    EXPECT_GT(dv.repository().entries(), 0u);
+}
+
+TEST_F(ControllerTest, AttachAfterLearnIsFatal)
+{
+    SharedRepository repo;
+    DejaVuController dv(service, profiler, config(), Rng(9));
+    dv.learn(learningSet());
+    EXPECT_DEATH(dv.attachRepository(repo), "after learn");
+}
+
 TEST_F(ControllerTest, ClassAllocationsGrowWithLoad)
 {
     DejaVuController dv(service, profiler, config(), Rng(11));

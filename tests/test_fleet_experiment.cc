@@ -415,6 +415,171 @@ TEST_F(FleetExperimentTest, AdaptivePolicyEngagesUnderBurst)
     EXPECT_EQ(stack->experiment->summary().policy, "adaptive");
 }
 
+TEST_F(FleetExperimentTest, SharedRepositoryReusesPeerLearnings)
+{
+    // The shared-repository hypothesis live: in a mixed fleet the
+    // first member of each kind tunes its classes, and every later
+    // same-kind member's learning probe hits those entries instead
+    // of running the tuner.
+    ScenarioOptions options;
+    options.seed = 42;
+    options.days = 2;
+    auto stack = makeMixedFleet(6, options, SlotPolicy::Fifo, 1,
+                                RepositorySharing::Shared);
+    ASSERT_NE(stack->experiment->sharedRepository(), nullptr);
+    EXPECT_EQ(stack->experiment->sharing(), RepositorySharing::Shared);
+
+    stack->learnAll();
+    const SharedRepository &repo =
+        *stack->experiment->sharedRepository();
+    // 6 members, 3 kinds: members 4-6 learn after a same-kind peer,
+    // so learning-phase cross hits must have happened.
+    EXPECT_GT(repo.aggregateCrossHits(), 0u);
+    EXPECT_EQ(repo.attachments(), 6);
+    // All three kind namespaces are populated and disjoint.
+    EXPECT_EQ(repo.kinds().size(), 3u);
+    for (const ServiceKind kind :
+         {ServiceKind::KeyValue, ServiceKind::SpecWeb,
+          ServiceKind::Rubis})
+        EXPECT_GT(repo.entries(kind), 0u);
+
+    const auto results = stack->experiment->run();
+    for (const auto &sr : results)
+        EXPECT_GT(sr.adaptations, 0) << sr.name;
+    const auto summary = stack->experiment->summary();
+    EXPECT_EQ(summary.sharing, "shared");
+    EXPECT_GT(summary.repoCrossHits, 0u);
+    // Distinct reuse (tuner runs avoided) is bounded by peer-served
+    // reads: repeated lookups of a reused entry only count once.
+    EXPECT_GT(summary.repoReusedEntries, 0u);
+    EXPECT_LE(summary.repoReusedEntries, summary.repoCrossHits);
+    EXPECT_GT(summary.repoLookups, 0u);
+}
+
+TEST_F(FleetExperimentTest, SharingRejectsMismatchedSameKindSlos)
+{
+    // Entries carry no SLO, so sharing between same-kind members
+    // with different SLOs would silently serve allocations tuned
+    // for the wrong objective — the composition must refuse.
+    auto buildMismatched = [] {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        FleetMemberSpec strict;
+        strict.kind = ServiceKind::KeyValue;
+        strict.slo = Slo::latency(30.0);
+        FleetBuilder(options)
+            .shareRepository(RepositorySharing::Shared)
+            .add(ServiceKind::KeyValue)
+            .add(strict)
+            .build();
+    };
+    EXPECT_EXIT(buildMismatched(), ::testing::ExitedWithCode(1),
+                "requires one SLO");
+
+    // Mixed trace families within a kind are just as incompatible:
+    // canonical class ids only align for comparable distributions.
+    auto buildMixedTraces = [] {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        FleetMemberSpec hotmail;
+        hotmail.kind = ServiceKind::KeyValue;
+        hotmail.traceName = "hotmail";
+        FleetBuilder(options)
+            .shareRepository(RepositorySharing::Shared)
+            .add(ServiceKind::KeyValue)
+            .add(hotmail)
+            .build();
+    };
+    EXPECT_EXIT(buildMixedTraces(), ::testing::ExitedWithCode(1),
+                "one trace family");
+
+    // The same compositions are fine with private repositories and
+    // in isolated mode — the A/B instrument exists to measure
+    // questionable compositions, not to forbid them.
+    ScenarioOptions options;
+    options.seed = 42;
+    options.days = 2;
+    FleetMemberSpec strict;
+    strict.kind = ServiceKind::KeyValue;
+    strict.slo = Slo::latency(30.0);
+    strict.traceName = "hotmail";
+    auto priv = FleetBuilder(options)
+                    .add(ServiceKind::KeyValue)
+                    .add(strict)
+                    .build();
+    EXPECT_EQ(priv->members.size(), 2u);
+    auto isolated = FleetBuilder(options)
+                        .shareRepository(RepositorySharing::Isolated)
+                        .add(ServiceKind::KeyValue)
+                        .add(strict)
+                        .build();
+    EXPECT_EQ(isolated->members.size(), 2u);
+    EXPECT_EQ(isolated->experiment->sharing(),
+              RepositorySharing::Isolated);
+}
+
+TEST_F(FleetExperimentTest, SharedHitRateBeatsPrivateBaseline)
+{
+    // The acceptance bar in miniature: the aggregate repository hit
+    // rate under sharing is strictly above the private baseline
+    // (learning probes that miss privately are served by peers).
+    auto summaryFor = [](RepositorySharing sharing) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        auto stack = makeMixedFleet(6, options, SlotPolicy::Fifo, 1,
+                                    sharing);
+        stack->learnAll();
+        stack->experiment->run();
+        return stack->experiment->summary();
+    };
+    const auto priv = summaryFor(RepositorySharing::Private);
+    const auto shared = summaryFor(RepositorySharing::Shared);
+    EXPECT_EQ(priv.sharing, "private");
+    EXPECT_EQ(priv.repoCrossHits, 0u);
+    EXPECT_GT(shared.repoHitRate, priv.repoHitRate);
+}
+
+TEST_F(FleetExperimentTest, IsolatedModeMatchesPrivateDecisions)
+{
+    // Write-through isolation is the A/B instrument: decisions must
+    // be bit-identical to private repositories while the shadow
+    // table counts what sharing would have served.
+    auto runWith = [](RepositorySharing sharing) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        auto stack = makeMixedFleet(6, options, SlotPolicy::Fifo, 1,
+                                    sharing);
+        stack->learnAll();
+        auto results = stack->experiment->run();
+        return std::make_pair(std::move(results),
+                              stack->experiment->summary());
+    };
+    const auto [privResults, privSummary] =
+        runWith(RepositorySharing::Private);
+    const auto [isoResults, isoSummary] =
+        runWith(RepositorySharing::Isolated);
+
+    ASSERT_EQ(privResults.size(), isoResults.size());
+    for (std::size_t i = 0; i < privResults.size(); ++i) {
+        EXPECT_DOUBLE_EQ(privResults[i].result.costDollars,
+                         isoResults[i].result.costDollars);
+        EXPECT_DOUBLE_EQ(privResults[i].result.sloViolationFraction,
+                         isoResults[i].result.sloViolationFraction);
+        EXPECT_EQ(privResults[i].adaptations,
+                  isoResults[i].adaptations);
+    }
+    EXPECT_EQ(privSummary.repoLookups, isoSummary.repoLookups);
+    EXPECT_EQ(privSummary.repoHits, isoSummary.repoHits);
+    EXPECT_EQ(isoSummary.sharing, "isolated");
+    // The counterfactual: sharing would have served some misses.
+    EXPECT_GT(isoSummary.repoWouldHaveHits, 0u);
+    EXPECT_EQ(privSummary.repoWouldHaveHits, 0u);
+}
+
 TEST_F(FleetExperimentTest, ServicesKeepIndependentAllocations)
 {
     // Different per-service traces should show up as (at least

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/repository.hh"
 
 namespace dejavu {
@@ -97,6 +99,39 @@ TEST(Repository, ToStringListsEntries)
     EXPECT_NE(s.find("c1"), std::string::npos);
     EXPECT_NE(s.find("i2"), std::string::npos);
     EXPECT_NE(s.find("7xXL"), std::string::npos);
+}
+
+TEST(Repository, SaveLoadRoundTrip)
+{
+    Repository repo;
+    repo.store({0, 0}, {4, InstanceType::Large});
+    repo.store({1, 2}, {10, InstanceType::XLarge});
+    std::ostringstream out;
+    repo.save(out);
+
+    std::istringstream in(out.str());
+    Repository loaded = Repository::load(in);
+    EXPECT_EQ(loaded.entries(), 2u);
+    EXPECT_EQ(*loaded.peek({0, 0}),
+              (ResourceAllocation{4, InstanceType::Large}));
+    EXPECT_EQ(*loaded.peek({1, 2}),
+              (ResourceAllocation{10, InstanceType::XLarge}));
+    EXPECT_EQ(loaded.stats().lookups, 0u);  // stats not persisted
+}
+
+TEST(RepositoryDeathTest, LoadRejectsDuplicateRows)
+{
+    // Regression: load() used to silently let the last duplicate
+    // (class,bucket) row win, hiding corrupted or badly merged
+    // repository files.
+    const std::string dup =
+        "class,bucket,instances,type\n"
+        "0,0,4,m1.large\n"
+        "1,0,6,m1.large\n"
+        "0,0,8,m1.xlarge\n";
+    std::istringstream in(dup);
+    EXPECT_EXIT((void)Repository::load(in),
+                ::testing::ExitedWithCode(1), "duplicate");
 }
 
 } // namespace

@@ -147,7 +147,7 @@ TEST_F(RunnerIntegration, FleetPolicySweepBitIdenticalAcrossThreads)
     // with a populated tail.
     EXPECT_EQ(std::count(digest1.begin(), digest1.end(), '\n'),
               static_cast<std::ptrdiff_t>(cells.size() + 1));
-    EXPECT_NE(digest1.find("fleet-mixed-9,sjf,1,9,1,216"),
+    EXPECT_NE(digest1.find("fleet-mixed-9,sjf,1,9,1,private,216"),
               std::string::npos);
 }
 
@@ -174,7 +174,8 @@ TEST_F(RunnerIntegration, HundredServicePoolSweepBitIdentical)
     EXPECT_EQ(digest1, digestAt(4));
     EXPECT_EQ(digest1, digestAt(8));
     // 24 reuse hours x 100 services, 4-host pool recorded in the CSV.
-    EXPECT_NE(digest1.find("fleet-mixed-100-h4,fifo,42,100,4,2400"),
+    EXPECT_NE(digest1.find(
+                  "fleet-mixed-100-h4,fifo,42,100,4,private,2400"),
               std::string::npos);
 }
 
@@ -188,6 +189,66 @@ TEST_F(RunnerIntegration, FleetScenarioParsesHostPoolSuffix)
     auto single = makeFleetScenario("fleet-mixed-3", 42,
                                     SlotPolicy::Fifo);
     EXPECT_EQ(single->experiment->fleet().profilingHosts(), 1);
+}
+
+TEST_F(RunnerIntegration, FleetScenarioParsesSharingSuffix)
+{
+    // Default: today's private per-controller repositories.
+    auto def = makeFleetScenario("fleet-mixed-3-h2", 42,
+                                 SlotPolicy::Fifo);
+    EXPECT_EQ(def->experiment->sharing(), RepositorySharing::Private);
+    EXPECT_EQ(def->experiment->sharedRepository(), nullptr);
+
+    auto shared = makeFleetScenario("fleet-mixed-3-h2-shared", 42,
+                                    SlotPolicy::Fifo);
+    EXPECT_EQ(shared->experiment->sharing(),
+              RepositorySharing::Shared);
+    ASSERT_NE(shared->experiment->sharedRepository(), nullptr);
+    EXPECT_EQ(shared->experiment->sharedRepository()->attachments(),
+              3);
+    EXPECT_EQ(shared->members.size(), 3u);
+    EXPECT_EQ(shared->experiment->fleet().profilingHosts(), 2);
+
+    // The sharing suffix composes with a missing host suffix, and
+    // an explicit "-private" is accepted.
+    auto noHosts = makeFleetScenario("fleet-cassandra-4-isolated", 42,
+                                     SlotPolicy::Fifo);
+    EXPECT_EQ(noHosts->experiment->sharing(),
+              RepositorySharing::Isolated);
+    EXPECT_EQ(noHosts->experiment->fleet().profilingHosts(), 1);
+    auto priv = makeFleetScenario("fleet-mixed-3-private", 42,
+                                  SlotPolicy::Fifo);
+    EXPECT_EQ(priv->experiment->sharing(),
+              RepositorySharing::Private);
+}
+
+TEST_F(RunnerIntegration, SharedFleetSweepBitIdenticalAcrossThreads)
+{
+    // The sharing axis must not disturb determinism: shared and
+    // private cells of one sweep digest byte-identically at 1, 4
+    // and 8 runner threads.
+    const auto cells = ExperimentRunner::grid(
+        {"fleet-mixed-9-shared", "fleet-mixed-9-private"},
+        {"fifo", "sjf"}, {1});
+
+    auto digestAt = [&](int threads) {
+        const auto summaries =
+            ExperimentRunner(ExperimentRunner::Config(threads))
+                .sweepInto(cells, runFleetCell);
+        std::vector<FleetCellResult> rows;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            rows.push_back({cells[i], summaries[i]});
+        return fleetSweepCsv(rows);
+    };
+
+    const std::string digest1 = digestAt(1);
+    EXPECT_EQ(digest1, digestAt(4));
+    EXPECT_EQ(digest1, digestAt(8));
+    EXPECT_NE(digest1.find("fleet-mixed-9-shared,fifo,1,9,1,shared"),
+              std::string::npos);
+    EXPECT_NE(
+        digest1.find("fleet-mixed-9-private,fifo,1,9,1,private"),
+        std::string::npos);
 }
 
 TEST_F(RunnerIntegration, FleetCellRejectsMalformedScenarios)

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for the shared cross-service repository
+ * (core/shared_repository.hh): attachment lifecycle, per-kind
+ * namespace isolation, per-attachment/aggregate statistics, the
+ * write-through isolation A/B mode, and persistence with the kind
+ * column (including the legacy 4-column format).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/shared_repository.hh"
+
+namespace dejavu {
+namespace {
+
+const ResourceAllocation kFourLarge{4, InstanceType::Large};
+const ResourceAllocation kSixLarge{6, InstanceType::Large};
+const ResourceAllocation kTenXL{10, InstanceType::XLarge};
+
+TEST(SharedRepository, StoreAndLookupThroughHandle)
+{
+    SharedRepository repo;
+    RepositoryHandle h = repo.attach(ServiceKind::KeyValue, "svc-A");
+    ASSERT_TRUE(h.attached());
+    EXPECT_EQ(h.kind(), ServiceKind::KeyValue);
+    EXPECT_EQ(h.owner(), "svc-A");
+
+    h.store({0, 0}, kFourLarge);
+    const auto hit = h.lookup({0, 0});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, kFourLarge);
+    EXPECT_FALSE(h.lookup({1, 0}).has_value());
+
+    EXPECT_EQ(h.stats().stores, 1u);
+    EXPECT_EQ(h.stats().lookups, 2u);
+    EXPECT_EQ(h.stats().hits, 1u);
+    EXPECT_EQ(h.stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(h.hitRate(), 0.5);
+    // A single attachment can only hit its own writes.
+    EXPECT_EQ(h.crossHits(), 0u);
+}
+
+TEST(SharedRepository, KindNamespaceIsolation)
+{
+    // The per-kind compatibility rule: a RUBiS-tuned allocation must
+    // never serve a KeyValue lookup, even for identical keys.
+    SharedRepository repo;
+    RepositoryHandle rubis = repo.attach(ServiceKind::Rubis, "rubis");
+    RepositoryHandle kv = repo.attach(ServiceKind::KeyValue, "kv");
+
+    rubis.store({0, 0}, kTenXL);
+    EXPECT_FALSE(kv.lookup({0, 0}).has_value());
+    EXPECT_FALSE(kv.contains({0, 0}));
+    EXPECT_EQ(kv.entries(), 0u);
+    ASSERT_TRUE(rubis.lookup({0, 0}).has_value());
+
+    kv.store({0, 0}, kFourLarge);
+    // Same key, both namespaces populated: each kind sees its own.
+    EXPECT_EQ(*kv.lookup({0, 0}), kFourLarge);
+    EXPECT_EQ(*rubis.lookup({0, 0}), kTenXL);
+    EXPECT_EQ(repo.entries(ServiceKind::Rubis), 1u);
+    EXPECT_EQ(repo.entries(ServiceKind::KeyValue), 1u);
+    EXPECT_EQ(repo.entries(), 2u);
+}
+
+TEST(SharedRepository, CrossServiceHitsCountTunerRunsAvoided)
+{
+    SharedRepository repo;
+    RepositoryHandle a = repo.attach(ServiceKind::KeyValue, "svc-A");
+    RepositoryHandle b = repo.attach(ServiceKind::KeyValue, "svc-B");
+
+    a.store({2, 1}, kSixLarge);
+    // B's hit was served by A's write: one tuner run avoided.
+    ASSERT_TRUE(b.lookup({2, 1}).has_value());
+    EXPECT_EQ(b.stats().hits, 1u);
+    EXPECT_EQ(b.crossHits(), 1u);
+    EXPECT_EQ(b.reusedEntries(), 1u);
+    // A's own hit is neither a cross hit nor a reuse.
+    ASSERT_TRUE(a.lookup({2, 1}).has_value());
+    EXPECT_EQ(a.crossHits(), 0u);
+    EXPECT_EQ(a.reusedEntries(), 0u);
+    // Re-reading the same peer entry is another cross hit but NOT
+    // another avoided tuner run: reused counts distinct keys.
+    ASSERT_TRUE(b.lookup({2, 1}).has_value());
+    EXPECT_EQ(b.crossHits(), 2u);
+    EXPECT_EQ(b.reusedEntries(), 1u);
+    EXPECT_EQ(repo.aggregateCrossHits(), 2u);
+    EXPECT_EQ(repo.aggregateReusedEntries(), 1u);
+}
+
+TEST(SharedRepository, ConcurrentAttachmentsKeepIndependentStats)
+{
+    // Several attachments live at once: every attachment accounts
+    // its own traffic, the aggregate is the exact sum, and attach
+    // order assigns dense ids.
+    SharedRepository repo;
+    RepositoryHandle h0 = repo.attach(ServiceKind::KeyValue, "s0");
+    RepositoryHandle h1 = repo.attach(ServiceKind::KeyValue, "s1");
+    RepositoryHandle h2 = repo.attach(ServiceKind::SpecWeb, "s2");
+    EXPECT_EQ(h0.id(), 0);
+    EXPECT_EQ(h1.id(), 1);
+    EXPECT_EQ(h2.id(), 2);
+    EXPECT_EQ(repo.attachments(), 3);
+
+    h0.store({0, 0}, kFourLarge);
+    (void)h0.lookup({0, 0});  // hit (own)
+    (void)h1.lookup({0, 0});  // hit (cross)
+    (void)h1.lookup({9, 0});  // miss
+    (void)h2.lookup({0, 0});  // miss (other kind)
+    h2.store({0, 0}, kTenXL);
+
+    EXPECT_EQ(h0.stats().lookups, 1u);
+    EXPECT_EQ(h0.stats().hits, 1u);
+    EXPECT_EQ(h1.stats().lookups, 2u);
+    EXPECT_EQ(h1.stats().hits, 1u);
+    EXPECT_EQ(h1.stats().misses, 1u);
+    EXPECT_EQ(h1.crossHits(), 1u);
+    EXPECT_EQ(h2.stats().misses, 1u);
+
+    const Repository::Stats total = repo.aggregateStats();
+    EXPECT_EQ(total.lookups, 4u);
+    EXPECT_EQ(total.hits, 2u);
+    EXPECT_EQ(total.misses, 2u);
+    EXPECT_EQ(total.stores, 2u);
+    EXPECT_DOUBLE_EQ(repo.hitRate(), 0.5);
+}
+
+TEST(SharedRepository, WriteThroughIsolationMatchesPrivateBehavior)
+{
+    // The A/B mode: lookups behave exactly like private
+    // repositories (peer writes are invisible) while the shadow
+    // kind table counts what sharing would have served.
+    SharedRepository repo(SharedRepository::Mode::WriteThroughIsolated);
+    RepositoryHandle a = repo.attach(ServiceKind::KeyValue, "svc-A");
+    RepositoryHandle b = repo.attach(ServiceKind::KeyValue, "svc-B");
+
+    a.store({0, 0}, kFourLarge);
+    EXPECT_FALSE(b.lookup({0, 0}).has_value());  // private behavior
+    EXPECT_EQ(b.wouldHaveHit(), 1u);             // ...sharing counted
+    EXPECT_FALSE(b.lookup({5, 0}).has_value());
+    EXPECT_EQ(b.wouldHaveHit(), 1u);  // nobody has (5,0): no claim
+
+    b.store({0, 0}, kSixLarge);
+    EXPECT_EQ(*b.lookup({0, 0}), kSixLarge);
+    EXPECT_EQ(*a.lookup({0, 0}), kFourLarge);  // A's view unchanged
+    EXPECT_EQ(b.crossHits(), 0u);
+    EXPECT_EQ(repo.aggregateWouldHaveHits(), 1u);
+    EXPECT_EQ(a.entries(), 1u);
+    EXPECT_EQ(b.entries(), 1u);
+}
+
+TEST(SharedRepository, ClearDropsOnlyOwnWrites)
+{
+    SharedRepository repo;
+    RepositoryHandle a = repo.attach(ServiceKind::KeyValue, "svc-A");
+    RepositoryHandle b = repo.attach(ServiceKind::KeyValue, "svc-B");
+
+    a.store({0, 0}, kFourLarge);
+    b.store({1, 0}, kSixLarge);
+    EXPECT_EQ(a.entries(), 2u);  // shared view
+
+    a.clear();
+    // A's write is gone; B's survives for both.
+    EXPECT_FALSE(a.contains({0, 0}));
+    EXPECT_TRUE(a.contains({1, 0}));
+    EXPECT_TRUE(b.contains({1, 0}));
+    EXPECT_EQ(repo.entries(ServiceKind::KeyValue), 1u);
+}
+
+TEST(SharedRepository, SaveLoadRoundTripWithKindColumn)
+{
+    SharedRepository repo;
+    RepositoryHandle kv = repo.attach(ServiceKind::KeyValue, "kv");
+    RepositoryHandle web = repo.attach(ServiceKind::SpecWeb, "web");
+    kv.store({0, 0}, kFourLarge);
+    kv.store({1, 2}, kSixLarge);
+    web.store({0, 0}, kTenXL);
+
+    std::ostringstream out;
+    repo.save(out);
+    EXPECT_NE(out.str().find("kind,class,bucket,instances,type"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("keyvalue,1,2,6,m1.large"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("specweb,0,0,10,m1.xlarge"),
+              std::string::npos);
+
+    std::istringstream in(out.str());
+    SharedRepository loaded = SharedRepository::load(in);
+    EXPECT_EQ(loaded.entries(), 3u);
+    EXPECT_EQ(*loaded.peek(ServiceKind::KeyValue, {1, 2}), kSixLarge);
+    EXPECT_EQ(*loaded.peek(ServiceKind::SpecWeb, {0, 0}), kTenXL);
+    EXPECT_FALSE(
+        loaded.peek(ServiceKind::Rubis, {0, 0}).has_value());
+
+    // Loaded entries have no writer: a fresh attachment's hits on
+    // them count as cross-service reuse.
+    RepositoryHandle h = loaded.attach(ServiceKind::KeyValue, "new");
+    ASSERT_TRUE(h.lookup({0, 0}).has_value());
+    EXPECT_EQ(h.crossHits(), 1u);
+}
+
+TEST(SharedRepository, LegacyFourColumnLoadStillWorks)
+{
+    // Per-controller CSVs from before the kind column: rows are
+    // filed under the caller's legacy kind.
+    const std::string legacy =
+        "class,bucket,instances,type\n"
+        "0,0,4,m1.large\n"
+        "1,2,10,m1.xlarge\n";
+    std::istringstream in(legacy);
+    SharedRepository loaded = SharedRepository::load(
+        in, SharedRepository::Mode::Shared, ServiceKind::Rubis);
+    EXPECT_EQ(loaded.entries(), 2u);
+    EXPECT_EQ(*loaded.peek(ServiceKind::Rubis, {0, 0}), kFourLarge);
+    EXPECT_EQ(*loaded.peek(ServiceKind::Rubis, {1, 2}), kTenXL);
+    EXPECT_EQ(loaded.entries(ServiceKind::KeyValue), 0u);
+}
+
+TEST(SharedRepositoryDeathTest, LoadRejectsDuplicateRows)
+{
+    const std::string dup =
+        "kind,class,bucket,instances,type\n"
+        "keyvalue,0,0,4,m1.large\n"
+        "keyvalue,0,0,6,m1.large\n";
+    std::istringstream in(dup);
+    EXPECT_EXIT((void)SharedRepository::load(in),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(SharedRepositoryDeathTest, LoadRejectsMalformedRows)
+{
+    std::istringstream in("keyvalue,0,0\n");
+    EXPECT_EXIT((void)SharedRepository::load(in),
+                ::testing::ExitedWithCode(1), "expected");
+    std::istringstream bad("noSuchKind,0,0,4,m1.large\n");
+    EXPECT_EXIT((void)SharedRepository::load(bad),
+                ::testing::ExitedWithCode(1), "kind");
+}
+
+TEST(SharedRepository, DetachKeepsEntriesAndAggregateStats)
+{
+    SharedRepository repo;
+    RepositoryHandle a = repo.attach(ServiceKind::KeyValue, "a");
+    RepositoryHandle b = repo.attach(ServiceKind::KeyValue, "b");
+    a.store({0, 0}, kFourLarge);
+    (void)a.lookup({0, 0});
+
+    repo.detach(a);
+    EXPECT_FALSE(a.attached());
+    EXPECT_EQ(repo.attachments(), 1);
+    EXPECT_EQ(repo.totalAttachments(), 2);
+    // The detached attachment's entries and statistics remain.
+    EXPECT_TRUE(b.contains({0, 0}));
+    EXPECT_EQ(repo.aggregateStats().lookups, 1u);
+}
+
+TEST(SharedRepositoryDeathTest, UnattachedHandleOpsAreFatal)
+{
+    RepositoryHandle none;
+    EXPECT_EXIT((void)none.lookup({0, 0}),
+                ::testing::ExitedWithCode(1), "unattached");
+    EXPECT_EXIT(none.store({0, 0}, kFourLarge),
+                ::testing::ExitedWithCode(1), "unattached");
+}
+
+TEST(SharedRepository, KeysSortedAndToString)
+{
+    SharedRepository repo;
+    RepositoryHandle h = repo.attach(ServiceKind::KeyValue, "kv");
+    h.store({2, 0}, kFourLarge);
+    h.store({0, 1}, kFourLarge);
+    h.store({0, 0}, kFourLarge);
+    const auto keys = h.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], (RepositoryKey{0, 0}));
+    EXPECT_EQ(keys[1], (RepositoryKey{0, 1}));
+    EXPECT_EQ(keys[2], (RepositoryKey{2, 0}));
+
+    const std::string s = repo.toString();
+    EXPECT_NE(s.find("shared-repository[shared]"), std::string::npos);
+    EXPECT_NE(s.find("keyvalue"), std::string::npos);
+    EXPECT_NE(h.toString().find("repository[keyvalue]"),
+              std::string::npos);
+}
+
+TEST(SharedRepository, SharingModeNamesRoundTrip)
+{
+    EXPECT_STREQ(repositorySharingName(RepositorySharing::Private),
+                 "private");
+    EXPECT_EQ(repositorySharingFromName("shared"),
+              RepositorySharing::Shared);
+    EXPECT_EQ(repositorySharingFromName("isolated"),
+              RepositorySharing::Isolated);
+    EXPECT_EQ(
+        repositorySharingFromName(
+            repositorySharingName(RepositorySharing::Shared)),
+        RepositorySharing::Shared);
+}
+
+} // namespace
+} // namespace dejavu
