@@ -1,36 +1,55 @@
 /**
  * @file
  * Fleet-wide adaptation-time tails per §3.3 slot policy, profiling
- * host-pool size and repository-sharing mode.
+ * host-pool size, repository-sharing mode and profiling work routing.
  *
  * A 100-service mixed fleet (KeyValue + SPECweb + RUBiS round-robin,
- * heterogeneous SLOs and profiling-slot durations) is run under each
- * slot scheduler — FIFO, shortest-job-first, SLO-debt-first, and the
- * adaptive policy — for each host-pool size M in {1, 2, 4, 8} (the
- * paper's "one or a few machines"), once with today's private
- * per-controller repositories and once with the shared cross-service
- * repository (per-kind namespaces). Tabulated per cell: p50/p95/max
- * of pool queue delay and end-to-end adaptation time, the aggregate
- * repository hit rate, and reused entries — distinct (member, key)
- * points served by a peer's write, i.e. tuner runs the fleet
- * avoided because a compatible peer had already tuned the point.
+ * heterogeneous SLOs and profiling-slot durations) is swept under
+ * each slot scheduler — FIFO, shortest-job-first, SLO-debt-first,
+ * adaptive — for each host-pool size M in {1, 2, 4, 8}, across three
+ * models:
  *
+ *  - `-legacy` (private + shared): PR 4's fleet — only signature
+ *    collections queue for the pool, tuner experiments run off-pool.
+ *  - `-wq` (private + shared): the profiling work queue — tuner
+ *    experiments are pool work, and under sharing same-class
+ *    signature collections coalesce into one slot and queued tuner
+ *    items answered by a peer's repository write are cancelled.
+ *  - `-wq -shared -jit`: the work-queue model with de-synchronized
+ *    change arrival (deterministic per-member offsets within 45 min).
+ *
+ * Tabulated per cell: p50/p95/max of pool queue delay and end-to-end
+ * adaptation time, the aggregate repository hit rate, reused entries,
+ * and the per-item-type slot demand (signature slots vs tuner slots
+ * vs collections coalesced away vs tuner items cancelled by reuse).
  * The hosts-vs-p95 knee — the smallest M past which doubling the
  * pool no longer buys a meaningful p95 cut — is located per policy
- * for both sharing modes. The sweep answers whether fewer tuner
- * runs shift the knee left; the measured answer is no — signature
- * collection, not tuning, consumes the pool (see README).
+ * for every model, answering the ROADMAP question PR 4 left open:
+ * once tuner runs are pool work and signature collections can be
+ * shared, does cross-service reuse finally shrink slot demand and
+ * move the knee?
  *
- * Determinism is part of the contract: the same cells are swept at
- * 1, 4 and 8 runner threads and must produce byte-identical CSV
- * digests (each cell owns its Simulation; the merge is
- * input-ordered). `--smoke` runs a 10-service fleet with M in {1, 2}
- * at 1 vs 4 threads only — small enough for CI to guard the digest
- * match and the shared-beats-private hit-rate claim on every push.
+ * Guarded claims (exit nonzero on failure):
+ *  - determinism: byte-identical CSV digests at 1/4/8 runner threads
+ *    (1/4 in --smoke);
+ *  - shared hit rate strictly above private at every cell, in both
+ *    work modes;
+ *  - work-queue shared slot demand strictly below work-queue private
+ *    at every cell (coalescing + cancellation actually shrink
+ *    demand);
+ *  - legacy/work-queue parity: with the §3.6 path quiesced
+ *    (interference detection off) and private repositories, the two
+ *    routings produce identical summaries — the rebase is faithful.
+ *
+ * `--smoke` runs a 10-service fleet with M in {1, 2} at 1 vs 4
+ * threads — small enough for CI on every push. `--csv <path>` writes
+ * the full sweep digest CSV (one row per cell) for artifact upload
+ * and tools/compare_knee.py.
  */
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 
@@ -42,8 +61,6 @@ using namespace dejavu;
 
 namespace {
 
-const char *kSharings[] = {"private", "shared"};
-
 double
 secondsSince(std::chrono::steady_clock::time_point start)
 {
@@ -51,21 +68,43 @@ secondsSince(std::chrono::steady_clock::time_point start)
                std::chrono::steady_clock::now() - start).count();
 }
 
+/** Scenario name for one cell of the sweep. @p variant is the
+ *  trailing "-<sharing>[-<workmode>][-jit]" tag. */
 std::string
-scenarioFor(int services, int hosts, const std::string &sharing)
+scenarioFor(int services, int hosts, const std::string &variant)
 {
     return "fleet-mixed-" + std::to_string(services) + "-h"
-        + std::to_string(hosts) + "-" + sharing;
+        + std::to_string(hosts) + "-" + variant;
 }
 
-/** (sharing, policy) -> hosts-ascending rows of the sweep. */
+/** The swept model variants, in presentation order. */
+const char *kVariants[] = {
+    "private-legacy", "shared-legacy",    // PR 4 baseline
+    "private-wq", "shared-wq",           // the work-queue model
+    "shared-wq-jit",                     // + jittered arrival
+};
+
+/** (variant, policy) -> hosts-ascending rows of the sweep. */
 using Progressions =
     std::map<std::pair<std::string, std::string>,
              std::vector<const FleetCellResult *>>;
 
-/** The marginal-knee rule of PR 3, per sharing mode: the smallest M
- *  whose next doubling buys < threshold seconds of p95 per added
- *  host (0 if every doubling still pays off). */
+/** The variant tag of a cell (scenario minus the fleet prefix and
+ *  the "-h<M>" field). */
+std::string
+variantOf(const std::string &scenario, int services, int hosts)
+{
+    const std::string prefix = "fleet-mixed-"
+        + std::to_string(services) + "-h" + std::to_string(hosts)
+        + "-";
+    DEJAVU_ASSERT(scenario.compare(0, prefix.size(), prefix) == 0,
+                  "unexpected scenario name: ", scenario);
+    return scenario.substr(prefix.size());
+}
+
+/** The marginal-knee rule of PR 3: the smallest M whose next
+ *  doubling buys < threshold seconds of p95 per added host (0 if
+ *  every doubling still pays off). */
 int
 kneeOf(const std::vector<const FleetCellResult *> &progression,
        double thresholdSecPerHost)
@@ -82,6 +121,37 @@ kneeOf(const std::vector<const FleetCellResult *> &progression,
     return 0;
 }
 
+/** Render a knee as "M=4" or "M>8". */
+std::string
+kneeLabel(const std::vector<const FleetCellResult *> &progression,
+          double thresholdSecPerHost)
+{
+    const int knee = kneeOf(progression, thresholdSecPerHost);
+    if (knee > 0)
+        return "M=" + std::to_string(knee);
+    return "M>" + std::to_string(progression.back()->summary.hosts);
+}
+
+/** Numeric equality of two summaries — the legacy/work-queue parity
+ *  check (workMode and scenario naming excluded by construction). */
+bool
+summariesMatch(const FleetExperiment::FleetSummary &a,
+               const FleetExperiment::FleetSummary &b)
+{
+    return a.adaptations == b.adaptations
+        && a.signatureSlots == b.signatureSlots
+        && a.tunerSlots == b.tunerSlots
+        && a.coalescedSignatures == b.coalescedSignatures
+        && a.repoLookups == b.repoLookups
+        && a.repoHits == b.repoHits
+        && a.queueDelayP50Sec == b.queueDelayP50Sec
+        && a.queueDelayP95Sec == b.queueDelayP95Sec
+        && a.queueDelayMaxSec == b.queueDelayMaxSec
+        && a.adaptationP50Sec == b.adaptationP50Sec
+        && a.adaptationP95Sec == b.adaptationP95Sec
+        && a.adaptationMaxSec == b.adaptationMaxSec;
+}
+
 } // namespace
 
 int
@@ -90,11 +160,17 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::Warn);
 
     bool smoke = false;
+    std::string csvPath;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
+        if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
-        else
-            fatal("unknown argument: ", argv[i], " (use --smoke)");
+        } else if (std::strcmp(argv[i], "--csv") == 0
+                   && i + 1 < argc) {
+            csvPath = argv[++i];
+        } else {
+            fatal("unknown argument: ", argv[i],
+                  " (use --smoke and/or --csv <path>)");
+        }
     }
 
     const int services = smoke ? 10 : 100;
@@ -109,15 +185,16 @@ main(int argc, char **argv)
                 + "Fleet adaptation-time tails ("
                 + std::to_string(services) + " services, "
                 "KeyValue+SPECweb+RUBiS, M profiling hosts, "
-                "shared vs private repository)");
+                "legacy vs work-queue, shared vs private repository)");
 
-    // One cell per (sharing x pool size x slot policy); identical
+    // One cell per (variant x pool size x slot policy); identical
     // fleet, identical traces — only the repository composition, the
-    // host count and the grant order differ.
+    // profiling work routing, the host count and the grant order
+    // differ.
     std::vector<std::string> scenarios;
-    for (const char *sharing : kSharings)
+    for (const char *variant : kVariants)
         for (int hosts : hostCounts)
-            scenarios.push_back(scenarioFor(services, hosts, sharing));
+            scenarios.push_back(scenarioFor(services, hosts, variant));
     const auto cells = ExperimentRunner::grid(
         scenarios, slotPolicyNames(), {42});
 
@@ -143,18 +220,32 @@ main(int argc, char **argv)
     for (std::size_t i = 1; i < digests.size(); ++i)
         digestsMatch = digestsMatch && digests[i] == digests[0];
 
-    Table table({"sharing", "policy", "hosts", "adaptations",
-                 "repo_hit_pct", "reused", "queue_p95_s",
-                 "adapt_p50_s", "adapt_p95_s", "adapt_max_s"});
+    if (!csvPath.empty()) {
+        std::ofstream out(csvPath);
+        if (!out)
+            fatal("cannot write CSV to ", csvPath);
+        out << digests.front();
+        std::cout << "sweep CSV written to " << csvPath << "\n\n";
+    }
+
     Progressions byMode;
     for (const auto &row : rows)
-        byMode[{row.summary.sharing, row.cell.policy}].push_back(&row);
-    for (const char *sharing : kSharings) {
+        byMode[{variantOf(row.cell.scenario, services,
+                          row.summary.hosts),
+                row.cell.policy}].push_back(&row);
+
+    // ----------------------------------------------------------------
+    // Tails per variant.
+    // ----------------------------------------------------------------
+    Table table({"variant", "policy", "hosts", "adaptations",
+                 "repo_hit_pct", "reused", "queue_p95_s",
+                 "adapt_p50_s", "adapt_p95_s", "adapt_max_s"});
+    for (const char *variant : kVariants) {
         for (const auto &policyName : slotPolicyNames()) {
             for (const FleetCellResult *row :
-                 byMode[{sharing, policyName}]) {
+                 byMode[{variant, policyName}]) {
                 const auto &s = row->summary;
-                table.addRow({s.sharing, s.policy,
+                table.addRow({variant, s.policy,
                               std::to_string(s.hosts),
                               std::to_string(s.adaptations),
                               Table::num(100.0 * s.repoHitRate, 2),
@@ -168,61 +259,158 @@ main(int argc, char **argv)
     }
     table.printText(std::cout);
 
-    // The hosts-vs-p95 knee per policy, shared vs private. The
-    // hourly burst is synchronized, so the meaningful knee is
-    // *marginal*: the smallest M past which doubling the pool buys
-    // less than kMarginalSecPerHost seconds of p95 per added host.
-    constexpr double kMarginalSecPerHost = 60.0;
-    std::cout << "hosts-vs-p95 knee (smallest M whose doubling buys "
-              << "< " << Table::num(kMarginalSecPerHost, 0)
-              << " s of p95 per added host):\n";
-    for (const auto &policyName : slotPolicyNames()) {
-        std::cout << "  " << policyName << ":";
-        for (const char *sharing : kSharings) {
-            const auto &progression = byMode[{sharing, policyName}];
-            const int knee = kneeOf(progression, kMarginalSecPerHost);
-            const auto &first = progression.front()->summary;
-            const auto &last = progression.back()->summary;
-            std::cout << "  " << sharing << " ";
-            if (knee > 0)
-                std::cout << "M=" << knee;
-            else
-                std::cout << "M>" << last.hosts;
-            std::cout << " (p95 "
-                      << Table::num(first.adaptationP95Sec, 1)
-                      << "s@M=" << first.hosts << " -> "
-                      << Table::num(last.adaptationP95Sec, 1)
-                      << "s@M=" << last.hosts << ")";
+    // ----------------------------------------------------------------
+    // Per-item-type slot demand under the work-queue model: where
+    // did the pool's time go, and how much demand did sharing
+    // coalesce or cancel away?
+    // ----------------------------------------------------------------
+    std::cout << "\nper-item-type slot demand (work-queue cells; "
+              << "slots = signature + tuner):\n";
+    Table demand({"variant", "policy", "hosts", "sig_slots",
+                  "tuner_slots", "coalesced", "tuner_cancelled",
+                  "tuner_adopted", "slots_total"});
+    bool sharedDemandBelowPrivate = true;
+    for (const char *variant : {"private-wq", "shared-wq"}) {
+        for (const auto &policyName : slotPolicyNames()) {
+            for (const FleetCellResult *row :
+                 byMode[{variant, policyName}]) {
+                const auto &s = row->summary;
+                demand.addRow(
+                    {variant, s.policy, std::to_string(s.hosts),
+                     std::to_string(s.signatureSlots),
+                     std::to_string(s.tunerSlots),
+                     std::to_string(s.coalescedSignatures),
+                     std::to_string(s.tunerCancelled),
+                     std::to_string(s.tunerAdopted),
+                     std::to_string(s.signatureSlots
+                                    + s.tunerSlots)});
+            }
         }
-        std::cout << "\n";
+    }
+    demand.printText(std::cout);
+    for (const auto &policyName : slotPolicyNames()) {
+        const auto &priv = byMode[{"private-wq", policyName}];
+        const auto &shared = byMode[{"shared-wq", policyName}];
+        for (std::size_t i = 0; i < priv.size(); ++i) {
+            const auto &p = priv[i]->summary;
+            const auto &sh = shared[i]->summary;
+            if (sh.signatureSlots + sh.tunerSlots
+                >= p.signatureSlots + p.tunerSlots) {
+                sharedDemandBelowPrivate = false;
+                std::cout << "** shared slot demand NOT below "
+                          << "private at " << policyName << " M="
+                          << p.hosts << " **\n";
+            }
+        }
     }
 
-    // The acceptance gate: at every pool size, the shared fleet's
-    // aggregate repository hit rate must beat the private baseline
-    // — cross-service reuse is measured, not assumed.
+    // ----------------------------------------------------------------
+    // The hosts-vs-p95 knee per variant and policy — the headline:
+    // does the work-queue model finally move it?
+    // ----------------------------------------------------------------
+    constexpr double kMarginalSecPerHost = 60.0;
+    std::cout << "\nhosts-vs-p95 knee (smallest M whose doubling "
+              << "buys < " << Table::num(kMarginalSecPerHost, 0)
+              << " s of p95 per added host):\n";
+    Table knees({"policy", "legacy-private", "legacy-shared",
+                 "wq-private", "wq-shared", "wq-shared-jit"});
+    for (const auto &policyName : slotPolicyNames()) {
+        std::vector<std::string> row{policyName};
+        for (const char *variant :
+             {"private-legacy", "shared-legacy", "private-wq",
+              "shared-wq", "shared-wq-jit"}) {
+            const auto &progression = byMode[{variant, policyName}];
+            const auto &first = progression.front()->summary;
+            row.push_back(
+                kneeLabel(progression, kMarginalSecPerHost) + " (p95 "
+                + Table::num(first.adaptationP95Sec, 0) + "s@M="
+                + std::to_string(first.hosts) + ")");
+        }
+        knees.addRow(row);
+    }
+    knees.printText(std::cout);
+    std::cout << "(synchronized vs jittered arrival side by side: "
+              << "compare wq-shared with wq-shared-jit)\n";
+
+    // ----------------------------------------------------------------
+    // Shared-vs-private hit rate, both work modes.
+    // ----------------------------------------------------------------
     bool sharedBeatsPrivate = true;
     std::cout << "\naggregate repository hit rate, shared vs private "
-              << "(every M must beat the baseline):\n";
-    for (const auto &policyName : slotPolicyNames()) {
-        std::cout << "  " << policyName << ":";
-        const auto &privRows = byMode[{"private", policyName}];
-        const auto &sharedRows = byMode[{"shared", policyName}];
-        for (std::size_t i = 0; i < privRows.size(); ++i) {
-            const auto &priv = privRows[i]->summary;
-            const auto &shared = sharedRows[i]->summary;
-            const bool beats = shared.repoHitRate > priv.repoHitRate;
-            sharedBeatsPrivate = sharedBeatsPrivate && beats;
-            std::cout << "  M=" << priv.hosts << " "
-                      << Table::num(100.0 * shared.repoHitRate, 2)
-                      << "% vs "
-                      << Table::num(100.0 * priv.repoHitRate, 2)
-                      << "%"
-                      << (beats ? "" : " ** NOT ABOVE BASELINE **");
+              << "(every cell must beat the baseline):\n";
+    for (const char *mode : {"legacy", "wq"}) {
+        const std::string priv = std::string("private-") + mode;
+        const std::string shared = std::string("shared-") + mode;
+        for (const auto &policyName : slotPolicyNames()) {
+            std::cout << "  " << mode << "/" << policyName << ":";
+            const auto &privRows = byMode[{priv, policyName}];
+            const auto &sharedRows = byMode[{shared, policyName}];
+            for (std::size_t i = 0; i < privRows.size(); ++i) {
+                const auto &p = privRows[i]->summary;
+                const auto &sh = sharedRows[i]->summary;
+                const bool beats = sh.repoHitRate > p.repoHitRate;
+                sharedBeatsPrivate = sharedBeatsPrivate && beats;
+                std::cout << "  M=" << p.hosts << " "
+                          << Table::num(100.0 * sh.repoHitRate, 2)
+                          << "% vs "
+                          << Table::num(100.0 * p.repoHitRate, 2)
+                          << "%"
+                          << (beats ? "" : " ** NOT ABOVE BASELINE **");
+            }
+            std::cout << "  ("
+                      << sharedRows.back()->summary.repoReusedEntries
+                      << " tuner runs avoided at M="
+                      << sharedRows.back()->summary.hosts << ")\n";
         }
-        std::cout << "  ("
-                  << sharedRows.back()->summary.repoReusedEntries
-                  << " tuner runs avoided at M="
-                  << sharedRows.back()->summary.hosts << ")\n";
+    }
+
+    // ----------------------------------------------------------------
+    // Legacy/work-queue parity: with the §3.6 path quiesced
+    // (interference detection off) and private repositories, the
+    // work-queue routing has nothing to do differently — the rebase
+    // must be faithful to the bit.
+    // ----------------------------------------------------------------
+    bool parityHolds = true;
+    {
+        const std::vector<std::string> parityPolicies =
+            smoke ? slotPolicyNames()
+                  : std::vector<std::string>{"fifo", "adaptive"};
+        const std::vector<int> parityHosts =
+            smoke ? hostCounts : std::vector<int>{1, 4};
+        const auto quiesced = [services](const std::string &policy,
+                                         int hosts,
+                                         ProfilingWorkMode mode) {
+            ScenarioOptions options;
+            options.seed = 42;
+            options.days = 2;
+            options.interferenceDetection = false;
+            auto stack = makeMixedFleet(
+                services, options, slotPolicyFromName(policy), hosts,
+                RepositorySharing::Private, mode);
+            stack->learnAll();
+            stack->experiment->run();
+            return stack->experiment->summary();
+        };
+        for (const auto &policyName : parityPolicies) {
+            for (int hosts : parityHosts) {
+                const auto legacy = quiesced(
+                    policyName, hosts, ProfilingWorkMode::Legacy);
+                const auto wq = quiesced(
+                    policyName, hosts, ProfilingWorkMode::WorkQueue);
+                if (!summariesMatch(legacy, wq)) {
+                    parityHolds = false;
+                    std::cout << "** legacy/wq parity BROKEN at "
+                              << policyName << " M=" << hosts
+                              << " **\n";
+                }
+            }
+        }
+        std::cout << "\nlegacy vs work-queue parity (interference "
+                  << "detection off, private repos, "
+                  << parityPolicies.size() * parityHosts.size()
+                  << " cells): "
+                  << (parityHolds ? "IDENTICAL" : "BROKEN — BUG")
+                  << "\n";
     }
 
     std::cout << "\nsweep wall clock:";
@@ -237,7 +425,11 @@ main(int argc, char **argv)
     std::cout << " threads: " << (digestsMatch ? "YES" : "NO — BUG")
               << "\n"
               << "shared hit rate strictly above private baseline: "
-              << (sharedBeatsPrivate ? "YES" : "NO — BUG") << "\n\n";
+              << (sharedBeatsPrivate ? "YES" : "NO — BUG") << "\n"
+              << "work-queue shared slot demand strictly below "
+              << "private: "
+              << (sharedDemandBelowPrivate ? "YES" : "NO — BUG")
+              << "\n\n";
 
     if (!smoke) {
         // Event-queue throughput for the 100-actor case: one full
@@ -246,7 +438,7 @@ main(int argc, char **argv)
         printBanner(std::cout,
                     "Event-queue throughput (100-actor fleet)");
         auto stack = makeFleetScenario(
-            scenarioFor(services, 4, "shared"), 42,
+            scenarioFor(services, 4, "shared-wq"), 42,
             SlotPolicy::Adaptive);
         stack->learnAll();
         const auto runStart = std::chrono::steady_clock::now();
@@ -259,8 +451,11 @@ main(int argc, char **argv)
                          static_cast<double>(events) / runSec / 1e6, 2)
                   << " M events/s (simulated horizon: 2 days x "
                   << services << " services, 4 profiling hosts, "
-                  "shared repository)\n";
+                  "shared repository, work-queue routing)\n";
     }
 
-    return digestsMatch && sharedBeatsPrivate ? 0 : 1;
+    return digestsMatch && sharedBeatsPrivate
+               && sharedDemandBelowPrivate && parityHolds
+        ? 0
+        : 1;
 }

@@ -199,6 +199,49 @@ DejaVuController::relearn()
 }
 
 void
+DejaVuController::applyNoveltyGuard(
+    const std::vector<double> &tuple,
+    ClassifierEngine::Outcome &outcome) const
+{
+    // Out-of-distribution guard: decision trees stay confident far
+    // outside the training data, so scale certainty down when the
+    // signature falls well outside the predicted cluster's learned
+    // extent (this is what fires on HotMail's day-4 flash crowd).
+    if (outcome.classId < 0 ||
+        outcome.classId >= static_cast<int>(_classRadius.size()))
+        return;
+    const double radius = std::max(
+        _classRadius[static_cast<std::size_t>(outcome.classId)],
+        1e-6);
+    const double dist = std::sqrt(KMeans::squaredDistance(
+        tuple, _clustering.centroids[
+            static_cast<std::size_t>(outcome.classId)]));
+    const double slack = _config.noveltyRadiusSlack * radius;
+    if (dist > slack) {
+        outcome.certainty *= std::exp(-(dist - slack) / radius);
+        outcome.known =
+            outcome.certainty >= _config.certaintyThreshold;
+    }
+}
+
+int
+DejaVuController::predictClass(const Workload &workload) const
+{
+    if (!_learned)
+        return -1;
+    // The noise-free expected signature keeps this RNG-free: a
+    // prediction must never shift the profiler's random stream, or
+    // coalesced runs would stop being comparable to uncoalesced ones.
+    const MetricSample sample =
+        _profiler.monitor().expectedSample(workload);
+    const std::vector<double> tuple =
+        _standardizer.transform(_schema.extract(sample));
+    ClassifierEngine::Outcome outcome = _classifier.classify(tuple);
+    applyNoveltyGuard(tuple, outcome);
+    return outcome.known ? outcome.classId : -1;
+}
+
+void
 DejaVuController::deployAfter(SimTime delay,
                               const ResourceAllocation &allocation)
 {
@@ -224,26 +267,7 @@ DejaVuController::onWorkloadChange(const Workload &workload)
     const std::vector<double> tuple =
         _standardizer.transform(_schema.extract(sample));
     ClassifierEngine::Outcome outcome = _classifier.classify(tuple);
-
-    // Out-of-distribution guard: decision trees stay confident far
-    // outside the training data, so scale certainty down when the
-    // signature falls well outside the predicted cluster's learned
-    // extent (this is what fires on HotMail's day-4 flash crowd).
-    if (outcome.classId >= 0 &&
-        outcome.classId < static_cast<int>(_classRadius.size())) {
-        const double radius = std::max(
-            _classRadius[static_cast<std::size_t>(outcome.classId)],
-            1e-6);
-        const double dist = std::sqrt(KMeans::squaredDistance(
-            tuple, _clustering.centroids[
-                static_cast<std::size_t>(outcome.classId)]));
-        const double slack = _config.noveltyRadiusSlack * radius;
-        if (dist > slack) {
-            outcome.certainty *= std::exp(-(dist - slack) / radius);
-            outcome.known =
-                outcome.certainty >= _config.certaintyThreshold;
-        }
-    }
+    applyNoveltyGuard(tuple, outcome);
 
     Decision decision;
     decision.adaptationTime = _profiler.monitor().sampleDuration()
@@ -324,6 +348,12 @@ DejaVuController::onSloFeedback(const Service::PerfSample &sample)
     if (_lastDeployAt < 0 ||
         now < _lastDeployAt + _config.feedbackSettleTime)
         return std::nullopt;
+    // While a deferred tuning waits for its pool slot, the stop-gap
+    // full-capacity deployment is already §3.5's do-no-harm answer;
+    // don't stack further blame (and further queued experiments) on
+    // top of the one in flight.
+    if (_pendingTuning)
+        return std::nullopt;
     // Require persistence: single violating samples are noise.
     if (++_violationStreak < _config.violationsBeforeBlame)
         return std::nullopt;
@@ -375,19 +405,116 @@ DejaVuController::onSloFeedback(const Service::PerfSample &sample)
         // same do-no-harm fallback §3.5 uses for unknown workloads.
         deployAfter(_config.classificationOverhead,
                     _service.cluster().maxAllocation());
-        Tuner tuner(_profiler, _config.slo, floored, _config.tuner);
-        const Tuner::Result tuned = tuner.tune(_lastWorkload, loss);
-        _repo.store({_lastClassId, bucket}, tuned.allocation);
-        decision.allocation = tuned.allocation;
-        decision.adaptationTime = tuned.tuningTime;
-        inform("interference: class ", _lastClassId, " index ", index,
-               " bucket ", bucket, " -> ", tuned.allocation.toString(),
-               " after ", tuned.experiments, " experiments");
+        if (_tuningDeferral) {
+            // The fleet models tuner experiments as §3.3 pool work:
+            // record the experiment and queue it instead of running
+            // it inline. The worst-case estimate (every candidate
+            // measured) is what the slot scheduler sorts by; the
+            // actual occupancy comes from runPendingTuning().
+            const SimTime estimate =
+                static_cast<SimTime>(floored.size())
+                * _profiler.config().experimentDuration;
+            _pendingTuning = PendingTuning{
+                _lastClassId, bucket, _lastWorkload,
+                std::move(floored), loss};
+            decision.allocation = _service.cluster().maxAllocation();
+            decision.adaptationTime = _config.classificationOverhead;
+            inform("interference: class ", _lastClassId, " bucket ",
+                   bucket, " queued as pool work (estimate ",
+                   toSeconds(estimate), " s)");
+            _tuningDeferral(_lastClassId, bucket, estimate);
+        } else {
+            Tuner tuner(_profiler, _config.slo, floored,
+                        _config.tuner);
+            const Tuner::Result tuned = tuner.tune(_lastWorkload, loss);
+            _repo.store({_lastClassId, bucket}, tuned.allocation);
+            decision.allocation = tuned.allocation;
+            decision.adaptationTime = tuned.tuningTime;
+            inform("interference: class ", _lastClassId, " index ",
+                   index, " bucket ", bucket, " -> ",
+                   tuned.allocation.toString(), " after ",
+                   tuned.experiments, " experiments");
+        }
     }
 
     decision.reconfigured =
         _service.cluster().target() != decision.allocation;
     deployAfter(decision.adaptationTime, decision.allocation);
+    return decision;
+}
+
+DejaVuController::Decision
+DejaVuController::runPendingTuning()
+{
+    DEJAVU_ASSERT(_pendingTuning.has_value(),
+                  "runPendingTuning without a pending tuning");
+    const PendingTuning pending = std::move(*_pendingTuning);
+    _pendingTuning.reset();
+
+    Tuner tuner(_profiler, _config.slo, pending.searchSpace,
+                _config.tuner);
+    const Tuner::Result tuned =
+        tuner.tune(pending.workload, pending.interference);
+    // The result exists when the experiment sequence *finishes* —
+    // store it then, not now, so peers probing the shared repository
+    // mid-occupancy cannot adopt a measurement that is still
+    // running. (The inline §3.6 path stores at decision time; its
+    // repository is consulted by the same controller whose decision
+    // already charges the tuning time, so the distinction only
+    // matters for pool work.)
+    _service.queue().scheduleAfter(
+        tuned.tuningTime,
+        [this, key = RepositoryKey{pending.classId, pending.bucket},
+         allocation = tuned.allocation] {
+            _repo.store(key, allocation);
+        });
+
+    Decision decision;
+    decision.kind = DecisionKind::InterferenceAdjust;
+    decision.classId = pending.classId;
+    decision.certainty = 1.0;
+    decision.allocation = tuned.allocation;
+    decision.adaptationTime = tuned.tuningTime;
+    decision.reconfigured =
+        _service.cluster().target() != tuned.allocation;
+    deployAfter(tuned.tuningTime, tuned.allocation);
+    inform("interference: class ", pending.classId, " bucket ",
+           pending.bucket, " pool-tuned -> ",
+           tuned.allocation.toString(), " after ", tuned.experiments,
+           " experiments");
+    return decision;
+}
+
+std::optional<DejaVuController::Decision>
+DejaVuController::adoptPeerTuning()
+{
+    if (!_pendingTuning)
+        return std::nullopt;
+    // Probe without counting first: callers may ask speculatively
+    // (e.g. at every tuner grant), and an absent entry is not a
+    // logical cache access. The adoption itself is a counted lookup
+    // — exactly the cross-service reuse the shared repository
+    // exists to measure.
+    const RepositoryKey key{_pendingTuning->classId,
+                            _pendingTuning->bucket};
+    if (!_repo.peek(key))
+        return std::nullopt;
+    auto cached = _repo.lookup(key);
+    DEJAVU_ASSERT(cached.has_value(),
+                  "peeked repository entry vanished under lookup");
+
+    Decision decision;
+    decision.kind = DecisionKind::InterferenceAdjust;
+    decision.classId = _pendingTuning->classId;
+    decision.certainty = 1.0;
+    decision.allocation = *cached;
+    decision.adaptationTime = _config.classificationOverhead;
+    decision.reconfigured = _service.cluster().target() != *cached;
+    deployAfter(_config.classificationOverhead, *cached);
+    inform("interference: class ", _pendingTuning->classId,
+           " bucket ", _pendingTuning->bucket,
+           " adopted from a peer's tuning -> ", cached->toString());
+    _pendingTuning.reset();
     return decision;
 }
 

@@ -12,10 +12,10 @@
 #ifndef DEJAVU_CORE_CONTROLLER_HH
 #define DEJAVU_CORE_CONTROLLER_HH
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
-
-#include <memory>
 
 #include "core/classifier_engine.hh"
 #include "core/clustering_engine.hh"
@@ -144,6 +144,24 @@ class DejaVuController
     Decision onWorkloadChange(const Workload &workload);
 
     /**
+     * Predict the workload class a change would classify into,
+     * without collecting a signature: classifies the *noise-free*
+     * expected signature (Monitor::expectedSample), so the call is
+     * RNG-free, does not mutate controller state and does not
+     * disturb later decisions. The profiling work-queue uses this as
+     * the coalescing key — two same-kind services whose changes
+     * predict the same class are asking the pool to measure the same
+     * thing. @return the class id, or -1 when unlearned or the
+     * prediction falls below the certainty threshold (such work is
+     * never coalesced).
+     */
+    int predictClass(const Workload &workload) const;
+
+    /** The interference bucket the controller currently operates in
+     *  (0 = no interference detected). */
+    int interferenceBucket() const { return _currentBucket; }
+
+    /**
      * Re-clustering (§3.5): "If the repository repeatedly outputs
      * low certainty levels, it most likely means that the workload
      * has changed over time and that the current clustering is no
@@ -162,6 +180,62 @@ class DejaVuController
      */
     std::optional<Decision> onSloFeedback(
         const Service::PerfSample &sample);
+
+    /**
+     * @name Deferred tuning (profiling work-queue integration)
+     *
+     * By default a §3.6 cache miss runs the tuner inline, off the
+     * §3.3 pool. A fleet that models tuner experiments as pool work
+     * installs a deferral: instead of tuning, the controller records
+     * the pending experiment (class, bucket, workload, floored
+     * search space), deploys the do-no-harm full-capacity stop-gap
+     * and hands (classId, bucket, worst-case duration estimate) to
+     * the deferral, which queues a Tuner work item. When the pool
+     * grants it, the fleet calls runPendingTuning(); if a peer's
+     * result lands in the shared repository first, the fleet cancels
+     * the queued item and calls adoptPeerTuning() instead.
+     * @{
+     */
+    using TuningDeferral =
+        std::function<void(int classId, int bucket,
+                           SimTime estimatedDuration)>;
+
+    /** Install (or clear, with nullptr) the deferral hook. */
+    void setTuningDeferral(TuningDeferral fn)
+    { _tuningDeferral = std::move(fn); }
+
+    /** True while a deferred tuning awaits a pool slot. While
+     *  pending, further SLO feedback does not start new tunings. */
+    bool hasPendingTuning() const
+    { return _pendingTuning.has_value(); }
+
+    /**
+     * Execute the pending tuning now (the pool granted its slot):
+     * runs the recorded experiment sequence, stores the result under
+     * (class, bucket) and schedules the deployment after the
+     * measured tuning time. Fatal without a pending tuning.
+     * @return the decision; adaptationTime is the actual tuner
+     *         occupancy.
+     */
+    Decision runPendingTuning();
+
+    /**
+     * Resolve the pending tuning from the repository instead of
+     * running it (a peer tuned the same (class, bucket) first): on a
+     * hit, deploys the peer's allocation after the classification
+     * overhead and clears the pending state. The lookup counts on
+     * this controller's handle statistics — a successful adoption is
+     * a cross hit and a reused entry (one tuner run avoided).
+     * @return the decision, or nullopt when the entry is gone (the
+     *         pending state is kept; abandon or re-run it).
+     */
+    std::optional<Decision> adoptPeerTuning();
+
+    /** Drop the pending tuning without replacement (the owner
+     *  detached). The stop-gap full-capacity deployment stands —
+     *  §3.5's do-no-harm answer. No-op when nothing is pending. */
+    void abandonPendingTuning() { _pendingTuning.reset(); }
+    /** @} */
 
     /**
      * Attach this controller to a fleet-shared repository (§3.4's
@@ -234,8 +308,31 @@ class DejaVuController
     std::vector<Workload> _learnedWorkloads;  ///< Last learn() input.
     std::vector<Workload> _novelWorkloads;    ///< Unknowns since.
 
+    /** A §3.6 tuning the fleet queued as pool work (see the
+     *  deferred-tuning group above). */
+    struct PendingTuning
+    {
+        int classId = -1;
+        int bucket = 0;
+        Workload workload;
+        /** Search space floored at the allocation that was already
+         *  violating — captured at deferral time, before the
+         *  stop-gap deployment inflates the cluster. */
+        std::vector<ResourceAllocation> searchSpace;
+        double interference = 0.0;
+    };
+
+    TuningDeferral _tuningDeferral;
+    std::optional<PendingTuning> _pendingTuning;
+
     /** Schedule cluster reconfiguration after @p delay. */
     void deployAfter(SimTime delay, const ResourceAllocation &allocation);
+
+    /** Out-of-distribution guard shared by onWorkloadChange() and
+     *  predictClass(): scale certainty down when @p tuple falls well
+     *  outside the predicted cluster's learned extent. */
+    void applyNoveltyGuard(const std::vector<double> &tuple,
+                           ClassifierEngine::Outcome &outcome) const;
 
     /** Step back to the baseline bucket once interference clears. */
     void maybeDeescalate(const Service::PerfSample &sample);

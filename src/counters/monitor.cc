@@ -26,6 +26,28 @@ Monitor::collect()
 }
 
 MetricSample
+Monitor::expectedSample(const Workload &workload) const
+{
+    // Same mirrored stream as collect(), but the model's noise-free
+    // response surface: expectedRates() is already per-second, so no
+    // duration normalization applies.
+    const double mirroredRate =
+        _service.clients().offeredRate(workload.clients)
+        * _config.mirrorFraction;
+    const double hostCapacity =
+        _config.profilerEcu * _service.capacityPerEcu(workload.mix);
+    const double utilization =
+        hostCapacity > 0.0 ? mirroredRate / hostCapacity : 10.0;
+
+    MetricSample sample;
+    sample.values = _model.expectedRates(workload.mix, mirroredRate,
+                                         utilization);
+    sample.collectedAt = _service.queue().now();
+    sample.offeredRate = mirroredRate;
+    return sample;
+}
+
+MetricSample
 Monitor::collect(const Workload &workload)
 {
     // The profiling host serves the mirrored stream in isolation.

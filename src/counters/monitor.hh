@@ -67,6 +67,16 @@ class Monitor
     /** Collect for an explicit workload (learning-phase replays). */
     MetricSample collect(const Workload &workload);
 
+    /**
+     * The *noise-free* expected sample for @p workload: the counter
+     * model's deterministic response surface without measurement
+     * noise. RNG-free and side-effect-free, so callers can predict
+     * what a collection would measure (e.g. the work queue's
+     * coalescing key) without disturbing subsequent real
+     * collections.
+     */
+    MetricSample expectedSample(const Workload &workload) const;
+
     /** Time one collection occupies (used for adaptation latency). */
     SimTime sampleDuration() const { return _config.sampleDuration; }
 

@@ -19,6 +19,9 @@ TraceDriver::TraceDriver(Simulation &sim, Service &service,
 {
     DEJAVU_ASSERT(_config.totalHours > 0, "trace driver needs hours");
     DEJAVU_ASSERT(_config.peakClients > 0.0, "bad peak clients");
+    DEJAVU_ASSERT(_config.startOffset >= 0 &&
+                  _config.startOffset < kHour,
+                  "arrival offset must fall within the hour");
 }
 
 void
@@ -48,7 +51,7 @@ TraceDriver::onStart()
 {
     DEJAVU_ASSERT(now() == 0,
                   "trace driver expects a fresh simulation clock");
-    _event = every(0, kHour, [this] { applyHour(); },
+    _event = every(_config.startOffset, kHour, [this] { applyHour(); },
                    EventBand::Driver);
 }
 
@@ -84,6 +87,11 @@ MonitorProbe::MonitorProbe(Simulation &sim, Service &service,
     // a zero post-change probe still samples *after* the change.
     driver.addListener([this](int hour, const Workload &) {
         _hour = hour;
+        // The chain covers one trace hour *from the change instant*
+        // (equal to the calendar hour when the driver is not
+        // jittered), so offset members keep their full sampling
+        // density.
+        _chainEnd = saturatingAdd(now(), kHour);
         after(_config.postChangeProbe, [this] { tick(); },
               EventBand::Probe);
     });
@@ -104,8 +112,7 @@ MonitorProbe::tick()
         listener(_hour, sample);
     // Next tick only while it still lands inside this trace hour; the
     // next hour's chain starts from that hour's change event.
-    const SimTime hourEnd = (_hour + 1) * static_cast<SimTime>(kHour);
-    if (saturatingAdd(now(), _config.monitorPeriod) <= hourEnd)
+    if (saturatingAdd(now(), _config.monitorPeriod) <= _chainEnd)
         after(_config.monitorPeriod, [this] { tick(); },
               EventBand::Probe);
 }

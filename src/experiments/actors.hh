@@ -44,6 +44,12 @@ class TraceDriver : public Actor
     {
         int totalHours = 0;        ///< Hours [0, totalHours) replayed.
         double peakClients = 1.0;  ///< Clients at trace value 1.0.
+        /** Arrival jitter: trace hour h is applied at
+         *  h * kHour + startOffset instead of on the exact hour
+         *  boundary (must stay within the hour). De-synchronizing
+         *  the members of a fleet spreads the hourly burst the
+         *  profiling pool otherwise absorbs all at once. */
+        SimTime startOffset = 0;
     };
 
     using ChangeListener =
@@ -116,6 +122,7 @@ class MonitorProbe : public Actor
     Service &_service;
     Config _config;
     int _hour = 0;
+    SimTime _chainEnd = 0;  ///< This hour's chain samples until here.
     std::uint64_t _samples = 0;
     std::vector<SampleListener> _listeners;
 };

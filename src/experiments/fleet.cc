@@ -9,234 +9,38 @@ namespace dejavu {
 
 namespace {
 
-/** Arrival order — the §3.3 behavior the paper implies. */
-class FifoSlotScheduler : public ProfilingSlotScheduler
+/** Legacy mode never batches or cancels — the options are normalized
+ *  once so every later check is a plain field read. */
+ProfilingWorkOptions
+normalized(ProfilingWorkOptions options)
 {
-  public:
-    std::string name() const override { return "fifo"; }
-
-    std::size_t
-    pick(const std::vector<ProfilingRequest> &waiting) const override
-    {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < waiting.size(); ++i)
-            if (waiting[i].seq < waiting[best].seq)
-                best = i;
-        return best;
+    if (options.mode == ProfilingWorkMode::Legacy) {
+        options.coalesceSignatures = false;
+        options.cancelOnReuse = false;
     }
-};
-
-/** Smallest host occupancy first; arrival order breaks ties. */
-class ShortestJobFirstSlotScheduler : public ProfilingSlotScheduler
-{
-  public:
-    std::string name() const override { return "sjf"; }
-
-    std::size_t
-    pick(const std::vector<ProfilingRequest> &waiting) const override
-    {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < waiting.size(); ++i) {
-            const auto &a = waiting[i];
-            const auto &b = waiting[best];
-            if (a.slotDuration < b.slotDuration ||
-                (a.slotDuration == b.slotDuration && a.seq < b.seq))
-                best = i;
-        }
-        return best;
-    }
-};
-
-/** Deepest SLO debtor first; arrival order breaks ties (so a fleet
- *  with no violations degrades to FIFO). */
-class SloDebtFirstSlotScheduler : public ProfilingSlotScheduler
-{
-  public:
-    std::string name() const override { return "slo-debt"; }
-
-    std::size_t
-    pick(const std::vector<ProfilingRequest> &waiting) const override
-    {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < waiting.size(); ++i) {
-            const auto &a = waiting[i];
-            const auto &b = waiting[best];
-            if (a.sloDebt > b.sloDebt ||
-                (a.sloDebt == b.sloDebt && a.seq < b.seq))
-                best = i;
-        }
-        return best;
-    }
-};
+    return options;
+}
 
 } // namespace
-
-ProfilingHostPool::ProfilingHostPool(int hosts)
-    : _busy(static_cast<std::size_t>(std::max(hosts, 0)), 0)
-{
-    DEJAVU_ASSERT(hosts >= 1, "profiling pool needs >= 1 host, got ",
-                  hosts);
-}
-
-std::vector<std::size_t>
-ProfilingHostPool::freeHosts() const
-{
-    std::vector<std::size_t> free;
-    free.reserve(_busy.size() - static_cast<std::size_t>(_busyCount));
-    for (std::size_t h = 0; h < _busy.size(); ++h)
-        if (!_busy[h])
-            free.push_back(h);
-    return free;
-}
-
-void
-ProfilingHostPool::acquire(std::size_t host)
-{
-    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
-                  host);
-    DEJAVU_ASSERT(!_busy[host], "profiling host ", host,
-                  " already busy");
-    _busy[host] = 1;
-    ++_busyCount;
-}
-
-void
-ProfilingHostPool::release(std::size_t host)
-{
-    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
-                  host);
-    DEJAVU_ASSERT(_busy[host], "profiling host ", host, " not busy");
-    _busy[host] = 0;
-    --_busyCount;
-}
-
-AdaptiveSlotScheduler::AdaptiveSlotScheduler()
-    : AdaptiveSlotScheduler(Thresholds{})
-{
-}
-
-AdaptiveSlotScheduler::AdaptiveSlotScheduler(Thresholds thresholds)
-    : _thresholds(thresholds),
-      _fifo(std::make_unique<FifoSlotScheduler>()),
-      _sjf(std::make_unique<ShortestJobFirstSlotScheduler>()),
-      _debt(std::make_unique<SloDebtFirstSlotScheduler>())
-{
-    DEJAVU_ASSERT(_thresholds.sjfQueueDepth >= 1,
-                  "sjf queue-depth threshold must be >= 1");
-    DEJAVU_ASSERT(_thresholds.debtTrigger > 0.0,
-                  "debt trigger must be positive");
-}
-
-AdaptiveSlotScheduler::Mode
-AdaptiveSlotScheduler::modeOf(
-    const std::vector<ProfilingRequest> &waiting) const
-{
-    double totalDebt = 0.0;
-    for (const auto &req : waiting)
-        totalDebt += req.sloDebt;
-    if (totalDebt >= _thresholds.debtTrigger)
-        return Mode::SloDebt;
-    if (waiting.size() >= _thresholds.sjfQueueDepth)
-        return Mode::Sjf;
-    return Mode::Fifo;
-}
-
-const ProfilingSlotScheduler &
-AdaptiveSlotScheduler::delegateFor(
-    const std::vector<ProfilingRequest> &waiting) const
-{
-    switch (modeOf(waiting)) {
-      case Mode::SloDebt:
-        ++_debtPicks;
-        return *_debt;
-      case Mode::Sjf:
-        ++_sjfPicks;
-        return *_sjf;
-      case Mode::Fifo:
-        break;
-    }
-    ++_fifoPicks;
-    return *_fifo;
-}
-
-std::size_t
-AdaptiveSlotScheduler::pick(
-    const std::vector<ProfilingRequest> &waiting) const
-{
-    return delegateFor(waiting).pick(waiting);
-}
-
-std::string
-AdaptiveSlotScheduler::modeFor(
-    const std::vector<ProfilingRequest> &waiting) const
-{
-    switch (modeOf(waiting)) {
-      case Mode::SloDebt:
-        return "slo-debt";
-      case Mode::Sjf:
-        return "sjf";
-      case Mode::Fifo:
-        break;
-    }
-    return "fifo";
-}
-
-std::unique_ptr<ProfilingSlotScheduler>
-makeSlotScheduler(SlotPolicy policy)
-{
-    switch (policy) {
-      case SlotPolicy::Fifo:
-        return std::make_unique<FifoSlotScheduler>();
-      case SlotPolicy::ShortestJobFirst:
-        return std::make_unique<ShortestJobFirstSlotScheduler>();
-      case SlotPolicy::SloDebtFirst:
-        return std::make_unique<SloDebtFirstSlotScheduler>();
-      case SlotPolicy::Adaptive:
-        return std::make_unique<AdaptiveSlotScheduler>();
-    }
-    fatal("unknown slot policy");
-}
-
-SlotPolicy
-slotPolicyFromName(const std::string &name)
-{
-    if (name == "fifo")
-        return SlotPolicy::Fifo;
-    if (name == "sjf")
-        return SlotPolicy::ShortestJobFirst;
-    if (name == "slo-debt")
-        return SlotPolicy::SloDebtFirst;
-    if (name == "adaptive")
-        return SlotPolicy::Adaptive;
-    fatal("unknown slot policy: ", name,
-          " (use fifo|sjf|slo-debt|adaptive)");
-}
-
-std::unique_ptr<ProfilingSlotScheduler>
-makeSlotScheduler(const std::string &name)
-{
-    return makeSlotScheduler(slotPolicyFromName(name));
-}
-
-const std::vector<std::string> &
-slotPolicyNames()
-{
-    static const std::vector<std::string> names{"fifo", "sjf",
-                                                "slo-debt",
-                                                "adaptive"};
-    return names;
-}
 
 DejaVuFleet::DejaVuFleet(
     Simulation &sim, SimTime profilingSlot,
     std::unique_ptr<ProfilingSlotScheduler> scheduler,
-    int profilingHosts)
+    int profilingHosts, ProfilingWorkOptions workOptions)
     : Actor(sim, "dejavu-fleet"), _defaultSlot(profilingSlot),
-      _scheduler(scheduler ? std::move(scheduler)
-                           : makeSlotScheduler(SlotPolicy::Fifo)),
-      _hosts(profilingHosts)
+      _options(normalized(workOptions)),
+      _workQueue(sim, std::move(scheduler), profilingHosts,
+                 _options.coalesceSignatures)
 {
     DEJAVU_ASSERT(_defaultSlot > 0, "slot duration must be positive");
+    // Slot policies see each waiting item's owner debt as of *now*,
+    // and a grant spends the owner's accumulated debt.
+    _workQueue.setDebtProbe([this](const WorkItem &item) {
+        return _members[item.owner].sloDebt;
+    });
+    _workQueue.setDebtSpend([this](const WorkItem &item) {
+        _members[item.owner].sloDebt = 0.0;
+    });
 }
 
 void
@@ -248,10 +52,18 @@ DejaVuFleet::addService(const std::string &name, Service &service,
     DEJAVU_ASSERT(profilingSlot >= 0, "negative profiling slot");
     DEJAVU_ASSERT(!_memberIndex.count(name),
                   "duplicate service name: ", name);
-    _memberIndex.emplace(name, _members.size());
+    const std::size_t idx = _members.size();
+    _memberIndex.emplace(name, idx);
     _members.push_back({name, &service, &controller,
                         profilingSlot > 0 ? profilingSlot : _defaultSlot,
-                        0.0});
+                        0.0, false});
+    // Work-queue mode: the controller's §3.6 tuner sequences become
+    // pool work instead of running inline off-pool.
+    if (_options.mode == ProfilingWorkMode::WorkQueue)
+        controller.setTuningDeferral(
+            [this, idx](int classId, int bucket, SimTime estimate) {
+                submitTunerWork(idx, classId, bucket, estimate);
+            });
 }
 
 void
@@ -270,17 +82,189 @@ DejaVuFleet::memberIndex(const std::string &name) const
 }
 
 void
+DejaVuFleet::complete(CompletedAdaptation entry)
+{
+    _log.push_back(std::move(entry));
+    for (const auto &listener : _listeners)
+        listener(_log.back());
+}
+
+void
 DejaVuFleet::requestAdaptation(const std::string &name,
                                const Workload &workload)
 {
-    QueuedRequest req;
-    req.info.member = memberIndex(name);
-    req.info.seq = _nextSeq++;
-    req.info.requestedAt = now();
-    req.info.slotDuration = _members[req.info.member].slotDuration;
-    req.workload = workload;
-    _waiting.push_back(std::move(req));
-    dispatch();
+    const std::size_t idx = memberIndex(name);
+    Member &member = _members[idx];
+    if (member.detached)
+        return;
+
+    WorkItem item;
+    item.kind = WorkKind::Signature;
+    item.owner = idx;
+    item.duration = member.slotDuration;
+    item.sloDebt = member.sloDebt;
+    item.key.serviceKind = member.service->kind();
+    // The reuse key is only worth computing when batching can use
+    // it: the class prediction is RNG-free (noise-free expected
+    // signature), so legacy runs stay byte-identical to PR 4.
+    if (_options.coalesceSignatures) {
+        item.key.classId = member.controller->predictClass(workload);
+        item.key.bucket = member.controller->interferenceBucket();
+    }
+
+    _workQueue.submit(
+        item,
+        [this, idx, workload](
+            const ProfilingWorkQueue::WorkGrant &grant) -> SimTime {
+            Member &m = _members[idx];
+            CompletedAdaptation entry;
+            entry.service = m.name;
+            entry.requestedAt = grant.item->requestedAt;
+            entry.profilingStartedAt = grant.startedAt;
+            entry.slotDuration = grant.slotDuration;
+            entry.host = grant.host;
+            entry.kind = WorkKind::Signature;
+            entry.coalesced = grant.coalesced;
+            // The controller runs when the slot starts; its own
+            // adaptation time (signature collection etc.) is
+            // measured from that point.
+            entry.decision = m.controller->onWorkloadChange(workload);
+            complete(std::move(entry));
+            return grant.item->duration;
+        });
+}
+
+void
+DejaVuFleet::detachService(const std::string &name)
+{
+    const std::size_t idx = memberIndex(name);
+    Member &member = _members[idx];
+    if (member.detached)
+        return;
+    member.detached = true;
+    _workQueue.cancelWhere(
+        [idx](const WorkItem &item) { return item.owner == idx; },
+        WorkCancelReason::Detached);
+}
+
+bool
+DejaVuFleet::detached(const std::string &name) const
+{
+    return _members[memberIndex(name)].detached;
+}
+
+void
+DejaVuFleet::submitTunerWork(std::size_t memberIdx, int classId,
+                             int bucket, SimTime estimate)
+{
+    Member &member = _members[memberIdx];
+    if (member.detached) {
+        // Nothing will ever run or adopt this tuning: clear the
+        // controller's pending state or its onSloFeedback stays
+        // wedged behind it for the rest of the run.
+        member.controller->abandonPendingTuning();
+        return;
+    }
+    WorkItem item;
+    item.kind = WorkKind::Tuner;
+    item.owner = memberIdx;
+    item.duration = estimate;
+    item.dynamicDuration = true;  // linear search stops early
+    item.sloDebt = member.sloDebt;
+    item.key = {member.service->kind(), classId, bucket};
+    _workQueue.submit(
+        item,
+        [this, memberIdx](const ProfilingWorkQueue::WorkGrant &grant) {
+            return runTunerGrant(memberIdx, grant);
+        },
+        [this, memberIdx](const WorkItem &cancelled,
+                          WorkCancelReason reason) {
+            onTunerCancelled(memberIdx, cancelled, reason);
+        });
+}
+
+SimTime
+DejaVuFleet::runTunerGrant(std::size_t memberIdx,
+                           const ProfilingWorkQueue::WorkGrant &grant)
+{
+    Member &member = _members[memberIdx];
+    CompletedAdaptation entry;
+    entry.service = member.name;
+    entry.requestedAt = grant.item->requestedAt;
+    entry.profilingStartedAt = grant.startedAt;
+    entry.host = grant.host;
+    entry.kind = WorkKind::Tuner;
+
+    // A peer's finished tuning may already answer this item — e.g.
+    // it was submitted after the peer's slot-end cancellation sweep
+    // ran (a later interference episode for the same key). Adopt the
+    // result instead of burning a slot on a duplicate experiment;
+    // the occupancy reported to the pool is zero. A peer whose
+    // experiments are still *running* does not count: its result is
+    // stored at its slot end, so the probe here cannot see it.
+    if (_options.cancelOnReuse) {
+        if (auto adopted = member.controller->adoptPeerTuning()) {
+            ++_tunerAdopted;
+            entry.peerServed = true;
+            entry.slotDuration = 0;
+            entry.decision = *adopted;
+            complete(std::move(entry));
+            return 0;
+        }
+    }
+
+    entry.decision = member.controller->runPendingTuning();
+    // The slot is occupied for the experiments actually run, not the
+    // scheduler's worst-case estimate.
+    entry.slotDuration = entry.decision.adaptationTime;
+    const WorkKey key = grant.item->key;
+    const SimTime occupancy = entry.slotDuration;
+    complete(std::move(entry));
+    // Reuse-driven cancellation: once the experiments finish (slot
+    // end — the result is stored then, not before), the allocation
+    // answers every still-queued same-key tuner item — cancel them
+    // before they burn a slot; their owners adopt the peer's
+    // allocation (see onTunerCancelled). Scheduled from the run
+    // event after runPendingTuning(), so at slot end the store
+    // fires first, then this sweep, then the queue's release
+    // re-dispatches.
+    if (_options.cancelOnReuse && key.shareable())
+        at(saturatingAdd(grant.startedAt, occupancy), [this, key] {
+            _workQueue.cancelWhere(
+                [key](const WorkItem &other) {
+                    return other.kind == WorkKind::Tuner
+                        && other.key == key;
+                },
+                WorkCancelReason::Reuse);
+        });
+    return occupancy;
+}
+
+void
+DejaVuFleet::onTunerCancelled(std::size_t memberIdx,
+                              const WorkItem &item,
+                              WorkCancelReason reason)
+{
+    Member &member = _members[memberIdx];
+    if (reason == WorkCancelReason::Reuse) {
+        if (auto decision = member.controller->adoptPeerTuning()) {
+            CompletedAdaptation entry;
+            entry.service = member.name;
+            entry.requestedAt = item.requestedAt;
+            entry.profilingStartedAt = now();
+            entry.slotDuration = 0;  // no slot consumed
+            entry.host = 0;
+            entry.kind = WorkKind::Tuner;
+            entry.peerServed = true;
+            entry.decision = *decision;
+            complete(std::move(entry));
+            return;
+        }
+        // The entry vanished between the peer's store and this
+        // cancellation (a peer re-clustered in between) — fall
+        // through to the do-no-harm abandon.
+    }
+    member.controller->abandonPendingTuning();
 }
 
 void
@@ -293,73 +277,6 @@ double
 DejaVuFleet::sloDebt(const std::string &name) const
 {
     return _members[memberIndex(name)].sloDebt;
-}
-
-void
-DejaVuFleet::dispatch()
-{
-    // Grant until the pool or the queue is exhausted. The scheduler
-    // sees a fresh view each iteration: every grant shrinks the
-    // waiting list and removes the granted host from the free list,
-    // and each granted member's debt is reset before the next pick.
-    while (_hosts.anyFree() && !_waiting.empty()) {
-        // Refresh each request's debt so the scheduler sees the
-        // debtor's state *now*, not at enqueue time.
-        std::vector<ProfilingRequest> view;
-        view.reserve(_waiting.size());
-        for (auto &queued : _waiting) {
-            queued.info.sloDebt = _members[queued.info.member].sloDebt;
-            view.push_back(queued.info);
-        }
-        const std::vector<std::size_t> freeHosts = _hosts.freeHosts();
-        const SlotGrant grant = _scheduler->grant(view, freeHosts);
-        DEJAVU_ASSERT(grant.request < view.size(), "scheduler '",
-                      _scheduler->name(), "' picked out of range: ",
-                      grant.request);
-        DEJAVU_ASSERT(std::find(freeHosts.begin(), freeHosts.end(),
-                                grant.host) != freeHosts.end(),
-                      "scheduler '", _scheduler->name(),
-                      "' granted a busy or unknown host: ", grant.host);
-        QueuedRequest req = std::move(_waiting[grant.request]);
-        _waiting.erase(_waiting.begin()
-                       + static_cast<std::ptrdiff_t>(grant.request));
-
-        _hosts.acquire(grant.host);
-        ++_granted;
-        // The granted member's accumulated debt is spent:
-        // prioritization starts over after it gets a host.
-        _members[req.info.member].sloDebt = 0.0;
-
-        const std::size_t memberIdx = req.info.member;
-        const std::size_t host = grant.host;
-        const SimTime requestedAt = req.info.requestedAt;
-        const SimTime start = now();
-        const SimTime duration = req.info.slotDuration;
-
-        // The controller runs when the slot starts; its own adaptation
-        // time (signature collection etc.) is measured from that
-        // point. Capture the member by index: a later addService() may
-        // grow the vector and would invalidate references held by
-        // pending events.
-        at(start, [this, memberIdx, host, requestedAt, start, duration,
-                   workload = std::move(req.workload)] {
-            Member &member = _members[memberIdx];
-            CompletedAdaptation entry;
-            entry.service = member.name;
-            entry.requestedAt = requestedAt;
-            entry.profilingStartedAt = start;
-            entry.slotDuration = duration;
-            entry.host = host;
-            entry.decision = member.controller->onWorkloadChange(workload);
-            _log.push_back(entry);
-            for (const auto &listener : _listeners)
-                listener(_log.back());
-        });
-        at(saturatingAdd(start, duration), [this, host] {
-            _hosts.release(host);
-            dispatch();
-        });
-    }
 }
 
 SimTime

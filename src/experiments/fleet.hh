@@ -3,22 +3,23 @@
  * Multi-service DejaVu deployment (the paper's Figure 2): one DejaVu
  * installation profiles several hosted services (A, B, C ...) whose
  * proxies all feed the paper's "one or a few machines" dedicated to
- * profiling. §3.3's Isolation requirement — "because the DejaVu
- * profiler (possibly running on a single machine) might be in charge
- * of characterizing multiple services, we need to make sure that the
- * obtained signatures are not disturbed by other profiling processes
- * running on the same profiler" — is enforced per host: each of the
- * pool's M hosts runs at most one profiling slot at a time, concurrent
- * adaptation requests queue for a free host, and the queueing delay is
- * charged to their adaptation time.
+ * profiling. §3.3's Isolation requirement is enforced per host of the
+ * ProfilingHostPool; *which* waiting work gets a host when one frees
+ * up is a pluggable ProfilingSlotScheduler policy (both now live in
+ * src/profiling/).
  *
- * *Which* waiting request gets a host when one frees up — and *which*
- * host it gets — is a policy, not a law: the fleet delegates the
- * choice to a pluggable ProfilingSlotScheduler (FIFO,
- * shortest-job-first, SLO-debt-first, or the adaptive policy that
- * switches between them on observed contention), which is what lets
- * experiments measure how contention policy — not just contention
- * existence — shapes fleet-wide adaptation-time tails.
+ * Since the work-queue rework the fleet no longer holds an implicit
+ * queue of adaptation requests: every unit of profiling work — a
+ * signature collection triggered by a workload change, or a §3.6
+ * tuner experiment sequence a controller deferred — is a typed
+ * WorkItem submitted to the ProfilingWorkQueue, and the slot
+ * scheduler arbitrates the whole demand. ProfilingWorkOptions selects
+ * the behavior A/B: Legacy routes only signature work through the
+ * pool (tuner experiments run inline, off-pool — byte-identical to
+ * the pre-work-queue fleet), WorkQueue makes tuner runs pool work and
+ * may additionally coalesce same-class signature collections and
+ * cancel queued tuner items a peer's repository write already
+ * answered.
  *
  * The fleet is an Actor on the shared simulation: profiling-slot
  * starts are ordinary tracked events, so a fleet interleaves with any
@@ -29,7 +30,6 @@
 #ifndef DEJAVU_EXPERIMENTS_FLEET_HH
 #define DEJAVU_EXPERIMENTS_FLEET_HH
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,211 +37,31 @@
 #include <vector>
 
 #include "core/controller.hh"
+#include "profiling/work_queue.hh"
 #include "services/service.hh"
 #include "sim/actor.hh"
 
 namespace dejavu {
 
 /**
- * One adaptation request waiting for a profiling host — the view a
- * slot scheduler picks from.
+ * How a fleet routes profiling work through the §3.3 pool — the
+ * `-legacy` / `-wq` experiment axis.
  */
-struct ProfilingRequest
+struct ProfilingWorkOptions
 {
-    std::size_t member = 0;    ///< Index into the fleet's member table.
-    std::uint64_t seq = 0;     ///< Arrival order; never reused.
-    SimTime requestedAt = 0;
-    SimTime slotDuration = 0;  ///< This member's profiling time.
-    double sloDebt = 0.0;      ///< Member's SLO debt right now.
+    ProfilingWorkMode mode = ProfilingWorkMode::Legacy;
+    /** WorkQueue mode only: batch same-(kind, class, bucket)
+     *  signature collections into one slot. Callers should enable
+     *  this only under repository sharing — fan-out across services
+     *  is sound exactly when class ids are compatible by
+     *  construction (same kind, same trace family). */
+    bool coalesceSignatures = false;
+    /** WorkQueue mode only: when a tuner run finishes, cancel queued
+     *  same-key tuner items and serve their owners from the
+     *  repository instead. Requires a shared repository to have any
+     *  effect. */
+    bool cancelOnReuse = false;
 };
-
-/**
- * The profiling machines of one DejaVu installation — the paper's
- * "one or a few machines" (§3.3) as a scheduler-visible resource.
- * Hosts are identified by dense indices [0, hosts()); each host runs
- * at most one profiling slot at a time (per-host isolation). The pool
- * only tracks busy/free state; who gets a free host is the slot
- * scheduler's decision.
- */
-class ProfilingHostPool
-{
-  public:
-    /** A pool of @p hosts identical profiling machines (>= 1). */
-    explicit ProfilingHostPool(int hosts);
-
-    /** Total machines in the pool. */
-    int hosts() const { return static_cast<int>(_busy.size()); }
-
-    /** Hosts currently running a profiling slot. */
-    int busy() const { return _busyCount; }
-
-    /** True iff at least one host is idle. */
-    bool anyFree() const { return _busyCount < hosts(); }
-
-    /** Indices of all idle hosts, ascending (deterministic order —
-     *  the tie-break schedulers rely on for host selection). */
-    std::vector<std::size_t> freeHosts() const;
-
-    /** Mark @p host busy (fatal if out of range or already busy). */
-    void acquire(std::size_t host);
-
-    /** Mark @p host idle again (fatal if out of range or not busy). */
-    void release(std::size_t host);
-
-  private:
-    std::vector<char> _busy;  ///< Not vector<bool>: plain flags.
-    int _busyCount = 0;
-};
-
-/** A scheduler decision: grant @p request (index into the waiting
- *  view) a slot on @p host (index into the free-host list's values). */
-struct SlotGrant
-{
-    std::size_t request = 0;  ///< Index into the waiting vector.
-    std::size_t host = 0;     ///< A host id drawn from freeHosts.
-};
-
-/**
- * Policy choosing which waiting adaptation request gets a free
- * profiling host next — and which host. Implementations must be
- * deterministic pure functions of the waiting list and free-host list
- * (ties broken by arrival seq; hosts by lowest id), so fleet runs are
- * bit-identical at any experiment-runner thread count.
- */
-class ProfilingSlotScheduler
-{
-  public:
-    virtual ~ProfilingSlotScheduler() = default;
-
-    /** Policy name as used in sweep cells and CSV digests. */
-    virtual std::string name() const = 0;
-
-    /**
-     * Pick the next request to grant.
-     * @param waiting non-empty, ordered by arrival (seq ascending).
-     * @return index into @p waiting.
-     */
-    virtual std::size_t pick(
-        const std::vector<ProfilingRequest> &waiting) const = 0;
-
-    /**
-     * Pick both the request and the host for the next grant. The
-     * default placement takes pick()'s request on the lowest-numbered
-     * free host (hosts are identical, so lowest-id is the canonical
-     * deterministic choice); override to co-design who and where.
-     * @param waiting non-empty, ordered by arrival (seq ascending).
-     * @param freeHosts non-empty, ascending host ids.
-     * @return grant whose request indexes @p waiting and whose host is
-     *         an element of @p freeHosts.
-     */
-    virtual SlotGrant grant(
-        const std::vector<ProfilingRequest> &waiting,
-        const std::vector<std::size_t> &freeHosts) const
-    {
-        return {pick(waiting), freeHosts.front()};
-    }
-};
-
-/** The built-in slot scheduling policies. */
-enum class SlotPolicy
-{
-    Fifo,              ///< Arrival order (the paper's implicit policy).
-    ShortestJobFirst,  ///< Smallest slot duration first.
-    SloDebtFirst,      ///< Most SLO-violating service first.
-    Adaptive,          ///< Switches between the three on observed load.
-};
-
-/**
- * Adaptive slot policy: inspects the waiting queue at every grant and
- * delegates to whichever fixed discipline the observed contention
- * calls for (ADARES's adapt-to-load argument applied to the §3.3
- * profiling queue):
- *
- *  - outstanding SLO debt among the waiters >= debtTrigger
- *    -> SLO-debt-first (serve the violating service before its debt
- *    compounds);
- *  - else queue depth >= sjfQueueDepth -> shortest-job-first (a burst
- *    is piling up; drain the many short slots to cut the median);
- *  - else FIFO (an uncontended queue needs no reordering).
- *
- * Each rule inherits its delegate's tie-break (arrival seq, then
- * lowest free host id), so the policy stays a deterministic pure
- * function of the waiting view. Mode counters record how often each
- * delegate was consulted — observability only, never fed back into
- * decisions.
- */
-class AdaptiveSlotScheduler : public ProfilingSlotScheduler
-{
-  public:
-    /** Switching thresholds (defaults picked for the 100-service
-     *  hourly burst; see bench/fleet_tails.cc). */
-    struct Thresholds
-    {
-        /** Queue depth at/above which a burst is assumed and
-         *  shortest-job-first takes over. */
-        std::size_t sjfQueueDepth = 8;
-        /** Total SLO debt among waiters at/above which the deepest
-         *  debtor is served first. */
-        double debtTrigger = 1.0;
-    };
-
-    /** Default thresholds (sjfQueueDepth = 8, debtTrigger = 1.0). */
-    AdaptiveSlotScheduler();
-    explicit AdaptiveSlotScheduler(Thresholds thresholds);
-
-    std::string name() const override { return "adaptive"; }
-
-    /** The delegate's pick under the mode the current queue selects. */
-    std::size_t pick(
-        const std::vector<ProfilingRequest> &waiting) const override;
-
-    /** The mode the current @p waiting queue would select
-     *  ("fifo" | "sjf" | "slo-debt"); does not bump counters. */
-    std::string modeFor(
-        const std::vector<ProfilingRequest> &waiting) const;
-
-    const Thresholds &thresholds() const { return _thresholds; }
-
-    /** Grants decided in FIFO mode so far. */
-    std::uint64_t fifoPicks() const { return _fifoPicks; }
-    /** Grants decided in shortest-job-first mode so far. */
-    std::uint64_t sjfPicks() const { return _sjfPicks; }
-    /** Grants decided in SLO-debt-first mode so far. */
-    std::uint64_t debtPicks() const { return _debtPicks; }
-
-  private:
-    enum class Mode { Fifo, Sjf, SloDebt };
-
-    /** The single threshold rule both pick() and modeFor() consult. */
-    Mode modeOf(const std::vector<ProfilingRequest> &waiting) const;
-
-    const ProfilingSlotScheduler &delegateFor(
-        const std::vector<ProfilingRequest> &waiting) const;
-
-    Thresholds _thresholds;
-    std::unique_ptr<ProfilingSlotScheduler> _fifo;
-    std::unique_ptr<ProfilingSlotScheduler> _sjf;
-    std::unique_ptr<ProfilingSlotScheduler> _debt;
-    mutable std::uint64_t _fifoPicks = 0;
-    mutable std::uint64_t _sjfPicks = 0;
-    mutable std::uint64_t _debtPicks = 0;
-};
-
-/** Factory for the built-in policies. */
-std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
-    SlotPolicy policy);
-
-/** Parse a policy name: "fifo" | "sjf" | "slo-debt" | "adaptive"
- *  (fatal otherwise). */
-SlotPolicy slotPolicyFromName(const std::string &name);
-
-/** Factory by name: "fifo" | "sjf" | "slo-debt" | "adaptive". */
-std::unique_ptr<ProfilingSlotScheduler> makeSlotScheduler(
-    const std::string &name);
-
-/** All built-in policy names, in SlotPolicy order (the three fixed
- *  disciplines, then "adaptive"). */
-const std::vector<std::string> &slotPolicyNames();
 
 /**
  * A fleet of services managed by one DejaVu installation.
@@ -255,8 +75,18 @@ class DejaVuFleet : public Actor
         std::string service;
         SimTime requestedAt = 0;
         SimTime profilingStartedAt = 0;  ///< After any queueing.
-        SimTime slotDuration = 0;        ///< Host occupancy granted.
+        /** Host occupancy this work consumed: the granted slot for
+         *  signature work (0 for coalesced followers served by a
+         *  batch leader's slot), the measured tuning time for tuner
+         *  work, 0 for peer-served cancellations. */
+        SimTime slotDuration = 0;
         std::size_t host = 0;            ///< Pool host that ran it.
+        WorkKind kind = WorkKind::Signature;
+        /** Served by a same-class batch leader's slot (no own slot). */
+        bool coalesced = false;
+        /** Tuner item cancelled because a peer's result landed in
+         *  the shared repository first (no slot consumed at all). */
+        bool peerServed = false;
         DejaVuController::Decision decision;
 
         /** Time spent waiting for a free profiling host. */
@@ -272,29 +102,47 @@ class DejaVuFleet : public Actor
         std::function<void(const CompletedAdaptation &)>;
 
     /** @p scheduler defaults to FIFO when null; @p profilingHosts is
-     *  the size M of the profiling host pool (>= 1). */
+     *  the size M of the profiling host pool (>= 1); @p workOptions
+     *  selects the legacy vs work-queue routing (see
+     *  ProfilingWorkOptions). */
     explicit DejaVuFleet(
         Simulation &sim, SimTime profilingSlot = seconds(10),
         std::unique_ptr<ProfilingSlotScheduler> scheduler = nullptr,
-        int profilingHosts = 1);
+        int profilingHosts = 1,
+        ProfilingWorkOptions workOptions = {});
 
     /**
      * Register a service with its controller (must be learned before
      * the first adaptation request). @p profilingSlot is this member's
-     * host occupancy per adaptation; 0 means the fleet default.
+     * host occupancy per adaptation; 0 means the fleet default. In
+     * WorkQueue mode this also installs the controller's tuning
+     * deferral, so its §3.6 tuner sequences queue for the pool.
      */
     void addService(const std::string &name, Service &service,
                     DejaVuController &controller,
                     SimTime profilingSlot = 0);
 
     /**
-     * A workload change arrived for @p name: queue a profiling request
-     * for the host pool and run the controller when the scheduler
-     * grants it a slot. The decision lands in log() once processed
-     * (advance the simulation past the slot start).
+     * A workload change arrived for @p name: submit a signature-
+     * collection work item to the pool queue and run the controller
+     * when the scheduler grants it a slot. The decision lands in
+     * log() once processed (advance the simulation past the slot
+     * start). Ignored for detached members.
      */
     void requestAdaptation(const std::string &name,
                            const Workload &workload);
+
+    /**
+     * Remove @p name from profiling service: every queued or
+     * granted-but-not-started work item it owns is cancelled (no
+     * implicit slot-hold survives the member), and later
+     * requestAdaptation() calls for it are ignored. The member's
+     * completed history stays in log(). Idempotent.
+     */
+    void detachService(const std::string &name);
+
+    /** True when detachService(@p name) was called. */
+    bool detached(const std::string &name) const;
 
     /**
      * Record one SLO-violating production sample for @p name. Debt
@@ -318,22 +166,37 @@ class DejaVuFleet : public Actor
 
     /** The slot policy deciding grants. */
     const ProfilingSlotScheduler &scheduler() const
-    { return *_scheduler; }
+    { return _workQueue.scheduler(); }
 
     /** Fleet-default host occupancy per adaptation. */
     SimTime defaultSlotDuration() const { return _defaultSlot; }
 
     /** Size M of the profiling host pool. */
-    int profilingHosts() const { return _hosts.hosts(); }
+    int profilingHosts() const { return _workQueue.hosts(); }
 
     /** Pool hosts currently running a slot. */
-    int busyHosts() const { return _hosts.busy(); }
+    int busyHosts() const { return _workQueue.busyHosts(); }
 
-    /** Profiling slots granted so far. */
-    std::uint64_t slotsGranted() const { return _granted; }
+    /** Pool slots consumed so far (signature + tuner). */
+    std::uint64_t slotsGranted() const
+    { return _workQueue.stats().slotsConsumed(); }
 
-    /** Requests still waiting for a host. */
-    std::size_t waiting() const { return _waiting.size(); }
+    /** Work items still waiting for a host (batch members each
+     *  count; matches the pre-work-queue request count). */
+    std::size_t waiting() const { return _workQueue.waitingItems(); }
+
+    /** Tuner grants resolved from a peer's finished tuning instead
+     *  of running (zero host occupancy; see runTunerGrant). */
+    std::uint64_t tunerAdoptedAtGrant() const
+    { return _tunerAdopted; }
+
+    /** The underlying work queue (per-item-kind stats, states). */
+    const ProfilingWorkQueue &workQueue() const { return _workQueue; }
+
+    /** The routing options this fleet runs under (normalized:
+     *  Legacy mode forces coalescing/cancellation off). */
+    const ProfilingWorkOptions &workOptions() const
+    { return _options; }
 
     /** Current SLO debt of a member (violating samples since its last
      *  granted slot). */
@@ -350,27 +213,30 @@ class DejaVuFleet : public Actor
         DejaVuController *controller;
         SimTime slotDuration;
         double sloDebt = 0.0;
+        bool detached = false;
     };
 
-    /** A queued request: the scheduler-visible view plus its payload. */
-    struct QueuedRequest
-    {
-        ProfilingRequest info;
-        Workload workload;
-    };
+    /** Record + broadcast one completed adaptation. */
+    void complete(CompletedAdaptation entry);
 
-    /** Grant free hosts to the scheduler's picks until the pool is
-     *  exhausted or the queue drains. */
-    void dispatch();
+    /** Submit the §3.6 tuner sequence a controller deferred. */
+    void submitTunerWork(std::size_t memberIdx, int classId,
+                         int bucket, SimTime estimate);
+
+    /** Slot-start of a granted tuner item. */
+    SimTime runTunerGrant(std::size_t memberIdx,
+                          const ProfilingWorkQueue::WorkGrant &grant);
+
+    /** A tuner item was withdrawn before running. */
+    void onTunerCancelled(std::size_t memberIdx, const WorkItem &item,
+                          WorkCancelReason reason);
 
     SimTime _defaultSlot;
-    std::unique_ptr<ProfilingSlotScheduler> _scheduler;
-    ProfilingHostPool _hosts;
+    ProfilingWorkOptions _options;
+    ProfilingWorkQueue _workQueue;
     std::vector<Member> _members;
     std::unordered_map<std::string, std::size_t> _memberIndex;
-    std::deque<QueuedRequest> _waiting;
-    std::uint64_t _nextSeq = 0;
-    std::uint64_t _granted = 0;
+    std::uint64_t _tunerAdopted = 0;
     std::vector<CompletedAdaptation> _log;
     std::vector<AdaptationListener> _listeners;
 };

@@ -25,9 +25,22 @@ sameSlo(const Slo &a, const Slo &b)
 
 FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
                                  SlotPolicy policy, int profilingHosts,
-                                 RepositorySharing sharing)
-    : _sim(sim), _fleet(sim, profilingSlot, makeSlotScheduler(policy),
-                        profilingHosts),
+                                 RepositorySharing sharing,
+                                 ProfilingWorkMode workMode)
+    : _sim(sim),
+      _fleet(sim, profilingSlot, makeSlotScheduler(policy),
+             profilingHosts,
+             // Coalescing and reuse-driven cancellation only make
+             // sense when peers can actually serve each other:
+             // same-kind class ids are compatible by construction
+             // under live sharing, and only a shared repository can
+             // answer a peer's queued tuner item.
+             ProfilingWorkOptions{
+                 workMode,
+                 workMode == ProfilingWorkMode::WorkQueue
+                     && sharing == RepositorySharing::Shared,
+                 workMode == ProfilingWorkMode::WorkQueue
+                     && sharing == RepositorySharing::Shared}),
       _sharing(sharing)
 {
     if (_sharing != RepositorySharing::Private)
@@ -58,9 +71,13 @@ FleetExperiment::addService(const std::string &name, Service &service,
                             DejaVuController &controller,
                             LoadTrace trace,
                             ProvisioningExperiment::Config config,
-                            SimTime profilingSlot)
+                            SimTime profilingSlot,
+                            SimTime arrivalOffset)
 {
     DEJAVU_ASSERT(!_ran, "fleet experiment already ran");
+    DEJAVU_ASSERT(arrivalOffset >= 0 && arrivalOffset < kHour,
+                  "arrival offset must fall within the hour for ",
+                  name);
     if (config.totalHours < 0)
         config.totalHours = static_cast<int>(trace.hours());
     DEJAVU_ASSERT(config.totalHours > config.reuseStartHour,
@@ -72,6 +89,7 @@ FleetExperiment::addService(const std::string &name, Service &service,
     member->controller = &controller;
     member->trace = std::move(trace);
     member->config = config;
+    member->arrivalOffset = arrivalOffset;
 
     // Compose the repository axis: under sharing, this controller's
     // cache operations go through the fleet-wide repository (kind
@@ -127,7 +145,8 @@ FleetExperiment::run()
         m.driver = std::make_unique<TraceDriver>(
             _sim, service, m.trace,
             TraceDriver::Config{m.config.totalHours,
-                                m.config.peakClients},
+                                m.config.peakClients,
+                                m.arrivalOffset},
             "trace:" + m.name);
         m.probe = std::make_unique<MonitorProbe>(
             _sim, service, *m.driver,
@@ -161,8 +180,11 @@ FleetExperiment::run()
             "metrics:" + m.name);
         m.recorder->setMaxAllocation(service.cluster().maxAllocation());
 
-        horizon = std::max(horizon, m.config.totalHours
-                           * static_cast<SimTime>(kHour));
+        horizon = std::max(horizon,
+                           saturatingAdd(m.config.totalHours
+                                             * static_cast<SimTime>(
+                                                 kHour),
+                                         m.arrivalOffset));
     }
 
     _sim.runUntil(horizon);
@@ -191,8 +213,15 @@ FleetExperiment::summary() const
     FleetSummary s;
     s.policy = _fleet.scheduler().name();
     s.sharing = repositorySharingName(_sharing);
+    s.workMode = profilingWorkModeName(_fleet.workOptions().mode);
     s.services = services();
     s.hosts = _fleet.profilingHosts();
+    const ProfilingWorkQueue::Stats &work = _fleet.workQueue().stats();
+    s.signatureSlots = work.signatureSlots;
+    s.tunerSlots = work.tunerSlots;
+    s.coalescedSignatures = work.coalescedSignatures;
+    s.tunerCancelled = work.tunerCancelledForReuse;
+    s.tunerAdopted = _fleet.tunerAdoptedAtGrant();
     // Aggregate the repository statistics over the member handles.
     // This works identically in Private mode (each handle fronts its
     // controller's own repository), so shared-vs-private hit rates

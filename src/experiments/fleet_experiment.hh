@@ -54,14 +54,31 @@ class FleetExperiment
     };
 
     /** Fleet-wide adaptation-time tails under one slot policy,
-     *  host-pool size and repository-sharing mode. */
+     *  host-pool size, repository-sharing mode and profiling work
+     *  mode. */
     struct FleetSummary
     {
         std::string policy;             ///< Slot scheduler name.
         std::string sharing;            ///< Repository-sharing mode.
+        std::string workMode;           ///< "legacy" | "wq".
         int services = 0;               ///< Fleet size N.
         int hosts = 0;                  ///< Profiling-pool size M.
-        std::uint64_t adaptations = 0;  ///< Slots granted fleet-wide.
+        std::uint64_t adaptations = 0;  ///< Completed fleet-wide.
+        /** @name Per-item-type pool demand (work-queue stats) @{ */
+        /** Pool slots consumed collecting signatures. */
+        std::uint64_t signatureSlots = 0;
+        /** Pool slots consumed running tuner sequences. */
+        std::uint64_t tunerSlots = 0;
+        /** Signature collections served by a same-class batch
+         *  leader's slot — demand coalesced away. */
+        std::uint64_t coalescedSignatures = 0;
+        /** Queued tuner items cancelled because a peer's result
+         *  landed in the shared repository first. */
+        std::uint64_t tunerCancelled = 0;
+        /** Tuner grants resolved from a peer's finished tuning at
+         *  slot start (zero host occupancy). */
+        std::uint64_t tunerAdopted = 0;
+        /** @} */
         /** @name Repository aggregate (summed over member handles) @{ */
         std::uint64_t repoLookups = 0;
         std::uint64_t repoHits = 0;
@@ -90,13 +107,20 @@ class FleetExperiment
      *  profiling hosts; @p profilingHosts is the pool size M;
      *  @p sharing composes member repositories (Shared/Isolated make
      *  the experiment own one SharedRepository that every controller
-     *  registered through addService() is attached to). */
+     *  registered through addService() is attached to); @p workMode
+     *  selects the profiling routing — Legacy reproduces the
+     *  pre-work-queue fleet byte-for-byte, WorkQueue makes tuner
+     *  experiments pool work and (under Shared) coalesces same-class
+     *  signature collections and cancels reuse-answered tuner
+     *  items. */
     FleetExperiment(Simulation &sim,
                     SimTime profilingSlot = seconds(10),
                     SlotPolicy policy = SlotPolicy::Fifo,
                     int profilingHosts = 1,
                     RepositorySharing sharing =
-                        RepositorySharing::Private);
+                        RepositorySharing::Private,
+                    ProfilingWorkMode workMode =
+                        ProfilingWorkMode::Legacy);
 
     /**
      * Register a hosted service. The controller must have completed
@@ -108,7 +132,8 @@ class FleetExperiment
     void addService(const std::string &name, Service &service,
                     DejaVuController &controller, LoadTrace trace,
                     ProvisioningExperiment::Config config,
-                    SimTime profilingSlot = 0);
+                    SimTime profilingSlot = 0,
+                    SimTime arrivalOffset = 0);
 
     /**
      * Run every registered service to the end of its configured
@@ -130,6 +155,10 @@ class FleetExperiment
     /** The repository-sharing mode this fleet runs under. */
     RepositorySharing sharing() const { return _sharing; }
 
+    /** The profiling work mode this fleet runs under. */
+    ProfilingWorkMode workMode() const
+    { return _fleet.workOptions().mode; }
+
     /** The fleet-shared repository; null in Private mode. */
     SharedRepository *sharedRepository() { return _sharedRepo.get(); }
     const SharedRepository *sharedRepository() const
@@ -144,6 +173,7 @@ class FleetExperiment
         DejaVuController *controller;
         LoadTrace trace;
         ProvisioningExperiment::Config config;
+        SimTime arrivalOffset = 0;  ///< Jittered trace-hour offset.
         std::unique_ptr<TraceDriver> driver;
         std::unique_ptr<MonitorProbe> probe;
         std::unique_ptr<MetricsRecorder> recorder;

@@ -79,23 +79,53 @@ std::unique_ptr<FleetStack>
 makeFleetScenario(const std::string &scenario, std::uint64_t seed,
                   SlotPolicy policy, int days)
 {
+    const char *kShape =
+        "'fleet-<mix>-<N>[-h<M>][-<sharing>][-<workmode>][-jit]"
+        "[+interference]'";
     const std::string prefix = "fleet-";
     if (scenario.compare(0, prefix.size(), prefix) != 0)
-        fatal("fleet scenario name must be "
-              "'fleet-<mix>-<N>[-h<M>][-<sharing>]', got: ", scenario);
+        fatal("fleet scenario name must be ", kShape, ", got: ",
+              scenario);
     std::string rest = scenario.substr(prefix.size());
+
+    // Strip one trailing suffix if present; returns true on a strip.
+    const auto stripSuffix = [&rest](const std::string &suffix) {
+        if (rest.size() > suffix.size() &&
+            rest.compare(rest.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            rest.erase(rest.size() - suffix.size());
+            return true;
+        }
+        return false;
+    };
+
+    // Optional trailing "+interference" injects §4.3 co-located
+    // tenant pressure into every member (same knob as the standard
+    // single-service scenarios).
+    const bool interference = stripSuffix("+interference");
+
+    // Optional trailing "-jit" de-synchronizes change arrival:
+    // deterministic per-member offsets spread the hourly burst
+    // across kDefaultJitterSpread (see FleetBuilder::arrivalJitter).
+    const bool jittered = stripSuffix("-jit");
+
+    // Optional trailing "-wq" / "-legacy" selects the profiling work
+    // routing (default legacy — the pre-work-queue behavior).
+    ProfilingWorkMode workMode = ProfilingWorkMode::Legacy;
+    for (const char *name : {"wq", "legacy"}) {
+        if (stripSuffix(std::string("-") + name)) {
+            workMode = profilingWorkModeFromName(name);
+            break;
+        }
+    }
 
     // Optional trailing "-shared" / "-private" / "-isolated" selects
     // the repository composition (default private — today's
     // per-controller repositories).
     RepositorySharing sharing = RepositorySharing::Private;
     for (const char *name : {"shared", "private", "isolated"}) {
-        const std::string suffix = std::string("-") + name;
-        if (rest.size() > suffix.size() &&
-            rest.compare(rest.size() - suffix.size(), suffix.size(),
-                         suffix) == 0) {
+        if (stripSuffix(std::string("-") + name)) {
             sharing = repositorySharingFromName(name);
-            rest.erase(rest.size() - suffix.size());
             break;
         }
     }
@@ -131,8 +161,8 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 
     const std::size_t dash = rest.rfind('-');
     if (dash == std::string::npos || dash + 1 >= rest.size())
-        fatal("fleet scenario name must be "
-              "'fleet-<mix>-<N>[-h<M>][-<sharing>]', got: ", scenario);
+        fatal("fleet scenario name must be ", kShape, ", got: ",
+              scenario);
     const std::string mix = rest.substr(0, dash);
     const int services =
         parseCount(rest.substr(dash + 1), "fleet size");
@@ -142,13 +172,16 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
     ScenarioOptions options;
     options.seed = seed;
     options.days = days;
+    options.interference = interference;
+    const SimTime jitter = jittered ? kDefaultJitterSpread : 0;
 
     if (mix == "cassandra")
         return makeCassandraFleet(services, options, seconds(10),
-                                  policy, hosts, sharing);
+                                  policy, hosts, sharing, workMode,
+                                  jitter);
     if (mix == "mixed")
         return makeMixedFleet(services, options, policy, hosts,
-                              sharing);
+                              sharing, workMode, jitter);
     fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
 }
 
@@ -158,6 +191,7 @@ runFleetCell(const SweepCell &cell)
     auto stack = makeFleetScenario(cell.scenario, cell.seed,
                                    slotPolicyFromName(cell.policy));
     stack->learnAll();
+    stack->startInjectors();
     stack->experiment->run();
     return stack->experiment->summary();
 }
@@ -169,7 +203,8 @@ fleetSweepCsv(const std::vector<FleetCellResult> &results)
     os << "scenario,policy,seed,services,hosts,sharing,adaptations,"
           "repo_lookups,repo_hit_pct,repo_cross_hits,repo_reused,"
           "repo_would_hit,queue_p50_s,queue_p95_s,queue_max_s,"
-          "adapt_p50_s,adapt_p95_s,adapt_max_s\n";
+          "adapt_p50_s,adapt_p95_s,adapt_max_s,work_mode,sig_slots,"
+          "tuner_slots,coalesced,tuner_cancelled,tuner_adopted\n";
     for (const auto &fr : results) {
         const auto &s = fr.summary;
         os << fr.cell.scenario << ',' << fr.cell.policy << ','
@@ -184,7 +219,10 @@ fleetSweepCsv(const std::vector<FleetCellResult> &results)
            << Table::num(s.queueDelayMaxSec, 3) << ','
            << Table::num(s.adaptationP50Sec, 3) << ','
            << Table::num(s.adaptationP95Sec, 3) << ','
-           << Table::num(s.adaptationMaxSec, 3) << '\n';
+           << Table::num(s.adaptationMaxSec, 3) << ','
+           << s.workMode << ',' << s.signatureSlots << ','
+           << s.tunerSlots << ',' << s.coalescedSignatures << ','
+           << s.tunerCancelled << ',' << s.tunerAdopted << '\n';
     }
     return os.str();
 }

@@ -70,6 +70,20 @@ specwebPeakClients(const Service &service, const RequestMix &mix,
     return service.clients().clientsForRate(peakRate);
 }
 
+/** The §4.3 co-located tenant: a microbenchmark occupying 10% or
+ *  20% of each VM, reassigned every two hours — one definition for
+ *  the single-service case studies and the fleet members, so the
+ *  "+interference" cells of both stay the same experiment. */
+std::unique_ptr<InterferenceInjector>
+standardInjector(EventQueue &queue, Cluster &cluster, Rng rng)
+{
+    InterferenceInjector::Config icfg;
+    icfg.levels = {0.10, 0.20};
+    icfg.period = hours(2);
+    return std::make_unique<InterferenceInjector>(queue, cluster,
+                                                  icfg, rng);
+}
+
 /** Fleet member auto-naming: svc-A..svc-Z, then svc-A1, svc-B1, ... */
 std::string
 autoServiceName(std::size_t i)
@@ -102,13 +116,9 @@ makeCassandraScaleOut(const ScenarioOptions &options)
     stack->profiler = std::make_unique<ProfilerHost>(
         *service, std::move(monitor), stack->sim->forkRng());
 
-    if (options.interference) {
-        InterferenceInjector::Config icfg;
-        icfg.levels = {0.10, 0.20};
-        icfg.period = hours(2);
-        stack->injector = std::make_unique<InterferenceInjector>(
-            queue, *stack->cluster, icfg, stack->sim->forkRng());
-    }
+    if (options.interference)
+        stack->injector = standardInjector(queue, *stack->cluster,
+                                           stack->sim->forkRng());
 
     DejaVuController::Config dcfg;
     dcfg.slo = Slo::latency(60.0);
@@ -159,13 +169,9 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
     stack->profiler = std::make_unique<ProfilerHost>(
         *service, std::move(monitor), stack->sim->forkRng());
 
-    if (options.interference) {
-        InterferenceInjector::Config icfg;
-        icfg.levels = {0.10, 0.20};
-        icfg.period = hours(2);
-        stack->injector = std::make_unique<InterferenceInjector>(
-            queue, *stack->cluster, icfg, stack->sim->forkRng());
-    }
+    if (options.interference)
+        stack->injector = standardInjector(queue, *stack->cluster,
+                                           stack->sim->forkRng());
 
     DejaVuController::Config dcfg;
     dcfg.slo = Slo::qos(95.0);
@@ -189,6 +195,14 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
     stack->experiment = std::make_unique<ProvisioningExperiment>(
         *stack->sim, *stack->service, stack->trace, ecfg);
     return stack;
+}
+
+void
+FleetStack::startInjectors()
+{
+    for (auto &member : members)
+        if (member->injector)
+            member->injector->start();
 }
 
 void
@@ -239,6 +253,23 @@ FleetBuilder &
 FleetBuilder::shareRepository(RepositorySharing sharing)
 {
     _sharing = sharing;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::profilingWorkMode(ProfilingWorkMode mode)
+{
+    _workMode = mode;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::arrivalJitter(std::uint64_t seed, SimTime spread)
+{
+    DEJAVU_ASSERT(spread >= 0 && spread < kHour,
+                  "arrival jitter spread must fall within the hour");
+    _jitterSeed = seed;
+    _jitterSpread = spread;
     return *this;
 }
 
@@ -297,7 +328,7 @@ FleetBuilder::build() const
     Simulation &sim = *stack->sim;
     stack->experiment = std::make_unique<FleetExperiment>(
         sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy,
-        _profilingHosts, _sharing);
+        _profilingHosts, _sharing, _workMode);
 
     for (std::size_t i = 0; i < _specs.size(); ++i) {
         const FleetMemberSpec &spec = _specs[i];
@@ -354,6 +385,14 @@ FleetBuilder::build() const
         member->profiler = std::make_unique<ProfilerHost>(
             *service, std::move(monitor), sim.forkRng());
 
+        // §4.3 co-located tenant pressure, per member (the same
+        // injector the single-service scenarios wire); this is what
+        // makes §3.6 tuner sequences — pool work under the
+        // work-queue model — actually fire in a fleet.
+        if (_options.interference)
+            member->injector = standardInjector(
+                sim.queue(), *member->cluster, sim.forkRng());
+
         if (spec.slo)
             dcfg.slo = *spec.slo;
         dcfg.interferenceDetection = _options.interferenceDetection;
@@ -395,12 +434,25 @@ FleetBuilder::build() const
             : (_defaultSlot > 0 ? _defaultSlot
                                 : service->profilingSlotHint());
 
+        // Jittered change arrival: a deterministic per-member offset
+        // in [0, spread) derived from (jitter seed, member index) —
+        // independent of the trace RNG, so jittered and synchronized
+        // fleets see identical workloads.
+        if (_jitterSpread > 0) {
+            Rng jitterRng(_jitterSeed
+                          + 1000003ULL * static_cast<std::uint64_t>(i));
+            member->arrivalOffset = static_cast<SimTime>(
+                jitterRng.uniform()
+                * static_cast<double>(_jitterSpread));
+        }
+
         member->service = std::move(service);
         stack->experiment->addService(member->name, *member->service,
                                       *member->controller,
                                       member->trace,
                                       member->experimentConfig,
-                                      member->profilingSlot);
+                                      member->profilingSlot,
+                                      member->arrivalOffset);
         stack->members.push_back(std::move(member));
     }
     return stack;
@@ -409,22 +461,28 @@ FleetBuilder::build() const
 std::unique_ptr<FleetStack>
 makeCassandraFleet(int services, const ScenarioOptions &options,
                    SimTime profilingSlot, SlotPolicy policy,
-                   int profilingHosts, RepositorySharing sharing)
+                   int profilingHosts, RepositorySharing sharing,
+                   ProfilingWorkMode workMode,
+                   SimTime arrivalJitterSpread)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
-    return FleetBuilder(options)
-        .profilingSlot(profilingSlot)
+    FleetBuilder builder(options);
+    builder.profilingSlot(profilingSlot)
         .slotPolicy(policy)
         .profilingHosts(profilingHosts)
         .shareRepository(sharing)
-        .add(ServiceKind::KeyValue, services)
-        .build();
+        .profilingWorkMode(workMode)
+        .add(ServiceKind::KeyValue, services);
+    if (arrivalJitterSpread > 0)
+        builder.arrivalJitter(options.seed, arrivalJitterSpread);
+    return builder.build();
 }
 
 std::unique_ptr<FleetStack>
 makeMixedFleet(int services, const ScenarioOptions &options,
                SlotPolicy policy, int profilingHosts,
-               RepositorySharing sharing)
+               RepositorySharing sharing, ProfilingWorkMode workMode,
+               SimTime arrivalJitterSpread)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     static constexpr ServiceKind kCycle[] = {
@@ -434,6 +492,9 @@ makeMixedFleet(int services, const ScenarioOptions &options,
     builder.slotPolicy(policy);
     builder.profilingHosts(profilingHosts);
     builder.shareRepository(sharing);
+    builder.profilingWorkMode(workMode);
+    if (arrivalJitterSpread > 0)
+        builder.arrivalJitter(options.seed, arrivalJitterSpread);
     for (int i = 0; i < services; ++i)
         builder.add(kCycle[i % 3]);
     return builder.build();

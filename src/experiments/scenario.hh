@@ -24,6 +24,7 @@
 #include "experiments/dejavu_policy.hh"
 #include "experiments/experiment.hh"
 #include "experiments/fleet_experiment.hh"
+#include "sim/interference.hh"
 
 namespace dejavu {
 
@@ -89,10 +90,18 @@ struct FleetMember
     std::unique_ptr<Cluster> cluster;
     std::unique_ptr<Service> service;
     std::unique_ptr<ProfilerHost> profiler;
+    /** Co-located tenant pressure (§4.3); null unless the builder's
+     *  options enable interference. Start via
+     *  FleetStack::startInjectors(). */
+    std::unique_ptr<InterferenceInjector> injector;
     std::unique_ptr<DejaVuController> controller;
     LoadTrace trace;
     ProvisioningExperiment::Config experimentConfig;
     SimTime profilingSlot = 0;  ///< Host occupancy per adaptation.
+    /** Jittered change arrival: this member's trace hours fire at
+     *  hour boundaries plus this offset (see
+     *  FleetBuilder::arrivalJitter). */
+    SimTime arrivalOffset = 0;
 };
 
 /**
@@ -108,6 +117,10 @@ struct FleetStack
 
     /** Run every member's learning phase on its day-1 workloads. */
     void learnAll();
+
+    /** Begin every member's interference injection schedule (no-op
+     *  for members without an injector). */
+    void startInjectors();
 };
 
 /**
@@ -153,6 +166,24 @@ class FleetBuilder
      *  single dedicated machine). */
     FleetBuilder &profilingHosts(int hosts);
 
+    /** Profiling work routing (default Legacy — the pre-work-queue
+     *  behavior, byte-identical to PR 4). WorkQueue models tuner
+     *  experiments as §3.3 pool work and, combined with
+     *  shareRepository(Shared), coalesces same-class signature
+     *  collections and cancels reuse-answered queued tuner items. */
+    FleetBuilder &profilingWorkMode(ProfilingWorkMode mode);
+
+    /**
+     * De-synchronize change arrival (the ROADMAP's jittered trace
+     * hours): each member's hourly changes fire at its own
+     * deterministic offset in [0, spread), derived from (@p seed,
+     * member index). @p spread must stay within the hour; 0 restores
+     * synchronized arrivals. Offsets shift a member's whole
+     * timeline — its monitor chain and recorder follow the driver —
+     * so per-member series stay internally consistent.
+     */
+    FleetBuilder &arrivalJitter(std::uint64_t seed, SimTime spread);
+
     /**
      * Repository composition (default Private): Shared attaches all
      * members to one fleet-wide SharedRepository with per-kind
@@ -185,6 +216,9 @@ class FleetBuilder
     SimTime _defaultSlot = 0;
     int _profilingHosts = 1;
     RepositorySharing _sharing = RepositorySharing::Private;
+    ProfilingWorkMode _workMode = ProfilingWorkMode::Legacy;
+    std::uint64_t _jitterSeed = 0;
+    SimTime _jitterSpread = 0;
     std::vector<FleetMemberSpec> _specs;
 };
 
@@ -197,7 +231,9 @@ std::unique_ptr<FleetStack> makeCassandraFleet(
     SimTime profilingSlot = seconds(10),
     SlotPolicy policy = SlotPolicy::Fifo,
     int profilingHosts = 1,
-    RepositorySharing sharing = RepositorySharing::Private);
+    RepositorySharing sharing = RepositorySharing::Private,
+    ProfilingWorkMode workMode = ProfilingWorkMode::Legacy,
+    SimTime arrivalJitterSpread = 0);
 
 /**
  * Mixed fleet: @p services members cycling through KeyValue, SPECweb
@@ -209,7 +245,9 @@ std::unique_ptr<FleetStack> makeMixedFleet(
     int services, const ScenarioOptions &options,
     SlotPolicy policy = SlotPolicy::Fifo,
     int profilingHosts = 1,
-    RepositorySharing sharing = RepositorySharing::Private);
+    RepositorySharing sharing = RepositorySharing::Private,
+    ProfilingWorkMode workMode = ProfilingWorkMode::Legacy,
+    SimTime arrivalJitterSpread = 0);
 
 } // namespace dejavu
 

@@ -1,0 +1,54 @@
+#include "profiling/coalescer.hh"
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+WorkItemId
+Coalescer::leaderFor(const WorkKey &key) const
+{
+    const auto it = _open.find(key);
+    return it == _open.end() ? kInvalidWorkItem : it->second.leader;
+}
+
+void
+Coalescer::open(const WorkItem &leader)
+{
+    DEJAVU_ASSERT(eligible(leader), "item cannot lead a batch: ",
+                  leader.toString());
+    const auto [it, inserted] =
+        _open.emplace(leader.key, OpenBatch{leader.id, false});
+    (void)it;
+    DEJAVU_ASSERT(inserted, "batch already open for ",
+                  leader.key.toString());
+}
+
+void
+Coalescer::noteFanOut(const WorkKey &key)
+{
+    const auto it = _open.find(key);
+    DEJAVU_ASSERT(it != _open.end(), "no open batch for ",
+                  key.toString());
+    if (!it->second.fannedOut) {
+        it->second.fannedOut = true;
+        ++_stats.batches;
+    }
+    ++_stats.fanOuts;
+}
+
+void
+Coalescer::promote(const WorkKey &key, WorkItemId newLeader)
+{
+    const auto it = _open.find(key);
+    DEJAVU_ASSERT(it != _open.end(), "no open batch for ",
+                  key.toString());
+    it->second.leader = newLeader;
+}
+
+void
+Coalescer::close(const WorkKey &key)
+{
+    _open.erase(key);
+}
+
+} // namespace dejavu

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Same-class batching of signature collections.
+ *
+ * A Figure-2 installation hosts many services whose diurnal shapes
+ * align, so one hourly burst asks the profiling pool to collect many
+ * signatures of the *same* (service kind, workload class,
+ * interference bucket). Those measurements are interchangeable by
+ * construction — the shared repository already reuses their results
+ * across services — so collecting each one in its own §3.3 slot is
+ * pure queueing waste. The Coalescer tracks which shareable signature
+ * work is still waiting and lets the work queue attach a same-key
+ * arrival to the waiting batch: the batch occupies one slot (the
+ * longest member's duration) and its result fans out to every
+ * subscriber at slot start.
+ *
+ * Only Signature items with a known class coalesce: tuner sequences
+ * mutate repository state (they are deduplicated by reuse-driven
+ * cancellation instead), and a classId of -1 means the submitter
+ * could not predict the workload's class, so there is no evidence two
+ * such collections would measure the same thing. Keys differing in
+ * interference bucket never merge — a bucket-2 signature is collected
+ * under different co-location pressure than a bucket-0 one.
+ */
+
+#ifndef DEJAVU_PROFILING_COALESCER_HH
+#define DEJAVU_PROFILING_COALESCER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "profiling/work_item.hh"
+
+namespace dejavu {
+
+/**
+ * Bookkeeping of open (still-queued) signature batches, keyed by
+ * WorkKey. The work queue owns the batches themselves; the coalescer
+ * answers "is there a waiting batch this item may join?" and keeps
+ * the key -> leader mapping current as batches are granted, promoted
+ * or cancelled away.
+ */
+class Coalescer
+{
+  public:
+    struct Stats
+    {
+        /** Batches that ever served more than one item. */
+        std::uint64_t batches = 0;
+        /** Items attached to an existing batch (each one a slot the
+         *  pool did not have to grant). */
+        std::uint64_t fanOuts = 0;
+    };
+
+    explicit Coalescer(bool enabled = false) : _enabled(enabled) {}
+
+    bool enabled() const { return _enabled; }
+
+    /** True when @p item may join or open a batch: coalescing is on,
+     *  the item is signature work, and its key is shareable. */
+    bool eligible(const WorkItem &item) const
+    {
+        return _enabled && item.kind == WorkKind::Signature
+            && item.key.shareable();
+    }
+
+    /** Leader of the open batch for @p key, or kInvalidWorkItem. */
+    WorkItemId leaderFor(const WorkKey &key) const;
+
+    /** Open a batch for @p leader's key (fatal if one is open). */
+    void open(const WorkItem &leader);
+
+    /** Record one attachment to the open batch for @p key (fatal if
+     *  none is open). */
+    void noteFanOut(const WorkKey &key);
+
+    /** Re-point the open batch for @p key at @p newLeader (the old
+     *  leader was cancelled out of a multi-member batch). */
+    void promote(const WorkKey &key, WorkItemId newLeader);
+
+    /** Drop the open batch for @p key (granted, or cancelled down to
+     *  zero members). No-op when none is open. */
+    void close(const WorkKey &key);
+
+    /** Open batches right now. */
+    std::size_t open() const { return _open.size(); }
+
+    const Stats &stats() const { return _stats; }
+
+  private:
+    struct OpenBatch
+    {
+        WorkItemId leader = kInvalidWorkItem;
+        bool fannedOut = false;  ///< Counted toward stats.batches.
+    };
+
+    bool _enabled;
+    std::unordered_map<WorkKey, OpenBatch, WorkKeyHash> _open;
+    Stats _stats;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_PROFILING_COALESCER_HH

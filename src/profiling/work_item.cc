@@ -1,0 +1,76 @@
+#include "profiling/work_item.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+const char *
+workKindName(WorkKind kind)
+{
+    switch (kind) {
+      case WorkKind::Signature:
+        return "signature";
+      case WorkKind::Tuner:
+        return "tuner";
+    }
+    fatal("unknown work kind");
+}
+
+std::string
+WorkKey::toString() const
+{
+    std::ostringstream os;
+    os << serviceKindName(serviceKind) << "/c" << classId << "/b"
+       << bucket;
+    return os.str();
+}
+
+std::string
+WorkItem::toString() const
+{
+    std::ostringstream os;
+    os << workKindName(kind) << "#" << id << "{" << key.toString()
+       << " owner=" << owner << " seq=" << seq << " dur="
+       << toSeconds(duration) << "s}";
+    return os.str();
+}
+
+const char *
+workCancelReasonName(WorkCancelReason reason)
+{
+    switch (reason) {
+      case WorkCancelReason::Explicit:
+        return "explicit";
+      case WorkCancelReason::Detached:
+        return "detached";
+      case WorkCancelReason::Reuse:
+        return "reuse";
+    }
+    fatal("unknown cancel reason");
+}
+
+const char *
+profilingWorkModeName(ProfilingWorkMode mode)
+{
+    switch (mode) {
+      case ProfilingWorkMode::Legacy:
+        return "legacy";
+      case ProfilingWorkMode::WorkQueue:
+        return "wq";
+    }
+    fatal("unknown profiling work mode");
+}
+
+ProfilingWorkMode
+profilingWorkModeFromName(const std::string &name)
+{
+    if (name == "legacy")
+        return ProfilingWorkMode::Legacy;
+    if (name == "wq")
+        return ProfilingWorkMode::WorkQueue;
+    fatal("unknown profiling work mode: ", name, " (use legacy|wq)");
+}
+
+} // namespace dejavu

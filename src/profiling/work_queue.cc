@@ -1,0 +1,345 @@
+#include "profiling/work_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/simulation.hh"
+
+namespace dejavu {
+
+ProfilingWorkQueue::ProfilingWorkQueue(
+    Simulation &sim, std::unique_ptr<ProfilingSlotScheduler> scheduler,
+    int hosts, bool coalesceSignatures, std::string name)
+    : Actor(sim, std::move(name)),
+      _scheduler(scheduler ? std::move(scheduler)
+                           : makeSlotScheduler(SlotPolicy::Fifo)),
+      _hosts(hosts), _coalescer(coalesceSignatures)
+{
+}
+
+ProfilingWorkQueue::Item &
+ProfilingWorkQueue::itemRef(WorkItemId id)
+{
+    DEJAVU_ASSERT(id < _items.size(), "no such work item: ", id);
+    return _items[static_cast<std::size_t>(id)];
+}
+
+const ProfilingWorkQueue::Item &
+ProfilingWorkQueue::itemRef(WorkItemId id) const
+{
+    DEJAVU_ASSERT(id < _items.size(), "no such work item: ", id);
+    return _items[static_cast<std::size_t>(id)];
+}
+
+ProfilingWorkQueue::ItemState
+ProfilingWorkQueue::state(WorkItemId id) const
+{
+    return itemRef(id).state;
+}
+
+const WorkItem &
+ProfilingWorkQueue::item(WorkItemId id) const
+{
+    return itemRef(id).info;
+}
+
+std::size_t
+ProfilingWorkQueue::waitingItems() const
+{
+    std::size_t n = 0;
+    for (const auto &entry : _waiting)
+        n += entry.members.size();
+    return n;
+}
+
+WorkItemId
+ProfilingWorkQueue::submit(WorkItem item, RunFn run, CancelFn onCancel)
+{
+    DEJAVU_ASSERT(item.duration >= 0, "negative work duration");
+    DEJAVU_ASSERT(item.kind == WorkKind::Signature
+                      || item.kind == WorkKind::Tuner,
+                  "unknown work kind");
+    item.id = static_cast<WorkItemId>(_items.size());
+    item.seq = _nextSeq++;
+    item.requestedAt = now();
+    if (item.kind == WorkKind::Signature)
+        ++_stats.signatureSubmitted;
+    else
+        ++_stats.tunerSubmitted;
+
+    const WorkItemId id = item.id;
+    _items.push_back(
+        {std::move(item), std::move(run), std::move(onCancel),
+         ItemState::Queued});
+    Item &stored = _items.back();
+
+    // Same-key batching: a shareable signature collection submitted
+    // while an equivalent one is still waiting joins that batch
+    // instead of demanding its own slot.
+    if (_coalescer.eligible(stored.info)) {
+        const WorkItemId leader =
+            _coalescer.leaderFor(stored.info.key);
+        if (leader != kInvalidWorkItem) {
+            for (auto &entry : _waiting) {
+                if (entry.members.front() != leader)
+                    continue;
+                entry.members.push_back(id);
+                _coalescer.noteFanOut(stored.info.key);
+                dispatch();
+                return id;
+            }
+            fatal("coalescer points at a batch that left the queue: ",
+                  stored.info.key.toString());
+        }
+        _waiting.push_back({{id}, true});
+        _coalescer.open(stored.info);
+    } else {
+        _waiting.push_back({{id}, false});
+    }
+    dispatch();
+    return id;
+}
+
+ProfilingRequest
+ProfilingWorkQueue::viewOf(Entry &entry)
+{
+    // Refresh each member's debt so the scheduler sees the debtor's
+    // state *now*, not at enqueue time; a batch carries its members'
+    // summed debt (granting it serves them all).
+    ProfilingRequest request;
+    const Item &leader = itemRef(entry.members.front());
+    request.member = leader.info.owner;
+    request.seq = leader.info.seq;
+    request.requestedAt = leader.info.requestedAt;
+    double debt = 0.0;
+    SimTime duration = 0;
+    for (const WorkItemId id : entry.members) {
+        Item &member = itemRef(id);
+        if (_debtProbe)
+            member.info.sloDebt = _debtProbe(member.info);
+        debt += member.info.sloDebt;
+        duration = std::max(duration, member.info.duration);
+    }
+    request.slotDuration = duration;
+    request.sloDebt = debt;
+    return request;
+}
+
+void
+ProfilingWorkQueue::dispatch()
+{
+    // Grant until the pool or the queue is exhausted. The scheduler
+    // sees a fresh view each iteration: every grant shrinks the
+    // waiting list and removes the granted host from the free list,
+    // and each granted member's debt is spent before the next pick.
+    while (_hosts.anyFree() && !_waiting.empty()) {
+        std::vector<ProfilingRequest> view;
+        view.reserve(_waiting.size());
+        for (auto &entry : _waiting)
+            view.push_back(viewOf(entry));
+        const std::vector<std::size_t> freeHosts = _hosts.freeHosts();
+        const SlotGrant grant = _scheduler->grant(view, freeHosts);
+        DEJAVU_ASSERT(grant.request < view.size(), "scheduler '",
+                      _scheduler->name(), "' picked out of range: ",
+                      grant.request);
+        DEJAVU_ASSERT(std::find(freeHosts.begin(), freeHosts.end(),
+                                grant.host) != freeHosts.end(),
+                      "scheduler '", _scheduler->name(),
+                      "' granted a busy or unknown host: ", grant.host);
+
+        Entry entry = std::move(_waiting[grant.request]);
+        _waiting.erase(_waiting.begin()
+                       + static_cast<std::ptrdiff_t>(grant.request));
+        if (entry.coalescable)
+            _coalescer.close(itemRef(entry.members.front()).info.key);
+
+        _hosts.acquire(grant.host);
+
+        auto state = std::make_shared<GrantState>();
+        state->members = std::move(entry.members);
+        state->host = grant.host;
+        state->startedAt = now();
+        state->occupancy = view[grant.request].slotDuration;
+        state->dynamic =
+            itemRef(state->members.front()).info.dynamicDuration;
+        DEJAVU_ASSERT(!state->dynamic || state->members.size() == 1,
+                      "dynamic-duration work must not batch");
+
+        for (const WorkItemId id : state->members) {
+            Item &member = itemRef(id);
+            member.state = ItemState::Granted;
+            // The granted member's accumulated debt is spent:
+            // prioritization starts over after it gets a host.
+            if (_debtSpend)
+                _debtSpend(member.info);
+        }
+
+        // The work runs when the slot starts; fixed-duration slots
+        // pre-schedule their release (preserving the event order of
+        // the pre-work-queue fleet), dynamic ones release from the
+        // run event once the true occupancy is known.
+        at(state->startedAt, [this, state] { runGrant(state); });
+        if (!state->dynamic)
+            state->release = at(
+                saturatingAdd(state->startedAt, state->occupancy),
+                [this, state] {
+                    _hosts.release(state->host);
+                    dispatch();
+                });
+    }
+}
+
+void
+ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
+{
+    bool anyLive = false;
+    for (const WorkItemId id : grant->members)
+        anyLive = anyLive
+            || itemRef(id).state == ItemState::Granted;
+    if (!anyLive) {
+        // Every member was cancelled between grant and slot start:
+        // free the host without consuming the slot.
+        if (grant->release != kInvalidEvent)
+            Actor::cancel(grant->release);
+        _hosts.release(grant->host);
+        dispatch();
+        return;
+    }
+
+    bool first = true;
+    SimTime actual = grant->occupancy;
+    for (const WorkItemId id : grant->members) {
+        Item &member = itemRef(id);
+        if (member.state != ItemState::Granted)
+            continue;  // cancelled while its batch waited to start
+        member.state = ItemState::Done;
+        // Copies, not references: the run callback may submit new
+        // work and grow _items, which would dangle both.
+        const WorkItem info = member.info;
+        const RunFn run = member.run;
+        WorkGrant wg;
+        wg.item = &info;
+        wg.host = grant->host;
+        wg.startedAt = grant->startedAt;
+        wg.slotDuration = first ? grant->occupancy : 0;
+        wg.coalesced = !first;
+        const SimTime reported = run ? run(wg) : info.duration;
+        // Re-fetch (the callback may have grown _items) and release
+        // the closures: a finished item's payload — captured
+        // workloads and controller hooks — would otherwise live
+        // until queue destruction.
+        {
+            Item &done = itemRef(id);
+            done.run = nullptr;
+            done.onCancel = nullptr;
+        }
+        if (first) {
+            if (grant->dynamic) {
+                DEJAVU_ASSERT(reported >= 0,
+                              "negative reported occupancy");
+                actual = reported;
+            }
+            if (info.kind == WorkKind::Signature)
+                ++_stats.signatureSlots;
+            else if (!grant->dynamic || reported > 0)
+                // A dynamic item reporting zero occupancy consumed
+                // no host time (e.g. a tuner grant resolved from the
+                // repository) — it is not pool demand.
+                ++_stats.tunerSlots;
+        } else {
+            ++_stats.coalescedSignatures;
+        }
+        first = false;
+    }
+
+    if (grant->dynamic)
+        at(saturatingAdd(grant->startedAt, actual),
+           [this, state = grant] {
+               _hosts.release(state->host);
+               dispatch();
+           });
+}
+
+void
+ProfilingWorkQueue::removeQueued(WorkItemId id)
+{
+    for (std::size_t e = 0; e < _waiting.size(); ++e) {
+        Entry &entry = _waiting[e];
+        const auto it = std::find(entry.members.begin(),
+                                  entry.members.end(), id);
+        if (it == entry.members.end())
+            continue;
+        const bool wasLeader = it == entry.members.begin();
+        entry.members.erase(it);
+        if (entry.members.empty()) {
+            if (entry.coalescable)
+                _coalescer.close(itemRef(id).info.key);
+            _waiting.erase(_waiting.begin()
+                           + static_cast<std::ptrdiff_t>(e));
+        } else if (wasLeader && entry.coalescable) {
+            _coalescer.promote(itemRef(id).info.key,
+                               entry.members.front());
+        }
+        return;
+    }
+    fatal("queued work item ", id, " not found in any entry");
+}
+
+bool
+ProfilingWorkQueue::cancelItem(WorkItemId id, WorkCancelReason reason)
+{
+    Item &target = itemRef(id);
+    switch (target.state) {
+      case ItemState::Queued:
+        removeQueued(id);
+        target.state = ItemState::Cancelled;
+        ++_stats.cancelledQueued;
+        break;
+      case ItemState::Granted:
+        // The slot-start event will see the cancellation, skip the
+        // work and free the host (runGrant).
+        target.state = ItemState::Cancelled;
+        ++_stats.cancelledGranted;
+        break;
+      case ItemState::Done:
+      case ItemState::Cancelled:
+        return false;
+    }
+    if (target.info.kind == WorkKind::Tuner
+        && reason == WorkCancelReason::Reuse)
+        ++_stats.tunerCancelledForReuse;
+    // Copy before invoking: the callback may submit new work, and a
+    // grown _items vector would dangle the reference.
+    const CancelFn onCancel = target.onCancel;
+    target.run = nullptr;
+    target.onCancel = nullptr;
+    if (onCancel) {
+        const WorkItem info = target.info;
+        onCancel(info, reason);
+    }
+    return true;
+}
+
+std::size_t
+ProfilingWorkQueue::cancelWhere(
+    const std::function<bool(const WorkItem &)> &pred,
+    WorkCancelReason reason)
+{
+    // Submission (id) order keeps multi-item cancellations
+    // deterministic regardless of queue position.
+    std::vector<WorkItemId> doomed;
+    for (WorkItemId id = 0; id < _items.size(); ++id) {
+        const Item &candidate = itemRef(id);
+        if ((candidate.state == ItemState::Queued
+             || candidate.state == ItemState::Granted)
+            && pred(candidate.info))
+            doomed.push_back(id);
+    }
+    std::size_t cancelled = 0;
+    for (const WorkItemId id : doomed)
+        if (cancelItem(id, reason))
+            ++cancelled;
+    return cancelled;
+}
+
+} // namespace dejavu

@@ -580,6 +580,173 @@ TEST_F(FleetExperimentTest, IsolatedModeMatchesPrivateDecisions)
     EXPECT_EQ(privSummary.repoWouldHaveHits, 0u);
 }
 
+TEST_F(FleetExperimentTest, WorkQueueMatchesLegacyWhenFeaturesIdle)
+{
+    // The faithful-rebase property: with interference detection off
+    // (no §3.6 tuner sequences can arise) and private repositories
+    // (no coalescing, no reuse cancellation), the work-queue routing
+    // has nothing to do differently — runs must match the legacy
+    // path bit for bit.
+    auto runWith = [](ProfilingWorkMode mode) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        options.interferenceDetection = false;
+        auto stack = makeMixedFleet(6, options, SlotPolicy::Fifo, 1,
+                                    RepositorySharing::Private, mode);
+        stack->learnAll();
+        auto results = stack->experiment->run();
+        return std::make_pair(std::move(results),
+                              stack->experiment->summary());
+    };
+    const auto [legacyResults, legacySummary] =
+        runWith(ProfilingWorkMode::Legacy);
+    const auto [wqResults, wqSummary] =
+        runWith(ProfilingWorkMode::WorkQueue);
+
+    EXPECT_EQ(legacySummary.workMode, "legacy");
+    EXPECT_EQ(wqSummary.workMode, "wq");
+    EXPECT_EQ(legacySummary.adaptations, wqSummary.adaptations);
+    EXPECT_EQ(legacySummary.signatureSlots, wqSummary.signatureSlots);
+    EXPECT_EQ(wqSummary.tunerSlots, 0u);
+    EXPECT_EQ(wqSummary.coalescedSignatures, 0u);
+    EXPECT_DOUBLE_EQ(legacySummary.queueDelayP95Sec,
+                     wqSummary.queueDelayP95Sec);
+    EXPECT_DOUBLE_EQ(legacySummary.adaptationP95Sec,
+                     wqSummary.adaptationP95Sec);
+    EXPECT_EQ(legacySummary.repoLookups, wqSummary.repoLookups);
+    EXPECT_EQ(legacySummary.repoHits, wqSummary.repoHits);
+    ASSERT_EQ(legacyResults.size(), wqResults.size());
+    for (std::size_t i = 0; i < legacyResults.size(); ++i) {
+        EXPECT_DOUBLE_EQ(legacyResults[i].result.costDollars,
+                         wqResults[i].result.costDollars);
+        EXPECT_EQ(legacyResults[i].adaptations,
+                  wqResults[i].adaptations);
+        EXPECT_EQ(legacyResults[i].maxQueueDelay,
+                  wqResults[i].maxQueueDelay);
+    }
+}
+
+TEST_F(FleetExperimentTest, CoalescingCollapsesSharedSignatureWork)
+{
+    // The tentpole claim in miniature: under the work-queue model
+    // with a shared repository, same-class signature collections of
+    // the hourly burst merge into one slot each, so shared-mode slot
+    // demand drops measurably below private-mode while every member
+    // still completes every adaptation.
+    auto summaryFor = [](RepositorySharing sharing) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        auto stack = makeMixedFleet(9, options, SlotPolicy::Fifo, 1,
+                                    sharing,
+                                    ProfilingWorkMode::WorkQueue);
+        stack->learnAll();
+        stack->experiment->run();
+        return stack->experiment->summary();
+    };
+    const auto shared = summaryFor(RepositorySharing::Shared);
+    const auto priv = summaryFor(RepositorySharing::Private);
+
+    EXPECT_GT(shared.coalescedSignatures, 0u);
+    EXPECT_EQ(priv.coalescedSignatures, 0u);
+    // Every coalesced collection is a slot the pool did not grant.
+    EXPECT_EQ(shared.signatureSlots + shared.coalescedSignatures,
+              priv.signatureSlots);
+    EXPECT_LT(shared.signatureSlots + shared.tunerSlots,
+              priv.signatureSlots + priv.tunerSlots);
+    // Less demand, same pool: the queue tail shrinks.
+    EXPECT_LT(shared.queueDelayP95Sec, priv.queueDelayP95Sec);
+    // Fan-out members still complete their adaptations (one per
+    // member per reuse hour, plus any tuner completions).
+    EXPECT_GE(shared.adaptations,
+              static_cast<std::uint64_t>(9 * 24));
+}
+
+TEST_F(FleetExperimentTest, InterferenceMakesTunerRunsPoolWork)
+{
+    // With co-located tenant pressure injected, §3.6 tuner sequences
+    // fire — under the work-queue model they consume pool slots, and
+    // a shared repository avoids most of them (peers reuse each
+    // other's interference tunings).
+    auto summaryFor = [](RepositorySharing sharing) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        options.interference = true;
+        auto stack = makeMixedFleet(9, options, SlotPolicy::Fifo, 1,
+                                    sharing,
+                                    ProfilingWorkMode::WorkQueue);
+        stack->learnAll();
+        stack->startInjectors();
+        stack->experiment->run();
+        return stack->experiment->summary();
+    };
+    const auto priv = summaryFor(RepositorySharing::Private);
+    const auto shared = summaryFor(RepositorySharing::Shared);
+    EXPECT_GT(priv.tunerSlots, 0u);
+    EXPECT_LT(shared.tunerSlots, priv.tunerSlots);
+    EXPECT_GT(shared.repoReusedEntries, 0u);
+}
+
+TEST_F(FleetExperimentTest, JitteredArrivalsSpreadTheBurst)
+{
+    // The ROADMAP's de-synchronization question: offsetting each
+    // member's trace hours spreads the hourly burst, so the pool
+    // queue (and with it the adaptation tail) collapses even at
+    // M = 1 — and the offsets are deterministic per (seed, member).
+    auto buildWith = [](SimTime spread) {
+        ScenarioOptions options;
+        options.seed = 42;
+        options.days = 2;
+        FleetBuilder builder(options);
+        builder.slotPolicy(SlotPolicy::Fifo);
+        if (spread > 0)
+            builder.arrivalJitter(7, spread);
+        for (int i = 0; i < 9; ++i)
+            builder.add(i % 2 == 0 ? ServiceKind::KeyValue
+                                   : ServiceKind::Rubis);
+        auto stack = builder.build();
+        stack->learnAll();
+        return stack;
+    };
+
+    auto sync = buildWith(0);
+    sync->experiment->run();
+    const auto syncSummary = sync->experiment->summary();
+
+    auto jittered = buildWith(minutes(45));
+    // Deterministic, spread-out offsets within the hour.
+    bool anyOffset = false;
+    for (std::size_t i = 0; i < jittered->members.size(); ++i) {
+        const SimTime offset = jittered->members[i]->arrivalOffset;
+        EXPECT_GE(offset, 0);
+        EXPECT_LT(offset, minutes(45));
+        anyOffset = anyOffset || offset > 0;
+    }
+    EXPECT_TRUE(anyOffset);
+    {
+        auto again = buildWith(minutes(45));
+        for (std::size_t i = 0; i < jittered->members.size(); ++i)
+            EXPECT_EQ(jittered->members[i]->arrivalOffset,
+                      again->members[i]->arrivalOffset);
+    }
+    jittered->experiment->run();
+    const auto jitSummary = jittered->experiment->summary();
+
+    // Same work completed, radically thinner queue tail.
+    EXPECT_EQ(jitSummary.adaptations, syncSummary.adaptations);
+    EXPECT_GT(syncSummary.queueDelayP95Sec, 0.0);
+    EXPECT_LT(jitSummary.queueDelayP95Sec,
+              syncSummary.queueDelayP95Sec);
+    // Members' changes really fire off the hour boundary.
+    bool offHourArrival = false;
+    for (const auto &entry : jittered->experiment->fleet().log())
+        offHourArrival = offHourArrival
+            || entry.requestedAt % static_cast<SimTime>(kHour) != 0;
+    EXPECT_TRUE(offHourArrival);
+}
+
 TEST_F(FleetExperimentTest, ServicesKeepIndependentAllocations)
 {
     // Different per-service traces should show up as (at least

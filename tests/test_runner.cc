@@ -251,6 +251,82 @@ TEST_F(RunnerIntegration, SharedFleetSweepBitIdenticalAcrossThreads)
         std::string::npos);
 }
 
+TEST_F(RunnerIntegration, FleetScenarioParsesWorkModeAndJitter)
+{
+    // Default: the legacy routing (pre-work-queue behavior).
+    auto def = makeFleetScenario("fleet-mixed-3-h2-shared", 42,
+                                 SlotPolicy::Fifo);
+    EXPECT_EQ(def->experiment->workMode(), ProfilingWorkMode::Legacy);
+    for (const auto &member : def->members) {
+        EXPECT_EQ(member->arrivalOffset, 0);
+        EXPECT_EQ(member->injector, nullptr);
+    }
+
+    // All suffixes compose in canonical order:
+    // -h<M> -<sharing> -<workmode> -jit +interference.
+    auto full = makeFleetScenario(
+        "fleet-mixed-3-h2-shared-wq-jit+interference", 42,
+        SlotPolicy::Fifo);
+    EXPECT_EQ(full->experiment->workMode(),
+              ProfilingWorkMode::WorkQueue);
+    EXPECT_EQ(full->experiment->sharing(), RepositorySharing::Shared);
+    EXPECT_EQ(full->experiment->fleet().profilingHosts(), 2);
+    EXPECT_EQ(full->members.size(), 3u);
+    bool anyOffset = false;
+    for (const auto &member : full->members) {
+        EXPECT_LT(member->arrivalOffset, kDefaultJitterSpread);
+        anyOffset = anyOffset || member->arrivalOffset > 0;
+        EXPECT_NE(member->injector, nullptr);
+    }
+    EXPECT_TRUE(anyOffset);
+    // The wq fleet coalesces and cancels only under sharing.
+    EXPECT_TRUE(full->experiment->fleet()
+                    .workOptions().coalesceSignatures);
+    auto wqPrivate = makeFleetScenario("fleet-mixed-3-wq", 42,
+                                       SlotPolicy::Fifo);
+    EXPECT_EQ(wqPrivate->experiment->workMode(),
+              ProfilingWorkMode::WorkQueue);
+    EXPECT_FALSE(wqPrivate->experiment->fleet()
+                     .workOptions().coalesceSignatures);
+
+    // An explicit "-legacy" is accepted too.
+    auto legacy = makeFleetScenario("fleet-cassandra-4-legacy", 42,
+                                    SlotPolicy::Fifo);
+    EXPECT_EQ(legacy->experiment->workMode(),
+              ProfilingWorkMode::Legacy);
+}
+
+TEST_F(RunnerIntegration, WorkQueueSweepBitIdenticalAcrossThreads)
+{
+    // The work-queue model must not disturb determinism: coalesced
+    // and jittered cells of one sweep digest byte-identically at 1,
+    // 4 and 8 runner threads.
+    const auto cells = ExperimentRunner::grid(
+        {"fleet-mixed-9-shared-wq", "fleet-mixed-9-private-wq",
+         "fleet-mixed-9-shared-wq-jit"},
+        {"fifo", "adaptive"}, {1});
+
+    auto digestAt = [&](int threads) {
+        const auto summaries =
+            ExperimentRunner(ExperimentRunner::Config(threads))
+                .sweepInto(cells, runFleetCell);
+        std::vector<FleetCellResult> rows;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            rows.push_back({cells[i], summaries[i]});
+        return fleetSweepCsv(rows);
+    };
+
+    const std::string digest1 = digestAt(1);
+    EXPECT_EQ(digest1, digestAt(4));
+    EXPECT_EQ(digest1, digestAt(8));
+    // The digest carries the work-mode column and the shared cell
+    // actually coalesced (nonzero "coalesced" column is asserted in
+    // test_fleet_experiment; here the mode tag suffices).
+    EXPECT_NE(digest1.find("fleet-mixed-9-shared-wq,fifo,1,9,1,shared"),
+              std::string::npos);
+    EXPECT_NE(digest1.find(",wq,"), std::string::npos);
+}
+
 TEST_F(RunnerIntegration, FleetCellRejectsMalformedScenarios)
 {
     EXPECT_EXIT(makeFleetScenario("fleet-mixed-9-h0", 1,

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff the hosts-vs-p95 knee between two fleet-sweep CSVs.
+
+Both inputs are CSVs produced by ``fleetSweepCsv`` (what
+``bench_fleet_tails --csv <path>`` writes): one row per sweep cell
+with ``scenario,policy,...,hosts,...,adapt_p95_s`` columns. Rows are
+grouped by (scenario-without-the-h<M>-field, policy), each group's
+rows are ordered by ascending host count, and the marginal knee rule
+of bench/fleet_tails.cc is applied: the knee is the smallest M whose
+next doubling buys less than ``--threshold`` seconds of p95 per added
+host (reported as ``M>max`` when every doubling still pays off).
+
+The report prints one line per group found in both files, with the
+knee and the M=min p95 from each file and the shift between them —
+so two runs of the bench (before/after a change, legacy vs
+work-queue, synchronized vs jittered) can be compared without
+re-reading the tables.
+
+Exit status: 0 on success (even when knees differ — the tool
+reports, it does not judge), 2 on malformed input or no comparable
+groups.
+"""
+
+import argparse
+import csv
+import re
+import sys
+
+HOST_FIELD = re.compile(r"-h\d+")
+
+
+def read_rows(path):
+    """Parse one sweep CSV into a list of row dicts."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.DictReader(fh)
+        rows = list(reader)
+    required = {"scenario", "policy", "hosts", "adapt_p95_s"}
+    if not rows or not required.issubset(rows[0].keys()):
+        sys.exit(f"error: {path} is not a fleet-sweep CSV "
+                 f"(need columns {sorted(required)})")
+    return rows
+
+
+def group_rows(rows):
+    """(scenario-sans-hosts, policy) -> [(hosts, p95)] ascending."""
+    groups = {}
+    for row in rows:
+        variant = HOST_FIELD.sub("", row["scenario"], count=1)
+        key = (variant, row["policy"])
+        try:
+            hosts = int(row["hosts"])
+            p95 = float(row["adapt_p95_s"])
+        except ValueError:
+            sys.exit(f"error: unparsable hosts/p95 in row {row}")
+        groups.setdefault(key, []).append((hosts, p95))
+    for key, points in groups.items():
+        points.sort()
+        hosts_seen = [h for h, _ in points]
+        if len(set(hosts_seen)) != len(hosts_seen):
+            sys.exit(f"error: duplicate host count in group {key} "
+                     f"(mixed seeds? filter the CSV first)")
+    return groups
+
+
+def knee_of(points, threshold):
+    """The marginal-knee rule; None means 'beyond the sweep'."""
+    for (prev_hosts, prev_p95), (hosts, p95) in zip(points,
+                                                    points[1:]):
+        marginal = (prev_p95 - p95) / (hosts - prev_hosts)
+        if marginal < threshold:
+            return prev_hosts
+    return None
+
+
+def knee_label(points, threshold):
+    knee = knee_of(points, threshold)
+    if knee is None:
+        return f"M>{points[-1][0]}"
+    return f"M={knee}"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff the hosts-vs-p95 knee between two "
+                    "fleet-sweep CSVs.")
+    parser.add_argument("before", help="baseline sweep CSV")
+    parser.add_argument("after", help="comparison sweep CSV")
+    parser.add_argument("--threshold", type=float, default=60.0,
+                        help="marginal knee rule: seconds of p95 per "
+                             "added host (default 60)")
+    args = parser.parse_args()
+
+    before = group_rows(read_rows(args.before))
+    after = group_rows(read_rows(args.after))
+    shared_keys = sorted(set(before) & set(after))
+    if not shared_keys:
+        sys.exit("error: the two CSVs share no (variant, policy) "
+                 "groups — nothing to compare")
+
+    width = max(len(f"{variant}/{policy}")
+                for variant, policy in shared_keys)
+    print(f"knee shift (threshold {args.threshold:g} s/host), "
+          f"{args.before} -> {args.after}:")
+    header = (f"{'group':<{width}}  {'before':>8} {'after':>8} "
+              f"{'shift':>8}  {'p95@minM before->after':>24}")
+    print(header)
+    for key in shared_keys:
+        variant, policy = key
+        b_points, a_points = before[key], after[key]
+        b_label = knee_label(b_points, args.threshold)
+        a_label = knee_label(a_points, args.threshold)
+        b_knee = knee_of(b_points, args.threshold)
+        a_knee = knee_of(a_points, args.threshold)
+        if b_knee is None or a_knee is None:
+            shift = "?" if b_label != a_label else "none"
+        elif a_knee < b_knee:
+            shift = f"-{b_knee - a_knee}"
+        elif a_knee > b_knee:
+            shift = f"+{a_knee - b_knee}"
+        else:
+            shift = "none"
+        p95s = (f"{b_points[0][1]:.1f}s -> {a_points[0][1]:.1f}s "
+                f"@M={b_points[0][0]}")
+        print(f"{variant + '/' + policy:<{width}}  {b_label:>8} "
+              f"{a_label:>8} {shift:>8}  {p95s:>24}")
+
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    for key, where in [(k, args.before) for k in only_before] + \
+                      [(k, args.after) for k in only_after]:
+        print(f"note: {key[0]}/{key[1]} only in {where}")
+
+
+if __name__ == "__main__":
+    main()
