@@ -45,6 +45,16 @@
  * threads — small enough for CI on every push. `--csv <path>` writes
  * the full sweep digest CSV (one row per cell) for artifact upload
  * and tools/compare_knee.py.
+ *
+ * `--huge` switches to the scale gate instead of the model sweep:
+ * mixed fleets of N in {1k, 10k} services (batched fleet sampler,
+ * series recording off, shared repository + work-queue routing) are
+ * run through every slot policy, reporting events/s, wall time and
+ * peak RSS next to the hosts-vs-p95 knee, and emitting a
+ * BENCH_fleet.json machine digest (read by
+ * tools/check_bench_regression.py in CI). `--huge --smoke` shrinks N
+ * to {100, 1k} for per-push CI. `--json <path>` overrides the digest
+ * location.
  */
 
 #include <chrono>
@@ -52,10 +62,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <thread>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "experiments/runner.hh"
+#include "experiments/scenario.hh"
 
 using namespace dejavu;
 
@@ -132,6 +145,222 @@ kneeLabel(const std::vector<const FleetCellResult *> &progression,
     return "M>" + std::to_string(progression.back()->summary.hosts);
 }
 
+// --------------------------------------------------------------------
+// --huge: the scale gate. Events/s, wall time and peak RSS for mixed
+// fleets of up to 10k services, next to the hosts-vs-p95 knee.
+// --------------------------------------------------------------------
+
+/** One measured cell of the scale gate. */
+struct HugeCell
+{
+    int services = 0;
+    int hosts = 0;
+    std::string policy;
+    std::uint64_t events = 0;       ///< Queue events executed.
+    double learnSec = 0.0;          ///< Learning-phase wall clock.
+    double runSec = 0.0;            ///< run() wall clock.
+    double eventsPerSec = 0.0;      ///< events / runSec.
+    std::uint64_t rssBytes = 0;     ///< Process peak RSS after run.
+    FleetExperiment::FleetSummary summary;
+};
+
+/** Build, learn and run one huge-fleet cell (batched sampling, series
+ *  recording off, shared repository, work-queue routing — the
+ *  scale-relevant configuration). */
+HugeCell
+runHugeCell(int services, int hosts, const std::string &policy,
+            int learnThreads)
+{
+    static const ServiceKind kCycle[] = {
+        ServiceKind::KeyValue, ServiceKind::SpecWeb,
+        ServiceKind::Rubis};
+    ScenarioOptions options;
+    options.seed = 42;
+    options.days = 2;
+    FleetBuilder builder(options);
+    builder.slotPolicy(slotPolicyFromName(policy))
+        .profilingHosts(hosts)
+        .shareRepository(RepositorySharing::Shared)
+        .profilingWorkMode(ProfilingWorkMode::WorkQueue)
+        .recordSeries(false);
+    for (int i = 0; i < services; ++i)
+        builder.add(kCycle[i % 3]);
+    auto stack = builder.build();
+
+    HugeCell cell;
+    cell.services = services;
+    cell.hosts = hosts;
+    cell.policy = policy;
+
+    const auto learnStart = std::chrono::steady_clock::now();
+    stack->learnAll(learnThreads);
+    cell.learnSec = secondsSince(learnStart);
+
+    const auto runStart = std::chrono::steady_clock::now();
+    stack->experiment->run();
+    cell.runSec = secondsSince(runStart);
+
+    cell.events = stack->sim->queue().executed();
+    cell.eventsPerSec = cell.runSec > 0.0
+        ? static_cast<double>(cell.events) / cell.runSec : 0.0;
+    cell.rssBytes = peakRssBytes();
+    cell.summary = stack->experiment->summary();
+    return cell;
+}
+
+/** Marginal knee over huge cells (hosts-ascending). */
+int
+hugeKneeOf(const std::vector<const HugeCell *> &progression,
+           double thresholdSecPerHost)
+{
+    for (std::size_t i = 1; i < progression.size(); ++i) {
+        const auto &prev = progression[i - 1]->summary;
+        const auto &cur = progression[i]->summary;
+        const double marginal =
+            (prev.adaptationP95Sec - cur.adaptationP95Sec)
+            / static_cast<double>(cur.hosts - prev.hosts);
+        if (marginal < thresholdSecPerHost)
+            return prev.hosts;
+    }
+    return 0;
+}
+
+/** Emit the machine digest read by tools/check_bench_regression.py. */
+void
+writeHugeJson(const std::string &path, bool smoke,
+              const std::vector<HugeCell> &cells,
+              const std::map<std::pair<int, std::string>, int> &knees)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write JSON to ", path);
+    out << "{\n  \"bench\": \"fleet_tails_huge\",\n"
+        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+        << "  \"days\": 2,\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const HugeCell &c = cells[i];
+        out << "    {\"services\": " << c.services
+            << ", \"hosts\": " << c.hosts
+            << ", \"policy\": \"" << c.policy << "\""
+            << ", \"events\": " << c.events
+            << ", \"learn_s\": " << c.learnSec
+            << ", \"wall_s\": " << c.runSec
+            << ", \"events_per_s\": " << c.eventsPerSec
+            << ", \"peak_rss_bytes\": " << c.rssBytes
+            << ", \"adaptations\": " << c.summary.adaptations
+            << ", \"adapt_p50_s\": " << c.summary.adaptationP50Sec
+            << ", \"adapt_p95_s\": " << c.summary.adaptationP95Sec
+            << ", \"adapt_max_s\": " << c.summary.adaptationMaxSec
+            << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"knees\": [\n";
+    std::size_t k = 0;
+    for (const auto &[key, knee] : knees) {
+        out << "    {\"services\": " << key.first
+            << ", \"policy\": \"" << key.second << "\""
+            << ", \"knee_hosts\": " << knee << "}"
+            << (++k < knees.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+/** The --huge scale gate (replaces the model sweep). */
+int
+runHugeGate(bool smoke, std::string jsonPath)
+{
+    if (jsonPath.empty())
+        jsonPath = "BENCH_fleet.json";
+    // The multi-host N locates the knee; the largest N is the
+    // headline throughput/RSS cell (one pool size is enough there).
+    const std::vector<std::pair<int, std::vector<int>>> plan =
+        smoke ? std::vector<std::pair<int, std::vector<int>>>{
+                    {100, {1, 2}}, {1000, {2}}}
+              : std::vector<std::pair<int, std::vector<int>>>{
+                    {1000, {1, 2, 4, 8}}, {10000, {8}}};
+    const int learnThreads = std::max(
+        1, std::min(8,
+                    static_cast<int>(
+                        std::thread::hardware_concurrency())));
+
+    printBanner(std::cout, std::string(smoke ? "[smoke] " : "")
+                + "Fleet scale gate (mixed fleets, batched sampler, "
+                "series off, shared repo + work queue, 2 days)");
+
+    std::vector<HugeCell> cells;
+    for (const auto &[services, hostCounts] : plan)
+        for (int hosts : hostCounts)
+            for (const auto &policyName : slotPolicyNames()) {
+                cells.push_back(runHugeCell(services, hosts,
+                                            policyName,
+                                            learnThreads));
+                const HugeCell &c = cells.back();
+                std::cout << "  N=" << c.services << " M=" << c.hosts
+                          << " " << c.policy << ": "
+                          << c.events << " events in "
+                          << Table::num(c.runSec, 1) << " s = "
+                          << Table::num(c.eventsPerSec / 1e6, 2)
+                          << " M events/s (learn "
+                          << Table::num(c.learnSec, 1)
+                          << " s, peak RSS "
+                          << Table::num(static_cast<double>(c.rssBytes)
+                                        / (1024.0 * 1024.0), 0)
+                          << " MiB)\n";
+            }
+
+    Table table({"services", "hosts", "policy", "events",
+                 "events_per_s", "run_s", "learn_s", "peak_rss_mib",
+                 "adapt_p95_s"});
+    for (const HugeCell &c : cells)
+        table.addRow({std::to_string(c.services),
+                      std::to_string(c.hosts), c.policy,
+                      std::to_string(c.events),
+                      Table::num(c.eventsPerSec, 0),
+                      Table::num(c.runSec, 1),
+                      Table::num(c.learnSec, 1),
+                      Table::num(static_cast<double>(c.rssBytes)
+                                 / (1024.0 * 1024.0), 0),
+                      Table::num(c.summary.adaptationP95Sec, 1)});
+    std::cout << "\n";
+    table.printText(std::cout);
+
+    // The knee per (N, policy), from each hosts-ascending progression
+    // (single-host Ns report knee 0 = not located).
+    constexpr double kMarginalSecPerHost = 60.0;
+    std::map<std::pair<int, std::string>, int> knees;
+    for (const auto &[services, hostCounts] : plan) {
+        (void)hostCounts;
+        for (const auto &policyName : slotPolicyNames()) {
+            std::vector<const HugeCell *> progression;
+            for (const HugeCell &c : cells)
+                if (c.services == services && c.policy == policyName)
+                    progression.push_back(&c);
+            knees[{services, policyName}] =
+                progression.size() > 1
+                    ? hugeKneeOf(progression, kMarginalSecPerHost)
+                    : 0;
+        }
+    }
+    std::cout << "\nhosts-vs-p95 knee (0 = progression too short or "
+              << "every doubling still pays):\n";
+    for (const auto &[key, knee] : knees)
+        std::cout << "  N=" << key.first << " " << key.second
+                  << ": " << (knee > 0 ? "M=" + std::to_string(knee)
+                                       : std::string("-"))
+                  << "\n";
+
+    writeHugeJson(jsonPath, smoke, cells, knees);
+    std::cout << "\nscale digest written to " << jsonPath << "\n";
+
+    // Gate: every cell must complete its full horizon with a sane
+    // event count and a nonzero adaptation tail.
+    bool ok = true;
+    for (const HugeCell &c : cells)
+        ok = ok && c.events > 0 && c.summary.adaptations > 0;
+    std::cout << "all cells completed: " << (ok ? "YES" : "NO — BUG")
+              << "\n";
+    return ok ? 0 : 1;
+}
+
 /** Numeric equality of two summaries — the legacy/work-queue parity
  *  check (workMode and scenario naming excluded by construction). */
 bool
@@ -160,18 +389,29 @@ main(int argc, char **argv)
     setLogLevel(LogLevel::Warn);
 
     bool smoke = false;
+    bool huge = false;
     std::string csvPath;
+    std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
+        } else if (std::strcmp(argv[i], "--huge") == 0) {
+            huge = true;
         } else if (std::strcmp(argv[i], "--csv") == 0
                    && i + 1 < argc) {
             csvPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0
+                   && i + 1 < argc) {
+            jsonPath = argv[++i];
         } else {
             fatal("unknown argument: ", argv[i],
-                  " (use --smoke and/or --csv <path>)");
+                  " (use --smoke, --huge, --csv <path> and/or "
+                  "--json <path>)");
         }
     }
+
+    if (huge)
+        return runHugeGate(smoke, jsonPath);
 
     const int services = smoke ? 10 : 100;
     const std::vector<int> hostCounts =

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Arena-backed bulk storage for fleet-scale runs.
+ *
+ * Two containers back the simulator's biggest per-service state:
+ *
+ *  - SeriesArena: append-only (time, value) sample streams stored in
+ *    fixed-size chunks drawn from one shared slab pool. A 10k-service
+ *    fleet records five monitor series per member; per-object
+ *    std::vectors would pay doubling-growth copies and allocator slop
+ *    per series (tens of thousands of growing vectors), while the
+ *    arena allocates nothing but full chunks — peak RSS tracks the
+ *    sample count, not the allocator's growth pattern — and keeps
+ *    each stream's points contiguous within chunks for cache-friendly
+ *    scans.
+ *
+ *  - FlatMatrix: a row-major contiguous matrix of doubles. Per-class
+ *    signature centroids live in one allocation indexed by class id,
+ *    so the classify/novelty hot path walks adjacent memory instead
+ *    of chasing a vector-of-vectors.
+ */
+
+#ifndef DEJAVU_COMMON_ARENA_HH
+#define DEJAVU_COMMON_ARENA_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dejavu {
+
+/**
+ * Chunked slab storage for append-only numeric time series. Streams
+ * are identified by dense ids in creation order (a fleet's stream ids
+ * are a fixed function of the service index), grow one shared-pool
+ * chunk at a time and never relocate written points.
+ */
+class SeriesArena
+{
+  public:
+    using StreamId = std::uint32_t;
+
+    /** One recorded sample. */
+    struct Point
+    {
+        double t = 0.0;  ///< Time, in hours.
+        double v = 0.0;  ///< Sample value.
+    };
+
+    /** Points per chunk (4 KiB of payload). */
+    static constexpr std::size_t kChunkPoints = 256;
+
+    /** Pre-size the per-stream index tables. */
+    void reserveStreams(std::size_t n)
+    { _streams.reserve(_streams.size() + n); }
+
+    /** Create a new empty stream; ids are dense and sequential. */
+    StreamId newStream()
+    {
+        const auto id = static_cast<StreamId>(_streams.size());
+        _streams.emplace_back();
+        return id;
+    }
+
+    std::size_t streams() const { return _streams.size(); }
+
+    void append(StreamId stream, double t, double v)
+    {
+        Stream &s = _streams[stream];
+        const std::size_t offset = s.count % kChunkPoints;
+        if (offset == 0)
+            s.chunks.push_back(allocChunk());
+        _chunks[s.chunks.back()][offset] = Point{t, v};
+        ++s.count;
+    }
+
+    std::size_t size(StreamId stream) const
+    { return _streams[stream].count; }
+
+    /** Visit a stream's points in append order. */
+    template <typename Fn>
+    void forEach(StreamId stream, Fn &&fn) const
+    {
+        const Stream &s = _streams[stream];
+        std::size_t remaining = s.count;
+        for (const std::uint32_t chunk : s.chunks) {
+            const std::size_t n =
+                remaining < kChunkPoints ? remaining : kChunkPoints;
+            const Point *points = _chunks[chunk].get();
+            for (std::size_t i = 0; i < n; ++i)
+                fn(points[i]);
+            remaining -= n;
+        }
+    }
+
+    /** Copy a stream out as any {timeHours, value}-shaped point. */
+    template <typename P>
+    std::vector<P> copyOut(StreamId stream) const
+    {
+        std::vector<P> out;
+        out.reserve(size(stream));
+        forEach(stream, [&out](const Point &p) {
+            out.push_back(P{p.t, p.v});
+        });
+        return out;
+    }
+
+    /** Total points across all streams. */
+    std::size_t totalPoints() const
+    {
+        std::size_t total = 0;
+        for (const Stream &s : _streams)
+            total += s.count;
+        return total;
+    }
+
+    /** Payload bytes held by allocated chunks. */
+    std::size_t bytesAllocated() const
+    { return _chunks.size() * kChunkPoints * sizeof(Point); }
+
+  private:
+    struct Stream
+    {
+        std::vector<std::uint32_t> chunks;  ///< Indices into _chunks.
+        std::size_t count = 0;
+    };
+
+    std::uint32_t allocChunk()
+    {
+        const auto id = static_cast<std::uint32_t>(_chunks.size());
+        _chunks.push_back(std::make_unique<Point[]>(kChunkPoints));
+        return id;
+    }
+
+    std::vector<Stream> _streams;
+    std::vector<std::unique_ptr<Point[]>> _chunks;
+};
+
+/**
+ * Row-major contiguous matrix of doubles: rows() fixed-width vectors
+ * in one allocation, indexed by row id.
+ */
+class FlatMatrix
+{
+  public:
+    FlatMatrix() = default;
+
+    /** Discard contents and shape to @p rows x @p cols (zeroed). */
+    void reset(std::size_t rows, std::size_t cols)
+    {
+        _rows = rows;
+        _cols = cols;
+        _data.assign(rows * cols, 0.0);
+    }
+
+    /** Build from a vector-of-vectors (all rows of equal width). */
+    void assign(const std::vector<std::vector<double>> &rows)
+    {
+        reset(rows.size(), rows.empty() ? 0 : rows.front().size());
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            DEJAVU_ASSERT(rows[r].size() == _cols,
+                          "ragged rows in FlatMatrix::assign");
+            std::copy(rows[r].begin(), rows[r].end(), row(r));
+        }
+    }
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    bool empty() const { return _data.empty(); }
+
+    double *row(std::size_t r) { return _data.data() + r * _cols; }
+    const double *row(std::size_t r) const
+    { return _data.data() + r * _cols; }
+
+    double at(std::size_t r, std::size_t c) const
+    { return _data[r * _cols + c]; }
+
+  private:
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+    std::vector<double> _data;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_COMMON_ARENA_HH

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "common/logging.hh"
 
 namespace dejavu {
@@ -156,6 +160,25 @@ TimeWeightedValue::integralSeconds(SimTime now) const
         return 0.0;
     const double area = _area + _value * static_cast<double>(now - _last);
     return area / static_cast<double>(kSecond);
+}
+
+std::uint64_t
+peakRssBytes()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    // Linux (and the BSDs) report kilobytes.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+    return 0;  // No getrusage on this platform.
+#endif
 }
 
 } // namespace dejavu

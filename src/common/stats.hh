@@ -9,6 +9,7 @@
 #define DEJAVU_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/sim_time.hh"
@@ -110,6 +111,14 @@ class TimeWeightedValue
     double _area = 0.0;   // value * microseconds accumulated
     bool _started = false;
 };
+
+/**
+ * Peak resident set size of this process, in bytes (getrusage-based;
+ * returns 0 on platforms without it). The scale benches report this
+ * next to events/s so memory regressions show up in the same table as
+ * throughput regressions.
+ */
+std::uint64_t peakRssBytes();
 
 } // namespace dejavu
 

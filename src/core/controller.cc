@@ -62,6 +62,14 @@ DejaVuController::makeTuner()
 DejaVuController::LearningReport
 DejaVuController::learn(const std::vector<Workload> &workloads)
 {
+    prepareLearning(workloads);
+    return learnPrepared();
+}
+
+void
+DejaVuController::prepareLearning(
+    const std::vector<Workload> &workloads)
+{
     DEJAVU_ASSERT(!workloads.empty(), "no learning workloads");
 
     // Profile every workload: the proxy mirrors its traffic to the
@@ -123,11 +131,33 @@ DejaVuController::learn(const std::vector<Workload> &workloads)
             radius = std::max(radius, 0.35 * nearest);
         }
     }
+    // Pack the centroids into one contiguous row-major block for the
+    // per-change classify/novelty path.
+    _centroidRows.assign(_clustering.centroids);
+
+    PreparedLearning prepared;
+    prepared.workloads = workloads;
+    prepared.clusters = std::move(res);
+    prepared.sampleWorkload = std::move(sampleWorkload);
+    prepared.samples = static_cast<int>(samples.size());
+    _prepared = std::move(prepared);
+}
+
+DejaVuController::LearningReport
+DejaVuController::learnPrepared()
+{
+    DEJAVU_ASSERT(_prepared.has_value(),
+                  "learnPrepared without prepareLearning");
+    const PreparedLearning prepared = std::move(*_prepared);
+    _prepared.reset();
+    const ClusteringEngine::Result &res = prepared.clusters;
+    const std::vector<Workload> &workloads = prepared.workloads;
+    const std::vector<int> &sampleWorkload = prepared.sampleWorkload;
 
     // Tune one representative workload per class: the instance
     // closest to the cluster centroid (§3.4).
     LearningReport report;
-    report.samples = static_cast<int>(samples.size());
+    report.samples = prepared.samples;
     report.classes = _clustering.k;
     Tuner tuner = makeTuner();
     _repo.clear();
@@ -214,8 +244,8 @@ DejaVuController::applyNoveltyGuard(
         _classRadius[static_cast<std::size_t>(outcome.classId)],
         1e-6);
     const double dist = std::sqrt(KMeans::squaredDistance(
-        tuple, _clustering.centroids[
-            static_cast<std::size_t>(outcome.classId)]));
+        tuple,
+        _centroidRows.row(static_cast<std::size_t>(outcome.classId))));
     const double slack = _config.noveltyRadiusSlack * radius;
     if (dist > slack) {
         outcome.certainty *= std::exp(-(dist - slack) / radius);
@@ -234,10 +264,11 @@ DejaVuController::predictClass(const Workload &workload) const
     // coalesced runs would stop being comparable to uncoalesced ones.
     const MetricSample sample =
         _profiler.monitor().expectedSample(workload);
-    const std::vector<double> tuple =
-        _standardizer.transform(_schema.extract(sample));
-    ClassifierEngine::Outcome outcome = _classifier.classify(tuple);
-    applyNoveltyGuard(tuple, outcome);
+    _schema.extractInto(sample.values, _tupleScratch);
+    _standardizer.transformInPlace(_tupleScratch);
+    ClassifierEngine::Outcome outcome =
+        _classifier.classify(_tupleScratch);
+    applyNoveltyGuard(_tupleScratch, outcome);
     return outcome.known ? outcome.classId : -1;
 }
 
@@ -264,10 +295,11 @@ DejaVuController::onWorkloadChange(const Workload &workload)
 
     // Collect the signature (the dominant part of adaptation time).
     const MetricSample sample = _profiler.collectSignature(workload);
-    const std::vector<double> tuple =
-        _standardizer.transform(_schema.extract(sample));
-    ClassifierEngine::Outcome outcome = _classifier.classify(tuple);
-    applyNoveltyGuard(tuple, outcome);
+    _schema.extractInto(sample.values, _tupleScratch);
+    _standardizer.transformInPlace(_tupleScratch);
+    ClassifierEngine::Outcome outcome =
+        _classifier.classify(_tupleScratch);
+    applyNoveltyGuard(_tupleScratch, outcome);
 
     Decision decision;
     decision.adaptationTime = _profiler.monitor().sampleDuration()

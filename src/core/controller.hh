@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.hh"
 #include "core/classifier_engine.hh"
 #include "core/clustering_engine.hh"
 #include "core/interference_estimator.hh"
@@ -132,9 +133,37 @@ class DejaVuController
      * Learning phase: profile each workload (trialsPerWorkload
      * times), identify classes, tune one representative per class,
      * and populate the repository. Offline — does not advance the
-     * simulation clock.
+     * simulation clock. Equivalent to prepareLearning() followed by
+     * learnPrepared().
      */
     LearningReport learn(const std::vector<Workload> &workloads);
+
+    /**
+     * @name Split learning (intra-cell parallel fleets)
+     *
+     * learn() decomposes into a member-local half and a shared half:
+     * prepareLearning() profiles, clusters, trains the classifier and
+     * learns the novelty radii — touching only this controller's own
+     * profiler, RNG and model state, so different controllers'
+     * prepares may run on different threads concurrently.
+     * learnPrepared() then runs the repository probe / tuner / store
+     * sequence, which reads and writes the (possibly fleet-shared)
+     * repository and must therefore run sequentially in member order
+     * — FleetStack::learnAll(threads) relies on exactly this split to
+     * produce bit-identical results at any thread count.
+     * @{
+     */
+
+    /** Member-local half of learn(); thread-safe across distinct
+     *  controllers. Leaves the controller un-learned until
+     *  learnPrepared(). */
+    void prepareLearning(const std::vector<Workload> &workloads);
+
+    /** Shared half of learn(): per-class repository probe, tuner run
+     *  and store, in class order. Fatal without a prepareLearning()
+     *  to consume. */
+    LearningReport learnPrepared();
+    /** @} */
 
     /**
      * Reuse phase: react to a workload change. Collects a signature
@@ -304,6 +333,17 @@ class DejaVuController
     SimTime _lastDeployAt = -1;
     int _timesRelearned = 0;
     std::vector<double> _classRadius;  ///< Learned per-class extent.
+    /** The clustering's centroids in one contiguous row-major
+     *  allocation (row = class id): the classify/novelty hot path
+     *  runs on every workload change fleet-wide and walks adjacent
+     *  memory here instead of a vector-of-vectors. Rebuilt by
+     *  learn(). */
+    FlatMatrix _centroidRows;
+    /** Reused signature-tuple buffer for the per-change classify
+     *  path (extractInto + transformInPlace — no allocation per
+     *  change at fleet scale). Mutable: predictClass() is logically
+     *  const. */
+    mutable std::vector<double> _tupleScratch;
     std::vector<double> _adaptationTimesSec;
     std::vector<Workload> _learnedWorkloads;  ///< Last learn() input.
     std::vector<Workload> _novelWorkloads;    ///< Unknowns since.
@@ -324,6 +364,16 @@ class DejaVuController
 
     TuningDeferral _tuningDeferral;
     std::optional<PendingTuning> _pendingTuning;
+
+    /** State handed from prepareLearning() to learnPrepared(). */
+    struct PreparedLearning
+    {
+        std::vector<Workload> workloads;
+        ClusteringEngine::Result clusters;
+        std::vector<int> sampleWorkload;  ///< Sample -> workload idx.
+        int samples = 0;
+    };
+    std::optional<PreparedLearning> _prepared;
 
     /** Schedule cluster reconfiguration after @p delay. */
     void deployAfter(SimTime delay, const ResourceAllocation &allocation);

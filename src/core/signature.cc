@@ -35,6 +35,20 @@ SignatureSchema::extract(const std::vector<double> &full) const
     return out;
 }
 
+void
+SignatureSchema::extractInto(const std::vector<double> &full,
+                             std::vector<double> &out) const
+{
+    DEJAVU_ASSERT(!_indices.empty(), "schema not initialized");
+    out.resize(_indices.size());
+    for (std::size_t i = 0; i < _indices.size(); ++i) {
+        const int idx = _indices[i];
+        DEJAVU_ASSERT(idx < static_cast<int>(full.size()),
+                      "metric vector too narrow for schema");
+        out[i] = full[static_cast<std::size_t>(idx)];
+    }
+}
+
 std::string
 SignatureSchema::toString() const
 {

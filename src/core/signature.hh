@@ -40,6 +40,13 @@ class SignatureSchema
     /** Project a full metric vector down to the signature tuple. */
     std::vector<double> extract(const std::vector<double> &full) const;
 
+    /** extract() into a caller-owned buffer (resized to the schema
+     *  width) — the reuse-phase hot path classifies every workload
+     *  change fleet-wide, so it reuses one scratch tuple instead of
+     *  allocating per change. */
+    void extractInto(const std::vector<double> &full,
+                     std::vector<double> &out) const;
+
     /** Convenience: extract from a Monitor sample. */
     std::vector<double> extract(const MetricSample &sample) const
     { return extract(sample.values); }

@@ -86,6 +86,8 @@ MonitorProbe::MonitorProbe(Simulation &sim, Service &service,
     // chain is scheduled from inside the Driver-band change event, so
     // a zero post-change probe still samples *after* the change.
     driver.addListener([this](int hour, const Workload &) {
+        if (_detached)
+            return;
         _hour = hour;
         // The chain covers one trace hour *from the change instant*
         // (equal to the calendar hour when the driver is not
@@ -106,6 +108,8 @@ MonitorProbe::addListener(SampleListener fn)
 void
 MonitorProbe::tick()
 {
+    if (_detached)
+        return;  // pending chain event outlived a detach; no-op
     const Service::PerfSample sample = _service.sample();
     ++_samples;
     for (const auto &listener : _listeners)
@@ -122,7 +126,7 @@ MonitorProbe::tick()
 // --------------------------------------------------------------------
 
 PolicyActor::PolicyActor(Simulation &sim, ProvisioningPolicy &policy,
-                         TraceDriver &driver, MonitorProbe &probe,
+                         TraceDriver &driver, SampleFeed &probe,
                          int reuseStartHour)
     : Actor(sim, "policy:" + policy.name()), _policy(policy),
       _reuseStartHour(reuseStartHour)
@@ -145,11 +149,14 @@ PolicyActor::PolicyActor(Simulation &sim, ProvisioningPolicy &policy,
 MetricsRecorder::MetricsRecorder(Simulation &sim, Service &service,
                                  const LoadTrace &trace,
                                  TraceDriver &driver,
-                                 MonitorProbe &probe, Config config,
-                                 std::string name)
+                                 SampleFeed &probe, Config config,
+                                 std::string name, SeriesArena *arena)
     : Actor(sim, std::move(name)), _service(service), _trace(trace),
-      _config(config), _totalHours(driver.config().totalHours)
+      _config(config), _totalHours(driver.config().totalHours),
+      _arena(arena ? arena : &_ownArena)
 {
+    for (int s = 0; s < kNumSeries; ++s)
+        _streams[s] = _arena->newStream();
     driver.addListener([this](int hour, const Workload &w) {
         onChange(hour, w);
     });
@@ -187,14 +194,18 @@ void
 MetricsRecorder::onTick(int hour, const Service::PerfSample &s)
 {
     const double tHours = toHours(now());
-    _result.latencyMs.push_back({tHours, s.meanLatencyMs});
-    _result.qosPercent.push_back({tHours, s.qosPercent});
-    _result.instances.push_back(
-        {tHours,
-         static_cast<double>(_service.cluster().target().instances)});
-    _result.computeUnits.push_back(
-        {tHours, _service.cluster().nominalComputeUnits()});
-    _result.loadFraction.push_back({tHours, _trace.atTime(now())});
+    if (_config.recordSeries) {
+        _arena->append(_streams[kLatencyMs], tHours, s.meanLatencyMs);
+        _arena->append(_streams[kQosPercent], tHours, s.qosPercent);
+        _arena->append(
+            _streams[kInstances], tHours,
+            static_cast<double>(
+                _service.cluster().target().instances));
+        _arena->append(_streams[kComputeUnits], tHours,
+                       _service.cluster().nominalComputeUnits());
+        _arena->append(_streams[kLoadFraction], tHours,
+                       _trace.atTime(now()));
+    }
 
     _energyMeter.update(now(), _energyModel.clusterWatts(
         _service.cluster(), s.utilization));
@@ -218,7 +229,19 @@ MetricsRecorder::onTick(int hour, const Service::PerfSample &s)
 ExperimentResult
 MetricsRecorder::finish() const
 {
-    ExperimentResult result = _result;
+    ExperimentResult result;
+    if (_config.recordSeries) {
+        result.latencyMs =
+            _arena->copyOut<SeriesPoint>(_streams[kLatencyMs]);
+        result.qosPercent =
+            _arena->copyOut<SeriesPoint>(_streams[kQosPercent]);
+        result.instances =
+            _arena->copyOut<SeriesPoint>(_streams[kInstances]);
+        result.computeUnits =
+            _arena->copyOut<SeriesPoint>(_streams[kComputeUnits]);
+        result.loadFraction =
+            _arena->copyOut<SeriesPoint>(_streams[kLoadFraction]);
+    }
     result.sloViolationFraction = _reuseTicks
         ? static_cast<double>(_violations) / _reuseTicks : 0.0;
     result.meanLatencyMs = _reuseLatency.mean();

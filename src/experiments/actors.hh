@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/arena.hh"
 #include "baselines/policy.hh"
 #include "experiments/experiment.hh"
 #include "services/service.hh"
@@ -91,11 +92,37 @@ class TraceDriver : public Actor
 };
 
 /**
+ * Source of production monitor samples for one service. Both the
+ * per-service MonitorProbe actor and the fleet-level FleetSampler's
+ * per-member feeds implement this, so policies and recorders are
+ * wired the same way whichever sampling engine drives a run.
+ */
+class SampleFeed
+{
+  public:
+    using SampleListener =
+        std::function<void(int hour, const Service::PerfSample &)>;
+
+    virtual ~SampleFeed() = default;
+
+    /** Subscribe to samples (one shared sample per tick, listeners in
+     *  registration order). */
+    virtual void addListener(SampleListener fn) = 0;
+
+    /** Samples delivered so far. */
+    virtual std::uint64_t samplesTaken() const = 0;
+
+    /** Permanently stop sampling this service: no further ticks are
+     *  delivered (pending chain events become no-ops). */
+    virtual void detach() = 0;
+};
+
+/**
  * Production monitoring: samples the service postChangeProbe after
  * each workload change (catching the adaptation-window spike), then
  * every monitorPeriod until the hour ends.
  */
-class MonitorProbe : public Actor
+class MonitorProbe : public Actor, public SampleFeed
 {
   public:
     struct Config
@@ -104,17 +131,16 @@ class MonitorProbe : public Actor
         SimTime postChangeProbe = seconds(30);
     };
 
-    using SampleListener =
-        std::function<void(int hour, const Service::PerfSample &)>;
+    using SampleListener = SampleFeed::SampleListener;
 
     MonitorProbe(Simulation &sim, Service &service, TraceDriver &driver,
                  Config config, std::string name = "monitor-probe");
 
-    /** Subscribe to samples (one shared sample per tick, listeners in
-     *  registration order). */
-    void addListener(SampleListener fn);
+    void addListener(SampleListener fn) override;
 
-    std::uint64_t samplesTaken() const { return _samples; }
+    std::uint64_t samplesTaken() const override { return _samples; }
+
+    void detach() override { _detached = true; }
 
   private:
     void tick();
@@ -123,6 +149,7 @@ class MonitorProbe : public Actor
     Config _config;
     int _hour = 0;
     SimTime _chainEnd = 0;  ///< This hour's chain samples until here.
+    bool _detached = false;
     std::uint64_t _samples = 0;
     std::vector<SampleListener> _listeners;
 };
@@ -135,7 +162,7 @@ class PolicyActor : public Actor
 {
   public:
     PolicyActor(Simulation &sim, ProvisioningPolicy &policy,
-                TraceDriver &driver, MonitorProbe &probe,
+                TraceDriver &driver, SampleFeed &probe,
                 int reuseStartHour);
 
     ProvisioningPolicy &policy() { return _policy; }
@@ -156,12 +183,24 @@ class MetricsRecorder : public Actor
     {
         int reuseStartHour = 24;
         Slo slo = Slo::latency(60.0);
+        /** When false, only the reuse-window aggregates are kept (no
+         *  per-tick series) — a 10k-service fleet's series would
+         *  otherwise dominate peak RSS. */
+        bool recordSeries = true;
     };
 
+    /**
+     * @p arena backs this recorder's five per-tick series; pass the
+     * fleet-shared arena so all members' samples land in one chunked
+     * slab pool (streams are claimed in construction order — service
+     * id order in a fleet). Null makes the recorder use a private
+     * arena, for single-service experiments.
+     */
     MetricsRecorder(Simulation &sim, Service &service,
                     const LoadTrace &trace, TraceDriver &driver,
-                    MonitorProbe &probe, Config config,
-                    std::string name = "metrics-recorder");
+                    SampleFeed &probe, Config config,
+                    std::string name = "metrics-recorder",
+                    SeriesArena *arena = nullptr);
 
     /** Yardstick allocation for the always-full-capacity energy
      *  meter; read from the cluster after the learning deployment. */
@@ -181,12 +220,25 @@ class MetricsRecorder : public Actor
     void onChange(int hour, const Workload &workload);
     void onTick(int hour, const Service::PerfSample &sample);
 
+    /** Arena stream roles; one stream per plotted series. */
+    enum Series
+    {
+        kLatencyMs = 0,
+        kQosPercent,
+        kInstances,
+        kComputeUnits,
+        kLoadFraction,
+        kNumSeries
+    };
+
     Service &_service;
     const LoadTrace &_trace;
     Config _config;
     int _totalHours;
 
-    ExperimentResult _result;        ///< Series filled as ticks land.
+    SeriesArena _ownArena;           ///< Used when no shared arena.
+    SeriesArena *_arena;             ///< Where the series land.
+    SeriesArena::StreamId _streams[kNumSeries] = {};
     PercentileSampler _reuseLatency;
     RunningStats _reuseQos;
     std::size_t _violations = 0;

@@ -62,7 +62,8 @@ ProvisioningExperiment::run(ProvisioningPolicy &policy)
                             _config.reuseStartHour);
     MetricsRecorder recorder(
         _sim, _service, _trace, driver, probe,
-        MetricsRecorder::Config{_config.reuseStartHour, _config.slo});
+        MetricsRecorder::Config{_config.reuseStartHour, _config.slo,
+                                _config.recordSeries});
     recorder.setMaxAllocation(_service.cluster().maxAllocation());
 
     _sim.runUntil(_config.totalHours * static_cast<SimTime>(kHour));

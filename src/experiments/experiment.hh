@@ -92,6 +92,10 @@ class ProvisioningExperiment
         Slo slo = Slo::latency(60.0);
         /** Allocation deployed during the learning day. */
         ResourceAllocation learningAllocation{10, InstanceType::Large};
+        /** Keep the per-tick plot series (latency/QoS/instances/...).
+         *  Huge-fleet sweeps turn this off: aggregates survive, peak
+         *  RSS stops scaling with tick count. */
+        bool recordSeries = true;
     };
 
     ProvisioningExperiment(Simulation &sim, Service &service,

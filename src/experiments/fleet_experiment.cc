@@ -26,7 +26,8 @@ sameSlo(const Slo &a, const Slo &b)
 FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
                                  SlotPolicy policy, int profilingHosts,
                                  RepositorySharing sharing,
-                                 ProfilingWorkMode workMode)
+                                 ProfilingWorkMode workMode,
+                                 SamplingMode sampling)
     : _sim(sim),
       _fleet(sim, profilingSlot, makeSlotScheduler(policy),
              profilingHosts,
@@ -41,7 +42,7 @@ FleetExperiment::FleetExperiment(Simulation &sim, SimTime profilingSlot,
                      && sharing == RepositorySharing::Shared,
                  workMode == ProfilingWorkMode::WorkQueue
                      && sharing == RepositorySharing::Shared}),
-      _sharing(sharing)
+      _sharing(sharing), _sampling(sampling)
 {
     if (_sharing != RepositorySharing::Private)
         _sharedRepo = std::make_unique<SharedRepository>(
@@ -131,6 +132,18 @@ FleetExperiment::run()
     DEJAVU_ASSERT(!_ran, "fleet experiment already ran");
     _ran = true;
 
+    // Actors per member: driver + recorder (+ probe under PerProbe),
+    // plus the fleet-level sampler. Pre-size the registry once.
+    const bool batched = _sampling == SamplingMode::Batched;
+    _sim.reserveActors(_members.size() * (batched ? 2 : 3) + 1);
+    // All members' plot series land in one chunked arena (five
+    // streams per member, claimed in registration order).
+    _series.reserveStreams(_members.size() * 5);
+    if (batched) {
+        _sampler = std::make_unique<FleetSampler>(_sim);
+        _sampler->reserveServices(_members.size());
+    }
+
     SimTime horizon = 0;
     for (auto &memberPtr : _members) {
         Member &m = *memberPtr;
@@ -148,11 +161,23 @@ FleetExperiment::run()
                                 m.config.peakClients,
                                 m.arrivalOffset},
             "trace:" + m.name);
-        m.probe = std::make_unique<MonitorProbe>(
-            _sim, service, *m.driver,
-            MonitorProbe::Config{m.config.monitorPeriod,
-                                 m.config.postChangeProbe},
-            "probe:" + m.name);
+        // The sample source registers its chain listener on the
+        // driver *first* (before the adaptation and recorder
+        // listeners below), matching the legacy construction order so
+        // both sampling modes fire identical event sequences.
+        if (batched) {
+            m.feed = &_sampler->registerService(
+                service, *m.driver,
+                MonitorProbe::Config{m.config.monitorPeriod,
+                                     m.config.postChangeProbe});
+        } else {
+            m.probe = std::make_unique<MonitorProbe>(
+                _sim, service, *m.driver,
+                MonitorProbe::Config{m.config.monitorPeriod,
+                                     m.config.postChangeProbe},
+                "probe:" + m.name);
+            m.feed = m.probe.get();
+        }
 
         // Reuse-window workload changes route through the profiling
         // host pool rather than straight to the controller.
@@ -165,8 +190,8 @@ FleetExperiment::run()
         // service-local; it needs no profiling slot. Violations also
         // accrue SLO debt on the fleet, which the SLO-debt-first slot
         // policy consumes.
-        m.probe->addListener([this, mp](int,
-                                        const Service::PerfSample &s) {
+        m.feed->addListener([this, mp](int,
+                                       const Service::PerfSample &s) {
             mp->controller->onSloFeedback(s);
             if (!mp->config.slo.satisfied(s.meanLatencyMs,
                                           s.qosPercent))
@@ -174,10 +199,11 @@ FleetExperiment::run()
         });
 
         m.recorder = std::make_unique<MetricsRecorder>(
-            _sim, service, m.trace, *m.driver, *m.probe,
+            _sim, service, m.trace, *m.driver, *m.feed,
             MetricsRecorder::Config{m.config.reuseStartHour,
-                                    m.config.slo},
-            "metrics:" + m.name);
+                                    m.config.slo,
+                                    m.config.recordSeries},
+            "metrics:" + m.name, &_series);
         m.recorder->setMaxAllocation(service.cluster().maxAllocation());
 
         horizon = std::max(horizon,
@@ -205,6 +231,15 @@ FleetExperiment::run()
         results.push_back(std::move(sr));
     }
     return results;
+}
+
+void
+FleetExperiment::detachService(const std::string &name)
+{
+    _fleet.detachService(name);
+    Member &member = *_members[_fleet.memberIndex(name)];
+    if (member.feed)
+        member.feed->detach();
 }
 
 FleetExperiment::FleetSummary

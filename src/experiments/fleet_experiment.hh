@@ -33,6 +33,7 @@
 #include "experiments/actors.hh"
 #include "experiments/experiment.hh"
 #include "experiments/fleet.hh"
+#include "experiments/sampler.hh"
 
 namespace dejavu {
 
@@ -112,7 +113,11 @@ class FleetExperiment
      *  pre-work-queue fleet byte-for-byte, WorkQueue makes tuner
      *  experiments pool work and (under Shared) coalesces same-class
      *  signature collections and cancels reuse-answered tuner
-     *  items. */
+     *  items; @p sampling selects the monitor sampling engine —
+     *  Batched (default) drains all due members from one fleet-level
+     *  sampler event per instant, PerProbe keeps the legacy
+     *  one-MonitorProbe-per-service actors (byte-identical digests
+     *  either way). */
     FleetExperiment(Simulation &sim,
                     SimTime profilingSlot = seconds(10),
                     SlotPolicy policy = SlotPolicy::Fifo,
@@ -120,7 +125,8 @@ class FleetExperiment
                     RepositorySharing sharing =
                         RepositorySharing::Private,
                     ProfilingWorkMode workMode =
-                        ProfilingWorkMode::Legacy);
+                        ProfilingWorkMode::Legacy,
+                    SamplingMode sampling = SamplingMode::Batched);
 
     /**
      * Register a hosted service. The controller must have completed
@@ -145,6 +151,13 @@ class FleetExperiment
     /** Fleet-wide adaptation-time tails; valid after run(). */
     FleetSummary summary() const;
 
+    /**
+     * Withdraw a member mid-run: cancels its queued/granted profiling
+     * work (DejaVuFleet::detachService) and stops its monitor
+     * sampling. Other members' schedules are unaffected.
+     */
+    void detachService(const std::string &name);
+
     /** The underlying fleet actor (host pool, slot log, debt). */
     DejaVuFleet &fleet() { return _fleet; }
     const DejaVuFleet &fleet() const { return _fleet; }
@@ -158,6 +171,12 @@ class FleetExperiment
     /** The profiling work mode this fleet runs under. */
     ProfilingWorkMode workMode() const
     { return _fleet.workOptions().mode; }
+
+    /** The monitor sampling engine this fleet runs under. */
+    SamplingMode samplingMode() const { return _sampling; }
+
+    /** The batched sampler; null before run() or in PerProbe mode. */
+    const FleetSampler *sampler() const { return _sampler.get(); }
 
     /** The fleet-shared repository; null in Private mode. */
     SharedRepository *sharedRepository() { return _sharedRepo.get(); }
@@ -175,7 +194,10 @@ class FleetExperiment
         ProvisioningExperiment::Config config;
         SimTime arrivalOffset = 0;  ///< Jittered trace-hour offset.
         std::unique_ptr<TraceDriver> driver;
-        std::unique_ptr<MonitorProbe> probe;
+        std::unique_ptr<MonitorProbe> probe;  ///< PerProbe mode only.
+        /** This member's sample source: the probe (PerProbe) or its
+         *  fleet-sampler feed (Batched); set during run(). */
+        SampleFeed *feed = nullptr;
         std::unique_ptr<MetricsRecorder> recorder;
         RunningStats adaptationSec;
         RunningStats queueDelaySec;
@@ -186,6 +208,11 @@ class FleetExperiment
     Simulation &_sim;
     DejaVuFleet _fleet;
     RepositorySharing _sharing;
+    SamplingMode _sampling;
+    /** Shared backing store for every member recorder's plot series
+     *  (five streams per member, in registration order). */
+    SeriesArena _series;
+    std::unique_ptr<FleetSampler> _sampler;  ///< Batched mode only.
     /** Owned when sharing != Private; every controller registered
      *  through addService() is attached to it. Callers must keep the
      *  experiment alive as long as those controllers' handles are

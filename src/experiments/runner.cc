@@ -80,8 +80,8 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
                   SlotPolicy policy, int days)
 {
     const char *kShape =
-        "'fleet-<mix>-<N>[-h<M>][-<sharing>][-<workmode>][-jit]"
-        "[+interference]'";
+        "'fleet-<mix>-<N>[-h<M>][-<sharing>][-<workmode>]"
+        "[-<sampling>][-jit][+interference]'";
     const std::string prefix = "fleet-";
     if (scenario.compare(0, prefix.size(), prefix) != 0)
         fatal("fleet scenario name must be ", kShape, ", got: ",
@@ -108,6 +108,18 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
     // deterministic per-member offsets spread the hourly burst
     // across kDefaultJitterSpread (see FleetBuilder::arrivalJitter).
     const bool jittered = stripSuffix("-jit");
+
+    // Optional trailing "-probes" / "-batched" selects the monitor
+    // sampling engine (default batched — the fleet-level sampler;
+    // "-probes" restores the legacy per-service MonitorProbe actors,
+    // byte-identical digests either way).
+    SamplingMode sampling = SamplingMode::Batched;
+    for (const char *name : {"probes", "batched"}) {
+        if (stripSuffix(std::string("-") + name)) {
+            sampling = samplingModeFromName(name);
+            break;
+        }
+    }
 
     // Optional trailing "-wq" / "-legacy" selects the profiling work
     // routing (default legacy — the pre-work-queue behavior).
@@ -178,10 +190,10 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
     if (mix == "cassandra")
         return makeCassandraFleet(services, options, seconds(10),
                                   policy, hosts, sharing, workMode,
-                                  jitter);
+                                  jitter, sampling);
     if (mix == "mixed")
         return makeMixedFleet(services, options, policy, hosts,
-                              sharing, workMode, jitter);
+                              sharing, workMode, jitter, sampling);
     fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
 }
 

@@ -1,7 +1,9 @@
 #include "experiments/scenario.hh"
 
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -206,19 +208,50 @@ FleetStack::startInjectors()
 }
 
 void
-FleetStack::learnAll()
+FleetStack::learnAll(int threads)
 {
     DEJAVU_ASSERT(experiment, "fleet stack not fully wired");
-    for (auto &member : members) {
+    DEJAVU_ASSERT(threads >= 1, "learnAll needs >= 1 thread");
+
+    // Member-local half: profile + cluster + train, touching only the
+    // member's own profiler/RNG/model state. Each member's prepare is
+    // independent of every other's, so the work-stealing order below
+    // cannot change any member's result — only wall-clock time.
+    auto prepare = [this](FleetMember &member) {
         std::vector<Workload> learning;
-        const int hours = member->experimentConfig.reuseStartHour;
+        const int hours = member.experimentConfig.reuseStartHour;
         learning.reserve(static_cast<std::size_t>(hours));
         for (int h = 0; h < hours; ++h)
             learning.push_back(TraceDriver::workloadFor(
-                *member->service, member->trace,
-                member->experimentConfig.peakClients, h));
-        member->controller->learn(learning);
+                *member.service, member.trace,
+                member.experimentConfig.peakClients, h));
+        member.controller->prepareLearning(learning);
+    };
+    const int workers =
+        std::min<int>(threads, static_cast<int>(members.size()));
+    if (workers <= 1) {
+        for (auto &member : members)
+            prepare(*member);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int t = 0; t < workers; ++t)
+            pool.emplace_back([this, &prepare, &next] {
+                for (std::size_t i = next.fetch_add(1);
+                     i < members.size(); i = next.fetch_add(1))
+                    prepare(*members[i]);
+            });
+        for (auto &worker : pool)
+            worker.join();
     }
+
+    // Shared half: repository probe / tuner / store, strictly in
+    // member order — under a shared repository, which member tunes a
+    // class first decides who reuses whose entry, so this order is
+    // part of the deterministic contract.
+    for (auto &member : members)
+        member->controller->learnPrepared();
 }
 
 FleetBuilder::FleetBuilder(ScenarioOptions options)
@@ -260,6 +293,20 @@ FleetBuilder &
 FleetBuilder::profilingWorkMode(ProfilingWorkMode mode)
 {
     _workMode = mode;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::samplingMode(SamplingMode mode)
+{
+    _sampling = mode;
+    return *this;
+}
+
+FleetBuilder &
+FleetBuilder::recordSeries(bool record)
+{
+    _recordSeries = record;
     return *this;
 }
 
@@ -328,7 +375,15 @@ FleetBuilder::build() const
     Simulation &sim = *stack->sim;
     stack->experiment = std::make_unique<FleetExperiment>(
         sim, _defaultSlot > 0 ? _defaultSlot : seconds(10), _policy,
-        _profilingHosts, _sharing, _workMode);
+        _profilingHosts, _sharing, _workMode, _sampling);
+
+    // Pre-size everything that scales with N before the member loop:
+    // the stack's member table, the event kernel (drivers + sampler
+    // chains + controller deployments all pend concurrently), and the
+    // per-service event emitters created below — growing these
+    // incrementally is measurable churn at 10k services.
+    stack->members.reserve(_specs.size());
+    sim.queue().reserve(_specs.size() * 4 + 64);
 
     for (std::size_t i = 0; i < _specs.size(); ++i) {
         const FleetMemberSpec &spec = _specs[i];
@@ -410,6 +465,7 @@ FleetBuilder::build() const
             _options.seed + 1000003ULL * static_cast<std::uint64_t>(i));
 
         ecfg.slo = dcfg.slo;
+        ecfg.recordSeries = _recordSeries;
         // An explicit per-member peakUtilization always wins. The
         // SpecWeb kind-default uses the QoS-knee sizing instead of a
         // utilization target (scale-up needs the Large/XLarge
@@ -463,7 +519,7 @@ makeCassandraFleet(int services, const ScenarioOptions &options,
                    SimTime profilingSlot, SlotPolicy policy,
                    int profilingHosts, RepositorySharing sharing,
                    ProfilingWorkMode workMode,
-                   SimTime arrivalJitterSpread)
+                   SimTime arrivalJitterSpread, SamplingMode sampling)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     FleetBuilder builder(options);
@@ -472,6 +528,7 @@ makeCassandraFleet(int services, const ScenarioOptions &options,
         .profilingHosts(profilingHosts)
         .shareRepository(sharing)
         .profilingWorkMode(workMode)
+        .samplingMode(sampling)
         .add(ServiceKind::KeyValue, services);
     if (arrivalJitterSpread > 0)
         builder.arrivalJitter(options.seed, arrivalJitterSpread);
@@ -482,7 +539,7 @@ std::unique_ptr<FleetStack>
 makeMixedFleet(int services, const ScenarioOptions &options,
                SlotPolicy policy, int profilingHosts,
                RepositorySharing sharing, ProfilingWorkMode workMode,
-               SimTime arrivalJitterSpread)
+               SimTime arrivalJitterSpread, SamplingMode sampling)
 {
     DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
     static constexpr ServiceKind kCycle[] = {
@@ -493,6 +550,7 @@ makeMixedFleet(int services, const ScenarioOptions &options,
     builder.profilingHosts(profilingHosts);
     builder.shareRepository(sharing);
     builder.profilingWorkMode(workMode);
+    builder.samplingMode(sampling);
     if (arrivalJitterSpread > 0)
         builder.arrivalJitter(options.seed, arrivalJitterSpread);
     for (int i = 0; i < services; ++i)

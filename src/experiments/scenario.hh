@@ -115,8 +115,16 @@ struct FleetStack
     std::vector<std::unique_ptr<FleetMember>> members;
     std::unique_ptr<FleetExperiment> experiment;
 
-    /** Run every member's learning phase on its day-1 workloads. */
-    void learnAll();
+    /**
+     * Run every member's learning phase on its day-1 workloads.
+     * @p threads > 1 runs the member-local half (profiling,
+     * clustering, classifier training — see
+     * DejaVuController::prepareLearning) across that many worker
+     * threads; the repository probe/tuner/store half then always runs
+     * sequentially in member order, so results are bit-identical at
+     * any thread count (including shared-repository fleets).
+     */
+    void learnAll(int threads = 1);
 
     /** Begin every member's interference injection schedule (no-op
      *  for members without an injector). */
@@ -173,6 +181,16 @@ class FleetBuilder
      *  collections and cancels reuse-answered queued tuner items. */
     FleetBuilder &profilingWorkMode(ProfilingWorkMode mode);
 
+    /** Monitor sampling engine (default Batched — one fleet-level
+     *  sampler event per due instant; PerProbe restores the legacy
+     *  one-probe-actor-per-service path, byte-identical digests). */
+    FleetBuilder &samplingMode(SamplingMode mode);
+
+    /** Keep per-tick plot series (default true). Huge-fleet sweeps
+     *  turn this off so peak RSS stops scaling with tick count; the
+     *  digest columns are aggregate-only and unaffected. */
+    FleetBuilder &recordSeries(bool record);
+
     /**
      * De-synchronize change arrival (the ROADMAP's jittered trace
      * hours): each member's hourly changes fire at its own
@@ -217,6 +235,8 @@ class FleetBuilder
     int _profilingHosts = 1;
     RepositorySharing _sharing = RepositorySharing::Private;
     ProfilingWorkMode _workMode = ProfilingWorkMode::Legacy;
+    SamplingMode _sampling = SamplingMode::Batched;
+    bool _recordSeries = true;
     std::uint64_t _jitterSeed = 0;
     SimTime _jitterSpread = 0;
     std::vector<FleetMemberSpec> _specs;
@@ -233,7 +253,8 @@ std::unique_ptr<FleetStack> makeCassandraFleet(
     int profilingHosts = 1,
     RepositorySharing sharing = RepositorySharing::Private,
     ProfilingWorkMode workMode = ProfilingWorkMode::Legacy,
-    SimTime arrivalJitterSpread = 0);
+    SimTime arrivalJitterSpread = 0,
+    SamplingMode sampling = SamplingMode::Batched);
 
 /**
  * Mixed fleet: @p services members cycling through KeyValue, SPECweb
@@ -247,7 +268,8 @@ std::unique_ptr<FleetStack> makeMixedFleet(
     int profilingHosts = 1,
     RepositorySharing sharing = RepositorySharing::Private,
     ProfilingWorkMode workMode = ProfilingWorkMode::Legacy,
-    SimTime arrivalJitterSpread = 0);
+    SimTime arrivalJitterSpread = 0,
+    SamplingMode sampling = SamplingMode::Batched);
 
 } // namespace dejavu
 

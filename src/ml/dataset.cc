@@ -159,6 +159,15 @@ Standardizer::transform(const std::vector<double> &x) const
     return out;
 }
 
+void
+Standardizer::transformInPlace(std::vector<double> &x) const
+{
+    DEJAVU_ASSERT(fitted(), "standardizer not fitted");
+    DEJAVU_ASSERT(x.size() == _mean.size(), "width mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = (x[i] - _mean[i]) / _std[i];
+}
+
 Dataset
 Standardizer::transform(const Dataset &data) const
 {

@@ -79,6 +79,9 @@ class Standardizer
     /** Transform one vector (must match the fitted width). */
     std::vector<double> transform(const std::vector<double> &x) const;
 
+    /** Transform a vector in place (no allocation; hot-path use). */
+    void transformInPlace(std::vector<double> &x) const;
+
     /** Transform a whole dataset (labels preserved). */
     Dataset transform(const Dataset &data) const;
 

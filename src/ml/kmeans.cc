@@ -35,6 +35,17 @@ KMeans::squaredDistance(const std::vector<double> &a,
     return d;
 }
 
+double
+KMeans::squaredDistance(const std::vector<double> &a, const double *b)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double diff = a[i] - b[i];
+        d += diff * diff;
+    }
+    return d;
+}
+
 std::vector<std::vector<double>>
 KMeans::seedPlusPlus(const Dataset &data, int k)
 {

@@ -81,6 +81,10 @@ class KMeans
     static double squaredDistance(const std::vector<double> &a,
                                   const std::vector<double> &b);
 
+    /** Same, against a raw row (e.g. a FlatMatrix centroid row). */
+    static double squaredDistance(const std::vector<double> &a,
+                                  const double *b);
+
     /** Mean silhouette coefficient of an assignment. */
     static double meanSilhouette(const Dataset &data,
                                  const std::vector<int> &assignment,

@@ -4,22 +4,47 @@
 
 namespace dejavu {
 
-EventQueue::Slot &
-EventQueue::newSlot(EventId id)
+void
+EventQueue::reserve(std::size_t slots)
 {
-    if (_slots.size() <= id)
-        _slots.resize(id + 1);
-    Slot &slot = _slots[id];
+    // +1 for the never-allocated slot 0.
+    _slots.reserve(slots + 1);
+    _free.reserve(slots);
+    _heap.reserve(slots);
+}
+
+EventId
+EventQueue::allocSlot()
+{
+    if (_slots.empty())
+        _slots.emplace_back();  // slot 0 stays dead: kInvalidEvent.
+    std::uint32_t index;
+    if (!_free.empty()) {
+        index = _free.back();
+        _free.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(_slots.size());
+        DEJAVU_ASSERT(_slots.size() < UINT32_MAX,
+                      "event slot pool exhausted");
+        _slots.emplace_back();
+    }
+    Slot &slot = _slots[index];
     slot.live = true;
     ++_live;
-    return slot;
+    return makeId(index, slot.gen);
 }
 
 void
-EventQueue::killSlot(Slot &slot)
+EventQueue::killSlot(std::uint32_t index)
 {
+    Slot &slot = _slots[index];
     slot.live = false;
     slot.fn = nullptr;
+    slot.period = 0;
+    // Advancing the generation invalidates every outstanding handle
+    // and stale heap entry before the index is handed out again.
+    ++slot.gen;
+    _free.push_back(index);
     --_live;
 }
 
@@ -28,11 +53,11 @@ EventQueue::schedule(SimTime at, Callback fn, EventBand band)
 {
     DEJAVU_ASSERT(at >= _now, "cannot schedule in the past: at=", at,
                   " now=", _now);
-    const EventId id = _nextId++;
-    Slot &slot = newSlot(id);
+    const EventId id = allocSlot();
+    Slot &slot = _slots[slotIndex(id)];
     slot.fn = std::move(fn);
     slot.band = band;
-    _heap.push(Entry{at, _nextSeq++, id, band});
+    push(Entry{at, _nextSeq++, id, band});
     return id;
 }
 
@@ -50,24 +75,25 @@ EventQueue::schedulePeriodic(SimTime first, SimTime period, Callback fn,
     DEJAVU_ASSERT(period > 0, "periodic event needs a positive period");
     DEJAVU_ASSERT(first >= _now, "cannot schedule in the past: at=",
                   first, " now=", _now);
-    const EventId id = _nextId++;
-    Slot &slot = newSlot(id);
+    const EventId id = allocSlot();
+    Slot &slot = _slots[slotIndex(id)];
     slot.fn = std::move(fn);
     slot.period = period;
     slot.band = band;
-    _heap.push(Entry{first, _nextSeq++, id, band});
+    push(Entry{first, _nextSeq++, id, band});
     return id;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
-    if (id >= _slots.size() || !_slots[id].live)
+    if (!isPending(id))
         return false;
-    // Any heap entry the event still owns goes stale and is skipped
-    // on pop; a periodic cancelled from inside its own callback (its
-    // entry already popped) simply never re-arms.
-    killSlot(_slots[id]);
+    // Any heap entry the event still owns goes stale (its generation
+    // no longer matches) and is skipped on pop; a periodic cancelled
+    // from inside its own callback (its entry already popped) simply
+    // never re-arms.
+    killSlot(slotIndex(id));
     return true;
 }
 
@@ -75,10 +101,11 @@ bool
 EventQueue::popLive(Entry &out)
 {
     while (!_heap.empty()) {
-        Entry e = _heap.top();
-        _heap.pop();
-        if (!_slots[e.id].live)
-            continue;  // cancelled after arming; entry is stale
+        Entry e = _heap.front();
+        std::pop_heap(_heap.begin(), _heap.end());
+        _heap.pop_back();
+        if (!isPending(e.id))
+            continue;  // cancelled/recycled after arming; stale entry
         out = e;
         return true;
     }
@@ -89,28 +116,30 @@ void
 EventQueue::fire(const Entry &e)
 {
     ++_executed;
-    if (_slots[e.id].period > 0) {
+    const std::uint32_t index = slotIndex(e.id);
+    if (_slots[index].period > 0) {
         // Invoke a copy: the callback may cancel its own series
-        // (releasing the stored closure) or schedule new events
-        // (reallocating the slot vector out from under a reference).
-        Callback fn = _slots[e.id].fn;
+        // (releasing the stored closure, recycling the slot) or
+        // schedule new events (reallocating the slot vector out from
+        // under a reference).
+        Callback fn = _slots[index].fn;
         fn();
-        Slot &slot = _slots[e.id];
-        if (!slot.live)
+        if (!isPending(e.id))
             return;  // cancelled during the callback
+        Slot &slot = _slots[index];
         const SimTime next = saturatingAdd(_now, slot.period);
         if (next > _now) {
-            _heap.push(Entry{next, _nextSeq++, e.id, slot.band});
+            push(Entry{next, _nextSeq++, e.id, slot.band});
         } else {
             // Saturated at the end of simulated time: re-arming at
             // the same instant would spin runUntil(kSimTimeMax)
             // forever, so the series ends here.
-            killSlot(slot);
+            killSlot(index);
         }
         return;
     }
-    Callback fn = std::move(_slots[e.id].fn);
-    killSlot(_slots[e.id]);
+    Callback fn = std::move(_slots[index].fn);
+    killSlot(index);
     fn();
 }
 
@@ -125,7 +154,7 @@ EventQueue::runUntil(SimTime limit)
             break;
         if (e.at > limit) {
             // Push back and stop; limit reached.
-            _heap.push(e);
+            push(e);
             break;
         }
         _now = e.at;

@@ -8,30 +8,38 @@
  * are deterministic. Events can be one-shot or recurring, and both are
  * cancellable through the same handle.
  *
- * Event ids are never reused, and all per-event state lives in a flat
- * vector indexed by id: cancellation flips one flag (the heap entry is
- * skipped lazily on pop), liveness checks are an array load instead of
- * a hash probe, and the pending count is a maintained counter. At
- * fleet scale (hundreds of actors churning probes and timeouts on one
- * queue) this pop/cancel path is the simulation's hottest loop.
+ * Per-event state lives in a flat slot vector; an EventId packs the
+ * slot index with a generation counter, so slots of fired/cancelled
+ * events are recycled through a free list (a fleet's per-tick one-shot
+ * chains would otherwise grow the vector by one dead slot per event
+ * ever scheduled — gigabytes at 10k services) while stale handles stay
+ * safely invalid: cancellation flips one flag (the heap entry is
+ * skipped lazily on pop), liveness checks are an array load plus a
+ * generation compare, and the pending count is a maintained counter.
+ * At fleet scale (thousands of actors churning probes and timeouts on
+ * one queue) this pop/cancel path is the simulation's hottest loop;
+ * reserve() pre-sizes both the heap and the slot pool so steady state
+ * never reallocates.
  */
 
 #ifndef DEJAVU_SIM_EVENT_QUEUE_HH
 #define DEJAVU_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/sim_time.hh"
 
 namespace dejavu {
 
-/** Opaque handle used to cancel a scheduled event. */
+/** Opaque handle used to cancel a scheduled event. Packs a slot index
+ *  (low 32 bits) with a generation counter (high 32 bits) so recycled
+ *  slots never resurrect a stale handle. */
 using EventId = std::uint64_t;
 
-/** Sentinel for "no event". */
+/** Sentinel for "no event" (slot 0 is never allocated). */
 constexpr EventId kInvalidEvent = 0;
 
 /**
@@ -63,6 +71,13 @@ class EventQueue
     SimTime now() const { return _now; }
 
     /**
+     * Pre-size the kernel for a known load: capacity for @p slots
+     * concurrently pending events (the slot pool and the heap). Purely
+     * an optimization — the queue grows past it fine.
+     */
+    void reserve(std::size_t slots);
+
+    /**
      * Schedule @p fn at absolute time @p at (>= now).
      * @return a handle that can be passed to cancel().
      */
@@ -91,10 +106,13 @@ class EventQueue
 
     /** Whether @p id refers to a not-yet-run, not-cancelled event. A
      *  live periodic series counts as pending, including while its own
-     *  callback is running. */
+     *  callback is running. Stale handles (slot since recycled) are
+     *  rejected by the generation check. */
     bool isPending(EventId id) const
     {
-        return id < _slots.size() && _slots[id].live;
+        const std::uint32_t index = slotIndex(id);
+        return index < _slots.size() && _slots[index].live
+            && _slots[index].gen == generation(id);
     }
 
     /** Number of pending (non-cancelled) events. A live periodic
@@ -107,6 +125,10 @@ class EventQueue
 
     /** Events executed over this queue's lifetime. */
     std::uint64_t executed() const { return _executed; }
+
+    /** Slots currently allocated (live + recyclable); the pool's
+     *  high-water mark of concurrently pending events. */
+    std::size_t slotCapacity() const { return _slots.size(); }
 
     /**
      * Execute events until the queue is empty or the next event is
@@ -146,30 +168,49 @@ class EventQueue
     };
 
     /**
-     * Per-event state, indexed by id. Ids are never reused, so a
-     * cancelled or fired slot just goes dead (its closure is released
-     * immediately); any heap entry it still owns is skipped on pop.
+     * Per-event state, indexed by the id's slot index. A cancelled or
+     * fired slot goes dead (its closure is released immediately), its
+     * generation advances — invalidating every outstanding handle and
+     * heap entry — and the index joins the free list for reuse.
      */
     struct Slot
     {
         Callback fn;
         SimTime period = 0;  ///< > 0 for a periodic series.
+        std::uint32_t gen = 0;  ///< Bumped on kill; ids must match.
         EventBand band = EventBand::Normal;
         bool live = false;   ///< Scheduled, not yet run or cancelled.
     };
 
+    static std::uint32_t slotIndex(EventId id)
+    { return static_cast<std::uint32_t>(id); }
+
+    static std::uint32_t generation(EventId id)
+    { return static_cast<std::uint32_t>(id >> 32); }
+
+    static EventId makeId(std::uint32_t index, std::uint32_t gen)
+    { return (static_cast<EventId>(gen) << 32) | index; }
+
     SimTime _now = 0;
     std::uint64_t _nextSeq = 0;
-    EventId _nextId = 1;
     std::uint64_t _executed = 0;
-    std::priority_queue<Entry> _heap;
-    std::vector<Slot> _slots;  ///< Indexed by EventId; slot 0 unused.
+    std::vector<Entry> _heap;  ///< std::push_heap/pop_heap managed.
+    std::vector<Slot> _slots;  ///< Indexed by slot index; 0 unused.
+    std::vector<std::uint32_t> _free;  ///< Recyclable slot indices.
     std::size_t _live = 0;     ///< Live slots, i.e. pending().
 
-    Slot &newSlot(EventId id);
+    /** Allocate a slot (free list first) and return its id. */
+    EventId allocSlot();
 
-    /** Kill a live slot: release its closure, drop the live count. */
-    void killSlot(Slot &slot);
+    /** Kill a live slot: release its closure, advance its generation
+     *  (stale handles/entries go invalid), recycle the index. */
+    void killSlot(std::uint32_t index);
+
+    void push(const Entry &e)
+    {
+        _heap.push_back(e);
+        std::push_heap(_heap.begin(), _heap.end());
+    }
 
     /** Pop entries until a live one is found; returns false if none. */
     bool popLive(Entry &out);

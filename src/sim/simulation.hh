@@ -85,6 +85,18 @@ class Simulation
         runUntil(saturatingAdd(now(), duration));
     }
 
+    /**
+     * Pre-size the actor registry (and the spawn-ownership table) for
+     * @p extra additional registrations — a 10k-member fleet attaches
+     * tens of thousands of actors and should not grow the tables
+     * incrementally.
+     */
+    void reserveActors(std::size_t extra)
+    {
+        _actors.reserve(_actors.size() + extra);
+        _owned.reserve(_owned.size() + extra);
+    }
+
     /** Registered actors, in registration order. */
     const std::vector<Actor *> &actors() const { return _actors; }
 

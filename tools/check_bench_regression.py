@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate event-queue throughput against a committed bench baseline.
+
+Both inputs are JSON files produced by ``bench_fleet_tails --huge
+[--smoke] --json <path>``: a ``cells`` array with one entry per
+(services, hosts, policy) sweep cell carrying ``events_per_s`` and
+``peak_rss_bytes``. The committed baseline (BENCH_fleet.json at the
+repo root) comes from the full ``--huge`` run; CI produces a fresh
+``--huge --smoke`` file on every push. The two plans deliberately
+overlap on the (services=1000, hosts=2) cells so a smoke run is
+comparable against the full-run baseline.
+
+A cell regresses when its fresh ``events_per_s`` drops more than
+``--threshold`` (default 20%) below the baseline's for the same
+(services, hosts, policy) key. The default is deliberately loose
+because baseline and CI run on different machines; it catches
+algorithmic cliffs (an accidental O(N) in the queue's hot path), not
+single-digit noise.
+
+Exit status: 0 when every comparable cell passes, 1 when any cell
+regresses, 2 on malformed input or no comparable cells.
+"""
+
+import argparse
+import json
+import sys
+
+
+def read_cells(path):
+    """Load one bench JSON and index its cells by identity key."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    if doc.get("bench") != "fleet_tails_huge" or "cells" not in doc:
+        sys.exit(f"error: {path} is not a fleet_tails --huge JSON")
+    cells = {}
+    for cell in doc["cells"]:
+        try:
+            key = (int(cell["services"]), int(cell["hosts"]),
+                   str(cell["policy"]))
+            cells[key] = float(cell["events_per_s"])
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"error: malformed cell in {path}: {cell}")
+    if not cells:
+        sys.exit(f"error: {path} has no cells")
+    return cells
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline",
+                        help="committed BENCH_fleet.json (full run)")
+    parser.add_argument("fresh",
+                        help="freshly produced --huge [--smoke] JSON")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated events/s drop as a "
+                             "fraction (default: 0.20)")
+    args = parser.parse_args()
+
+    baseline = read_cells(args.baseline)
+    fresh = read_cells(args.fresh)
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        sys.exit("error: no comparable (services, hosts, policy) "
+                 "cells between the two files")
+
+    failures = 0
+    for key in common:
+        services, hosts, policy = key
+        was, now = baseline[key], fresh[key]
+        drop = 0.0 if was <= 0 else (was - now) / was
+        verdict = "FAIL" if drop > args.threshold else "ok"
+        failures += verdict == "FAIL"
+        print(f"{verdict:4}  N={services:<6} M={hosts:<2} "
+              f"{policy:<9} baseline {was:>12.0f} ev/s   "
+              f"fresh {now:>12.0f} ev/s   drop {drop:+.1%}")
+
+    print(f"\n{len(common)} comparable cell(s), {failures} "
+          f"regression(s) beyond {args.threshold:.0%}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
