@@ -5,14 +5,17 @@
  * Two containers back the simulator's biggest per-service state:
  *
  *  - SeriesArena: append-only (time, value) sample streams stored in
- *    fixed-size chunks drawn from one shared slab pool. A 10k-service
- *    fleet records five monitor series per member; per-object
- *    std::vectors would pay doubling-growth copies and allocator slop
- *    per series (tens of thousands of growing vectors), while the
- *    arena allocates nothing but full chunks — peak RSS tracks the
- *    sample count, not the allocator's growth pattern — and keeps
- *    each stream's points contiguous within chunks for cache-friendly
- *    scans.
+ *    fixed-size chunks. A 10k-service fleet records five monitor
+ *    series per member; per-object std::vectors would pay
+ *    doubling-growth copies and allocator slop per series (tens of
+ *    thousands of growing vectors), while the arena allocates nothing
+ *    but full chunks — peak RSS tracks the sample count, not the
+ *    allocator's growth pattern — and keeps each stream's points
+ *    contiguous within chunks for cache-friendly scans. Each stream
+ *    owns its chunks outright: appends to *distinct* streams touch no
+ *    shared state, so workers produced by parallelFor may record into
+ *    disjoint streams concurrently (create all streams up-front; see
+ *    the thread-safety note on append()).
  *
  *  - FlatMatrix: a row-major contiguous matrix of doubles. Per-class
  *    signature centroids live in one allocation indexed by class id,
@@ -36,8 +39,8 @@ namespace dejavu {
 /**
  * Chunked slab storage for append-only numeric time series. Streams
  * are identified by dense ids in creation order (a fleet's stream ids
- * are a fixed function of the service index), grow one shared-pool
- * chunk at a time and never relocate written points.
+ * are a fixed function of the service index), grow one chunk at a
+ * time and never relocate written points.
  */
 class SeriesArena
 {
@@ -68,13 +71,21 @@ class SeriesArena
 
     std::size_t streams() const { return _streams.size(); }
 
+    /**
+     * Record one sample. Thread safety: appends to *distinct* streams
+     * of the same arena may run concurrently — a stream owns its
+     * chunks, so nothing arena-global mutates here. Creating streams
+     * (newStream / reserveStreams) and appending to the *same* stream
+     * must still be externally serialized.
+     */
     void append(StreamId stream, double t, double v)
     {
         Stream &s = _streams[stream];
         const std::size_t offset = s.count % kChunkPoints;
         if (offset == 0)
-            s.chunks.push_back(allocChunk());
-        _chunks[s.chunks.back()][offset] = Point{t, v};
+            s.chunks.push_back(
+                std::make_unique<Point[]>(kChunkPoints));
+        s.chunks.back()[offset] = Point{t, v};
         ++s.count;
     }
 
@@ -87,10 +98,10 @@ class SeriesArena
     {
         const Stream &s = _streams[stream];
         std::size_t remaining = s.count;
-        for (const std::uint32_t chunk : s.chunks) {
+        for (const auto &chunk : s.chunks) {
             const std::size_t n =
                 remaining < kChunkPoints ? remaining : kChunkPoints;
-            const Point *points = _chunks[chunk].get();
+            const Point *points = chunk.get();
             for (std::size_t i = 0; i < n; ++i)
                 fn(points[i]);
             remaining -= n;
@@ -120,24 +131,21 @@ class SeriesArena
 
     /** Payload bytes held by allocated chunks. */
     std::size_t bytesAllocated() const
-    { return _chunks.size() * kChunkPoints * sizeof(Point); }
+    {
+        std::size_t chunks = 0;
+        for (const Stream &s : _streams)
+            chunks += s.chunks.size();
+        return chunks * kChunkPoints * sizeof(Point);
+    }
 
   private:
     struct Stream
     {
-        std::vector<std::uint32_t> chunks;  ///< Indices into _chunks.
+        std::vector<std::unique_ptr<Point[]>> chunks;
         std::size_t count = 0;
     };
 
-    std::uint32_t allocChunk()
-    {
-        const auto id = static_cast<std::uint32_t>(_chunks.size());
-        _chunks.push_back(std::make_unique<Point[]>(kChunkPoints));
-        return id;
-    }
-
     std::vector<Stream> _streams;
-    std::vector<std::unique_ptr<Point[]>> _chunks;
 };
 
 /**

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The one work-stealing fan-out primitive every parallel surface in
+ * the tree goes through.
+ *
+ * ExperimentRunner::sweepInto, FleetStack::learnAll and the bench
+ * drivers all share the same shape: N independent work items, a pool
+ * of workers stealing indices off a shared atomic counter, results
+ * written to caller-owned slots fixed by *input order* — so the merge
+ * is bit-identical at any thread count. Before this header each site
+ * hand-rolled the pattern; now there is exactly one implementation to
+ * audit, annotate, and run under ThreadSanitizer.
+ *
+ * Determinism contract: @p fn(i) must depend only on item @p i (and
+ * on state safely shared read-only); it must never branch on which
+ * worker runs it or in what order items are claimed. Anything @p fn
+ * mutates concurrently must be its own slot (disjoint per index) or a
+ * structure locked with an annotated Mutex (thread_annotations.hh).
+ */
+
+#ifndef DEJAVU_COMMON_PARALLEL_HH
+#define DEJAVU_COMMON_PARALLEL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace dejavu {
+
+/**
+ * Run @p fn(0..n-1) across up to @p threads workers (work stealing
+ * via a shared counter). Blocks until every index has run. With
+ * @p threads <= 1 (or n <= 1) runs inline on the calling thread —
+ * the sequential path stays allocation- and thread-free, and a
+ * 1-thread run is trivially identical to the parallel one.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, int threads, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    const std::size_t cap = threads <= 1
+        ? 1
+        : (static_cast<std::size_t>(threads) < n
+               ? static_cast<std::size_t>(threads)
+               : n);
+    if (cap <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Claiming an index via fetch_add is the only cross-worker
+    // communication; each index's work is otherwise independent, so
+    // claim order can change wall-clock time but never a result.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&next, n, &fn] {
+        for (std::size_t i = next.fetch_add(1); i < n;
+             i = next.fetch_add(1))
+            fn(i);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(cap);
+    for (std::size_t t = 0; t < cap; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+}
+
+} // namespace dejavu
+
+#endif // DEJAVU_COMMON_PARALLEL_HH

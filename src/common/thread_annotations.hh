@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Clang thread-safety annotations + an annotated mutex wrapper.
+ *
+ * The macros expand to Clang's `-Wthread-safety` attributes when the
+ * compiler supports them and to nothing otherwise (gcc builds are
+ * unaffected). The clang CI job compiles with
+ * `-Wthread-safety -Werror`, so a `GUARDED_BY` field read without its
+ * mutex held is a *build error* there — lock discipline is enforced
+ * statically, before TSan ever runs.
+ *
+ * Use the `Mutex` / `MutexLock` wrappers instead of `std::mutex` /
+ * `std::lock_guard` directly: the analysis only understands lock
+ * functions that carry ACQUIRE/RELEASE attributes, which the standard
+ * library's do not.
+ *
+ * The annotation vocabulary (Clang documentation names):
+ *  - `GUARDED_BY(mu)`    — field may only be touched with `mu` held.
+ *  - `PT_GUARDED_BY(mu)` — pointee (not the pointer) needs `mu`.
+ *  - `REQUIRES(mu)`      — caller must already hold `mu`.
+ *  - `ACQUIRE(mu)` / `RELEASE(mu)` — function takes / drops `mu`.
+ *  - `EXCLUDES(mu)`      — caller must NOT hold `mu` (deadlock guard).
+ *  - `NO_THREAD_SAFETY_ANALYSIS` — opt a function out (last resort;
+ *    say why in a comment).
+ */
+
+#ifndef DEJAVU_COMMON_THREAD_ANNOTATIONS_HH
+#define DEJAVU_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DEJAVU_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DEJAVU_THREAD_ANNOTATION
+#define DEJAVU_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) DEJAVU_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY DEJAVU_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) DEJAVU_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) DEJAVU_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRE(...) \
+    DEJAVU_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+    DEJAVU_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+    DEJAVU_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+    DEJAVU_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+    DEJAVU_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) \
+    DEJAVU_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+    DEJAVU_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) \
+    DEJAVU_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) \
+    DEJAVU_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+    DEJAVU_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dejavu {
+
+/**
+ * std::mutex with capability annotations — the analyzable mutex every
+ * concurrent structure in the tree locks with.
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { _m.lock(); }
+    void unlock() RELEASE() { _m.unlock(); }
+    bool tryLock() TRY_ACQUIRE(true) { return _m.try_lock(); }
+
+  private:
+    std::mutex _m;
+};
+
+/**
+ * RAII lock for a Mutex; the scope *is* the critical section, and
+ * the analysis knows it.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : _mu(mu)
+    { _mu.lock(); }
+    ~MutexLock() RELEASE() { _mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &_mu;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_COMMON_THREAD_ANNOTATIONS_HH

@@ -58,6 +58,7 @@ Repository::keys() const
 {
     std::vector<RepositoryKey> out;
     out.reserve(_entries.size());
+    // lint-allow(unordered-iteration): collected then sorted below
     for (const auto &[key, _] : _entries)
         out.push_back(key);
     std::sort(out.begin(), out.end());

@@ -56,15 +56,15 @@ RepositoryHandle::kind() const
 {
     if (!attached())
         unattached("kind");
-    return _repo->attachment(_id).kind;
+    return _repo->attachmentKind(_id);
 }
 
-const std::string &
+std::string
 RepositoryHandle::owner() const
 {
     if (!attached())
         unattached("owner");
-    return _repo->attachment(_id).owner;
+    return _repo->attachmentOwner(_id);
 }
 
 void
@@ -122,12 +122,12 @@ RepositoryHandle::clear()
     _repo->handleClear(_id);
 }
 
-const Repository::Stats &
+Repository::Stats
 RepositoryHandle::stats() const
 {
     if (!attached())
         unattached("stats");
-    return _repo->attachment(_id).stats;
+    return _repo->attachmentStats(_id);
 }
 
 std::uint64_t
@@ -135,7 +135,7 @@ RepositoryHandle::crossHits() const
 {
     if (!attached())
         unattached("crossHits");
-    return _repo->attachment(_id).crossHits;
+    return _repo->attachmentCrossHits(_id);
 }
 
 std::uint64_t
@@ -143,7 +143,7 @@ RepositoryHandle::reusedEntries() const
 {
     if (!attached())
         unattached("reusedEntries");
-    return _repo->attachment(_id).reused.size();
+    return _repo->attachmentReusedEntries(_id);
 }
 
 std::uint64_t
@@ -151,13 +151,13 @@ RepositoryHandle::wouldHaveHit() const
 {
     if (!attached())
         unattached("wouldHaveHit");
-    return _repo->attachment(_id).wouldHaveHits;
+    return _repo->attachmentWouldHaveHits(_id);
 }
 
 double
 RepositoryHandle::hitRate() const
 {
-    const Repository::Stats &s = stats();
+    const Repository::Stats s = stats();
     if (s.lookups == 0)
         return 0.0;
     return static_cast<double>(s.hits) / s.lookups;
@@ -191,6 +191,19 @@ SharedRepository::SharedRepository(Mode mode)
 {
 }
 
+SharedRepository::SharedRepository(SharedRepository &&other) noexcept
+    : _mode(other._mode)
+{
+    // Lock both sides: the source against concurrent readers, the
+    // (freshly constructed) destination to satisfy the analysis.
+    MutexLock source(other._mu);
+    MutexLock self(_mu);
+    _byKind = std::move(other._byKind);
+    _attachments = std::move(other._attachments);
+    _live = other._live;
+    other._live = 0;
+}
+
 const char *
 SharedRepository::modeName() const
 {
@@ -203,6 +216,7 @@ SharedRepository::attach(ServiceKind kind, std::string owner)
     Attachment a;
     a.kind = kind;
     a.owner = std::move(owner);
+    MutexLock lock(_mu);
     _attachments.push_back(std::move(a));
     ++_live;
     return RepositoryHandle(
@@ -214,6 +228,7 @@ SharedRepository::detach(RepositoryHandle &handle)
 {
     DEJAVU_ASSERT(handle._repo == this,
                   "detach of a handle from another repository");
+    MutexLock lock(_mu);
     Attachment &a = attachment(handle._id);
     DEJAVU_ASSERT(a.live, "attachment ", handle._id,
                   " already detached");
@@ -250,10 +265,67 @@ SharedRepository::viewOf(const Attachment &a) const
     return it == _byKind.end() ? kEmpty : it->second;
 }
 
+int
+SharedRepository::attachments() const
+{
+    MutexLock lock(_mu);
+    return _live;
+}
+
+int
+SharedRepository::totalAttachments() const
+{
+    MutexLock lock(_mu);
+    return static_cast<int>(_attachments.size());
+}
+
+ServiceKind
+SharedRepository::attachmentKind(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).kind;
+}
+
+std::string
+SharedRepository::attachmentOwner(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).owner;
+}
+
+Repository::Stats
+SharedRepository::attachmentStats(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).stats;
+}
+
+std::uint64_t
+SharedRepository::attachmentCrossHits(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).crossHits;
+}
+
+std::uint64_t
+SharedRepository::attachmentReusedEntries(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).reused.size();
+}
+
+std::uint64_t
+SharedRepository::attachmentWouldHaveHits(int id) const
+{
+    MutexLock lock(_mu);
+    return attachment(id).wouldHaveHits;
+}
+
 void
 SharedRepository::handleStore(int id, const RepositoryKey &key,
                               const ResourceAllocation &allocation)
 {
+    MutexLock lock(_mu);
     Attachment &a = attachment(id);
     DEJAVU_ASSERT(a.live, "store through a detached attachment");
     ++a.stats.stores;
@@ -268,6 +340,7 @@ SharedRepository::handleStore(int id, const RepositoryKey &key,
 std::optional<ResourceAllocation>
 SharedRepository::handleLookup(int id, const RepositoryKey &key)
 {
+    MutexLock lock(_mu);
     Attachment &a = attachment(id);
     DEJAVU_ASSERT(a.live, "lookup through a detached attachment");
     ++a.stats.lookups;
@@ -295,6 +368,7 @@ SharedRepository::handleLookup(int id, const RepositoryKey &key)
 std::optional<ResourceAllocation>
 SharedRepository::handlePeek(int id, const RepositoryKey &key) const
 {
+    MutexLock lock(_mu);
     const Table &view = viewOf(attachment(id));
     const auto it = view.find(key);
     if (it == view.end())
@@ -305,6 +379,7 @@ SharedRepository::handlePeek(int id, const RepositoryKey &key) const
 void
 SharedRepository::handleClear(int id)
 {
+    MutexLock lock(_mu);
     Attachment &a = attachment(id);
     DEJAVU_ASSERT(a.live, "clear through a detached attachment");
     a.isolated.clear();
@@ -324,15 +399,18 @@ SharedRepository::handleClear(int id)
 std::size_t
 SharedRepository::handleEntries(int id) const
 {
+    MutexLock lock(_mu);
     return viewOf(attachment(id)).size();
 }
 
 std::vector<RepositoryKey>
 SharedRepository::handleKeys(int id) const
 {
+    MutexLock lock(_mu);
     const Table &view = viewOf(attachment(id));
     std::vector<RepositoryKey> out;
     out.reserve(view.size());
+    // lint-allow(unordered-iteration): collected then sorted below
     for (const auto &[key, _] : view)
         out.push_back(key);
     std::sort(out.begin(), out.end());
@@ -341,6 +419,13 @@ SharedRepository::handleKeys(int id) const
 
 Repository::Stats
 SharedRepository::aggregateStats() const
+{
+    MutexLock lock(_mu);
+    return aggregateStatsLocked();
+}
+
+Repository::Stats
+SharedRepository::aggregateStatsLocked() const
 {
     Repository::Stats total;
     for (const Attachment &a : _attachments) {
@@ -355,6 +440,7 @@ SharedRepository::aggregateStats() const
 std::uint64_t
 SharedRepository::aggregateCrossHits() const
 {
+    MutexLock lock(_mu);
     std::uint64_t total = 0;
     for (const Attachment &a : _attachments)
         total += a.crossHits;
@@ -364,6 +450,7 @@ SharedRepository::aggregateCrossHits() const
 std::uint64_t
 SharedRepository::aggregateReusedEntries() const
 {
+    MutexLock lock(_mu);
     std::uint64_t total = 0;
     for (const Attachment &a : _attachments)
         total += a.reused.size();
@@ -373,6 +460,7 @@ SharedRepository::aggregateReusedEntries() const
 std::uint64_t
 SharedRepository::aggregateWouldHaveHits() const
 {
+    MutexLock lock(_mu);
     std::uint64_t total = 0;
     for (const Attachment &a : _attachments)
         total += a.wouldHaveHits;
@@ -382,7 +470,8 @@ SharedRepository::aggregateWouldHaveHits() const
 double
 SharedRepository::hitRate() const
 {
-    const Repository::Stats total = aggregateStats();
+    MutexLock lock(_mu);
+    const Repository::Stats total = aggregateStatsLocked();
     if (total.lookups == 0)
         return 0.0;
     return static_cast<double>(total.hits) / total.lookups;
@@ -391,6 +480,7 @@ SharedRepository::hitRate() const
 std::size_t
 SharedRepository::entries() const
 {
+    MutexLock lock(_mu);
     std::size_t total = 0;
     for (const auto &[_, table] : _byKind)
         total += table.size();
@@ -400,12 +490,20 @@ SharedRepository::entries() const
 std::size_t
 SharedRepository::entries(ServiceKind kind) const
 {
+    MutexLock lock(_mu);
     const auto it = _byKind.find(kind);
     return it == _byKind.end() ? 0 : it->second.size();
 }
 
 std::vector<ServiceKind>
 SharedRepository::kinds() const
+{
+    MutexLock lock(_mu);
+    return kindsLocked();
+}
+
+std::vector<ServiceKind>
+SharedRepository::kindsLocked() const
 {
     std::vector<ServiceKind> out;
     for (const auto &[kind, table] : _byKind)
@@ -416,6 +514,13 @@ SharedRepository::kinds() const
 
 std::vector<RepositoryKey>
 SharedRepository::keys(ServiceKind kind) const
+{
+    MutexLock lock(_mu);
+    return keysLocked(kind);
+}
+
+std::vector<RepositoryKey>
+SharedRepository::keysLocked(ServiceKind kind) const
 {
     std::vector<RepositoryKey> out;
     const auto it = _byKind.find(kind);
@@ -431,6 +536,14 @@ SharedRepository::keys(ServiceKind kind) const
 std::optional<ResourceAllocation>
 SharedRepository::peek(ServiceKind kind, const RepositoryKey &key) const
 {
+    MutexLock lock(_mu);
+    return peekLocked(kind, key);
+}
+
+std::optional<ResourceAllocation>
+SharedRepository::peekLocked(ServiceKind kind,
+                             const RepositoryKey &key) const
+{
     const auto it = _byKind.find(kind);
     if (it == _byKind.end())
         return std::nullopt;
@@ -444,21 +557,22 @@ std::string
 SharedRepository::toString() const
 {
     std::ostringstream os;
+    MutexLock lock(_mu);
     os << "shared-repository[" << modeName() << "]{";
     bool firstKind = true;
-    for (const ServiceKind kind : kinds()) {
+    for (const ServiceKind kind : kindsLocked()) {
         if (!firstKind)
             os << "; ";
         firstKind = false;
         os << serviceKindName(kind) << ": ";
         bool first = true;
-        for (const RepositoryKey &key : keys(kind)) {
+        for (const RepositoryKey &key : keysLocked(kind)) {
             if (!first)
                 os << ", ";
             first = false;
             os << "(c" << key.classId << ",i"
                << key.interferenceBucket << ")->"
-               << peek(kind, key)->toString();
+               << peekLocked(kind, key)->toString();
         }
     }
     os << "}";
@@ -469,8 +583,9 @@ void
 SharedRepository::save(std::ostream &out) const
 {
     out << "kind,class,bucket,instances,type\n";
+    MutexLock lock(_mu);
     for (const auto &[kind, table] : _byKind) {
-        for (const RepositoryKey &key : keys(kind)) {
+        for (const RepositoryKey &key : keysLocked(kind)) {
             const ResourceAllocation &alloc = table.at(key).allocation;
             out << serviceKindName(kind) << ',' << key.classId << ','
                 << key.interferenceBucket << ',' << alloc.instances
@@ -484,6 +599,11 @@ SharedRepository::load(std::istream &in, Mode mode,
                        ServiceKind legacyKind)
 {
     SharedRepository repo(mode);
+    // The object is function-local, but the analysis (rightly)
+    // demands the lock for its guarded tables. Scoped so the lock is
+    // released before the return (a non-elided move would relock).
+    {
+    MutexLock lock(repo._mu);
     std::string line;
     std::size_t lineNo = 0;
     while (std::getline(in, line)) {
@@ -514,6 +634,7 @@ SharedRepository::load(std::istream &in, Mode mode,
                   ",", key.classId, ",", key.interferenceBucket,
                   "): ", line);
         table[key] = Entry{alloc, -1};
+    }
     }
     return repo;
 }

@@ -27,15 +27,26 @@
  *    instrument for comparing against private repos without changing
  *    a single decision.
  *
- * Not thread-safe by design: a SharedRepository belongs to one
- * Simulation (one experiment cell), and the ExperimentRunner's
- * parallelism is across cells, never within one.
+ * Thread safety: internally synchronized. Every public entry point
+ * (and every handle operation, which forwards here) takes the
+ * repository's annotated Mutex, so controllers on different threads
+ * may attach, look up and store concurrently — the clang CI job
+ * verifies the lock discipline statically (`-Wthread-safety
+ * -Werror`) and the TSan CI leg exercises it dynamically. Within one
+ * Simulation the accesses stay single-threaded and the lock is
+ * uncontended; the synchronization is what lets FleetStack::learnAll
+ * fan members across threads and paves the concurrent serving path
+ * (ROADMAP) without an API break. Determinism note: locking makes
+ * concurrent access *safe*, not *ordered* — callers that require a
+ * deterministic store/lookup interleaving (learnAll's shared phase)
+ * must still serialize those calls themselves.
  */
 
 #ifndef DEJAVU_CORE_SHARED_REPOSITORY_HH
 #define DEJAVU_CORE_SHARED_REPOSITORY_HH
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -44,6 +55,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "core/repository.hh"
 #include "services/service.hh"
 
@@ -91,7 +103,7 @@ class RepositoryHandle
     ServiceKind kind() const;
 
     /** Diagnostic owner label given at attach time. */
-    const std::string &owner() const;
+    std::string owner() const;
 
     /** The underlying repository (null when unattached). */
     SharedRepository *shared() { return _repo; }
@@ -121,8 +133,9 @@ class RepositoryHandle
      *  invalidates *its* allocations, not its peers'). */
     void clear();
 
-    /** This attachment's statistics. */
-    const Repository::Stats &stats() const;
+    /** This attachment's statistics (a snapshot: returned by value
+     *  so readers never alias concurrently mutated counters). */
+    Repository::Stats stats() const;
 
     /** Hits served from entries written by *another* attachment —
      *  reads the shared table answered on a peer's behalf. Repeated
@@ -171,6 +184,15 @@ class SharedRepository
 
     explicit SharedRepository(Mode mode = Mode::Shared);
 
+    /** Move is for factory returns (load()) only: it locks @p other,
+     *  so it is safe against concurrent readers of the source, but
+     *  handles into @p other are NOT retargeted — move before
+     *  attaching. */
+    SharedRepository(SharedRepository &&other) noexcept;
+    SharedRepository(const SharedRepository &) = delete;
+    SharedRepository &operator=(const SharedRepository &) = delete;
+    SharedRepository &operator=(SharedRepository &&) = delete;
+
     Mode mode() const { return _mode; }
 
     /** Human-readable mode name ("shared" | "isolated"). */
@@ -188,11 +210,10 @@ class SharedRepository
     void detach(RepositoryHandle &handle);
 
     /** Live (attached, not detached) attachments. */
-    int attachments() const { return _live; }
+    int attachments() const;
 
     /** All attachments ever made, detached included. */
-    int totalAttachments() const
-    { return static_cast<int>(_attachments.size()); }
+    int totalAttachments() const;
 
     /** Sum of all attachments' statistics — the fleet-wide numbers. */
     Repository::Stats aggregateStats() const;
@@ -269,7 +290,7 @@ class SharedRepository
         Table isolated;  ///< Private view (WriteThroughIsolated only).
     };
 
-    /** @name Handle back-ends (id-checked) @{ */
+    /** @name Handle back-ends (id-checked; each takes the lock) @{ */
     void handleStore(int id, const RepositoryKey &key,
                      const ResourceAllocation &allocation);
     std::optional<ResourceAllocation> handleLookup(
@@ -279,19 +300,43 @@ class SharedRepository
     void handleClear(int id);
     std::size_t handleEntries(int id) const;
     std::vector<RepositoryKey> handleKeys(int id) const;
+    /** Locked snapshots of per-attachment fields (for the handle's
+     *  kind()/owner()/stats()/counter accessors). */
+    ServiceKind attachmentKind(int id) const;
+    std::string attachmentOwner(int id) const;
+    Repository::Stats attachmentStats(int id) const;
+    std::uint64_t attachmentCrossHits(int id) const;
+    std::uint64_t attachmentReusedEntries(int id) const;
+    std::uint64_t attachmentWouldHaveHits(int id) const;
     /** @} */
 
-    Attachment &attachment(int id);
-    const Attachment &attachment(int id) const;
+    /** @name Lock-held internals @{ */
+    Attachment &attachment(int id) REQUIRES(_mu);
+    const Attachment &attachment(int id) const REQUIRES(_mu);
 
     /** The table @p id's lookups consult (kind or isolated view). */
-    const Table &viewOf(const Attachment &a) const;
+    const Table &viewOf(const Attachment &a) const REQUIRES(_mu);
+
+    Repository::Stats aggregateStatsLocked() const REQUIRES(_mu);
+    std::vector<ServiceKind> kindsLocked() const REQUIRES(_mu);
+    std::vector<RepositoryKey> keysLocked(ServiceKind kind) const
+        REQUIRES(_mu);
+    std::optional<ResourceAllocation> peekLocked(
+        ServiceKind kind, const RepositoryKey &key) const
+        REQUIRES(_mu);
+    /** @} */
 
     Mode _mode;
+    /** One lock for the whole repository: attachments are coarse-
+     *  grained and the sim-side path is uncontended; the serving-path
+     *  refactor can split this into striped locks behind the same
+     *  annotations. */
+    mutable Mutex _mu;
     /** Ordered by kind so save() and reports are deterministic. */
-    std::map<ServiceKind, Table> _byKind;
-    std::vector<Attachment> _attachments;
-    int _live = 0;
+    std::map<ServiceKind, Table> _byKind GUARDED_BY(_mu);
+    /** A deque so attach() never relocates live attachments. */
+    std::deque<Attachment> _attachments GUARDED_BY(_mu);
+    int _live GUARDED_BY(_mu) = 0;
 };
 
 } // namespace dejavu

@@ -41,14 +41,15 @@ hpcEventName(HpcEvent event)
 HpcEvent
 hpcEventByName(const std::string &name)
 {
-    static const auto *byName = [] {
-        auto *m = new std::unordered_map<std::string, int>;
+    static const auto byName = [] {
+        std::unordered_map<std::string, int> m;
+        m.reserve(static_cast<std::size_t>(kNumHpcEvents));
         for (int i = 0; i < kNumHpcEvents; ++i)
-            (*m)[kNames[static_cast<std::size_t>(i)]] = i;
+            m[kNames[static_cast<std::size_t>(i)]] = i;
         return m;
     }();
-    auto it = byName->find(name);
-    if (it == byName->end())
+    auto it = byName.find(name);
+    if (it == byName.end())
         fatal("unknown HPC event name: ", name);
     return static_cast<HpcEvent>(it->second);
 }
@@ -56,13 +57,14 @@ hpcEventByName(const std::string &name)
 const std::vector<HpcEvent> &
 allHpcEvents()
 {
-    static const auto *events = [] {
-        auto *v = new std::vector<HpcEvent>;
+    static const auto events = [] {
+        std::vector<HpcEvent> v;
+        v.reserve(static_cast<std::size_t>(kNumHpcEvents));
         for (int i = 0; i < kNumHpcEvents; ++i)
-            v->push_back(static_cast<HpcEvent>(i));
+            v.push_back(static_cast<HpcEvent>(i));
         return v;
     }();
-    return *events;
+    return events;
 }
 
 std::vector<std::string>

@@ -14,14 +14,13 @@
 #define DEJAVU_EXPERIMENTS_RUNNER_HH
 
 #include <algorithm>
-#include <atomic>
 #include <functional>
 #include <string>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "baselines/autopilot.hh"
+#include "common/parallel.hh"
 #include "experiments/experiment.hh"
 #include "experiments/scenario.hh"
 
@@ -113,34 +112,12 @@ class ExperimentRunner
         static_assert(!std::is_same_v<ResultT, bool>,
                       "sweepInto result type must not be bool");
         std::vector<ResultT> results(cells.size());
-        if (cells.empty())
-            return results;
-
-        // Work stealing via a shared counter; result slots are fixed
-        // by input order, so the merge is identical at any thread
-        // count.
-        std::atomic<std::size_t> next{0};
-        auto worker = [&] {
-            for (;;) {
-                const std::size_t i = next.fetch_add(1);
-                if (i >= cells.size())
-                    return;
-                results[i] = fn(cells[i]);
-            }
-        };
-
-        const int n = std::min<int>(_threads,
-                                    static_cast<int>(cells.size()));
-        if (n <= 1) {
-            worker();
-            return results;
-        }
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(n));
-        for (int t = 0; t < n; ++t)
-            pool.emplace_back(worker);
-        for (auto &thread : pool)
-            thread.join();
+        // Result slots are fixed by input order, so the merge is
+        // identical at any thread count; the work-stealing pool
+        // itself is the shared parallelFor primitive.
+        parallelFor(cells.size(), _threads, [&](std::size_t i) {
+            results[i] = fn(cells[i]);
+        });
         return results;
     }
 

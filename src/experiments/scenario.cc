@@ -1,12 +1,11 @@
 #include "experiments/scenario.hh"
 
-#include <atomic>
 #include <cmath>
 #include <map>
-#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace dejavu {
 
@@ -227,24 +226,10 @@ FleetStack::learnAll(int threads)
                 member.experimentConfig.peakClients, h));
         member.controller->prepareLearning(learning);
     };
-    const int workers =
-        std::min<int>(threads, static_cast<int>(members.size()));
-    if (workers <= 1) {
-        for (auto &member : members)
-            prepare(*member);
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> pool;
-        pool.reserve(static_cast<std::size_t>(workers));
-        for (int t = 0; t < workers; ++t)
-            pool.emplace_back([this, &prepare, &next] {
-                for (std::size_t i = next.fetch_add(1);
-                     i < members.size(); i = next.fetch_add(1))
-                    prepare(*members[i]);
-            });
-        for (auto &worker : pool)
-            worker.join();
-    }
+    parallelFor(members.size(), threads, [this, &prepare](
+                                             std::size_t i) {
+        prepare(*members[i]);
+    });
 
     // Shared half: repository probe / tuner / store, strictly in
     // member order — under a shared repository, which member tunes a

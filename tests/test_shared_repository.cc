@@ -9,8 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
+#include "common/parallel.hh"
 #include "core/shared_repository.hh"
 
 namespace dejavu {
@@ -285,6 +288,121 @@ TEST(SharedRepository, KeysSortedAndToString)
     EXPECT_NE(s.find("keyvalue"), std::string::npos);
     EXPECT_NE(h.toString().find("repository[keyvalue]"),
               std::string::npos);
+}
+
+TEST(SharedRepository, SaveBytesIndependentOfInsertionOrder)
+{
+    // The kind tables are unordered_maps; save() must never leak
+    // hash-iteration order into its CSV (the determinism linter's
+    // unordered-iteration rule guards the code path, this pins the
+    // bytes). Same entries, opposite insertion orders, identical
+    // output.
+    const std::vector<RepositoryKey> keys{
+        {7, 1}, {0, 0}, {3, 2}, {12, 0}, {1, 1}};
+
+    SharedRepository forward;
+    RepositoryHandle hf =
+        forward.attach(ServiceKind::KeyValue, "svc");
+    for (const RepositoryKey &key : keys)
+        hf.store(key, kFourLarge);
+
+    SharedRepository backward;
+    RepositoryHandle hb =
+        backward.attach(ServiceKind::KeyValue, "svc");
+    for (auto it = keys.rbegin(); it != keys.rend(); ++it)
+        hb.store(*it, kFourLarge);
+
+    std::ostringstream a, b;
+    forward.save(a);
+    backward.save(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // Sorted keys are the contract the bytes follow from.
+    const auto sorted = hf.keys();
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(SharedRepository, ConcurrentStoresAndLookupsAggregateExactly)
+{
+    // The repository is internally synchronized: handles on distinct
+    // services may store/look up concurrently. Each worker touches
+    // only its own class-id keys, so every count below is exact
+    // regardless of interleaving. The TSan CI leg runs this at 8
+    // threads.
+    constexpr std::size_t kHandles = 8;
+    constexpr int kPerHandle = 40;
+
+    SharedRepository repo;
+    std::vector<RepositoryHandle> handles(kHandles);
+    for (std::size_t h = 0; h < kHandles; ++h)
+        handles[h] = repo.attach(ServiceKind::KeyValue,
+                                 "svc-" + std::to_string(h));
+    EXPECT_EQ(repo.attachments(), static_cast<int>(kHandles));
+
+    parallelFor(kHandles, 8, [&handles](std::size_t h) {
+        for (int i = 0; i < kPerHandle; ++i) {
+            const RepositoryKey key{static_cast<int>(h), i};
+            handles[h].store(key, kFourLarge);
+            EXPECT_TRUE(handles[h].lookup(key).has_value());
+        }
+    });
+
+    const Repository::Stats total = repo.aggregateStats();
+    EXPECT_EQ(total.stores, kHandles * kPerHandle);
+    EXPECT_EQ(total.lookups, kHandles * kPerHandle);
+    EXPECT_EQ(total.hits, kHandles * kPerHandle);
+    EXPECT_EQ(total.misses, 0u);
+    // Workers only read their own writes: no cross-service reuse.
+    EXPECT_EQ(repo.aggregateCrossHits(), 0u);
+    EXPECT_EQ(repo.entries(), kHandles * kPerHandle);
+}
+
+TEST(SharedRepository, ConcurrentReadersDuringWrites)
+{
+    // Writers fill disjoint key ranges while readers hammer the
+    // whole-repository read surface (peek, keys, entries, stats,
+    // toString, save). The reads' *values* are racy by design — the
+    // assertions only pin what must hold at any instant — but every
+    // access must be data-race-free, which the TSan leg checks.
+    constexpr std::size_t kWriters = 4;
+    constexpr int kPerWriter = 64;
+
+    SharedRepository repo;
+    std::vector<RepositoryHandle> handles(kWriters);
+    for (std::size_t h = 0; h < kWriters; ++h)
+        handles[h] = repo.attach(ServiceKind::KeyValue,
+                                 "svc-" + std::to_string(h));
+
+    parallelFor(kWriters * 2, 8, [&repo, &handles](std::size_t w) {
+        if (w < kWriters) {
+            for (int i = 0; i < kPerWriter; ++i)
+                handles[w].store(
+                    RepositoryKey{static_cast<int>(w), i},
+                    kSixLarge);
+            return;
+        }
+        const auto h = w - kWriters;
+        for (int i = 0; i < kPerWriter; ++i) {
+            const RepositoryKey key{static_cast<int>(h), i};
+            const auto seen =
+                repo.peek(ServiceKind::KeyValue, key);
+            if (seen)
+                EXPECT_EQ(seen->instances, kSixLarge.instances);
+            EXPECT_LE(repo.entries(),
+                      kWriters * static_cast<std::size_t>(
+                                     kPerWriter));
+            EXPECT_LE(repo.aggregateStats().stores,
+                      kWriters * static_cast<std::uint64_t>(
+                                     kPerWriter));
+            std::ostringstream sink;
+            repo.save(sink);
+        }
+    });
+
+    EXPECT_EQ(repo.entries(),
+              kWriters * static_cast<std::size_t>(kPerWriter));
+    EXPECT_EQ(repo.aggregateStats().stores,
+              kWriters * static_cast<std::uint64_t>(kPerWriter));
 }
 
 TEST(SharedRepository, SharingModeNamesRoundTrip)

@@ -26,15 +26,23 @@ import json
 import sys
 
 
+def die(message):
+    """Report a usage/input error with the documented exit status 2
+    (sys.exit(str) would exit 1, conflating bad input with a real
+    regression)."""
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def read_cells(path):
     """Load one bench JSON and index its cells by identity key."""
     try:
         with open(path, encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
-        sys.exit(f"error: cannot read {path}: {err}")
+        die(f"cannot read {path}: {err}")
     if doc.get("bench") != "fleet_tails_huge" or "cells" not in doc:
-        sys.exit(f"error: {path} is not a fleet_tails --huge JSON")
+        die(f"{path} is not a fleet_tails --huge JSON")
     cells = {}
     for cell in doc["cells"]:
         try:
@@ -42,9 +50,9 @@ def read_cells(path):
                    str(cell["policy"]))
             cells[key] = float(cell["events_per_s"])
         except (KeyError, TypeError, ValueError):
-            sys.exit(f"error: malformed cell in {path}: {cell}")
+            die(f"malformed cell in {path}: {cell}")
     if not cells:
-        sys.exit(f"error: {path} has no cells")
+        die(f"{path} has no cells")
     return cells
 
 
@@ -65,8 +73,8 @@ def main():
     fresh = read_cells(args.fresh)
     common = sorted(set(baseline) & set(fresh))
     if not common:
-        sys.exit("error: no comparable (services, hosts, policy) "
-                 "cells between the two files")
+        die("no comparable (services, hosts, policy) cells between "
+            "the two files")
 
     failures = 0
     for key in common:

@@ -1,0 +1,33 @@
+// Banned tokens inside comments and literals must never fire: the
+// linter is tokenizer-aware, not a grep. No expect() markers here —
+// any finding in this file is a self-test failure.
+//
+// In commentary: rand(), srand(1), std::random_device, time(nullptr),
+// std::this_thread::sleep_for, new int[3], steady_clock.
+
+#include <string>
+
+/* Block comments too: system_clock::now() and a raw new expression. */
+
+std::string
+cleanLiterals()
+{
+    const std::string s1 = "rand() time(0) new std::this_thread";
+    const std::string s2 = "std::mt19937 gen; steady_clock tick";
+    const char escaped[] = "prefix \" rand() \" suffix";
+    const char quote = '"';
+    const std::string raw = R"(new time(nullptr) rand() "quoted")";
+    // Identifiers merely *containing* banned words are fine:
+    const int renewal = 1;     // not a raw `new`
+    const int timer = 2;       // `timer(` is not `time(`
+    (void)quote;
+    return s1 + s2 + escaped + raw +
+        std::to_string(renewal + timer);
+}
+
+int
+adaptationTime(int t)
+{
+    // A call named ...Time( must not match the wall-clock rule.
+    return adaptationTime(t - 1) + t;
+}

@@ -1,0 +1,13 @@
+// Path-allowlist check: files whose path ends in common/random.* are
+// the sanctioned home of RNG machinery, so std::mt19937 and
+// std::random_device are legal here. No expect() markers.
+
+#include <random>
+
+unsigned
+sanctionedEntropy()
+{
+    std::random_device device;
+    std::mt19937 generator(device());
+    return generator();
+}

@@ -1,0 +1,15 @@
+// Path-allowlist check: files whose path ends in common/stats.* are
+// the sanctioned home of host-side measurement (peak RSS, bench wall
+// time), so clock reads are legal here. No expect() markers.
+
+#include <chrono>
+#include <sys/resource.h>
+
+long
+sanctionedMeasurement()
+{
+    struct rusage usage;
+    getrusage(RUSAGE_SELF, &usage);
+    const auto tick = std::chrono::steady_clock::now();
+    return usage.ru_maxrss + tick.time_since_epoch().count();
+}

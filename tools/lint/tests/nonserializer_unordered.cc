@@ -1,0 +1,16 @@
+// Unordered iteration is only banned in files that serialize state
+// (digests/CSVs/save()/toString()). This file writes none of those,
+// so its internal order-insensitive accumulation is fine: no
+// expect() markers.
+
+#include <unordered_map>
+
+int
+totalWeight(const std::unordered_map<int, int> &weights)
+{
+    std::unordered_map<int, int> filtered = weights;
+    int total = 0;
+    for (const auto &[_, weight] : filtered)
+        total += weight;
+    return total;
+}

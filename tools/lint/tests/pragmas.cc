@@ -1,0 +1,23 @@
+// lint-allow pragma placement: same line, or a comment-only line
+// immediately above. A pragma never spills past its target line —
+// the trailing unsuppressed violation must still fire.
+
+#include <cstdlib>
+#include <ctime>
+
+int
+sanctionedExceptions()
+{
+    const int r = rand();  // lint-allow(rng): exercising the same-line pragma form
+    // lint-allow(wall-clock): exercising the line-above pragma form
+    const long t = time(nullptr);
+    // lint-allow(raw-new): reason pragmas only cover their own rule
+    const long u = time(nullptr);  // expect(wall-clock)
+    return r + static_cast<int>(t + u);
+}
+
+int *
+stillCaught()
+{
+    return new int(1);  // expect(raw-new)
+}

@@ -1,0 +1,48 @@
+// A serializing file (it defines save()/toCsv()): every direct
+// iteration over an unordered container must be flagged; the sorted
+// helper pattern with a reasoned pragma must pass.
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using BadgeSet = std::unordered_set<int>;
+
+struct Ledger
+{
+    std::unordered_map<std::string, int> balances;
+    BadgeSet badges;
+
+    std::vector<std::string> sortedNames() const
+    {
+        std::vector<std::string> names;
+        names.reserve(balances.size());
+        // lint-allow(unordered-iteration): collected then sorted below
+        for (const auto &[name, _] : balances)
+            names.push_back(name);
+        std::sort(names.begin(), names.end());
+        return names;
+    }
+
+    void save(std::ostream &out) const
+    {
+        for (const auto &[name, value] : balances)  // expect(unordered-iteration)
+            out << name << ',' << value << '\n';
+        for (auto it = badges.begin(); it != badges.end(); ++it)  // expect(unordered-iteration)
+            out << *it << '\n';
+        for (const std::string &name : sortedNames())
+            out << name << '\n';
+    }
+
+    std::string toCsv() const
+    {
+        std::string out;
+        BadgeSet seen = badges;
+        for (int badge : seen)  // expect(unordered-iteration)
+            out += std::to_string(badge) + "\n";
+        return out;
+    }
+};

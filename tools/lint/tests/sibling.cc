@@ -1,0 +1,16 @@
+// Implementation of the pair; the member and the alias are declared
+// in sibling.hh only.
+
+#include "sibling.hh"
+
+#include <ostream>
+
+void
+Catalog::save(std::ostream &out) const
+{
+    for (const auto &[name, id] : _index)  // expect(unordered-iteration)
+        out << name << ',' << id << '\n';
+    const Index scratch = _index;
+    for (const auto &[name, id] : scratch)  // expect(unordered-iteration)
+        out << id << ',' << name << '\n';
+}

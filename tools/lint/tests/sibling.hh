@@ -1,0 +1,15 @@
+// Declarations live here; the paired sibling.cc iterates them. The
+// linter harvests a .cc's sibling header so member declarations and
+// type aliases are visible when linting the implementation file.
+
+#include <string>
+#include <unordered_map>
+
+struct Catalog
+{
+    using Index = std::unordered_map<std::string, int>;
+
+    Index _index;
+
+    void save(std::ostream &out) const;
+};
