@@ -156,6 +156,10 @@ struct HugeCell
     int services = 0;
     int hosts = 0;
     std::string policy;
+    /** Scenario family: "mixed" for the scale plan, the "+"-suffixed
+     *  family tag for conformance cells (part of the JSON cell key —
+     *  see tools/check_bench_regression.py). */
+    std::string mix = "mixed";
     std::uint64_t events = 0;       ///< Queue events executed.
     double learnSec = 0.0;          ///< Learning-phase wall clock.
     double runSec = 0.0;            ///< run() wall clock.
@@ -242,6 +246,7 @@ writeHugeJson(const std::string &path, bool smoke,
         out << "    {\"services\": " << c.services
             << ", \"hosts\": " << c.hosts
             << ", \"policy\": \"" << c.policy << "\""
+            << ", \"mix\": \"" << c.mix << "\""
             << ", \"events\": " << c.events
             << ", \"learn_s\": " << c.learnSec
             << ", \"wall_s\": " << c.runSec
@@ -250,6 +255,7 @@ writeHugeJson(const std::string &path, bool smoke,
             << ", \"adaptations\": " << c.summary.adaptations
             << ", \"adapt_p50_s\": " << c.summary.adaptationP50Sec
             << ", \"adapt_p95_s\": " << c.summary.adaptationP95Sec
+            << ", \"adapt_p999_s\": " << c.summary.adaptationP999Sec
             << ", \"adapt_max_s\": " << c.summary.adaptationMaxSec
             << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
     }
@@ -307,19 +313,86 @@ runHugeGate(bool smoke, std::string jsonPath)
                           << " MiB)\n";
             }
 
-    Table table({"services", "hosts", "policy", "events",
+    // ----------------------------------------------------------------
+    // Scenario-family conformance cell: the composed family nothing
+    // in the scale plan exercises — YCSB mixes + daemon co-runners +
+    // host-loss fault injection — must digest identically at 1 vs 4
+    // runner threads, keep adapting through every kill/restore cycle,
+    // and orphan no profiling work.
+    // ----------------------------------------------------------------
+    const std::string confScenario = "fleet-ycsb-100+daemons+hostloss";
+    bool conformanceOk = true;
+    {
+        const auto confCells =
+            ExperimentRunner::grid({confScenario}, {"fifo"}, {42});
+        std::string confDigests[2];
+        const int confThreads[2] = {1, 4};
+        for (int t = 0; t < 2; ++t) {
+            const auto summaries = ExperimentRunner(
+                ExperimentRunner::Config(confThreads[t]))
+                .sweepInto(confCells, runFleetCell);
+            std::vector<FleetCellResult> rows;
+            rows.reserve(confCells.size());
+            for (std::size_t i = 0; i < confCells.size(); ++i)
+                rows.push_back({confCells[i], summaries[i]});
+            confDigests[t] = fleetSweepCsv(rows);
+        }
+        const bool confDigestsMatch = confDigests[0] == confDigests[1];
+
+        // The timed run that feeds the JSON digest (runFleetCell does
+        // not expose event counts or RSS).
+        HugeCell cell;
+        const auto learnStart = std::chrono::steady_clock::now();
+        auto stack =
+            makeFleetScenario(confScenario, 42, SlotPolicy::Fifo);
+        stack->learnAll(learnThreads);
+        cell.learnSec = secondsSince(learnStart);
+        stack->startInjectors();
+        const auto runStart = std::chrono::steady_clock::now();
+        stack->experiment->run();
+        cell.runSec = secondsSince(runStart);
+        cell.events = stack->sim->queue().executed();
+        cell.eventsPerSec = cell.runSec > 0.0
+            ? static_cast<double>(cell.events) / cell.runSec : 0.0;
+        cell.rssBytes = peakRssBytes();
+        cell.summary = stack->experiment->summary();
+        cell.services = 100;
+        cell.hosts = cell.summary.hosts;
+        cell.policy = "fifo";
+        cell.mix = "ycsb+daemons+hostloss";
+        cells.push_back(cell);
+
+        const auto &s = cells.back().summary;
+        const bool confInvariants = s.adaptations > 0
+            && s.orphanedItems == 0
+            && s.hostsFailed > 0
+            && s.hostsFailed == s.hostsRestored;
+        conformanceOk = confDigestsMatch && confInvariants;
+        std::cout << "  conformance " << confScenario
+                  << ": digests 1-vs-4 threads "
+                  << (confDigestsMatch ? "IDENTICAL" : "DIFFER — BUG")
+                  << ", adaptations=" << s.adaptations
+                  << ", hosts failed/restored=" << s.hostsFailed << "/"
+                  << s.hostsRestored
+                  << ", orphaned=" << s.orphanedItems
+                  << (confInvariants ? "" : " ** INVARIANT BROKEN **")
+                  << "\n";
+    }
+
+    Table table({"services", "hosts", "policy", "mix", "events",
                  "events_per_s", "run_s", "learn_s", "peak_rss_mib",
-                 "adapt_p95_s"});
+                 "adapt_p95_s", "adapt_p999_s"});
     for (const HugeCell &c : cells)
         table.addRow({std::to_string(c.services),
-                      std::to_string(c.hosts), c.policy,
+                      std::to_string(c.hosts), c.policy, c.mix,
                       std::to_string(c.events),
                       Table::num(c.eventsPerSec, 0),
                       Table::num(c.runSec, 1),
                       Table::num(c.learnSec, 1),
                       Table::num(static_cast<double>(c.rssBytes)
                                  / (1024.0 * 1024.0), 0),
-                      Table::num(c.summary.adaptationP95Sec, 1)});
+                      Table::num(c.summary.adaptationP95Sec, 1),
+                      Table::num(c.summary.adaptationP999Sec, 1)});
     std::cout << "\n";
     table.printText(std::cout);
 
@@ -332,7 +405,8 @@ runHugeGate(bool smoke, std::string jsonPath)
         for (const auto &policyName : slotPolicyNames()) {
             std::vector<const HugeCell *> progression;
             for (const HugeCell &c : cells)
-                if (c.services == services && c.policy == policyName)
+                if (c.services == services && c.policy == policyName
+                    && c.mix == "mixed")
                     progression.push_back(&c);
             knees[{services, policyName}] =
                 progression.size() > 1
@@ -357,8 +431,11 @@ runHugeGate(bool smoke, std::string jsonPath)
     for (const HugeCell &c : cells)
         ok = ok && c.events > 0 && c.summary.adaptations > 0;
     std::cout << "all cells completed: " << (ok ? "YES" : "NO — BUG")
-              << "\n";
-    return ok ? 0 : 1;
+              << "\n"
+              << "scenario-family conformance ("
+              << confScenario << "): "
+              << (conformanceOk ? "PASS" : "FAIL — BUG") << "\n";
+    return ok && conformanceOk ? 0 : 1;
 }
 
 /** Numeric equality of two summaries — the legacy/work-queue parity
@@ -375,9 +452,11 @@ summariesMatch(const FleetExperiment::FleetSummary &a,
         && a.repoHits == b.repoHits
         && a.queueDelayP50Sec == b.queueDelayP50Sec
         && a.queueDelayP95Sec == b.queueDelayP95Sec
+        && a.queueDelayP999Sec == b.queueDelayP999Sec
         && a.queueDelayMaxSec == b.queueDelayMaxSec
         && a.adaptationP50Sec == b.adaptationP50Sec
         && a.adaptationP95Sec == b.adaptationP95Sec
+        && a.adaptationP999Sec == b.adaptationP999Sec
         && a.adaptationMaxSec == b.adaptationMaxSec;
 }
 
@@ -479,7 +558,8 @@ main(int argc, char **argv)
     // ----------------------------------------------------------------
     Table table({"variant", "policy", "hosts", "adaptations",
                  "repo_hit_pct", "reused", "queue_p95_s",
-                 "adapt_p50_s", "adapt_p95_s", "adapt_max_s"});
+                 "adapt_p50_s", "adapt_p95_s", "adapt_p999_s",
+                 "adapt_max_s"});
     for (const char *variant : kVariants) {
         for (const auto &policyName : slotPolicyNames()) {
             for (const FleetCellResult *row :
@@ -493,6 +573,7 @@ main(int argc, char **argv)
                               Table::num(s.queueDelayP95Sec, 1),
                               Table::num(s.adaptationP50Sec, 1),
                               Table::num(s.adaptationP95Sec, 1),
+                              Table::num(s.adaptationP999Sec, 1),
                               Table::num(s.adaptationMaxSec, 1)});
             }
         }

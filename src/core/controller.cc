@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "proxy/proxy.hh"
 #include "sim/event_queue.hh"
 
 namespace dejavu {
@@ -38,6 +39,22 @@ DejaVuController::attachRepository(SharedRepository &repository,
                               owner.empty() ? _service.name()
                                             : std::move(owner));
     _ownedRepo.reset();
+}
+
+void
+DejaVuController::attachProxy(DejaVuProxy *proxy)
+{
+    _proxy = proxy;
+    if (_proxy)
+        _proxy->setInterferenceBucket(_currentBucket);
+}
+
+void
+DejaVuController::setBucket(int bucket)
+{
+    _currentBucket = bucket;
+    if (_proxy)
+        _proxy->setInterferenceBucket(bucket);
 }
 
 void
@@ -222,7 +239,7 @@ DejaVuController::relearn()
            " original + ", _novelWorkloads.size(),
            " novel workloads");
     ++_timesRelearned;
-    _currentBucket = 0;
+    setBucket(0);
     _violationStreak = 0;
     _calmStreak = 0;
     return learn(all);
@@ -313,7 +330,7 @@ DejaVuController::onWorkloadChange(const Workload &workload)
         ++_lowCertaintyStreak;
         _novelWorkloads.push_back(workload);
         _lastClassId = -1;
-        _currentBucket = 0;
+        setBucket(0);
         decision.kind = DecisionKind::UnknownWorkload;
         decision.classId = outcome.classId;
         decision.allocation = _service.cluster().maxAllocation();
@@ -334,7 +351,7 @@ DejaVuController::onWorkloadChange(const Workload &workload)
             cached = _repo.lookup(
                 {outcome.classId, _currentBucket});
         if (!cached) {
-            _currentBucket = 0;
+            setBucket(0);
             cached = _repo.lookup({outcome.classId, 0});
         }
         if (!cached && sharesRepository()) {
@@ -414,7 +431,7 @@ DejaVuController::onSloFeedback(const Service::PerfSample &sample)
     decision.kind = DecisionKind::InterferenceAdjust;
     decision.classId = _lastClassId;
     decision.certainty = 1.0;
-    _currentBucket = bucket;
+    setBucket(bucket);
 
     auto cached = _repo.lookup({_lastClassId, bucket});
     if (cached) {
@@ -584,7 +601,7 @@ DejaVuController::maybeDeescalate(const Service::PerfSample &sample)
     if (++_calmStreak < _config.calmTicksBeforeDeescalate)
         return;
     _calmStreak = 0;
-    _currentBucket = 0;
+    setBucket(0);
     auto baseline = _repo.lookup({_lastClassId, 0});
     if (baseline && _service.cluster().target() != *baseline) {
         inform("interference cleared: class ", _lastClassId,

@@ -30,6 +30,8 @@
 
 namespace dejavu {
 
+class DejaVuProxy;
+
 /**
  * The DejaVu framework controller for one service.
  */
@@ -189,6 +191,17 @@ class DejaVuController
     /** The interference bucket the controller currently operates in
      *  (0 = no interference detected). */
     int interferenceBucket() const { return _currentBucket; }
+
+    /**
+     * Attach the service's duplicating proxy (§3.2.1): the controller
+     * then publishes every interference-bucket transition to it, so
+     * the traffic the proxy mirrors into the profiling environment is
+     * tagged with the bucket it was captured under — replayed
+     * signatures and the (class, bucket) repository key stay aligned
+     * across §3.6 escalations and de-escalations. Optional (nullptr
+     * detaches); the current bucket is pushed immediately on attach.
+     */
+    void attachProxy(DejaVuProxy *proxy);
 
     /**
      * Re-clustering (§3.5): "If the repository repeatedly outputs
@@ -364,6 +377,8 @@ class DejaVuController
 
     TuningDeferral _tuningDeferral;
     std::optional<PendingTuning> _pendingTuning;
+    /** Bucket-transition subscriber; see attachProxy(). */
+    DejaVuProxy *_proxy = nullptr;
 
     /** State handed from prepareLearning() to learnPrepared(). */
     struct PreparedLearning
@@ -386,6 +401,10 @@ class DejaVuController
 
     /** Step back to the baseline bucket once interference clears. */
     void maybeDeescalate(const Service::PerfSample &sample);
+
+    /** The single write path for _currentBucket: records the
+     *  transition and publishes it to the attached proxy. */
+    void setBucket(int bucket);
 
     Tuner makeTuner();
 };

@@ -32,7 +32,9 @@
 #include "services/keyvalue_service.hh"
 #include "services/rubis_service.hh"
 #include "services/specweb_service.hh"
+#include "services/ycsb_service.hh"
 #include "sim/cluster.hh"
+#include "sim/daemon.hh"
 #include "sim/interference.hh"
 #include "sim/simulation.hh"
 #include "workload/trace_library.hh"

@@ -47,10 +47,13 @@ InterferenceEstimator::bucketOf(double index) const
     DEJAVU_ASSERT(index > 0.0, "index must be positive");
     if (index <= 1.0 + _config.tolerance)
         return 0;
-    const int bucket =
-        1 + static_cast<int>((index - 1.0 - _config.tolerance)
-                             / _config.bucketWidth);
-    return std::min(bucket, _config.maxBucket);
+    const double raw =
+        (index - 1.0 - _config.tolerance) / _config.bucketWidth;
+    // Clamp before the int cast: a deep-saturation index can put raw
+    // beyond INT_MAX, where the cast itself is undefined.
+    if (raw >= static_cast<double>(_config.maxBucket - 1))
+        return _config.maxBucket;
+    return 1 + static_cast<int>(raw);
 }
 
 double

@@ -95,6 +95,10 @@ CounterModel::expectedRate(HpcEvent event, const RequestMix &mix,
             return r * (1.2e5 * (1.0 - mix.staticFraction) + 2.0e4);
           case ServiceKind::KeyValue:
             return r * 3.0e4 * (0.5 + 0.8 * writeF);
+          case ServiceKind::Ycsb:
+            // Hash-heavy read path: reads dominate the FP/SIMD-ish
+            // work, updates mostly append.
+            return r * 2.2e4 * (0.4 + 0.9 * readF) * mix.memWeight;
           default:
             return r * 5.0e4 * mix.cpuWeight;
         }
@@ -241,6 +245,15 @@ isStableFor(ServiceKind kind, HpcEvent event)
             event == HpcEvent::L2RejectBusq ||
             event == HpcEvent::LoadBlock ||
             event == HpcEvent::StoreBlock;
+      case ServiceKind::Ycsb:
+        // Memory-system counters: the hot set's cache behaviour is
+        // what separates the YCSB mixes.
+        return event == HpcEvent::L1dRepl ||
+            event == HpcEvent::L2LinesIn ||
+            event == HpcEvent::L2Ld || event == HpcEvent::L2St ||
+            event == HpcEvent::MemLoadRetiredL2Miss ||
+            event == HpcEvent::PageWalks ||
+            event == HpcEvent::CpuClkUnhalted;
       case ServiceKind::Generic:
         return true;
     }

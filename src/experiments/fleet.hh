@@ -151,6 +151,19 @@ class DejaVuFleet : public Actor
      */
     void noteSloViolation(const std::string &name);
 
+    /** @name Host-loss fault injection (pass-through to the queue) @{ */
+    /** Profiling host @p host dies now: its in-flight grant is
+     *  abandoned (not-yet-run members cancelled with
+     *  WorkCancelReason::HostLost) and the pool shrinks until
+     *  restoreProfilingHost(). Queued work waits for survivors. */
+    void failProfilingHost(std::size_t host)
+    { _workQueue.failHost(host); }
+
+    /** A dead profiling host comes back, idle. */
+    void restoreProfilingHost(std::size_t host)
+    { _workQueue.restoreHost(host); }
+    /** @} */
+
     /** Subscribe to completed adaptations. */
     void addListener(AdaptationListener fn);
 

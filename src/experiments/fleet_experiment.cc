@@ -257,6 +257,10 @@ FleetExperiment::summary() const
     s.coalescedSignatures = work.coalescedSignatures;
     s.tunerCancelled = work.tunerCancelledForReuse;
     s.tunerAdopted = _fleet.tunerAdoptedAtGrant();
+    s.hostsFailed = work.hostsFailed;
+    s.hostsRestored = work.hostsRestored;
+    s.cancelledHostLost = work.cancelledHostLost;
+    s.orphanedItems = _fleet.workQueue().orphanedItems();
     // Aggregate the repository statistics over the member handles.
     // This works identically in Private mode (each handle fronts its
     // controller's own repository), so shared-vs-private hit rates
@@ -283,9 +287,11 @@ FleetExperiment::summary() const
         return s;
     s.queueDelayP50Sec = queueDelay.quantile(0.50);
     s.queueDelayP95Sec = queueDelay.quantile(0.95);
+    s.queueDelayP999Sec = queueDelay.quantile(0.999);
     s.queueDelayMaxSec = queueDelay.quantile(1.0);
     s.adaptationP50Sec = total.quantile(0.50);
     s.adaptationP95Sec = total.quantile(0.95);
+    s.adaptationP999Sec = total.quantile(0.999);
     s.adaptationMaxSec = total.quantile(1.0);
     return s;
 }

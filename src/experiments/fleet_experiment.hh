@@ -96,11 +96,23 @@ class FleetExperiment
         std::uint64_t repoWouldHaveHits = 0;
         double repoHitRate = 0.0;
         /** @} */
+        /** @name Host-loss fault injection @{ */
+        std::uint64_t hostsFailed = 0;
+        std::uint64_t hostsRestored = 0;
+        /** Granted items cancelled because their host died. */
+        std::uint64_t cancelledHostLost = 0;
+        /** Items stranded in Granted state with no live grant —
+         *  must be zero (the host-loss conformance gate). */
+        std::uint64_t orphanedItems = 0;
+        /** @} */
         double queueDelayP50Sec = 0.0;
         double queueDelayP95Sec = 0.0;
+        double queueDelayP999Sec = 0.0;
         double queueDelayMaxSec = 0.0;
         double adaptationP50Sec = 0.0;  ///< Queue delay included.
         double adaptationP95Sec = 0.0;
+        /** The tail the BASK-style scenario study is judged at. */
+        double adaptationP999Sec = 0.0;
         double adaptationMaxSec = 0.0;
     };
 

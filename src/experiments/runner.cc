@@ -81,7 +81,8 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
 {
     const char *kShape =
         "'fleet-<mix>-<N>[-h<M>][-<sharing>][-<workmode>]"
-        "[-<sampling>][-jit][+interference]'";
+        "[-<sampling>][-jit][+interference][+daemons][+hostloss]' "
+        "with <mix> one of cassandra|mixed|ycsb";
     const std::string prefix = "fleet-";
     if (scenario.compare(0, prefix.size(), prefix) != 0)
         fatal("fleet scenario name must be ", kShape, ", got: ",
@@ -99,10 +100,30 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
         return false;
     };
 
-    // Optional trailing "+interference" injects §4.3 co-located
-    // tenant pressure into every member (same knob as the standard
-    // single-service scenarios).
-    const bool interference = stripSuffix("+interference");
+    // Optional trailing "+..." fault/pressure suffixes, in any
+    // order: "+interference" injects §4.3 co-located tenant pressure
+    // into every member (same knob as the standard single-service
+    // scenarios), "+daemons" runs a BASK-style background dedup/scan
+    // daemon on every member's cluster, "+hostloss" arms the
+    // deterministic profiling-host kill/restore schedule.
+    bool interference = false;
+    bool daemons = false;
+    bool hostLoss = false;
+    for (bool stripped = true; stripped;) {
+        stripped = false;
+        if (stripSuffix("+interference"))
+            interference = stripped = true;
+        if (stripSuffix("+daemons"))
+            daemons = stripped = true;
+        if (stripSuffix("+hostloss"))
+            hostLoss = stripped = true;
+    }
+    // Any '+' left over is an unknown suffix: fail loudly with the
+    // full grammar instead of letting it fold into the mix or size
+    // token and surface as a misleading parse error downstream.
+    if (rest.find('+') != std::string::npos)
+        fatal("unknown '+' suffix in fleet scenario name: ", scenario,
+              "; the shape is ", kShape);
 
     // Optional trailing "-jit" de-synchronizes change arrival:
     // deterministic per-member offsets spread the hourly burst
@@ -185,6 +206,8 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
     options.seed = seed;
     options.days = days;
     options.interference = interference;
+    options.daemons = daemons;
+    options.hostLoss = hostLoss;
     const SimTime jitter = jittered ? kDefaultJitterSpread : 0;
 
     if (mix == "cassandra")
@@ -194,7 +217,12 @@ makeFleetScenario(const std::string &scenario, std::uint64_t seed,
     if (mix == "mixed")
         return makeMixedFleet(services, options, policy, hosts,
                               sharing, workMode, jitter, sampling);
-    fatal("unknown fleet mix: ", mix, " (use cassandra|mixed)");
+    if (mix == "ycsb")
+        return makeYcsbFleet(services, options, policy, hosts,
+                             sharing, workMode, jitter, sampling);
+    fatal("unknown fleet mix: ", mix,
+          " (use cassandra|mixed|ycsb; the scenario shape is ",
+          kShape, ")");
 }
 
 FleetExperiment::FleetSummary
@@ -214,9 +242,10 @@ fleetSweepCsv(const std::vector<FleetCellResult> &results)
     std::ostringstream os;
     os << "scenario,policy,seed,services,hosts,sharing,adaptations,"
           "repo_lookups,repo_hit_pct,repo_cross_hits,repo_reused,"
-          "repo_would_hit,queue_p50_s,queue_p95_s,queue_max_s,"
-          "adapt_p50_s,adapt_p95_s,adapt_max_s,work_mode,sig_slots,"
-          "tuner_slots,coalesced,tuner_cancelled,tuner_adopted\n";
+          "repo_would_hit,queue_p50_s,queue_p95_s,queue_p999_s,"
+          "queue_max_s,adapt_p50_s,adapt_p95_s,adapt_p999_s,"
+          "adapt_max_s,work_mode,sig_slots,tuner_slots,coalesced,"
+          "tuner_cancelled,tuner_adopted\n";
     for (const auto &fr : results) {
         const auto &s = fr.summary;
         os << fr.cell.scenario << ',' << fr.cell.policy << ','
@@ -228,9 +257,11 @@ fleetSweepCsv(const std::vector<FleetCellResult> &results)
            << s.repoWouldHaveHits << ','
            << Table::num(s.queueDelayP50Sec, 3) << ','
            << Table::num(s.queueDelayP95Sec, 3) << ','
+           << Table::num(s.queueDelayP999Sec, 3) << ','
            << Table::num(s.queueDelayMaxSec, 3) << ','
            << Table::num(s.adaptationP50Sec, 3) << ','
            << Table::num(s.adaptationP95Sec, 3) << ','
+           << Table::num(s.adaptationP999Sec, 3) << ','
            << Table::num(s.adaptationMaxSec, 3) << ','
            << s.workMode << ',' << s.signatureSlots << ','
            << s.tunerSlots << ',' << s.coalescedSignatures << ','

@@ -155,20 +155,26 @@ constexpr SimTime kDefaultJitterSpread = minutes(45);
 /**
  * One fleet sweep cell: scenario
  * "fleet-<mix>-<N>[-h<M>][-<sharing>][-<workmode>][-jit]
- * [+interference]" where <mix> is "cassandra" (homogeneous key-value
- * stores) or "mixed" (KeyValue + SPECweb + RUBiS round-robin), <N>
- * is the service count, the optional "-h<M>" suffix sizes the
- * profiling host pool (default 1), the optional "-shared" /
- * "-private" / "-isolated" selects the repository composition
- * (default private), the optional "-wq" / "-legacy" selects the
- * profiling work routing (default legacy; "-wq" makes tuner
- * experiments pool work and — under "-shared" — coalesces same-class
- * signature collections and cancels reuse-answered tuner items), the
- * optional "-jit" de-synchronizes change arrival by
- * kDefaultJitterSpread, and the optional trailing "+interference"
- * injects §4.3 co-located tenant pressure into every member (e.g.
- * "fleet-mixed-100-h4-shared-wq-jit"); the cell's policy names the
- * §3.3 slot scheduler ("fifo" | "sjf" | "slo-debt" | "adaptive").
+ * [+interference][+daemons][+hostloss]" where <mix> is "cassandra"
+ * (homogeneous key-value stores), "mixed" (KeyValue + SPECweb +
+ * RUBiS round-robin) or "ycsb" (key-value stores cycling the four
+ * core YCSB workloads A/B/C/D), <N> is the service count, the
+ * optional "-h<M>" suffix sizes the profiling host pool (default 1),
+ * the optional "-shared" / "-private" / "-isolated" selects the
+ * repository composition (default private), the optional "-wq" /
+ * "-legacy" selects the profiling work routing (default legacy;
+ * "-wq" makes tuner experiments pool work and — under "-shared" —
+ * coalesces same-class signature collections and cancels
+ * reuse-answered tuner items), the optional "-jit" de-synchronizes
+ * change arrival by kDefaultJitterSpread, and the trailing "+"
+ * suffixes (any order) switch on fault/pressure schedules:
+ * "+interference" injects §4.3 co-located tenant pressure into every
+ * member, "+daemons" runs a BASK-style background dedup/scan daemon
+ * on every member's cluster, "+hostloss" arms the deterministic
+ * profiling-host kill/restore schedule (e.g.
+ * "fleet-ycsb-100+daemons+hostloss"); an unrecognized suffix is
+ * fatal with the full grammar. The cell's policy names the §3.3
+ * slot scheduler ("fifo" | "sjf" | "slo-debt" | "adaptive").
  * Runs 2 trace days (1 learning + 1 reuse) so 100-service cells stay
  * affordable, and returns the fleet-wide adaptation-time tails plus
  * the aggregate repository and per-item-type pool statistics.

@@ -201,9 +201,14 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
 void
 FleetStack::startInjectors()
 {
-    for (auto &member : members)
+    for (auto &member : members) {
         if (member->injector)
             member->injector->start();
+        if (member->daemon)
+            member->daemon->start();
+    }
+    if (hostLoss)
+        hostLoss->start();
 }
 
 void
@@ -408,6 +413,14 @@ FleetBuilder::build() const
             dcfg.searchSpace =
                 scaleOutSearchSpace(10, InstanceType::Large);
             break;
+          case ServiceKind::Ycsb:
+            service = std::make_unique<YcsbService>(
+                sim.queue(), *member->cluster, sim.forkRng());
+            mix = ycsbUpdateHeavy();
+            dcfg.slo = Slo::latency(40.0);
+            dcfg.searchSpace =
+                scaleOutSearchSpace(10, InstanceType::Large);
+            break;
           case ServiceKind::KeyValue:
           case ServiceKind::Generic:
             service = std::make_unique<KeyValueService>(
@@ -418,6 +431,10 @@ FleetBuilder::build() const
                 scaleOutSearchSpace(10, InstanceType::Large);
             break;
         }
+        // An explicit per-member mix overrides the kind default (the
+        // YCSB fleet cycles its four core workloads this way).
+        if (spec.mix)
+            mix = *spec.mix;
         service->setWorkload({mix, 0.0});
 
         CounterModel counters(service->kind(), sim.forkRng());
@@ -432,6 +449,16 @@ FleetBuilder::build() const
         if (_options.interference)
             member->injector = standardInjector(
                 sim.queue(), *member->cluster, sim.forkRng());
+
+        // BASK-style background daemon: a deterministic dedup/scan
+        // duty cycle stealing CPU+memory from every member VM —
+        // interference the §3.6 estimator must bucket, via a
+        // mechanism distinct from (and composable with) the
+        // injector's random reassignment above.
+        if (_options.daemons)
+            member->daemon = std::make_unique<DaemonCoRunner>(
+                sim.queue(), *member->cluster,
+                DaemonCoRunner::Config{}, sim.forkRng());
 
         if (spec.slo)
             dcfg.slo = *spec.slo;
@@ -496,6 +523,13 @@ FleetBuilder::build() const
                                       member->arrivalOffset);
         stack->members.push_back(std::move(member));
     }
+
+    // Host-loss fault injection: a deterministic kill/restore
+    // rotation over the profiling pool (armed by startInjectors()).
+    if (_options.hostLoss)
+        stack->hostLoss = std::make_unique<HostLossSchedule>(
+            sim.queue(), stack->experiment->fleet(),
+            HostLossSchedule::Config{});
     return stack;
 }
 
@@ -540,6 +574,34 @@ makeMixedFleet(int services, const ScenarioOptions &options,
         builder.arrivalJitter(options.seed, arrivalJitterSpread);
     for (int i = 0; i < services; ++i)
         builder.add(kCycle[i % 3]);
+    return builder.build();
+}
+
+std::unique_ptr<FleetStack>
+makeYcsbFleet(int services, const ScenarioOptions &options,
+              SlotPolicy policy, int profilingHosts,
+              RepositorySharing sharing, ProfilingWorkMode workMode,
+              SimTime arrivalJitterSpread, SamplingMode sampling)
+{
+    DEJAVU_ASSERT(services >= 1, "fleet needs at least one service");
+    // The four core YCSB workloads, cycled in catalog order: A
+    // (update-heavy), B (read-heavy), C (read-only), D (read-latest).
+    const RequestMix kMixes[] = {ycsbUpdateHeavy(), ycsbReadHeavy(),
+                                 ycsbReadOnly(), ycsbReadLatest()};
+    FleetBuilder builder(options);
+    builder.slotPolicy(policy);
+    builder.profilingHosts(profilingHosts);
+    builder.shareRepository(sharing);
+    builder.profilingWorkMode(workMode);
+    builder.samplingMode(sampling);
+    if (arrivalJitterSpread > 0)
+        builder.arrivalJitter(options.seed, arrivalJitterSpread);
+    for (int i = 0; i < services; ++i) {
+        FleetMemberSpec spec;
+        spec.kind = ServiceKind::Ycsb;
+        spec.mix = kMixes[i % 4];
+        builder.add(std::move(spec));
+    }
     return builder.build();
 }
 

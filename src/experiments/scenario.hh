@@ -24,6 +24,8 @@
 #include "experiments/dejavu_policy.hh"
 #include "experiments/experiment.hh"
 #include "experiments/fleet_experiment.hh"
+#include "experiments/host_loss.hh"
+#include "sim/daemon.hh"
 #include "sim/interference.hh"
 
 namespace dejavu {
@@ -36,6 +38,14 @@ struct ScenarioOptions
     int days = 7;
     bool interference = false;            ///< Inject co-located load.
     bool interferenceDetection = true;    ///< DejaVu's §3.6 machinery.
+    /** Fleet scenarios only: run a BASK-style background daemon
+     *  (periodic dedup/scan duty cycle) on every member's cluster —
+     *  a distinct mechanism from the §4.3 injector, composable with
+     *  it (see DaemonCoRunner). */
+    bool daemons = false;
+    /** Fleet scenarios only: arm a deterministic profiling-host
+     *  kill/restore schedule (see HostLossSchedule). */
+    bool hostLoss = false;
     /** Target utilization of full capacity at trace peak. */
     double peakUtilization = 0.72;
 };
@@ -94,6 +104,10 @@ struct FleetMember
      *  options enable interference. Start via
      *  FleetStack::startInjectors(). */
     std::unique_ptr<InterferenceInjector> injector;
+    /** Background dedup/scan daemon; null unless the builder's
+     *  options enable daemons. Started by
+     *  FleetStack::startInjectors() alongside the injector. */
+    std::unique_ptr<DaemonCoRunner> daemon;
     std::unique_ptr<DejaVuController> controller;
     LoadTrace trace;
     ProvisioningExperiment::Config experimentConfig;
@@ -114,6 +128,10 @@ struct FleetStack
     std::unique_ptr<Simulation> sim;
     std::vector<std::unique_ptr<FleetMember>> members;
     std::unique_ptr<FleetExperiment> experiment;
+    /** Profiling-host kill/restore schedule; null unless the
+     *  builder's options enable host loss. Armed by
+     *  startInjectors(). */
+    std::unique_ptr<HostLossSchedule> hostLoss;
 
     /**
      * Run every member's learning phase on its day-1 workloads.
@@ -126,8 +144,9 @@ struct FleetStack
      */
     void learnAll(int threads = 1);
 
-    /** Begin every member's interference injection schedule (no-op
-     *  for members without an injector). */
+    /** Begin every member's fault/pressure schedules: interference
+     *  injection, background daemons and the host-loss schedule
+     *  (each a no-op where not built). */
     void startInjectors();
 };
 
@@ -144,6 +163,11 @@ struct FleetMemberSpec
     std::string traceName;      ///< Empty: the builder's trace.
     SimTime profilingSlot = 0;  ///< 0: builder default or kind hint.
     std::optional<Slo> slo;     ///< Unset: the kind's default SLO.
+    /** Unset: the kind's default request mix. Lets one kind span
+     *  several mixes (the YCSB fleet cycles its four core
+     *  workloads), at the cost of distinct per-mix signatures —
+     *  sound under private repositories. */
+    std::optional<RequestMix> mix;
     /** Target utilization at trace peak; 0 means the kind default
      *  (the builder's value, except SpecWeb which anchors its
      *  Large/XLarge boundary on the QoS knee instead). */
@@ -263,6 +287,23 @@ std::unique_ptr<FleetStack> makeCassandraFleet(
  * profiling machines.
  */
 std::unique_ptr<FleetStack> makeMixedFleet(
+    int services, const ScenarioOptions &options,
+    SlotPolicy policy = SlotPolicy::Fifo,
+    int profilingHosts = 1,
+    RepositorySharing sharing = RepositorySharing::Private,
+    ProfilingWorkMode workMode = ProfilingWorkMode::Legacy,
+    SimTime arrivalJitterSpread = 0,
+    SamplingMode sampling = SamplingMode::Batched);
+
+/**
+ * YCSB-style fleet: @p services key-value stores cycling through the
+ * four core YCSB mixes (update-heavy A, read-heavy B, read-only C,
+ * read-latest D), all ServiceKind::Ycsb with a 40 ms SLO and a 15 s
+ * profiling-slot hint. One kind spanning four mixes means members
+ * learn *different* signature distributions, so these fleets default
+ * to (and should stay on) private repositories.
+ */
+std::unique_ptr<FleetStack> makeYcsbFleet(
     int services, const ScenarioOptions &options,
     SlotPolicy policy = SlotPolicy::Fifo,
     int profilingHosts = 1,

@@ -7,7 +7,8 @@
 namespace dejavu {
 
 ProfilingHostPool::ProfilingHostPool(int hosts)
-    : _busy(static_cast<std::size_t>(std::max(hosts, 0)), 0)
+    : _busy(static_cast<std::size_t>(std::max(hosts, 0)), 0),
+      _dead(static_cast<std::size_t>(std::max(hosts, 0)), 0)
 {
     DEJAVU_ASSERT(hosts >= 1, "profiling pool needs >= 1 host, got ",
                   hosts);
@@ -17,9 +18,10 @@ std::vector<std::size_t>
 ProfilingHostPool::freeHosts() const
 {
     std::vector<std::size_t> free;
-    free.reserve(_busy.size() - static_cast<std::size_t>(_busyCount));
+    free.reserve(_busy.size()
+                 - static_cast<std::size_t>(_busyCount + _deadCount));
     for (std::size_t h = 0; h < _busy.size(); ++h)
-        if (!_busy[h])
+        if (!_busy[h] && !_dead[h])
             free.push_back(h);
     return free;
 }
@@ -29,6 +31,7 @@ ProfilingHostPool::acquire(std::size_t host)
 {
     DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
                   host);
+    DEJAVU_ASSERT(!_dead[host], "profiling host ", host, " is dead");
     DEJAVU_ASSERT(!_busy[host], "profiling host ", host,
                   " already busy");
     _busy[host] = 1;
@@ -45,4 +48,41 @@ ProfilingHostPool::release(std::size_t host)
     --_busyCount;
 }
 
+void
+ProfilingHostPool::markDead(std::size_t host)
+{
+    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
+                  host);
+    DEJAVU_ASSERT(!_dead[host], "profiling host ", host,
+                  " already dead");
+    // A busy host's slot dies with it: the accounting balances
+    // (busy + free + dead == hosts) and the work queue cancels the
+    // in-flight grant.
+    if (_busy[host]) {
+        _busy[host] = 0;
+        --_busyCount;
+    }
+    _dead[host] = 1;
+    ++_deadCount;
+}
+
+void
+ProfilingHostPool::revive(std::size_t host)
+{
+    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
+                  host);
+    DEJAVU_ASSERT(_dead[host], "profiling host ", host, " not dead");
+    _dead[host] = 0;
+    --_deadCount;
+}
+
+bool
+ProfilingHostPool::isDead(std::size_t host) const
+{
+    DEJAVU_ASSERT(host < _busy.size(), "no such profiling host: ",
+                  host);
+    return _dead[host] != 0;
+}
+
 } // namespace dejavu
+

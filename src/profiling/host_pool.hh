@@ -36,22 +36,43 @@ class ProfilingHostPool
     /** Hosts currently running a profiling slot. */
     int busy() const { return _busyCount; }
 
-    /** True iff at least one host is idle. */
-    bool anyFree() const { return _busyCount < hosts(); }
+    /** Hosts currently failed (host-loss fault injection). */
+    int dead() const { return _deadCount; }
 
-    /** Indices of all idle hosts, ascending (deterministic order —
-     *  the tie-break schedulers rely on for host selection). */
+    /** True iff at least one live host is idle. */
+    bool anyFree() const { return _busyCount + _deadCount < hosts(); }
+
+    /** Indices of all idle live hosts, ascending (deterministic
+     *  order — the tie-break schedulers rely on for host selection). */
     std::vector<std::size_t> freeHosts() const;
 
-    /** Mark @p host busy (fatal if out of range or already busy). */
+    /** Mark @p host busy (fatal if out of range, dead, or already
+     *  busy). */
     void acquire(std::size_t host);
 
     /** Mark @p host idle again (fatal if out of range or not busy). */
     void release(std::size_t host);
 
+    /** @name Host-loss fault injection @{ */
+    /** Take @p host out of the pool (it crashed). A busy host loses
+     *  its slot — the caller (the work queue) is responsible for
+     *  cancelling the work that was running there. Fatal if out of
+     *  range or already dead. Invariant after: busy + free + dead ==
+     *  hosts. */
+    void markDead(std::size_t host);
+
+    /** Bring a dead host back, idle (fatal if not dead). */
+    void revive(std::size_t host);
+
+    /** True when @p host is currently dead. */
+    bool isDead(std::size_t host) const;
+    /** @} */
+
   private:
     std::vector<char> _busy;  ///< Not vector<bool>: plain flags.
+    std::vector<char> _dead;
     int _busyCount = 0;
+    int _deadCount = 0;
 };
 
 } // namespace dejavu

@@ -47,6 +47,8 @@ workCancelReasonName(WorkCancelReason reason)
         return "detached";
       case WorkCancelReason::Reuse:
         return "reuse";
+      case WorkCancelReason::HostLost:
+        return "host-lost";
     }
     fatal("unknown cancel reason");
 }

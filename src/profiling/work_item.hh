@@ -120,9 +120,10 @@ enum class WorkCancelReason
     Explicit,  ///< cancel(id) — the submitter withdrew it.
     Detached,  ///< Its owner left the fleet while it waited.
     Reuse,     ///< A same-key result landed in the repository first.
+    HostLost,  ///< Its granted profiling host died mid-slot.
 };
 
-/** Stable name ("explicit" | "detached" | "reuse"). */
+/** Stable name ("explicit" | "detached" | "reuse" | "host-lost"). */
 const char *workCancelReasonName(WorkCancelReason reason);
 
 /**

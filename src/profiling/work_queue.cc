@@ -13,7 +13,8 @@ ProfilingWorkQueue::ProfilingWorkQueue(
     : Actor(sim, std::move(name)),
       _scheduler(scheduler ? std::move(scheduler)
                            : makeSlotScheduler(SlotPolicy::Fifo)),
-      _hosts(hosts), _coalescer(coalesceSignatures)
+      _hosts(hosts), _coalescer(coalesceSignatures),
+      _active(static_cast<std::size_t>(std::max(hosts, 0)))
 {
 }
 
@@ -41,6 +42,23 @@ const WorkItem &
 ProfilingWorkQueue::item(WorkItemId id) const
 {
     return itemRef(id).info;
+}
+
+std::size_t
+ProfilingWorkQueue::orphanedItems() const
+{
+    // Every Granted item must belong to a live (non-failed) grant
+    // still parked on some host.
+    std::vector<char> claimed(_items.size(), 0);
+    for (const auto &grant : _active)
+        if (grant)
+            for (const WorkItemId id : grant->members)
+                claimed[static_cast<std::size_t>(id)] = 1;
+    std::size_t orphans = 0;
+    for (std::size_t i = 0; i < _items.size(); ++i)
+        if (_items[i].state == ItemState::Granted && !claimed[i])
+            ++orphans;
+    return orphans;
 }
 
 std::size_t
@@ -174,6 +192,8 @@ ProfilingWorkQueue::dispatch()
                 _debtSpend(member.info);
         }
 
+        _active[state->host] = state;
+
         // The work runs when the slot starts; fixed-duration slots
         // pre-schedule their release (preserving the event order of
         // the pre-work-queue fleet), dynamic ones release from the
@@ -183,6 +203,9 @@ ProfilingWorkQueue::dispatch()
             state->release = at(
                 saturatingAdd(state->startedAt, state->occupancy),
                 [this, state] {
+                    if (state->failed)
+                        return;  // its host died mid-slot
+                    _active[state->host].reset();
                     _hosts.release(state->host);
                     dispatch();
                 });
@@ -192,6 +215,8 @@ ProfilingWorkQueue::dispatch()
 void
 ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
 {
+    if (grant->failed)
+        return;  // its host died between grant and slot start
     bool anyLive = false;
     for (const WorkItemId id : grant->members)
         anyLive = anyLive
@@ -201,6 +226,7 @@ ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
         // free the host without consuming the slot.
         if (grant->release != kInvalidEvent)
             Actor::cancel(grant->release);
+        _active[grant->host].reset();
         _hosts.release(grant->host);
         dispatch();
         return;
@@ -255,6 +281,9 @@ ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
     if (grant->dynamic)
         at(saturatingAdd(grant->startedAt, actual),
            [this, state = grant] {
+               if (state->failed)
+                   return;  // its host died mid-slot
+               _active[state->host].reset();
                _hosts.release(state->host);
                dispatch();
            });
@@ -318,6 +347,39 @@ ProfilingWorkQueue::cancelItem(WorkItemId id, WorkCancelReason reason)
         onCancel(info, reason);
     }
     return true;
+}
+
+void
+ProfilingWorkQueue::failHost(std::size_t host)
+{
+    // markDead asserts the host exists and is not already dead, and
+    // balances the busy/free/dead accounting (a busy host's slot dies
+    // with it).
+    _hosts.markDead(host);
+    ++_stats.hostsFailed;
+
+    const std::shared_ptr<GrantState> grant = _active[host];
+    _active[host].reset();
+    if (!grant)
+        return;
+    // Abandon the in-flight grant: pending run/release events go
+    // inert, members whose work has not run yet are cancelled, and
+    // the host is never released (it is dead, not busy).
+    grant->failed = true;
+    if (grant->release != kInvalidEvent)
+        Actor::cancel(grant->release);
+    for (const WorkItemId id : grant->members)
+        if (itemRef(id).state == ItemState::Granted
+            && cancelItem(id, WorkCancelReason::HostLost))
+            ++_stats.cancelledHostLost;
+}
+
+void
+ProfilingWorkQueue::restoreHost(std::size_t host)
+{
+    _hosts.revive(host);
+    ++_stats.hostsRestored;
+    dispatch();
 }
 
 std::size_t

@@ -85,6 +85,14 @@ class ProfilingWorkQueue : public Actor
          *  the repository first (the subset of the two counters
          *  above with WorkCancelReason::Reuse). */
         std::uint64_t tunerCancelledForReuse = 0;
+        /** @name Host-loss fault injection @{ */
+        std::uint64_t hostsFailed = 0;
+        std::uint64_t hostsRestored = 0;
+        /** Granted items whose host died before their work ran (the
+         *  subset of cancelledGranted with
+         *  WorkCancelReason::HostLost). */
+        std::uint64_t cancelledHostLost = 0;
+        /** @} */
 
         /** Pool slots actually consumed, either kind. */
         std::uint64_t slotsConsumed() const
@@ -170,6 +178,22 @@ class ProfilingWorkQueue : public Actor
         const std::function<bool(const WorkItem &)> &pred,
         WorkCancelReason reason);
 
+    /**
+     * Fault injection: @p host dies right now. Its in-flight grant
+     * (if any) is abandoned — members whose work has not yet run are
+     * cancelled with WorkCancelReason::HostLost, the pre-scheduled
+     * slot release is withdrawn, and the host leaves the pool without
+     * ever being released (busy/free/dead accounting stays balanced,
+     * see ProfilingHostPool::markDead). Queued items are untouched:
+     * they simply wait for a surviving host. Fatal if the host is out
+     * of range or already dead.
+     */
+    void failHost(std::size_t host);
+
+    /** Bring a dead host back (idle) and dispatch waiting work to it.
+     *  Fatal if the host is not dead. */
+    void restoreHost(std::size_t host);
+
     /** @name Introspection @{ */
     const ProfilingSlotScheduler &scheduler() const
     { return *_scheduler; }
@@ -182,6 +206,10 @@ class ProfilingWorkQueue : public Actor
     std::size_t waitingEntries() const { return _waiting.size(); }
     /** Items ever submitted. */
     std::size_t submitted() const { return _items.size(); }
+    /** Items stranded in Granted state with no live grant — must be
+     *  zero at all times (failHost cancels a dead host's members
+     *  synchronously); exposed for host-loss conformance checks. */
+    std::size_t orphanedItems() const;
     ItemState state(WorkItemId id) const;
     const WorkItem &item(WorkItemId id) const;
     const Stats &stats() const { return _stats; }
@@ -217,6 +245,9 @@ class ProfilingWorkQueue : public Actor
         SimTime occupancy = 0;  ///< Fixed occupancy (batch maximum).
         bool dynamic = false;
         EventId release = kInvalidEvent;
+        /** The grant's host died: pending run/release events are
+         *  inert, and the host must never be released. */
+        bool failed = false;
     };
 
     Item &itemRef(WorkItemId id);
@@ -242,6 +273,9 @@ class ProfilingWorkQueue : public Actor
     Coalescer _coalescer;
     std::vector<Item> _items;  ///< Indexed by WorkItemId (dense).
     std::deque<Entry> _waiting;
+    /** The active grant per host (null when idle) — what failHost()
+     *  abandons when that host dies. */
+    std::vector<std::shared_ptr<GrantState>> _active;
     std::uint64_t _nextSeq = 0;
     DebtProbe _debtProbe;
     DebtSpend _debtSpend;

@@ -52,8 +52,22 @@ DejaVuProxy::onProductionRequest(const ProxiedRequest &request,
         // The duplicated request's clone reply is dropped to keep the
         // profiling transparent to the rest of the cluster.
         ++_stats.cloneRepliesDropped;
+        // Tag the mirrored copy with the interference bucket it was
+        // captured under (see setInterferenceBucket).
+        const auto bucket = static_cast<std::size_t>(_bucket);
+        if (_stats.mirroredByBucket.size() <= bucket)
+            _stats.mirroredByBucket.resize(bucket + 1);
+        ++_stats.mirroredByBucket[bucket];
     }
     return _config.perRequestOverheadMs;
+}
+
+void
+DejaVuProxy::setInterferenceBucket(int bucket)
+{
+    DEJAVU_ASSERT(bucket >= 0,
+                  "negative interference bucket: ", bucket);
+    _bucket = bucket;
 }
 
 bool

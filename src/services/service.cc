@@ -19,6 +19,8 @@ serviceKindName(ServiceKind kind)
         return "rubis";
       case ServiceKind::Generic:
         return "generic";
+      case ServiceKind::Ycsb:
+        return "ycsb";
     }
     fatal("unknown service kind: ", static_cast<int>(kind));
 }
@@ -34,8 +36,10 @@ serviceKindFromName(const std::string &name)
         return ServiceKind::Rubis;
     if (name == "generic")
         return ServiceKind::Generic;
+    if (name == "ycsb")
+        return ServiceKind::Ycsb;
     fatal("unknown service kind name: ", name,
-          " (use keyvalue|specweb|rubis|generic)");
+          " (use keyvalue|specweb|rubis|generic|ycsb)");
 }
 
 Service::Service(EventQueue &queue, Cluster &cluster, Rng rng)

@@ -31,11 +31,11 @@ class EventQueue;
 
 /** Coarse service family; the counter simulator keys its response
  *  surfaces on this (different services stress different units). */
-enum class ServiceKind { KeyValue, SpecWeb, Rubis, Generic };
+enum class ServiceKind { KeyValue, SpecWeb, Rubis, Generic, Ycsb };
 
 /** Stable lowercase name of a service kind ("keyvalue" | "specweb" |
- *  "rubis" | "generic") — the kind column of repository CSVs and the
- *  namespace label of shared-repository reports. */
+ *  "rubis" | "generic" | "ycsb") — the kind column of repository CSVs
+ *  and the namespace label of shared-repository reports. */
 const char *serviceKindName(ServiceKind kind);
 
 /** Parse a name produced by serviceKindName(); fatal() otherwise. */

@@ -1,0 +1,86 @@
+#include "services/ycsb_service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+YcsbService::YcsbService(EventQueue &queue, Cluster &cluster, Rng rng)
+    : YcsbService(queue, cluster, rng, Config())
+{
+}
+
+YcsbService::YcsbService(EventQueue &queue, Cluster &cluster, Rng rng,
+                         Config config)
+    : Service(queue, cluster, rng), _config(config),
+      _lastInstanceCount(cluster.target().instances)
+{
+    DEJAVU_ASSERT(_config.readCapacityPerEcu > 0.0, "bad capacity");
+    DEJAVU_ASSERT(_config.writeCostFactor >= 1.0, "bad write cost");
+    DEJAVU_ASSERT(_config.compactionTax >= 0.0
+                      && _config.compactionTax < 1.0,
+                  "bad compaction tax");
+    DEJAVU_ASSERT(_config.warmupDip > 0.0 && _config.warmupDip <= 1.0,
+                  "bad warmup dip");
+}
+
+double
+YcsbService::capacityPerEcu(const RequestMix &mix) const
+{
+    const double writeFraction = 1.0 - mix.readFraction;
+    const double relativeCost =
+        mix.readFraction + writeFraction * _config.writeCostFactor;
+    // LSM compaction runs continuously under writes, taxing capacity
+    // in proportion to the write share of the mix.
+    const double compaction =
+        1.0 + _config.compactionTax * writeFraction;
+    // Memory-heavy mixes (hot sets larger than cache) hit this model
+    // harder than the Cassandra stand-in.
+    const double memPenalty = 1.0 + 0.2 * (mix.memWeight - 1.0);
+    return _config.readCapacityPerEcu
+        / (relativeCost * compaction * memPenalty);
+}
+
+double
+YcsbService::baseLatencyMs(const RequestMix &mix) const
+{
+    const double writeFraction = 1.0 - mix.readFraction;
+    return _config.readBaseLatencyMs
+        + writeFraction * _config.writeBaseLatencyExtraMs;
+}
+
+double
+YcsbService::transientFactor() const
+{
+    if (!warmingUp())
+        return 1.0;
+    const SimTime now = _queue.now();
+    const double progress =
+        static_cast<double>(now - _warmupStart)
+        / static_cast<double>(_warmupEnd - _warmupStart);
+    return _config.warmupDip
+        + (1.0 - _config.warmupDip) * std::clamp(progress, 0.0, 1.0);
+}
+
+void
+YcsbService::onReconfigure()
+{
+    const int count = _cluster.target().instances;
+    if (count != _lastInstanceCount) {
+        // New instances start cache-cold; the hot set re-forms fast.
+        _warmupStart = _queue.now();
+        _warmupEnd = _warmupStart + _config.warmupDuration;
+        _lastInstanceCount = count;
+    }
+}
+
+bool
+YcsbService::warmingUp() const
+{
+    const SimTime now = _queue.now();
+    return _warmupStart >= 0 && now >= _warmupStart && now < _warmupEnd;
+}
+
+} // namespace dejavu

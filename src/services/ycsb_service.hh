@@ -1,0 +1,82 @@
+/**
+ * @file
+ * YCSB-style key-value store model (the BASK study's service under
+ * test): a latency-sensitive store driven by the four YCSB core mixes
+ * (update-heavy / read-heavy / read-only / read-latest).
+ *
+ * Distinct from the Cassandra stand-in on the axes the scenario
+ * study cares about:
+ *  - compaction, not re-partitioning: resizes recover quickly, but
+ *    update-heavy mixes pay a continuous compaction tax on capacity
+ *    (LSM write amplification grows with the write fraction);
+ *  - tail-judged: the SLO is a tight mean-latency bound standing in
+ *    for a P99.9 objective, so interference from daemon co-runners
+ *    shows up as SLO debt long before mean throughput saturates;
+ *  - memory-bound: mem-heavy mixes (read-latest's hot set) shave
+ *    capacity harder than on the Cassandra model.
+ */
+
+#ifndef DEJAVU_SERVICES_YCSB_SERVICE_HH
+#define DEJAVU_SERVICES_YCSB_SERVICE_HH
+
+#include "services/service.hh"
+
+namespace dejavu {
+
+/**
+ * The YCSB-driven store (BASK's service under test).
+ */
+class YcsbService : public Service
+{
+  public:
+    struct Config
+    {
+        /** Read-request capacity of one ECU (req/s). */
+        double readCapacityPerEcu = 420.0;
+        /** Update requests cost more (log append + compaction debt). */
+        double writeCostFactor = 1.35;
+        /** Capacity tax per unit of write fraction: background
+         *  compaction of an update-heavy mix steals throughput even
+         *  at steady state. */
+        double compactionTax = 0.12;
+        /** No-load latency for a pure-read mix (ms). */
+        double readBaseLatencyMs = 4.0;
+        /** Additional no-load latency for a pure-write mix (ms). */
+        double writeBaseLatencyExtraMs = 6.0;
+        /** Cache-warm transient after a resize — much shorter than
+         *  Cassandra's re-partitioning. */
+        SimTime warmupDuration = minutes(3);
+        /** Capacity factor at the start of the cache warm-up. */
+        double warmupDip = 0.90;
+    };
+
+    YcsbService(EventQueue &queue, Cluster &cluster, Rng rng);
+    YcsbService(EventQueue &queue, Cluster &cluster, Rng rng,
+                Config config);
+
+    std::string name() const override { return "ycsb-store"; }
+    ServiceKind kind() const override { return ServiceKind::Ycsb; }
+
+    double capacityPerEcu(const RequestMix &mix) const override;
+    double baseLatencyMs(const RequestMix &mix) const override;
+    double transientFactor() const override;
+    void onReconfigure() override;
+    /** Tail-judged replay needs a longer stable window than the
+     *  mean-latency services (P99.9 estimates converge slowly). */
+    SimTime profilingSlotHint() const override { return seconds(15); }
+
+    /** True while a post-resize cache warm-up is in progress. */
+    bool warmingUp() const;
+
+    const Config &config() const { return _config; }
+
+  private:
+    Config _config;
+    int _lastInstanceCount;
+    SimTime _warmupStart = -1;
+    SimTime _warmupEnd = -1;
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SERVICES_YCSB_SERVICE_HH

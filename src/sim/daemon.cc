@@ -1,0 +1,83 @@
+#include "sim/daemon.hh"
+
+#include "common/logging.hh"
+#include "sim/cluster.hh"
+#include "sim/event_queue.hh"
+
+namespace dejavu {
+
+DaemonCoRunner::DaemonCoRunner(EventQueue &queue, Cluster &cluster,
+                               Config config, Rng rng)
+    : _queue(queue), _cluster(cluster), _config(std::move(config)),
+      _rng(rng)
+{
+    DEJAVU_ASSERT(!_config.scanTheft.empty(),
+                  "daemon co-runner needs at least one theft tier");
+    for (double theft : _config.scanTheft)
+        DEJAVU_ASSERT(theft >= 0.0 && theft <= 0.95,
+                      "daemon theft tier out of range: ", theft);
+    DEJAVU_ASSERT(_config.period > 0, "daemon period must be positive");
+    DEJAVU_ASSERT(_config.dutyCycle > 0.0 && _config.dutyCycle <= 1.0,
+                  "daemon duty cycle out of range: ",
+                  _config.dutyCycle);
+}
+
+void
+DaemonCoRunner::start()
+{
+    if (!_config.enabled || _active)
+        return;
+    _active = true;
+    // The first scan fires at a seeded phase offset within one
+    // period: host daemons are not cron-aligned with the trace hour,
+    // but the offset is deterministic per seed.
+    const SimTime offset = static_cast<SimTime>(
+        _rng.uniform() * static_cast<double>(_config.period));
+    _queue.scheduleAfter(offset, [this] {
+        if (_active)
+            beginScan();
+    });
+}
+
+void
+DaemonCoRunner::stop()
+{
+    _active = false;
+    for (int i = 0; i < _cluster.poolSize(); ++i)
+        _cluster.vm(i).setDaemonTheft(0.0);
+}
+
+void
+DaemonCoRunner::beginScan()
+{
+    // Successive scans cycle through the pressure tiers round-robin:
+    // deterministic, unlike the injector's per-VM random pick.
+    const double theft = _config.scanTheft[_nextTier];
+    _nextTier = (_nextTier + 1) % _config.scanTheft.size();
+    for (int i = 0; i < _cluster.poolSize(); ++i)
+        _cluster.vm(i).setDaemonTheft(theft);
+
+    const SimTime window = static_cast<SimTime>(
+        _config.dutyCycle * static_cast<double>(_config.period));
+    _queue.scheduleAfter(window, [this] {
+        if (_active)
+            endScan();
+    });
+}
+
+void
+DaemonCoRunner::endScan()
+{
+    for (int i = 0; i < _cluster.poolSize(); ++i)
+        _cluster.vm(i).setDaemonTheft(0.0);
+    ++_scans;
+
+    const SimTime window = static_cast<SimTime>(
+        _config.dutyCycle * static_cast<double>(_config.period));
+    _queue.scheduleAfter(_config.period - window, [this] {
+        if (_active)
+            beginScan();
+    });
+}
+
+} // namespace dejavu

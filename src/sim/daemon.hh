@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Background-daemon co-runners: periodic dedup/scan-style CPU+memory
+ * thieves, the interference shape of the BASK study (a KSM-like
+ * dedup daemon stealing capacity from a latency-sensitive service).
+ *
+ * This is a *distinct* mechanism from the workload-phase
+ * InterferenceInjector (§4.3's co-located tenant microbenchmark):
+ * the injector reassigns a persistent occupancy pseudo-randomly per
+ * period, while a daemon is a deterministic duty cycle — a scan
+ * window at the start of every period during which the daemon steals
+ * a configured fraction of CPU+memory, then goes idle until the next
+ * period. The two compose multiplicatively on the Vm (see
+ * Vm::setDaemonTheft); stopping the injector does not silence the
+ * daemon, because daemons are host software, not a workload phase.
+ */
+
+#ifndef DEJAVU_SIM_DAEMON_HH
+#define DEJAVU_SIM_DAEMON_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/sim_time.hh"
+
+namespace dejavu {
+
+class Cluster;
+class EventQueue;
+
+/**
+ * Deterministic periodic scan daemon across a cluster's VMs.
+ */
+class DaemonCoRunner
+{
+  public:
+    struct Config
+    {
+        /** Theft fractions the scan cycles through round-robin, one
+         *  per scan window — successive scans alternate pressure
+         *  tiers (a light incremental pass, a heavy full pass), which
+         *  is what spreads the §3.6 interference index across
+         *  multiple buckets. */
+        std::vector<double> scanTheft = {0.15, 0.45};
+        /** One scan cycle: window + idle remainder. */
+        SimTime period = hours(1);
+        /** Active fraction of each period spent scanning, in (0, 1]. */
+        double dutyCycle = 0.25;
+        /** When false the daemon never touches any VM. */
+        bool enabled = true;
+    };
+
+    /** @p rng seeds the deterministic phase offset of the first scan
+     *  (daemons do not start cron-aligned with the trace hour). */
+    DaemonCoRunner(EventQueue &queue, Cluster &cluster, Config config,
+                   Rng rng);
+
+    /** Begin the periodic scan schedule. */
+    void start();
+
+    /** Stop scanning and clear all daemon theft. */
+    void stop();
+
+    bool enabled() const { return _config.enabled; }
+
+    /** Completed scan windows (diagnostics). */
+    std::uint64_t scansCompleted() const { return _scans; }
+
+  private:
+    EventQueue &_queue;
+    Cluster &_cluster;
+    Config _config;
+    Rng _rng;
+    bool _active = false;
+    std::size_t _nextTier = 0;
+    std::uint64_t _scans = 0;
+
+    void beginScan();
+    void endScan();
+};
+
+} // namespace dejavu
+
+#endif // DEJAVU_SIM_DAEMON_HH

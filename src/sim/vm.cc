@@ -87,12 +87,20 @@ Vm::setInterference(double fraction)
     _interference = fraction;
 }
 
+void
+Vm::setDaemonTheft(double fraction)
+{
+    DEJAVU_ASSERT(fraction >= 0.0 && fraction <= 0.95,
+                  "daemon theft fraction out of range: ", fraction);
+    _daemonTheft = fraction;
+}
+
 double
 Vm::effectiveCapacityFactor() const
 {
     if (_state != VmState::Running)
         return 0.0;
-    return 1.0 - _interference;
+    return (1.0 - _interference) * (1.0 - _daemonTheft);
 }
 
 } // namespace dejavu

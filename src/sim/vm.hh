@@ -70,9 +70,27 @@ class Vm
     bool running() const { return _state == VmState::Running; }
 
     /** @name Interference from co-located tenants @{ */
-    /** Fraction of capacity stolen, in [0, 0.95]. */
-    double interference() const { return _interference; }
+    /** Combined fraction of capacity stolen by co-located tenants
+     *  and background daemons, in [0, 0.95]: the two channels
+     *  compose multiplicatively, 1 - (1 - tenant)(1 - daemon), so
+     *  each thief takes its share of what the other left. With only
+     *  one channel active this is exactly that channel's fraction
+     *  (1 - (1 - x) rounds, so the single-thief case short-circuits
+     *  rather than paying the round trip). */
+    double interference() const
+    {
+        if (_daemonTheft == 0.0)
+            return _interference;
+        if (_interference == 0.0)
+            return _daemonTheft;
+        return 1.0 - (1.0 - _interference) * (1.0 - _daemonTheft);
+    }
     void setInterference(double fraction);
+    /** Background-daemon channel (dedup/scan co-runners): a second
+     *  theft source that survives InterferenceInjector::stop() —
+     *  daemons are host software, not a workload phase. */
+    double daemonTheft() const { return _daemonTheft; }
+    void setDaemonTheft(double fraction);
     /** @} */
 
     /**
@@ -91,6 +109,7 @@ class Vm
     Timing _timing;
     VmState _state = VmState::Stopped;
     double _interference = 0.0;
+    double _daemonTheft = 0.0;
     SimTime _runningSince = -1;
     std::uint64_t _startGeneration = 0;  ///< Invalidates in-flight starts.
 };

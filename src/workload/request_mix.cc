@@ -106,6 +106,60 @@ rubisBidding()
     };
 }
 
+RequestMix
+ycsbUpdateHeavy()
+{
+    return {
+        .name = "ycsb-update-heavy",
+        .readFraction = 0.50,
+        .cpuWeight = 1.1,
+        .memWeight = 1.5,
+        .ioWeight = 1.2,
+        .staticFraction = 0.0,
+    };
+}
+
+RequestMix
+ycsbReadHeavy()
+{
+    return {
+        .name = "ycsb-read-heavy",
+        .readFraction = 0.95,
+        .cpuWeight = 0.9,
+        .memWeight = 1.2,
+        .ioWeight = 0.8,
+        .staticFraction = 0.0,
+    };
+}
+
+RequestMix
+ycsbReadOnly()
+{
+    return {
+        .name = "ycsb-read-only",
+        .readFraction = 1.00,
+        .cpuWeight = 0.7,
+        .memWeight = 1.1,
+        .ioWeight = 0.6,
+        .staticFraction = 0.0,
+    };
+}
+
+RequestMix
+ycsbReadLatest()
+{
+    // Inserts, not updates: reads hit the freshest (cached) records
+    // and writes append, so memory pressure dominates I/O.
+    return {
+        .name = "ycsb-read-latest",
+        .readFraction = 0.95,
+        .cpuWeight = 0.8,
+        .memWeight = 1.6,
+        .ioWeight = 0.7,
+        .staticFraction = 0.0,
+    };
+}
+
 std::vector<RequestMix>
 allMixes()
 {
@@ -113,6 +167,8 @@ allMixes()
         cassandraUpdateHeavy(), cassandraReadHeavy(), cassandraBalanced(),
         specwebBanking(), specwebEcommerce(), specwebSupport(),
         rubisBrowsing(), rubisBidding(),
+        ycsbUpdateHeavy(), ycsbReadHeavy(), ycsbReadOnly(),
+        ycsbReadLatest(),
     };
 }
 

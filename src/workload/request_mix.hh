@@ -60,6 +60,23 @@ RequestMix rubisBrowsing();
 /** RUBiS bidding mix: 15% read-write interactions (default mix). */
 RequestMix rubisBidding();
 
+/** @name YCSB core workloads (the BASK study's mixes) @{ */
+
+/** YCSB workload A, update-heavy: 50% reads / 50% updates. */
+RequestMix ycsbUpdateHeavy();
+
+/** YCSB workload B, read-heavy: 95% reads / 5% updates. */
+RequestMix ycsbReadHeavy();
+
+/** YCSB workload C, read-only: 100% reads. */
+RequestMix ycsbReadOnly();
+
+/** YCSB workload D, read-latest: 95% reads / 5% inserts, skewed to
+ *  the most recent records (cache-friendly reads, append writes). */
+RequestMix ycsbReadLatest();
+
+/** @} */
+
 /** All catalogued mixes (used by sweeps and tests). */
 std::vector<RequestMix> allMixes();
 

@@ -14,6 +14,7 @@
 #include "core/repository.hh"
 #include "counters/profiler.hh"
 #include "experiments/fleet.hh"
+#include "profiling/work_queue.hh"
 #include "services/keyvalue_service.hh"
 #include "sim/cluster.hh"
 #include "sim/energy.hh"
@@ -642,6 +643,116 @@ TEST_F(FleetTest, DetachCancelsDuringGrant)
     EXPECT_EQ(fleet.workQueue().stats().cancelledQueued, 0u);
     EXPECT_EQ(fleet.slotsGranted(), 1u);
     EXPECT_EQ(fleet.busyHosts(), 0);
+}
+
+// --------------------------------------------------------------------
+// Host-loss fault injection: a property-style sweep of 50 seeded
+// random (kill-time, host, outage) schedules against the work queue.
+// Whatever the schedule, the busy/free/dead bookkeeping must balance,
+// no work item may leak or be double-granted, and nothing may strand
+// in Granted state without a live grant.
+// --------------------------------------------------------------------
+
+TEST(HostLossProperty, RandomSchedulesNeverLeakOrOrphanWork)
+{
+    constexpr int kItems = 30;
+    constexpr int kKills = 6;
+    constexpr int kHosts = 3;
+
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        Simulation sim;
+        ProfilingWorkQueue wq(sim, nullptr, kHosts);
+        Rng rng(seed * 977 + 11);
+
+        // Draw the whole schedule up front so event callbacks spend
+        // no randomness (arrival order stays the only variable).
+        struct Submission { SimTime at; SimTime duration; };
+        std::vector<Submission> submissions;
+        for (int i = 0; i < kItems; ++i)
+            submissions.push_back(
+                {seconds(rng.uniformInt(0, 600)),
+                 seconds(rng.uniformInt(5, 30))});
+        struct Kill { SimTime at; std::size_t host; SimTime outage; };
+        std::vector<Kill> kills;
+        for (int k = 0; k < kKills; ++k)
+            kills.push_back(
+                {seconds(rng.uniformInt(0, 900)),
+                 static_cast<std::size_t>(
+                     rng.uniformInt(0, kHosts - 1)),
+                 seconds(rng.uniformInt(60, 300))});
+
+        std::vector<int> runs(kItems, 0);
+        std::vector<int> cancels(kItems, 0);
+        for (int i = 0; i < kItems; ++i)
+            sim.queue().schedule(submissions[i].at, [&, i] {
+                WorkItem item;
+                item.kind = WorkKind::Signature;
+                item.key = {ServiceKind::KeyValue, i % 4, 0};
+                item.owner = static_cast<std::size_t>(i);
+                item.duration =
+                    submissions[static_cast<std::size_t>(i)].duration;
+                wq.submit(
+                    item,
+                    [&runs, i](const ProfilingWorkQueue::WorkGrant &) {
+                        ++runs[static_cast<std::size_t>(i)];
+                        return SimTime(0);
+                    },
+                    [&cancels, i](const WorkItem &,
+                                  WorkCancelReason reason) {
+                        EXPECT_EQ(reason, WorkCancelReason::HostLost);
+                        ++cancels[static_cast<std::size_t>(i)];
+                    });
+            });
+
+        auto balanced = [&] {
+            return wq.pool().busy() + wq.pool().dead()
+                + static_cast<int>(wq.pool().freeHosts().size())
+                == kHosts;
+        };
+        std::vector<char> down(kHosts, 0);
+        std::uint64_t executedKills = 0;
+        for (const auto &kill : kills)
+            sim.queue().schedule(kill.at, [&, kill] {
+                if (down[kill.host])
+                    return;  // already dead: this kill misfires
+                down[kill.host] = 1;
+                ++executedKills;
+                wq.failHost(kill.host);
+                EXPECT_EQ(wq.orphanedItems(), 0u);
+                EXPECT_TRUE(balanced());
+                sim.queue().scheduleAfter(kill.outage, [&, kill] {
+                    down[kill.host] = 0;
+                    wq.restoreHost(kill.host);
+                    EXPECT_EQ(wq.orphanedItems(), 0u);
+                    EXPECT_TRUE(balanced());
+                });
+            });
+
+        sim.queue().runUntil(hours(2));
+
+        // Every host came back and every slot was released.
+        EXPECT_EQ(wq.pool().dead(), 0) << "seed " << seed;
+        EXPECT_EQ(wq.pool().busy(), 0) << "seed " << seed;
+        EXPECT_TRUE(balanced()) << "seed " << seed;
+        EXPECT_EQ(wq.orphanedItems(), 0u) << "seed " << seed;
+        EXPECT_EQ(wq.submitted(),
+                  static_cast<std::size_t>(kItems));
+
+        // No item leaked (ran nor cancelled) or was double-granted.
+        std::uint64_t done = 0;
+        for (int i = 0; i < kItems; ++i) {
+            const auto idx = static_cast<std::size_t>(i);
+            EXPECT_EQ(runs[idx] + cancels[idx], 1)
+                << "seed " << seed << " item " << i;
+            done += static_cast<std::uint64_t>(runs[idx]);
+        }
+        const auto &stats = wq.stats();
+        EXPECT_EQ(stats.signatureSlots, done) << "seed " << seed;
+        EXPECT_EQ(stats.hostsFailed, executedKills);
+        EXPECT_EQ(stats.hostsRestored, executedKills);
+        EXPECT_EQ(stats.cancelledHostLost,
+                  static_cast<std::uint64_t>(kItems) - done);
+    }
 }
 
 } // namespace

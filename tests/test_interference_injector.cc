@@ -1,10 +1,16 @@
 /**
  * @file
- * Unit tests for interference injection (sim/interference.hh).
+ * Unit tests for interference injection (sim/interference.hh) and the
+ * multi-level §3.6 bucket machinery it feeds: exact bucket-boundary
+ * classification and the coalescer's never-merge-across-buckets rule.
  */
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/interference_estimator.hh"
+#include "profiling/coalescer.hh"
 #include "sim/cluster.hh"
 #include "sim/event_queue.hh"
 #include "sim/interference.hh"
@@ -104,6 +110,91 @@ TEST(InterferenceInjector, SingleLevelAppliesUniformly)
     inj.applyOnce();
     for (int i = 0; i < c.poolSize(); ++i)
         EXPECT_DOUBLE_EQ(c.vm(i).interference(), 0.15);
+}
+
+// --------------------------------------------------------------------
+// Multi-level §3.6 buckets: exact boundary classification.
+// --------------------------------------------------------------------
+
+TEST(InterferenceBuckets, ToleranceEdgeBelongsToBucketZero)
+{
+    InterferenceEstimator est;  // width 0.25, tolerance 0.20, max 8
+    const double tolEdge = 1.0 + est.config().tolerance;
+    EXPECT_EQ(est.bucketOf(1.0), 0);
+    // An index exactly at the tolerance threshold still counts as
+    // "no interference"; one ulp above it does not.
+    EXPECT_EQ(est.bucketOf(tolEdge), 0);
+    EXPECT_EQ(est.bucketOf(
+                  std::nextafter(tolEdge, 2.0)), 1);
+}
+
+TEST(InterferenceBuckets, EveryBucketFloorSplitsDeterministically)
+{
+    InterferenceEstimator est;
+    const double eps = 1e-9;  // swamps the floors' representation error
+    for (int b = 1; b <= est.config().maxBucket; ++b) {
+        const double floor = est.bucketFloor(b);
+        // Just below a bucket's floor classifies one bucket lower;
+        // just above classifies into it — no boundary ever wobbles.
+        EXPECT_EQ(est.bucketOf(floor - eps), b - 1) << "bucket " << b;
+        EXPECT_EQ(est.bucketOf(floor + eps), b) << "bucket " << b;
+        // Same input, same answer, every time (the §3.6 key must be
+        // reproducible across the classify and repository paths).
+        EXPECT_EQ(est.bucketOf(floor), est.bucketOf(floor));
+    }
+}
+
+TEST(InterferenceBuckets, MonotoneAndClampedAtMaxBucket)
+{
+    InterferenceEstimator est;
+    int last = 0;
+    for (int i = 0; i <= 400; ++i) {
+        const int b = est.bucketOf(1.0 + i * 0.01);
+        EXPECT_GE(b, last);
+        EXPECT_LE(b, est.config().maxBucket);
+        last = b;
+    }
+    EXPECT_EQ(last, est.config().maxBucket);
+    EXPECT_EQ(est.bucketOf(1e9), est.config().maxBucket);
+}
+
+// --------------------------------------------------------------------
+// Bucket transitions never merge in the coalescer: a bucket-2
+// signature is collected under different co-location pressure than a
+// bucket-0 one, so they must not share a slot.
+// --------------------------------------------------------------------
+
+TEST(InterferenceBuckets, CoalescerNeverMergesAcrossBuckets)
+{
+    Coalescer co(true);
+    WorkItem leader;
+    leader.id = 1;
+    leader.kind = WorkKind::Signature;
+    leader.key = {ServiceKind::KeyValue, 3, 0};
+    ASSERT_TRUE(co.eligible(leader));
+    co.open(leader);
+
+    // Same kind and class, every other bucket: no open batch matches.
+    for (int bucket = 1; bucket <= 8; ++bucket) {
+        const WorkKey other{ServiceKind::KeyValue, 3, bucket};
+        EXPECT_EQ(co.leaderFor(other), kInvalidWorkItem)
+            << "bucket " << bucket;
+    }
+    // The exact key still finds its batch.
+    EXPECT_EQ(co.leaderFor(leader.key), leader.id);
+
+    // A same-class item that escalated to bucket 2 opens a *new*
+    // batch; both stay open side by side.
+    WorkItem escalated;
+    escalated.id = 2;
+    escalated.kind = WorkKind::Signature;
+    escalated.key = {ServiceKind::KeyValue, 3, 2};
+    ASSERT_TRUE(co.eligible(escalated));
+    co.open(escalated);
+    EXPECT_EQ(co.open(), 2u);
+    EXPECT_EQ(co.leaderFor(leader.key), leader.id);
+    EXPECT_EQ(co.leaderFor(escalated.key), escalated.id);
+    EXPECT_EQ(co.stats().fanOuts, 0u);
 }
 
 } // namespace

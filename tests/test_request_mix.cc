@@ -15,7 +15,7 @@ namespace {
 TEST(RequestMix, CatalogIsComplete)
 {
     const auto mixes = allMixes();
-    EXPECT_EQ(mixes.size(), 8u);
+    EXPECT_EQ(mixes.size(), 12u);
     for (const auto &m : mixes) {
         EXPECT_FALSE(m.name.empty());
         EXPECT_GE(m.readFraction, 0.0);
@@ -37,6 +37,13 @@ TEST(RequestMix, PaperMixProperties)
     EXPECT_GT(specwebSupport().ioWeight, specwebBanking().ioWeight);
     // Banking is the most CPU-intensive web mix (HTTPS-like).
     EXPECT_GT(specwebBanking().cpuWeight, specwebSupport().cpuWeight);
+    // YCSB core mixes: A is 50/50, B is 95/5, C is read-only, D is
+    // read-latest (95/5 inserts, the most memory-pressured mix).
+    EXPECT_DOUBLE_EQ(ycsbUpdateHeavy().readFraction, 0.50);
+    EXPECT_DOUBLE_EQ(ycsbReadHeavy().readFraction, 0.95);
+    EXPECT_DOUBLE_EQ(ycsbReadOnly().readFraction, 1.0);
+    EXPECT_DOUBLE_EQ(ycsbReadLatest().readFraction, 0.95);
+    EXPECT_GT(ycsbReadLatest().memWeight, ycsbReadHeavy().memWeight);
 }
 
 TEST(RequestMix, EqualityByName)

@@ -346,6 +346,16 @@ TEST_F(RunnerIntegration, FleetCellRejectsMalformedScenarios)
     EXPECT_EXIT(makeFleetScenario("fleet-mixed-9x", 1,
                                   SlotPolicy::Fifo),
                 ::testing::ExitedWithCode(1), "bad fleet size");
+    // A typo'd "+" suffix must fail loudly with the full grammar —
+    // never fold into the mix or size token.
+    EXPECT_EXIT(makeFleetScenario("fleet-ycsb-9+daemonz", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1),
+                "unknown '\\+' suffix.*the shape is");
+    EXPECT_EXIT(makeFleetScenario("fleet-mixed-9+interference+late", 1,
+                                  SlotPolicy::Fifo),
+                ::testing::ExitedWithCode(1),
+                "unknown '\\+' suffix.*fleet-<mix>-<N>");
 }
 
 TEST_F(RunnerIntegration, AggregateGroupsByScenarioAndPolicy)

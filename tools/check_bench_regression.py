@@ -3,16 +3,19 @@
 
 Both inputs are JSON files produced by ``bench_fleet_tails --huge
 [--smoke] --json <path>``: a ``cells`` array with one entry per
-(services, hosts, policy) sweep cell carrying ``events_per_s`` and
-``peak_rss_bytes``. The committed baseline (BENCH_fleet.json at the
-repo root) comes from the full ``--huge`` run; CI produces a fresh
-``--huge --smoke`` file on every push. The two plans deliberately
-overlap on the (services=1000, hosts=2) cells so a smoke run is
-comparable against the full-run baseline.
+(services, hosts, policy, mix) sweep cell carrying ``events_per_s``
+and ``peak_rss_bytes``. The ``mix`` field tags the scenario family
+("mixed" for the scale plan, "ycsb+daemons+hostloss" for the
+conformance cell); cells written before the field existed default to
+"mixed". The committed baseline (BENCH_fleet.json at the repo root)
+comes from the full ``--huge`` run; CI produces a fresh ``--huge
+--smoke`` file on every push. The two plans deliberately overlap on
+the (services=1000, hosts=2) cells and the conformance cell so a
+smoke run is comparable against the full-run baseline.
 
 A cell regresses when its fresh ``events_per_s`` drops more than
 ``--threshold`` (default 20%) below the baseline's for the same
-(services, hosts, policy) key. The default is deliberately loose
+(services, hosts, policy, mix) key. The default is deliberately loose
 because baseline and CI run on different machines; it catches
 algorithmic cliffs (an accidental O(N) in the queue's hot path), not
 single-digit noise.
@@ -47,7 +50,8 @@ def read_cells(path):
     for cell in doc["cells"]:
         try:
             key = (int(cell["services"]), int(cell["hosts"]),
-                   str(cell["policy"]))
+                   str(cell["policy"]),
+                   str(cell.get("mix", "mixed")))
             cells[key] = float(cell["events_per_s"])
         except (KeyError, TypeError, ValueError):
             die(f"malformed cell in {path}: {cell}")
@@ -73,18 +77,18 @@ def main():
     fresh = read_cells(args.fresh)
     common = sorted(set(baseline) & set(fresh))
     if not common:
-        die("no comparable (services, hosts, policy) cells between "
-            "the two files")
+        die("no comparable (services, hosts, policy, mix) cells "
+            "between the two files")
 
     failures = 0
     for key in common:
-        services, hosts, policy = key
+        services, hosts, policy, mix = key
         was, now = baseline[key], fresh[key]
         drop = 0.0 if was <= 0 else (was - now) / was
         verdict = "FAIL" if drop > args.threshold else "ok"
         failures += verdict == "FAIL"
         print(f"{verdict:4}  N={services:<6} M={hosts:<2} "
-              f"{policy:<9} baseline {was:>12.0f} ev/s   "
+              f"{policy:<9} {mix:<21} baseline {was:>12.0f} ev/s   "
               f"fresh {now:>12.0f} ev/s   drop {drop:+.1%}")
 
     print(f"\n{len(common)} comparable cell(s), {failures} "

@@ -21,15 +21,17 @@ TOOL = pathlib.Path(__file__).resolve().parents[1] / \
 
 def bench_doc(cells):
     """A minimal fleet_tails --huge JSON with the given cells, each a
-    (services, hosts, policy, events_per_s) tuple."""
-    return {
-        "bench": "fleet_tails_huge",
-        "cells": [
-            {"services": s, "hosts": h, "policy": p,
-             "events_per_s": ev, "peak_rss_bytes": 1 << 20}
-            for (s, h, p, ev) in cells
-        ],
-    }
+    (services, hosts, policy, events_per_s) tuple or a
+    (services, hosts, policy, events_per_s, mix) tuple."""
+    rows = []
+    for cell in cells:
+        s, h, p, ev = cell[:4]
+        row = {"services": s, "hosts": h, "policy": p,
+               "events_per_s": ev, "peak_rss_bytes": 1 << 20}
+        if len(cell) > 4:
+            row["mix"] = cell[4]
+        rows.append(row)
+    return {"bench": "fleet_tails_huge", "cells": rows}
 
 
 class CheckBenchRegressionTest(unittest.TestCase):
@@ -164,6 +166,46 @@ class CheckBenchRegressionTest(unittest.TestCase):
         result = self.run_tool(base, empty)
         self.assertEqual(result.returncode, 2, result.stderr)
         self.assertIn("has no cells", result.stderr)
+
+    def test_mix_field_disambiguates_cells(self):
+        # A conformance cell shares (services, hosts, policy) with a
+        # scale-plan cell; the mix tag must keep the two from being
+        # compared against each other.
+        base = self.json_for(
+            "base.json",
+            [(100, 1, "fifo", 1_000_000.0),
+             (100, 1, "fifo", 100_000.0, "ycsb+daemons+hostloss")])
+        fresh = self.json_for(
+            "fresh.json",
+            [(100, 1, "fifo", 990_000.0),
+             (100, 1, "fifo", 99_000.0, "ycsb+daemons+hostloss")])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("2 comparable cell(s)", result.stdout)
+
+    def test_mix_regression_caught_despite_healthy_mixed_twin(self):
+        base = self.json_for(
+            "base.json",
+            [(100, 1, "fifo", 1_000_000.0),
+             (100, 1, "fifo", 100_000.0, "ycsb+daemons+hostloss")])
+        fresh = self.json_for(
+            "fresh.json",
+            [(100, 1, "fifo", 1_000_000.0),
+             (100, 1, "fifo", 50_000.0, "ycsb+daemons+hostloss")])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("ycsb+daemons+hostloss", result.stdout)
+
+    def test_missing_mix_defaults_to_mixed(self):
+        # Baselines written before the mix field existed must stay
+        # comparable against fresh files that spell it out.
+        base = self.json_for("base.json",
+                             [(1000, 2, "sjf", 1_000_000.0)])
+        fresh = self.json_for("fresh.json",
+                              [(1000, 2, "sjf", 990_000.0, "mixed")])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("1 comparable cell(s)", result.stdout)
 
     def test_zero_baseline_never_divides(self):
         base = self.json_for("base.json", [(1000, 2, "sjf", 0.0)])
