@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -179,6 +180,15 @@ peakRssBytes()
 #else
     return 0;  // No getrusage on this platform.
 #endif
+}
+
+std::uint64_t
+monotonicNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
 }
 
 } // namespace dejavu

@@ -120,6 +120,18 @@ class TimeWeightedValue
  */
 std::uint64_t peakRssBytes();
 
+/**
+ * Monotonic host time in nanoseconds (CLOCK_MONOTONIC; an arbitrary
+ * epoch — only differences are meaningful). This is the serving
+ * path's latency clock: dejavud sessions stamp a request on arrival
+ * and compare the elapsed time against the p99 budget, and the
+ * serving bench derives its percentile tables from it. Deliberately
+ * the only sanctioned wall-clock read outside the bench wall-time
+ * helpers (the determinism linter pins every clock to common/stats);
+ * simulated time still comes exclusively from the EventQueue.
+ */
+std::uint64_t monotonicNanos();
+
 } // namespace dejavu
 
 #endif // DEJAVU_COMMON_STATS_HH

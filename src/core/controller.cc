@@ -245,30 +245,20 @@ DejaVuController::relearn()
     return learn(all);
 }
 
-void
-DejaVuController::applyNoveltyGuard(
-    const std::vector<double> &tuple,
-    ClassifierEngine::Outcome &outcome) const
+serving::DecisionModel
+DejaVuController::servingModel() const
 {
-    // Out-of-distribution guard: decision trees stay confident far
-    // outside the training data, so scale certainty down when the
-    // signature falls well outside the predicted cluster's learned
-    // extent (this is what fires on HotMail's day-4 flash crowd).
-    if (outcome.classId < 0 ||
-        outcome.classId >= static_cast<int>(_classRadius.size()))
-        return;
-    const double radius = std::max(
-        _classRadius[static_cast<std::size_t>(outcome.classId)],
-        1e-6);
-    const double dist = std::sqrt(KMeans::squaredDistance(
-        tuple,
-        _centroidRows.row(static_cast<std::size_t>(outcome.classId))));
-    const double slack = _config.noveltyRadiusSlack * radius;
-    if (dist > slack) {
-        outcome.certainty *= std::exp(-(dist - slack) / radius);
-        outcome.known =
-            outcome.certainty >= _config.certaintyThreshold;
-    }
+    DEJAVU_ASSERT(_learned, "servingModel before learn(): the view "
+                  "points at learned state");
+    serving::DecisionModel model;
+    model.schema = &_schema;
+    model.standardizer = &_standardizer;
+    model.classifier = &_classifier;
+    model.classRadius = &_classRadius;
+    model.centroidRows = &_centroidRows;
+    model.certaintyThreshold = _config.certaintyThreshold;
+    model.noveltyRadiusSlack = _config.noveltyRadiusSlack;
+    return model;
 }
 
 int
@@ -281,11 +271,9 @@ DejaVuController::predictClass(const Workload &workload) const
     // coalesced runs would stop being comparable to uncoalesced ones.
     const MetricSample sample =
         _profiler.monitor().expectedSample(workload);
-    _schema.extractInto(sample.values, _tupleScratch);
-    _standardizer.transformInPlace(_tupleScratch);
-    ClassifierEngine::Outcome outcome =
-        _classifier.classify(_tupleScratch);
-    applyNoveltyGuard(_tupleScratch, outcome);
+    const ClassifierEngine::Outcome outcome =
+        serving::classifySample(servingModel(), sample.values,
+                                _tupleScratch);
     return outcome.known ? outcome.classId : -1;
 }
 
@@ -312,66 +300,82 @@ DejaVuController::onWorkloadChange(const Workload &workload)
 
     // Collect the signature (the dominant part of adaptation time).
     const MetricSample sample = _profiler.collectSignature(workload);
-    _schema.extractInto(sample.values, _tupleScratch);
-    _standardizer.transformInPlace(_tupleScratch);
-    ClassifierEngine::Outcome outcome =
-        _classifier.classify(_tupleScratch);
-    applyNoveltyGuard(_tupleScratch, outcome);
+    return decideInternal(sample, &workload);
+}
+
+DejaVuController::Decision
+DejaVuController::decideFromSample(const MetricSample &sample)
+{
+    DEJAVU_ASSERT(_learned,
+                  "decideFromSample before learn(): run the learning "
+                  "phase first");
+    return decideInternal(sample, nullptr);
+}
+
+DejaVuController::Decision
+DejaVuController::decideInternal(const MetricSample &sample,
+                                 const Workload *novelSource)
+{
+    const ClassifierEngine::Outcome outcome = serving::classifySample(
+        servingModel(), sample.values, _tupleScratch);
 
     Decision decision;
     decision.adaptationTime = _profiler.monitor().sampleDuration()
         + _config.classificationOverhead;
     decision.certainty = outcome.certainty;
+    decision.classId = outcome.classId;
     _violationStreak = 0;
 
-    if (!outcome.known) {
+    // The repository walk is the serving kernel, fed by the counting
+    // handle: while an interference episode is ongoing, the (class,
+    // bucket) entry is tried before the baseline (§3.6 reuse); a
+    // known class with no entry is tolerated only under sharing.
+    const serving::ServingAnswer answer = serving::decideAllocation(
+        outcome, _currentBucket,
+        [this](const RepositoryKey &key) { return _repo.lookup(key); },
+        _service.cluster().maxAllocation(), sharesRepository());
+    decision.allocation = answer.allocation;
+
+    switch (answer.kind) {
+      case serving::ServingAnswer::Kind::UnknownWorkload:
         // Never-seen workload: avoid an SLO violation by deploying
         // full capacity; repeated misses recommend re-clustering.
         ++_lowCertaintyStreak;
-        _novelWorkloads.push_back(workload);
+        if (novelSource)
+            _novelWorkloads.push_back(*novelSource);
         _lastClassId = -1;
         setBucket(0);
         decision.kind = DecisionKind::UnknownWorkload;
-        decision.classId = outcome.classId;
-        decision.allocation = _service.cluster().maxAllocation();
         warn("dejavu: unknown workload (certainty ", outcome.certainty,
              "), deploying full capacity ",
              decision.allocation.toString());
-    } else {
+        break;
+      case serving::ServingAnswer::Kind::LostEntry:
+        // A shared entry this controller reused can disappear under
+        // it when the peer that wrote it re-clusters and clears its
+        // own writes. Losing a *private* entry is a bug (the kernel
+        // asserts), but losing a shared one is a legitimate race in
+        // the sharing design — fall back to full capacity, the same
+        // do-no-harm answer §3.5 gives for unknown workloads.
+        _lowCertaintyStreak = 0;
+        setBucket(0);
+        warn("dejavu: shared repository entry for class ",
+             outcome.classId, " was invalidated by a peer; "
+             "deploying full capacity");
+        _lastClassId = -1;
+        decision.kind = DecisionKind::UnknownWorkload;
+        break;
+      case serving::ServingAnswer::Kind::CacheHit:
         _lowCertaintyStreak = 0;
         _lastClassId = outcome.classId;
         decision.kind = DecisionKind::CacheHit;
-        decision.classId = outcome.classId;
-        // Reuse the historically collected interference information
-        // (§3.6): while an interference episode is ongoing, look up
-        // the (class, bucket) entry directly rather than re-learning
-        // it via a fresh SLO violation every hour.
-        std::optional<ResourceAllocation> cached;
-        if (_currentBucket > 0)
-            cached = _repo.lookup(
-                {outcome.classId, _currentBucket});
-        if (!cached) {
+        // The §3.6 episode ends (and the proxy is told) exactly when
+        // the bucketed entry did not serve the hit — the same
+        // transition the pre-serving code made before its baseline
+        // lookup.
+        if (answer.bucketUsed == 0)
             setBucket(0);
-            cached = _repo.lookup({outcome.classId, 0});
-        }
-        if (!cached && sharesRepository()) {
-            // A shared entry this controller reused can disappear
-            // under it when the peer that wrote it re-clusters and
-            // clears its own writes. Losing a *private* entry is a
-            // bug (assert below), but losing a shared one is a
-            // legitimate race in the sharing design — fall back to
-            // full capacity, the same do-no-harm answer §3.5 gives
-            // for unknown workloads.
-            warn("dejavu: shared repository entry for class ",
-                 outcome.classId, " was invalidated by a peer; "
-                 "deploying full capacity");
-            _lastClassId = -1;
-            decision.kind = DecisionKind::UnknownWorkload;
-            cached = _service.cluster().maxAllocation();
-        }
-        DEJAVU_ASSERT(cached.has_value(),
-                      "repository lost class ", outcome.classId);
-        decision.allocation = *cached;
+        break;
     }
 
     decision.reconfigured =

@@ -24,6 +24,7 @@
 #include "core/shared_repository.hh"
 #include "core/signature.hh"
 #include "core/tuner.hh"
+#include "serving/decision.hh"
 #include "counters/profiler.hh"
 #include "services/service.hh"
 #include "services/slo.hh"
@@ -173,6 +174,32 @@ class DejaVuController
      * the resulting allocation after the adaptation delay.
      */
     Decision onWorkloadChange(const Workload &workload);
+
+    /**
+     * The reuse-phase reaction to an *already-collected* signature
+     * sample: exactly onWorkloadChange() minus the signature
+     * collection — classify, novelty-guard, repository walk,
+     * bucket/streak bookkeeping and the deferred deployment, all
+     * through the same serving::classifySample/decideAllocation
+     * kernel the dejavud daemon runs. This is the sim half of the
+     * daemon-vs-sim conformance contract: feed the same sample
+     * stream here and to a daemon session over the wire and the
+     * answers must be bit-identical (tests/test_serving.cc).
+     * Unlike onWorkloadChange() it records no novel workload for
+     * relearn() (there is no Workload to record) and leaves the
+     * SLO-feedback context (_lastWorkload) untouched.
+     */
+    Decision decideFromSample(const MetricSample &sample);
+
+    /**
+     * Non-owning view of the learned classify state (schema,
+     * standardizer, classifier, centroids, novelty radii and the
+     * certainty/novelty knobs) for the serving layer: the daemon
+     * registers this per kind and classifies against it lock-free.
+     * Valid only while this controller lives and is not re-learned;
+     * fatal before learn().
+     */
+    serving::DecisionModel servingModel() const;
 
     /**
      * Predict the workload class a change would classify into,
@@ -393,11 +420,12 @@ class DejaVuController
     /** Schedule cluster reconfiguration after @p delay. */
     void deployAfter(SimTime delay, const ResourceAllocation &allocation);
 
-    /** Out-of-distribution guard shared by onWorkloadChange() and
-     *  predictClass(): scale certainty down when @p tuple falls well
-     *  outside the predicted cluster's learned extent. */
-    void applyNoveltyGuard(const std::vector<double> &tuple,
-                           ClassifierEngine::Outcome &outcome) const;
+    /** Shared body of onWorkloadChange()/decideFromSample(): the
+     *  serving-kernel classify + repository walk plus the
+     *  controller-side bookkeeping. @p novelSource, when non-null,
+     *  is recorded for relearn() on an unknown classification. */
+    Decision decideInternal(const MetricSample &sample,
+                            const Workload *novelSource);
 
     /** Step back to the baseline bucket once interference clears. */
     void maybeDeescalate(const Service::PerfSample &sample);

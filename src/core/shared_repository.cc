@@ -38,6 +38,23 @@ repositorySharingFromName(const std::string &name)
 }
 
 // ---------------------------------------------------------------------
+// RepositorySnapshot
+// ---------------------------------------------------------------------
+
+std::optional<ResourceAllocation>
+RepositorySnapshot::find(const RepositoryKey &key) const
+{
+    const auto it = std::lower_bound(
+        _entries.begin(), _entries.end(), key,
+        [](const Entry &e, const RepositoryKey &k) {
+            return e.key < k;
+        });
+    if (it == _entries.end() || !(it->key == key))
+        return std::nullopt;
+    return it->allocation;
+}
+
+// ---------------------------------------------------------------------
 // RepositoryHandle: thin id-carrying forwarders.
 // ---------------------------------------------------------------------
 
@@ -56,7 +73,7 @@ RepositoryHandle::kind() const
 {
     if (!attached())
         unattached("kind");
-    return _repo->attachmentKind(_id);
+    return _repo->attachment(_id).kind;
 }
 
 std::string
@@ -64,7 +81,7 @@ RepositoryHandle::owner() const
 {
     if (!attached())
         unattached("owner");
-    return _repo->attachmentOwner(_id);
+    return _repo->attachment(_id).owner;
 }
 
 void
@@ -135,7 +152,8 @@ RepositoryHandle::crossHits() const
 {
     if (!attached())
         unattached("crossHits");
-    return _repo->attachmentCrossHits(_id);
+    return _repo->attachment(_id).crossHits.load(
+        std::memory_order_relaxed);
 }
 
 std::uint64_t
@@ -151,7 +169,8 @@ RepositoryHandle::wouldHaveHit() const
 {
     if (!attached())
         unattached("wouldHaveHit");
-    return _repo->attachmentWouldHaveHits(_id);
+    return _repo->attachment(_id).wouldHaveHits.load(
+        std::memory_order_relaxed);
 }
 
 double
@@ -186,19 +205,29 @@ RepositoryHandle::toString() const
 // SharedRepository
 // ---------------------------------------------------------------------
 
-SharedRepository::SharedRepository(Mode mode)
+SharedRepository::SharedRepository(Mode mode, int shards)
     : _mode(mode)
 {
+    DEJAVU_ASSERT(shards >= 1, "shared repository needs >= 1 shard, "
+                  "got ", shards);
+    _shards.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s)
+        _shards.push_back(std::make_unique<Shard>());
 }
 
 SharedRepository::SharedRepository(SharedRepository &&other) noexcept
     : _mode(other._mode)
 {
-    // Lock both sides: the source against concurrent readers, the
-    // (freshly constructed) destination to satisfy the analysis.
-    MutexLock source(other._mu);
-    MutexLock self(_mu);
-    _byKind = std::move(other._byKind);
+    // Lock both registries: the source against concurrent readers,
+    // the (freshly constructed) destination to satisfy the analysis.
+    // The shard vector and the attachment deque move as spines only —
+    // no Shard or Attachment (with their pinned mutexes/atomics) is
+    // itself moved. The moved-from repository keeps no shards: any
+    // further table access through it is a fatal assertion, by
+    // design (move before attaching, factory returns only).
+    MutexLock source(other._amu);
+    MutexLock self(_amu);
+    _shards = std::move(other._shards);
     _attachments = std::move(other._attachments);
     _live = other._live;
     other._live = 0;
@@ -210,14 +239,51 @@ SharedRepository::modeName() const
     return _mode == Mode::Shared ? "shared" : "isolated";
 }
 
+SharedRepository::Shard &
+SharedRepository::shardOf(ServiceKind kind,
+                          const RepositoryKey &key) const
+{
+    DEJAVU_ASSERT(!_shards.empty(),
+                  "shared repository used after being moved from");
+    // Deterministic, process-independent placement: splitmix64 over
+    // the key (the same mix RepositoryKeyHash uses) xor a golden-
+    // ratio spread of the kind, so identical contents land on
+    // identical stripes in every run and every process.
+    const std::size_t mixed = RepositoryKeyHash{}(key) ^
+        (static_cast<std::size_t>(kind) * 0x9e3779b97f4a7c15ULL);
+    return *_shards[mixed % _shards.size()];
+}
+
+std::uint64_t
+SharedRepository::version() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : _shards)
+        total += shard->generation.load(std::memory_order_acquire);
+    return total;
+}
+
+RepositorySnapshot
+SharedRepository::snapshot(ServiceKind kind) const
+{
+    RepositorySnapshot snap;
+    snap._kind = kind;
+    // Version first: a store racing the collection below can make
+    // this snapshot look stale immediately (forcing a refresh), but
+    // never silently current.
+    snap._version = version();
+    snap._entries = collectKind(kind);
+    return snap;
+}
+
 RepositoryHandle
 SharedRepository::attach(ServiceKind kind, std::string owner)
 {
-    Attachment a;
+    MutexLock lock(_amu);
+    _attachments.emplace_back();
+    Attachment &a = _attachments.back();
     a.kind = kind;
     a.owner = std::move(owner);
-    MutexLock lock(_mu);
-    _attachments.push_back(std::move(a));
     ++_live;
     return RepositoryHandle(
         this, static_cast<int>(_attachments.size()) - 1);
@@ -228,191 +294,224 @@ SharedRepository::detach(RepositoryHandle &handle)
 {
     DEJAVU_ASSERT(handle._repo == this,
                   "detach of a handle from another repository");
-    MutexLock lock(_mu);
-    Attachment &a = attachment(handle._id);
-    DEJAVU_ASSERT(a.live, "attachment ", handle._id,
-                  " already detached");
-    a.live = false;
-    --_live;
+    {
+        MutexLock lock(_amu);
+        DEJAVU_ASSERT(handle._id >= 0 &&
+                      handle._id <
+                          static_cast<int>(_attachments.size()),
+                      "no such attachment: ", handle._id);
+        Attachment &a =
+            _attachments[static_cast<std::size_t>(handle._id)];
+        DEJAVU_ASSERT(a.live.load(std::memory_order_relaxed),
+                      "attachment ", handle._id, " already detached");
+        a.live.store(false, std::memory_order_relaxed);
+        --_live;
+    }
     handle = RepositoryHandle();
 }
 
 SharedRepository::Attachment &
-SharedRepository::attachment(int id)
+SharedRepository::attachment(int id) const NO_THREAD_SAFETY_ANALYSIS
 {
+    // Deliberately outside the analysis: the registry lock protects
+    // only the bounds-checked index into the deque spine; the
+    // returned record outlives the lock by design. That is safe
+    // because attachments are pinned (deque, never erased) and every
+    // mutable field is an atomic or guarded by the record's own
+    // mutex.
+    MutexLock lock(_amu);
     DEJAVU_ASSERT(id >= 0 &&
                   id < static_cast<int>(_attachments.size()),
                   "no such attachment: ", id);
     return _attachments[static_cast<std::size_t>(id)];
-}
-
-const SharedRepository::Attachment &
-SharedRepository::attachment(int id) const
-{
-    DEJAVU_ASSERT(id >= 0 &&
-                  id < static_cast<int>(_attachments.size()),
-                  "no such attachment: ", id);
-    return _attachments[static_cast<std::size_t>(id)];
-}
-
-const SharedRepository::Table &
-SharedRepository::viewOf(const Attachment &a) const
-{
-    if (_mode == Mode::WriteThroughIsolated)
-        return a.isolated;
-    static const Table kEmpty;
-    const auto it = _byKind.find(a.kind);
-    return it == _byKind.end() ? kEmpty : it->second;
 }
 
 int
 SharedRepository::attachments() const
 {
-    MutexLock lock(_mu);
+    MutexLock lock(_amu);
     return _live;
 }
 
 int
 SharedRepository::totalAttachments() const
 {
-    MutexLock lock(_mu);
+    MutexLock lock(_amu);
     return static_cast<int>(_attachments.size());
-}
-
-ServiceKind
-SharedRepository::attachmentKind(int id) const
-{
-    MutexLock lock(_mu);
-    return attachment(id).kind;
-}
-
-std::string
-SharedRepository::attachmentOwner(int id) const
-{
-    MutexLock lock(_mu);
-    return attachment(id).owner;
 }
 
 Repository::Stats
 SharedRepository::attachmentStats(int id) const
 {
-    MutexLock lock(_mu);
-    return attachment(id).stats;
-}
-
-std::uint64_t
-SharedRepository::attachmentCrossHits(int id) const
-{
-    MutexLock lock(_mu);
-    return attachment(id).crossHits;
+    const Attachment &a = attachment(id);
+    Repository::Stats s;
+    s.lookups = a.lookups.load(std::memory_order_relaxed);
+    s.hits = a.hits.load(std::memory_order_relaxed);
+    s.misses = a.misses.load(std::memory_order_relaxed);
+    s.stores = a.stores.load(std::memory_order_relaxed);
+    return s;
 }
 
 std::uint64_t
 SharedRepository::attachmentReusedEntries(int id) const
 {
-    MutexLock lock(_mu);
-    return attachment(id).reused.size();
-}
-
-std::uint64_t
-SharedRepository::attachmentWouldHaveHits(int id) const
-{
-    MutexLock lock(_mu);
-    return attachment(id).wouldHaveHits;
+    const Attachment &a = attachment(id);
+    MutexLock lock(a.mu);
+    return a.reused.size();
 }
 
 void
 SharedRepository::handleStore(int id, const RepositoryKey &key,
                               const ResourceAllocation &allocation)
 {
-    MutexLock lock(_mu);
     Attachment &a = attachment(id);
-    DEJAVU_ASSERT(a.live, "store through a detached attachment");
-    ++a.stats.stores;
+    DEJAVU_ASSERT(a.live.load(std::memory_order_relaxed),
+                  "store through a detached attachment");
+    a.stores.fetch_add(1, std::memory_order_relaxed);
     // The kind-level table is written in both modes: it is the shared
     // truth in Shared mode and the write-through shadow (counting
     // what sharing would have served) in the isolated A/B mode.
-    _byKind[a.kind][key] = Entry{allocation, id};
-    if (_mode == Mode::WriteThroughIsolated)
+    Shard &s = shardOf(a.kind, key);
+    {
+        MutexLock lock(s.mu);
+        s.byKind[a.kind][key] = Entry{allocation, id};
+        s.generation.fetch_add(1, std::memory_order_release);
+    }
+    if (_mode == Mode::WriteThroughIsolated) {
+        MutexLock lock(a.mu);
         a.isolated[key] = Entry{allocation, id};
+    }
 }
 
 std::optional<ResourceAllocation>
 SharedRepository::handleLookup(int id, const RepositoryKey &key)
 {
-    MutexLock lock(_mu);
     Attachment &a = attachment(id);
-    DEJAVU_ASSERT(a.live, "lookup through a detached attachment");
-    ++a.stats.lookups;
-    const Table &view = viewOf(a);
-    const auto it = view.find(key);
-    if (it == view.end()) {
-        ++a.stats.misses;
+    DEJAVU_ASSERT(a.live.load(std::memory_order_relaxed),
+                  "lookup through a detached attachment");
+    a.lookups.fetch_add(1, std::memory_order_relaxed);
+
+    std::optional<ResourceAllocation> result;
+    int writer = -1;
+    if (_mode == Mode::WriteThroughIsolated) {
+        MutexLock lock(a.mu);
+        const auto it = a.isolated.find(key);
+        if (it != a.isolated.end()) {
+            result = it->second.allocation;
+            writer = it->second.writer;
+        }
+    } else {
+        Shard &s = shardOf(a.kind, key);
+        MutexLock lock(s.mu);
+        const auto kt = s.byKind.find(a.kind);
+        if (kt != s.byKind.end()) {
+            const auto it = kt->second.find(key);
+            if (it != kt->second.end()) {
+                result = it->second.allocation;
+                writer = it->second.writer;
+            }
+        }
+    }
+
+    if (!result) {
+        a.misses.fetch_add(1, std::memory_order_relaxed);
         if (_mode == Mode::WriteThroughIsolated) {
             // The A/B counterfactual: would the kind-shared table
             // have served this miss?
-            const auto kt = _byKind.find(a.kind);
-            if (kt != _byKind.end() && kt->second.count(key))
-                ++a.wouldHaveHits;
+            Shard &s = shardOf(a.kind, key);
+            MutexLock lock(s.mu);
+            const auto kt = s.byKind.find(a.kind);
+            if (kt != s.byKind.end() && kt->second.count(key))
+                a.wouldHaveHits.fetch_add(
+                    1, std::memory_order_relaxed);
         }
         return std::nullopt;
     }
-    ++a.stats.hits;
-    if (it->second.writer != id) {
-        ++a.crossHits;
+
+    a.hits.fetch_add(1, std::memory_order_relaxed);
+    if (writer != id) {
+        a.crossHits.fetch_add(1, std::memory_order_relaxed);
+        MutexLock lock(a.mu);
         a.reused.insert(key);
     }
-    return it->second.allocation;
+    return result;
 }
 
 std::optional<ResourceAllocation>
 SharedRepository::handlePeek(int id, const RepositoryKey &key) const
 {
-    MutexLock lock(_mu);
-    const Table &view = viewOf(attachment(id));
-    const auto it = view.find(key);
-    if (it == view.end())
-        return std::nullopt;
-    return it->second.allocation;
+    const Attachment &a = attachment(id);
+    if (_mode == Mode::WriteThroughIsolated) {
+        MutexLock lock(a.mu);
+        const auto it = a.isolated.find(key);
+        if (it == a.isolated.end())
+            return std::nullopt;
+        return it->second.allocation;
+    }
+    return peek(a.kind, key);
 }
 
 void
 SharedRepository::handleClear(int id)
 {
-    MutexLock lock(_mu);
     Attachment &a = attachment(id);
-    DEJAVU_ASSERT(a.live, "clear through a detached attachment");
-    a.isolated.clear();
-    const auto kt = _byKind.find(a.kind);
-    if (kt == _byKind.end())
-        return;
+    DEJAVU_ASSERT(a.live.load(std::memory_order_relaxed),
+                  "clear through a detached attachment");
+    {
+        MutexLock lock(a.mu);
+        a.isolated.clear();
+    }
     // Only this attachment's writes are invalidated: a peer's tuned
     // allocations are still valid for the peer (and for reuse).
-    for (auto it = kt->second.begin(); it != kt->second.end();) {
-        if (it->second.writer == id)
-            it = kt->second.erase(it);
-        else
-            ++it;
+    for (const auto &shardPtr : _shards) {
+        Shard &s = *shardPtr;
+        MutexLock lock(s.mu);
+        const auto kt = s.byKind.find(a.kind);
+        if (kt == s.byKind.end())
+            continue;
+        bool erased = false;
+        for (auto it = kt->second.begin();
+             it != kt->second.end();) {
+            if (it->second.writer == id) {
+                it = kt->second.erase(it);
+                erased = true;
+            } else {
+                ++it;
+            }
+        }
+        if (erased)
+            s.generation.fetch_add(1, std::memory_order_release);
     }
 }
 
 std::size_t
 SharedRepository::handleEntries(int id) const
 {
-    MutexLock lock(_mu);
-    return viewOf(attachment(id)).size();
+    const Attachment &a = attachment(id);
+    if (_mode == Mode::WriteThroughIsolated) {
+        MutexLock lock(a.mu);
+        return a.isolated.size();
+    }
+    return entries(a.kind);
 }
 
 std::vector<RepositoryKey>
 SharedRepository::handleKeys(int id) const
 {
-    MutexLock lock(_mu);
-    const Table &view = viewOf(attachment(id));
+    const Attachment &a = attachment(id);
     std::vector<RepositoryKey> out;
-    out.reserve(view.size());
-    // lint-allow(unordered-iteration): collected then sorted below
-    for (const auto &[key, _] : view)
-        out.push_back(key);
+    if (_mode == Mode::WriteThroughIsolated) {
+        MutexLock lock(a.mu);
+        out.reserve(a.isolated.size());
+        // lint-allow(unordered-iteration): collected then sorted below
+        for (const auto &[key, entry] : a.isolated)
+            out.push_back(key);
+    } else {
+        for (const RepositorySnapshot::Entry &e :
+             collectKind(a.kind))
+            out.push_back(e.key);
+        return out;  // collectKind already sorts
+    }
     std::sort(out.begin(), out.end());
     return out;
 }
@@ -420,19 +519,13 @@ SharedRepository::handleKeys(int id) const
 Repository::Stats
 SharedRepository::aggregateStats() const
 {
-    MutexLock lock(_mu);
-    return aggregateStatsLocked();
-}
-
-Repository::Stats
-SharedRepository::aggregateStatsLocked() const
-{
+    MutexLock lock(_amu);
     Repository::Stats total;
     for (const Attachment &a : _attachments) {
-        total.lookups += a.stats.lookups;
-        total.hits += a.stats.hits;
-        total.misses += a.stats.misses;
-        total.stores += a.stats.stores;
+        total.lookups += a.lookups.load(std::memory_order_relaxed);
+        total.hits += a.hits.load(std::memory_order_relaxed);
+        total.misses += a.misses.load(std::memory_order_relaxed);
+        total.stores += a.stores.load(std::memory_order_relaxed);
     }
     return total;
 }
@@ -440,38 +533,41 @@ SharedRepository::aggregateStatsLocked() const
 std::uint64_t
 SharedRepository::aggregateCrossHits() const
 {
-    MutexLock lock(_mu);
+    MutexLock lock(_amu);
     std::uint64_t total = 0;
     for (const Attachment &a : _attachments)
-        total += a.crossHits;
+        total += a.crossHits.load(std::memory_order_relaxed);
     return total;
 }
 
 std::uint64_t
 SharedRepository::aggregateReusedEntries() const
 {
-    MutexLock lock(_mu);
+    // Lock order: registry lock, then each attachment's own mutex —
+    // no handle path ever nests them the other way around.
+    MutexLock lock(_amu);
     std::uint64_t total = 0;
-    for (const Attachment &a : _attachments)
+    for (const Attachment &a : _attachments) {
+        MutexLock alock(a.mu);
         total += a.reused.size();
+    }
     return total;
 }
 
 std::uint64_t
 SharedRepository::aggregateWouldHaveHits() const
 {
-    MutexLock lock(_mu);
+    MutexLock lock(_amu);
     std::uint64_t total = 0;
     for (const Attachment &a : _attachments)
-        total += a.wouldHaveHits;
+        total += a.wouldHaveHits.load(std::memory_order_relaxed);
     return total;
 }
 
 double
 SharedRepository::hitRate() const
 {
-    MutexLock lock(_mu);
-    const Repository::Stats total = aggregateStatsLocked();
+    const Repository::Stats total = aggregateStats();
     if (total.lookups == 0)
         return 0.0;
     return static_cast<double>(total.hits) / total.lookups;
@@ -480,72 +576,92 @@ SharedRepository::hitRate() const
 std::size_t
 SharedRepository::entries() const
 {
-    MutexLock lock(_mu);
     std::size_t total = 0;
-    for (const auto &[_, table] : _byKind)
-        total += table.size();
+    for (const auto &shardPtr : _shards) {
+        Shard &s = *shardPtr;
+        MutexLock lock(s.mu);
+        for (const auto &[kind, table] : s.byKind)
+            total += table.size();
+    }
     return total;
 }
 
 std::size_t
 SharedRepository::entries(ServiceKind kind) const
 {
-    MutexLock lock(_mu);
-    const auto it = _byKind.find(kind);
-    return it == _byKind.end() ? 0 : it->second.size();
+    std::size_t total = 0;
+    for (const auto &shardPtr : _shards) {
+        Shard &s = *shardPtr;
+        MutexLock lock(s.mu);
+        const auto it = s.byKind.find(kind);
+        if (it != s.byKind.end())
+            total += it->second.size();
+    }
+    return total;
+}
+
+std::vector<ServiceKind>
+SharedRepository::collectKinds() const
+{
+    // std::map keeps each shard's kinds ascending; the merge only
+    // has to union them, order is preserved.
+    std::vector<ServiceKind> out;
+    for (const auto &shardPtr : _shards) {
+        Shard &s = *shardPtr;
+        MutexLock lock(s.mu);
+        for (const auto &[kind, table] : s.byKind)
+            if (!table.empty())
+                out.push_back(kind);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 std::vector<ServiceKind>
 SharedRepository::kinds() const
 {
-    MutexLock lock(_mu);
-    return kindsLocked();
+    return collectKinds();
 }
 
-std::vector<ServiceKind>
-SharedRepository::kindsLocked() const
+std::vector<RepositorySnapshot::Entry>
+SharedRepository::collectKind(ServiceKind kind) const
 {
-    std::vector<ServiceKind> out;
-    for (const auto &[kind, table] : _byKind)
-        if (!table.empty())
-            out.push_back(kind);
+    std::vector<RepositorySnapshot::Entry> out;
+    for (const auto &shardPtr : _shards) {
+        Shard &s = *shardPtr;
+        MutexLock lock(s.mu);
+        const auto it = s.byKind.find(kind);
+        if (it == s.byKind.end())
+            continue;
+        // lint-allow(unordered-iteration): collected then sorted below
+        for (const auto &[key, entry] : it->second)
+            out.push_back({key, entry.allocation});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RepositorySnapshot::Entry &a,
+                 const RepositorySnapshot::Entry &b) {
+                  return a.key < b.key;
+              });
     return out;
 }
 
 std::vector<RepositoryKey>
 SharedRepository::keys(ServiceKind kind) const
 {
-    MutexLock lock(_mu);
-    return keysLocked(kind);
-}
-
-std::vector<RepositoryKey>
-SharedRepository::keysLocked(ServiceKind kind) const
-{
     std::vector<RepositoryKey> out;
-    const auto it = _byKind.find(kind);
-    if (it == _byKind.end())
-        return out;
-    out.reserve(it->second.size());
-    for (const auto &[key, _] : it->second)
-        out.push_back(key);
-    std::sort(out.begin(), out.end());
+    for (const RepositorySnapshot::Entry &e : collectKind(kind))
+        out.push_back(e.key);
     return out;
 }
 
 std::optional<ResourceAllocation>
 SharedRepository::peek(ServiceKind kind, const RepositoryKey &key) const
 {
-    MutexLock lock(_mu);
-    return peekLocked(kind, key);
-}
-
-std::optional<ResourceAllocation>
-SharedRepository::peekLocked(ServiceKind kind,
-                             const RepositoryKey &key) const
-{
-    const auto it = _byKind.find(kind);
-    if (it == _byKind.end())
+    Shard &s = shardOf(kind, key);
+    MutexLock lock(s.mu);
+    const auto it = s.byKind.find(kind);
+    if (it == s.byKind.end())
         return std::nullopt;
     const auto et = it->second.find(key);
     if (et == it->second.end())
@@ -557,22 +673,21 @@ std::string
 SharedRepository::toString() const
 {
     std::ostringstream os;
-    MutexLock lock(_mu);
     os << "shared-repository[" << modeName() << "]{";
     bool firstKind = true;
-    for (const ServiceKind kind : kindsLocked()) {
+    for (const ServiceKind kind : collectKinds()) {
         if (!firstKind)
             os << "; ";
         firstKind = false;
         os << serviceKindName(kind) << ": ";
         bool first = true;
-        for (const RepositoryKey &key : keysLocked(kind)) {
+        for (const RepositorySnapshot::Entry &e : collectKind(kind)) {
             if (!first)
                 os << ", ";
             first = false;
-            os << "(c" << key.classId << ",i"
-               << key.interferenceBucket << ")->"
-               << peekLocked(kind, key)->toString();
+            os << "(c" << e.key.classId << ",i"
+               << e.key.interferenceBucket << ")->"
+               << e.allocation.toString();
         }
     }
     os << "}";
@@ -583,27 +698,23 @@ void
 SharedRepository::save(std::ostream &out) const
 {
     out << "kind,class,bucket,instances,type\n";
-    MutexLock lock(_mu);
-    for (const auto &[kind, table] : _byKind) {
-        for (const RepositoryKey &key : keysLocked(kind)) {
-            const ResourceAllocation &alloc = table.at(key).allocation;
-            out << serviceKindName(kind) << ',' << key.classId << ','
-                << key.interferenceBucket << ',' << alloc.instances
-                << ',' << instanceSpec(alloc.type).name << '\n';
+    // Kinds ascending, keys ascending within each kind: the bytes
+    // depend only on contents, never on shard count or hash order.
+    for (const ServiceKind kind : collectKinds()) {
+        for (const RepositorySnapshot::Entry &e : collectKind(kind)) {
+            out << serviceKindName(kind) << ',' << e.key.classId
+                << ',' << e.key.interferenceBucket << ','
+                << e.allocation.instances << ','
+                << instanceSpec(e.allocation.type).name << '\n';
         }
     }
 }
 
 SharedRepository
 SharedRepository::load(std::istream &in, Mode mode,
-                       ServiceKind legacyKind)
+                       ServiceKind legacyKind, int shards)
 {
-    SharedRepository repo(mode);
-    // The object is function-local, but the analysis (rightly)
-    // demands the lock for its guarded tables. Scoped so the lock is
-    // released before the return (a non-elided move would relock).
-    {
-    MutexLock lock(repo._mu);
+    SharedRepository repo(mode, shards);
     std::string line;
     std::size_t lineNo = 0;
     while (std::getline(in, line)) {
@@ -627,14 +738,18 @@ SharedRepository::load(std::istream &in, Mode mode,
             : legacyKind;
         const auto [key, alloc] = parseRepositoryCells(
             fields, fields.size() - 4, lineNo, line);
-        Table &table = repo._byKind[kind];
+        // Duplicates of one (kind, key) always map to the same
+        // stripe, so the per-shard check is a whole-repository check.
+        Shard &s = repo.shardOf(kind, key);
+        MutexLock lock(s.mu);
+        Table &table = s.byKind[kind];
         if (table.count(key))
             fatal("shared repository line ", lineNo,
                   ": duplicate entry for (", serviceKindName(kind),
                   ",", key.classId, ",", key.interferenceBucket,
                   "): ", line);
         table[key] = Entry{alloc, -1};
-    }
+        s.generation.fetch_add(1, std::memory_order_release);
     }
     return repo;
 }

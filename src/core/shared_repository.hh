@@ -1,7 +1,8 @@
 /**
  * @file
  * The shared cross-service signature repository: one DejaVu cache
- * serving many controllers.
+ * serving many controllers — and, since the serving-path refactor,
+ * the `dejavud` daemon.
  *
  * The paper's repository "is most useful when its cached allocations
  * can be repeatedly reused" (§3.4/§3.6), and a Figure-2 installation
@@ -27,28 +28,35 @@
  *    instrument for comparing against private repos without changing
  *    a single decision.
  *
- * Thread safety: internally synchronized. Every public entry point
- * (and every handle operation, which forwards here) takes the
- * repository's annotated Mutex, so controllers on different threads
- * may attach, look up and store concurrently — the clang CI job
- * verifies the lock discipline statically (`-Wthread-safety
- * -Werror`) and the TSan CI leg exercises it dynamically. Within one
- * Simulation the accesses stay single-threaded and the lock is
- * uncontended; the synchronization is what lets FleetStack::learnAll
- * fan members across threads and paves the concurrent serving path
- * (ROADMAP) without an API break. Determinism note: locking makes
- * concurrent access *safe*, not *ordered* — callers that require a
- * deterministic store/lookup interleaving (learnAll's shared phase)
- * must still serialize those calls themselves.
+ * Thread safety: internally synchronized, and since the serving PR
+ * *sharded*. The kind-level tables are striped over N shards (one
+ * annotated Mutex each, entries assigned by a deterministic hash of
+ * (kind, key)), so stores on one shard never block lookups on
+ * another; per-attachment statistics are lock-free atomics, so the
+ * handle hot path takes exactly one shard lock. On top of the locked
+ * path sits an RCU-style read surface: version() is a monotone
+ * store/clear counter and snapshot() materializes an immutable
+ * sorted view of one kind's table, which readers (the dejavud
+ * sessions) consult lock-free and refresh only when version() moves —
+ * lookups never block behind stores. The clang CI job verifies the
+ * lock discipline statically (`-Wthread-safety -Werror`) and the
+ * TSan CI leg exercises it dynamically. Determinism note: locking
+ * makes concurrent access *safe*, not *ordered* — callers that
+ * require a deterministic store/lookup interleaving (learnAll's
+ * shared phase) must still serialize those calls themselves, and
+ * save() output is byte-identical for any shard count (shards are
+ * merged and sorted before serialization).
  */
 
 #ifndef DEJAVU_CORE_SHARED_REPOSITORY_HH
 #define DEJAVU_CORE_SHARED_REPOSITORY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -82,6 +90,55 @@ const char *repositorySharingName(RepositorySharing sharing);
 /** Parse a name produced by repositorySharingName(); fatal()
  *  otherwise. */
 RepositorySharing repositorySharingFromName(const std::string &name);
+
+/**
+ * An immutable, sorted view of one kind's table at a repository
+ * version — the RCU-style epoch read path the serving layer runs on.
+ *
+ * A snapshot is a plain value: find() is a lock-free binary search
+ * over entries frozen at snapshot() time, so a session answering
+ * allocation lookups never touches a mutex and never blocks behind a
+ * store. Readers detect staleness by comparing version() against
+ * SharedRepository::version() and re-snapshot when it moved; a stale
+ * snapshot is never *wrong*, only old (it serves the allocations
+ * that were current when it was taken).
+ */
+class RepositorySnapshot
+{
+  public:
+    /** One (key, allocation) pair; entries are sorted by key. */
+    struct Entry
+    {
+        RepositoryKey key;
+        ResourceAllocation allocation;
+    };
+
+    RepositorySnapshot() = default;
+
+    /** The kind namespace this snapshot covers. */
+    ServiceKind kind() const { return _kind; }
+
+    /** SharedRepository::version() observed when the snapshot was
+     *  taken; compare against the live value to detect staleness. */
+    std::uint64_t version() const { return _version; }
+
+    std::size_t entries() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+
+    /** Lock-free lookup: binary search over the frozen entries. */
+    std::optional<ResourceAllocation> find(const RepositoryKey &key)
+        const;
+
+    /** The frozen entries, sorted by key (for iteration/reports). */
+    const std::vector<Entry> &all() const { return _entries; }
+
+  private:
+    friend class SharedRepository;
+
+    ServiceKind _kind = ServiceKind::Generic;
+    std::uint64_t _version = 0;
+    std::vector<Entry> _entries;
+};
 
 /**
  * One controller's attachment to a SharedRepository. A lightweight
@@ -182,7 +239,17 @@ class SharedRepository
         WriteThroughIsolated,
     };
 
-    explicit SharedRepository(Mode mode = Mode::Shared);
+    /**
+     * @param mode   Sharing semantics (see Mode).
+     * @param shards Lock stripes for the kind-level tables. 1 (the
+     *   default) reproduces the pre-serving single-lock behavior and
+     *   is right for sim-side use, where accesses are uncontended;
+     *   the daemon uses more so concurrent sessions' stores do not
+     *   serialize. Entries are placed by a deterministic hash, so
+     *   contents, save() bytes and snapshot() views are identical
+     *   for every shard count.
+     */
+    explicit SharedRepository(Mode mode = Mode::Shared, int shards = 1);
 
     /** Move is for factory returns (load()) only: it locks @p other,
      *  so it is safe against concurrent readers of the source, but
@@ -197,6 +264,27 @@ class SharedRepository
 
     /** Human-readable mode name ("shared" | "isolated"). */
     const char *modeName() const;
+
+    /** Lock stripes backing the kind-level tables. */
+    int shards() const { return static_cast<int>(_shards.size()); }
+
+    /**
+     * Monotone modification counter: advances on every store and
+     * clear (sum of per-shard generation counters, read lock-free).
+     * Snapshot readers poll this to decide when to refresh; equal
+     * versions guarantee no store/clear happened in between.
+     */
+    std::uint64_t version() const;
+
+    /**
+     * Freeze one kind's table into an immutable sorted view (see
+     * RepositorySnapshot). Takes each shard lock once, briefly;
+     * the returned value is then read without any locking. The
+     * recorded version is captured *before* collection, so a write
+     * that races the collection at worst makes the snapshot look
+     * stale immediately — never silently current.
+     */
+    RepositorySnapshot snapshot(ServiceKind kind) const;
 
     /**
      * Attach a controller with @p kind as its namespace. @p owner is
@@ -247,7 +335,9 @@ class SharedRepository
     std::string toString() const;
 
     /** @name Persistence (CSV: kind,class,bucket,instances,type) @{ */
-    /** Serialize the kind-level tables; stats are not persisted. */
+    /** Serialize the kind-level tables; stats are not persisted.
+     *  Output is sorted (kind, then key) and byte-identical for any
+     *  shard count — the contract daemon restart relies on. */
     void save(std::ostream &out) const;
 
     /**
@@ -261,7 +351,8 @@ class SharedRepository
     static SharedRepository load(std::istream &in,
                                  Mode mode = Mode::Shared,
                                  ServiceKind legacyKind =
-                                     ServiceKind::Generic);
+                                     ServiceKind::Generic,
+                                 int shards = 1);
     /** @} */
 
   private:
@@ -276,21 +367,48 @@ class SharedRepository
     using Table =
         std::unordered_map<RepositoryKey, Entry, RepositoryKeyHash>;
 
-    struct Attachment
+    /**
+     * One lock stripe of the kind-level tables. An entry lives on
+     * exactly one shard (deterministic hash of kind + key), so a
+     * store only contends with traffic for the same stripe. The
+     * generation counter is the shard's contribution to version().
+     */
+    struct Shard
     {
-        ServiceKind kind = ServiceKind::Generic;
-        std::string owner;
-        bool live = true;
-        Repository::Stats stats;
-        std::uint64_t crossHits = 0;
-        std::uint64_t wouldHaveHits = 0;
-        /** Keys ever served to this attachment from a peer's write
-         *  (size() == reusedEntries()). */
-        std::unordered_set<RepositoryKey, RepositoryKeyHash> reused;
-        Table isolated;  ///< Private view (WriteThroughIsolated only).
+        mutable Mutex mu;
+        /** Ordered by kind so per-shard walks are deterministic. */
+        std::map<ServiceKind, Table> byKind GUARDED_BY(mu);
+        std::atomic<std::uint64_t> generation{0};
     };
 
-    /** @name Handle back-ends (id-checked; each takes the lock) @{ */
+    /**
+     * Per-attachment state. The counters are atomics (the handle hot
+     * path updates them without any lock); the reused-key set and the
+     * isolated view are colder and take the attachment's own mutex.
+     * Attachments are never destroyed (detach only marks them dead),
+     * so references handed out by attachment() stay valid for the
+     * repository's lifetime.
+     */
+    struct Attachment
+    {
+        ServiceKind kind = ServiceKind::Generic;  // set once at attach
+        std::string owner;                        // set once at attach
+        std::atomic<bool> live{true};
+        std::atomic<std::uint64_t> lookups{0};
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+        std::atomic<std::uint64_t> stores{0};
+        std::atomic<std::uint64_t> crossHits{0};
+        std::atomic<std::uint64_t> wouldHaveHits{0};
+        mutable Mutex mu;
+        /** Keys ever served to this attachment from a peer's write
+         *  (size() == reusedEntries()). */
+        std::unordered_set<RepositoryKey, RepositoryKeyHash> reused
+            GUARDED_BY(mu);
+        Table isolated GUARDED_BY(mu);  ///< WriteThroughIsolated only.
+    };
+
+    /** @name Handle back-ends (id-checked) @{ */
     void handleStore(int id, const RepositoryKey &key,
                      const ResourceAllocation &allocation);
     std::optional<ResourceAllocation> handleLookup(
@@ -300,43 +418,38 @@ class SharedRepository
     void handleClear(int id);
     std::size_t handleEntries(int id) const;
     std::vector<RepositoryKey> handleKeys(int id) const;
-    /** Locked snapshots of per-attachment fields (for the handle's
-     *  kind()/owner()/stats()/counter accessors). */
-    ServiceKind attachmentKind(int id) const;
-    std::string attachmentOwner(int id) const;
     Repository::Stats attachmentStats(int id) const;
-    std::uint64_t attachmentCrossHits(int id) const;
     std::uint64_t attachmentReusedEntries(int id) const;
-    std::uint64_t attachmentWouldHaveHits(int id) const;
     /** @} */
 
-    /** @name Lock-held internals @{ */
-    Attachment &attachment(int id) REQUIRES(_mu);
-    const Attachment &attachment(int id) const REQUIRES(_mu);
+    /** Registry access: bounds-checks @p id and returns the stable
+     *  per-attachment record (valid past the internal lock because
+     *  deque elements never relocate and are never destroyed). */
+    Attachment &attachment(int id) const;
 
-    /** The table @p id's lookups consult (kind or isolated view). */
-    const Table &viewOf(const Attachment &a) const REQUIRES(_mu);
+    /** The stripe owning (kind, key) — a deterministic, process-
+     *  independent hash so layouts replay identically. */
+    Shard &shardOf(ServiceKind kind, const RepositoryKey &key) const;
 
-    Repository::Stats aggregateStatsLocked() const REQUIRES(_mu);
-    std::vector<ServiceKind> kindsLocked() const REQUIRES(_mu);
-    std::vector<RepositoryKey> keysLocked(ServiceKind kind) const
-        REQUIRES(_mu);
-    std::optional<ResourceAllocation> peekLocked(
-        ServiceKind kind, const RepositoryKey &key) const
-        REQUIRES(_mu);
-    /** @} */
+    /** All of @p kind's entries merged across shards, sorted by key
+     *  (the shared implementation behind keys/save/snapshot). */
+    std::vector<RepositorySnapshot::Entry>
+    collectKind(ServiceKind kind) const;
+
+    /** Kinds with entries, ascending, merged across shards. */
+    std::vector<ServiceKind> collectKinds() const;
 
     Mode _mode;
-    /** One lock for the whole repository: attachments are coarse-
-     *  grained and the sim-side path is uncontended; the serving-path
-     *  refactor can split this into striped locks behind the same
-     *  annotations. */
-    mutable Mutex _mu;
-    /** Ordered by kind so save() and reports are deterministic. */
-    std::map<ServiceKind, Table> _byKind GUARDED_BY(_mu);
+    /** The lock stripes; sized at construction, never resized (so
+     *  shardOf needs no lock). unique_ptr keeps Shard's mutex and
+     *  atomic pinned while the vector itself stays movable. */
+    std::vector<std::unique_ptr<Shard>> _shards;
+    /** Guards the attachment registry (deque spine + live count),
+     *  NOT the per-attachment records it points at. */
+    mutable Mutex _amu;
     /** A deque so attach() never relocates live attachments. */
-    std::deque<Attachment> _attachments GUARDED_BY(_mu);
-    int _live GUARDED_BY(_mu) = 0;
+    mutable std::deque<Attachment> _attachments GUARDED_BY(_amu);
+    int _live GUARDED_BY(_amu) = 0;
 };
 
 } // namespace dejavu

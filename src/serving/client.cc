@@ -1,0 +1,127 @@
+#include "serving/client.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "serving/socket.hh"
+
+namespace dejavu {
+namespace serving {
+
+ServingClient::ServingClient(ServingServer &server)
+    : _direct(&server)
+{
+}
+
+ServingClient::ServingClient(ServingBus::Connection &connection)
+    : _bus(&connection)
+{
+}
+
+ServingClient::ServingClient(SocketClient &socket)
+    : _socket(&socket)
+{
+}
+
+WireFrame
+ServingClient::roundTrip(const WireFrame &frame, bool expectReply)
+{
+    if (_direct) {
+        std::optional<WireFrame> reply =
+            _direct->serve(frame, monotonicNanos());
+        if (!expectReply)
+            return {};
+        DEJAVU_ASSERT(reply.has_value(),
+                      "serving server returned no reply to a "
+                      "reply-bearing frame");
+        return std::move(*reply);
+    }
+    if (_bus) {
+        _bus->send(frame);
+        return expectReply ? _bus->receive() : WireFrame{};
+    }
+    DEJAVU_ASSERT(_socket != nullptr,
+                  "serving client has no transport");
+    DEJAVU_ASSERT(_socket->send(frame),
+                  "serving socket send failed");
+    if (!expectReply)
+        return {};
+    std::optional<WireFrame> reply = _socket->receive();
+    DEJAVU_ASSERT(reply.has_value(),
+                  "serving socket closed while awaiting a reply");
+    return std::move(*reply);
+}
+
+bool
+ServingClient::hello(ServiceKind kind,
+                     const ResourceAllocation &fallback,
+                     const std::string &owner)
+{
+    DEJAVU_ASSERT(!connected(),
+                  "hello() on an already-connected serving client");
+    HelloMsg msg;
+    msg.kind = kind;
+    msg.fallback = fallback;
+    msg.owner = owner;
+    const WireFrame reply =
+        roundTrip(encodeHello(msg), /*expectReply=*/true);
+    const std::optional<HelloAckMsg> ack = decodeHelloAck(reply);
+    DEJAVU_ASSERT(ack.has_value(),
+                  "malformed HelloAck from serving server");
+    if (!ack->accepted())
+        return false;
+    _session = ack->sessionId;
+    return true;
+}
+
+AnswerMsg
+ServingClient::decide(const std::vector<double> &metricValues)
+{
+    DEJAVU_ASSERT(connected(),
+                  "decide() on an unconnected serving client");
+    const std::uint32_t seq = _seq++;
+    // Hot path: encode into the member scratch (no SampleMsg, no
+    // fresh frame) and, in direct mode, serve into the reply scratch
+    // — zero allocation once the capacities are warm.
+    encodeSampleInto(_request, _session, seq, metricValues);
+    if (_direct) {
+        const bool replied =
+            _direct->serve(_request, monotonicNanos(), _reply);
+        DEJAVU_ASSERT(replied,
+                      "serving server returned no reply to a "
+                      "reply-bearing frame");
+    } else {
+        _reply = roundTrip(_request, /*expectReply=*/true);
+    }
+    const std::optional<AnswerMsg> answer = decodeAnswer(_reply);
+    DEJAVU_ASSERT(answer.has_value(),
+                  "malformed Answer from serving server");
+    DEJAVU_ASSERT(answer->seq == seq,
+                  "serving answer out of sequence: expected ",
+                  seq, ", got ", answer->seq);
+    return *answer;
+}
+
+void
+ServingClient::publishBucket(int bucket)
+{
+    DEJAVU_ASSERT(connected(),
+                  "publishBucket() on an unconnected serving client");
+    BucketMsg msg;
+    msg.sessionId = _session;
+    msg.bucket = bucket;
+    roundTrip(encodeBucket(msg), /*expectReply=*/false);
+}
+
+void
+ServingClient::bye()
+{
+    if (!connected())
+        return;
+    ByeMsg msg;
+    msg.sessionId = _session;
+    roundTrip(encodeBye(msg), /*expectReply=*/false);
+    _session = HelloAckMsg::kRejected;
+}
+
+} // namespace serving
+} // namespace dejavu

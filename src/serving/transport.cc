@@ -1,0 +1,114 @@
+#include "serving/transport.hh"
+
+#include <utility>
+
+#include "common/stats.hh"
+
+namespace dejavu {
+namespace serving {
+
+void
+ServingBus::Connection::send(WireFrame frame)
+{
+    // Stamp before queueing: time spent waiting for the bus thread
+    // is part of the answer's latency, by design.
+    const std::uint64_t arrival = monotonicNanos();
+    MutexLock lock(_bus._qmu);
+    while (_bus._queue.size() >= _bus._config.queueCapacity
+           && !_bus._stopping)
+        _bus._qcv.wait(_bus._qmu);
+    if (_bus._stopping)
+        return;
+    _bus._queue.push_back(
+        Item{this, std::move(frame), arrival});
+    _bus._qcv.notify_all();
+}
+
+WireFrame
+ServingBus::Connection::receive()
+{
+    MutexLock lock(_mu);
+    while (_inbox.empty())
+        _cv.wait(_mu);
+    WireFrame frame = std::move(_inbox.front());
+    _inbox.pop_front();
+    return frame;
+}
+
+std::optional<WireFrame>
+ServingBus::Connection::tryReceive()
+{
+    MutexLock lock(_mu);
+    if (_inbox.empty())
+        return std::nullopt;
+    WireFrame frame = std::move(_inbox.front());
+    _inbox.pop_front();
+    return frame;
+}
+
+void
+ServingBus::Connection::deliver(WireFrame frame)
+{
+    MutexLock lock(_mu);
+    _inbox.push_back(std::move(frame));
+    _cv.notify_one();
+}
+
+ServingBus::ServingBus(ServingServer &server, Config config)
+    : _server(server), _config(config)
+{
+    _thread = std::thread([this] { run(); });
+}
+
+ServingBus::~ServingBus()
+{
+    stop();
+}
+
+ServingBus::Connection &
+ServingBus::connect()
+{
+    MutexLock lock(_cmu);
+    _connections.emplace_back(*this);
+    return _connections.back();
+}
+
+void
+ServingBus::stop()
+{
+    {
+        MutexLock lock(_qmu);
+        if (_stopping && !_thread.joinable())
+            return;
+        _stopping = true;
+        _qcv.notify_all();
+    }
+    if (_thread.joinable())
+        _thread.join();
+}
+
+void
+ServingBus::run()
+{
+    for (;;) {
+        Item item;
+        {
+            MutexLock lock(_qmu);
+            while (_queue.empty() && !_stopping)
+                _qcv.wait(_qmu);
+            if (_queue.empty())
+                return;  // stopping and drained
+            item = std::move(_queue.front());
+            _queue.pop_front();
+            // A sender may be blocked on capacity; hand it the slot.
+            _qcv.notify_all();
+        }
+        std::optional<WireFrame> reply =
+            _server.serve(item.frame, item.arrivalNanos);
+        if (reply)
+            item.conn->deliver(std::move(*reply));
+    }
+}
+
+} // namespace serving
+} // namespace dejavu

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The in-process serving transport: a bounded MPSC frame bus feeding
+ * one daemon thread that runs ServingServer::serve().
+ *
+ * This is the standalone-daemon shape without a kernel boundary:
+ * clients (controllers, the bench, tests) push request frames onto a
+ * bounded queue; the bus thread pops, serves and delivers replies to
+ * the originating connection's inbox. Frames are stamped with
+ * monotonicNanos() at send() time, so time spent queued counts
+ * against the latency budget — under overload the daemon sheds to
+ * full-capacity fallbacks (flagged in the Answer) instead of growing
+ * an unbounded backlog.
+ *
+ * Blocking discipline: all waiting is condition-variable based
+ * (never a sleep — the determinism lint bans std::this_thread).
+ * send() blocks while the queue is at capacity (backpressure);
+ * Connection::receive() blocks until a reply arrives. The contract
+ * that makes receive() safe: every well-formed Hello and Sample
+ * produces exactly one reply, and a connection is driven by one
+ * client thread that alternates send/receive for reply-bearing
+ * frames. Call stop() only after client threads have quiesced — a
+ * receive() with no outstanding reply-bearing frame would wait
+ * forever (the bus cannot conjure an answer it was never asked for).
+ */
+
+#ifndef DEJAVU_SERVING_TRANSPORT_HH
+#define DEJAVU_SERVING_TRANSPORT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <thread>
+
+#include "common/thread_annotations.hh"
+#include "serving/server.hh"
+#include "serving/wire.hh"
+
+namespace dejavu {
+namespace serving {
+
+/**
+ * Bounded frame bus + daemon thread. The thread starts in the
+ * constructor and is joined by stop() (or the destructor).
+ */
+class ServingBus
+{
+  public:
+    struct Config
+    {
+        /** Request frames buffered before send() blocks. */
+        std::size_t queueCapacity = 1024;
+    };
+
+    /**
+     * One client's endpoint: send() enqueues to the bus, receive()
+     * takes the next reply addressed to this connection. Driven by
+     * one client thread at a time (the Session contract).
+     */
+    class Connection
+    {
+      public:
+        /** Construct via ServingBus::connect(), not directly (public
+         *  only so the connection deque can emplace in place). */
+        explicit Connection(ServingBus &bus) : _bus(bus) {}
+        Connection(const Connection &) = delete;
+        Connection &operator=(const Connection &) = delete;
+
+        /** Enqueue a request; blocks while the bus is at capacity.
+         *  Dropped silently when the bus is stopping. */
+        void send(WireFrame frame);
+
+        /** Next reply for this connection; blocks until one
+         *  arrives (see the file comment for when that is safe). */
+        WireFrame receive();
+
+        /** Non-blocking variant: nullopt when no reply is queued. */
+        std::optional<WireFrame> tryReceive();
+
+      private:
+        friend class ServingBus;
+
+        void deliver(WireFrame frame);
+
+        ServingBus &_bus;
+        Mutex _mu;
+        std::condition_variable_any _cv;
+        std::deque<WireFrame> _inbox GUARDED_BY(_mu);
+    };
+
+    /** Starts the bus thread. @p server must outlive the bus. */
+    explicit ServingBus(ServingServer &server)
+        : ServingBus(server, Config())
+    {
+    }
+    ServingBus(ServingServer &server, Config config);
+    ~ServingBus();
+
+    ServingBus(const ServingBus &) = delete;
+    ServingBus &operator=(const ServingBus &) = delete;
+
+    /** New connection; the reference stays valid for the bus's
+     *  lifetime (connections are never destroyed early). */
+    Connection &connect();
+
+    /** Drain the queue, stop and join the bus thread. Idempotent.
+     *  Only call once client threads have quiesced. */
+    void stop();
+
+  private:
+    struct Item
+    {
+        Connection *conn = nullptr;
+        WireFrame frame;
+        std::uint64_t arrivalNanos = 0;
+    };
+
+    void run();
+
+    ServingServer &_server;
+    const Config _config;
+
+    Mutex _qmu;
+    std::condition_variable_any _qcv;
+    std::deque<Item> _queue GUARDED_BY(_qmu);
+    bool _stopping GUARDED_BY(_qmu) = false;
+
+    /** A deque so connect() never relocates live connections. */
+    Mutex _cmu;
+    std::deque<Connection> _connections GUARDED_BY(_cmu);
+
+    std::thread _thread;
+};
+
+} // namespace serving
+} // namespace dejavu
+
+#endif // DEJAVU_SERVING_TRANSPORT_HH

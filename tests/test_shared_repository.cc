@@ -405,6 +405,139 @@ TEST(SharedRepository, ConcurrentReadersDuringWrites)
               kWriters * static_cast<std::uint64_t>(kPerWriter));
 }
 
+TEST(SharedRepository, ShardCountInvisibleToContentsAndSaveBytes)
+{
+    // The serving daemon runs many shards, the simulator runs one;
+    // the two must be indistinguishable except for lock contention.
+    // Same stores into 1- and 8-shard repositories: identical
+    // entries, identical peek() answers, identical save() bytes.
+    SharedRepository one(SharedRepository::Mode::Shared, 1);
+    SharedRepository eight(SharedRepository::Mode::Shared, 8);
+    EXPECT_EQ(one.shards(), 1);
+    EXPECT_EQ(eight.shards(), 8);
+
+    RepositoryHandle h1 = one.attach(ServiceKind::KeyValue, "svc");
+    RepositoryHandle h8 = eight.attach(ServiceKind::KeyValue, "svc");
+    RepositoryHandle r1 = one.attach(ServiceKind::Rubis, "rubis");
+    RepositoryHandle r8 = eight.attach(ServiceKind::Rubis, "rubis");
+    for (int c = 0; c < 50; ++c)
+        for (int b = 0; b < 3; ++b) {
+            h1.store({c, b}, kFourLarge);
+            h8.store({c, b}, kFourLarge);
+            r1.store({c, b}, kTenXL);
+            r8.store({c, b}, kTenXL);
+        }
+
+    EXPECT_EQ(one.entries(), eight.entries());
+    for (int c = 0; c < 50; ++c) {
+        EXPECT_EQ(one.peek(ServiceKind::KeyValue, {c, 1}),
+                  eight.peek(ServiceKind::KeyValue, {c, 1}));
+        EXPECT_EQ(one.peek(ServiceKind::Rubis, {c, 2}),
+                  eight.peek(ServiceKind::Rubis, {c, 2}));
+    }
+    std::ostringstream a, b;
+    one.save(a);
+    eight.save(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // And load() lands the same bytes at any shard count — the
+    // daemon restart contract.
+    std::istringstream in(a.str());
+    SharedRepository reloaded = SharedRepository::load(
+        in, SharedRepository::Mode::Shared, ServiceKind::Generic, 8);
+    std::ostringstream c;
+    reloaded.save(c);
+    EXPECT_EQ(c.str(), a.str());
+}
+
+TEST(SharedRepository, VersionAdvancesOnEveryStoreAndClear)
+{
+    SharedRepository repo(SharedRepository::Mode::Shared, 4);
+    const std::uint64_t v0 = repo.version();
+    RepositoryHandle h = repo.attach(ServiceKind::KeyValue, "svc");
+    h.store({0, 0}, kFourLarge);
+    const std::uint64_t v1 = repo.version();
+    EXPECT_GT(v1, v0);
+    h.store({1, 0}, kFourLarge);
+    const std::uint64_t v2 = repo.version();
+    EXPECT_GT(v2, v1);
+    h.clear();
+    EXPECT_GT(repo.version(), v2);
+}
+
+TEST(SharedRepository, SnapshotIsFrozenSortedAndVersioned)
+{
+    SharedRepository repo(SharedRepository::Mode::Shared, 8);
+    RepositoryHandle h = repo.attach(ServiceKind::KeyValue, "svc");
+    for (int c = 0; c < 30; ++c)
+        h.store({c, c % 3}, kFourLarge);
+
+    const RepositorySnapshot snap =
+        repo.snapshot(ServiceKind::KeyValue);
+    EXPECT_EQ(snap.kind(), ServiceKind::KeyValue);
+    EXPECT_EQ(snap.version(), repo.version());
+    EXPECT_EQ(snap.entries(), repo.entries(ServiceKind::KeyValue));
+    EXPECT_TRUE(std::is_sorted(
+        snap.all().begin(), snap.all().end(),
+        [](const RepositorySnapshot::Entry &x,
+           const RepositorySnapshot::Entry &y) {
+            return x.key < y.key;
+        }));
+    const auto hit = snap.find({7, 1});
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, kFourLarge);
+    EXPECT_FALSE(snap.find({7, 2}).has_value());
+    EXPECT_FALSE(snap.find({30, 0}).has_value());
+
+    // A store after collection makes the snapshot *look* stale (the
+    // version moved) without disturbing its frozen entries — the
+    // lookups-never-block-behind-stores contract serving relies on.
+    h.store({99, 0}, kSixLarge);
+    EXPECT_LT(snap.version(), repo.version());
+    EXPECT_FALSE(snap.find({99, 0}).has_value());
+    EXPECT_TRUE(
+        repo.snapshot(ServiceKind::KeyValue).find({99, 0})
+            .has_value());
+}
+
+TEST(SharedRepository, ConcurrentShardedStoresWithSnapshotReaders)
+{
+    // Writers hammer distinct keys across shards while readers take
+    // and walk snapshots; the TSan leg runs this at 8 threads. Every
+    // snapshot must be internally consistent (sorted, findable keys)
+    // no matter what the writers are doing.
+    constexpr std::size_t kWorkers = 8;
+    constexpr int kPerWriter = 60;
+
+    SharedRepository repo(SharedRepository::Mode::Shared, 8);
+    std::vector<RepositoryHandle> handles(kWorkers);
+    for (std::size_t h = 0; h < kWorkers; ++h)
+        handles[h] = repo.attach(ServiceKind::KeyValue,
+                                 "svc-" + std::to_string(h));
+
+    parallelFor(kWorkers, 8, [&handles, &repo](std::size_t h) {
+        if (h % 2 == 0) {
+            for (int i = 0; i < kPerWriter; ++i)
+                handles[h].store({static_cast<int>(h), i},
+                                 kFourLarge);
+        } else {
+            for (int i = 0; i < kPerWriter; ++i) {
+                const RepositorySnapshot snap =
+                    repo.snapshot(ServiceKind::KeyValue);
+                EXPECT_LE(snap.version(), repo.version());
+                for (const auto &entry : snap.all())
+                    EXPECT_TRUE(snap.find(entry.key).has_value());
+            }
+        }
+    });
+
+    EXPECT_EQ(repo.entries(),
+              (kWorkers / 2) * static_cast<std::size_t>(kPerWriter));
+    const RepositorySnapshot final_ =
+        repo.snapshot(ServiceKind::KeyValue);
+    EXPECT_EQ(final_.entries(), repo.entries());
+}
+
 TEST(SharedRepository, SharingModeNamesRoundTrip)
 {
     EXPECT_STREQ(repositorySharingName(RepositorySharing::Private),

@@ -34,6 +34,19 @@ def bench_doc(cells):
     return {"bench": "fleet_tails_huge", "cells": rows}
 
 
+def serving_doc(cells):
+    """A minimal bench_serving JSON with the given cells, each a
+    (sessions, clients, shards, mode, lookups_per_s, p99_ns)
+    tuple."""
+    rows = [{"sessions": s, "clients": c, "shards": sh, "mode": m,
+             "lookups_per_s": rate, "p99_ns": p99,
+             "p50_ns": p99 / 2, "ops": 50_000,
+             "peak_rss_bytes": 1 << 20}
+            for s, c, sh, m, rate, p99 in cells]
+    return {"bench": "serving", "smoke": False,
+            "budget_ns": 250_000, "cells": rows}
+
+
 class CheckBenchRegressionTest(unittest.TestCase):
 
     def setUp(self):
@@ -211,6 +224,115 @@ class CheckBenchRegressionTest(unittest.TestCase):
         base = self.json_for("base.json", [(1000, 2, "sjf", 0.0)])
         fresh = self.json_for("fresh.json", [(1000, 2, "sjf", 0.0)])
         self.assertEqual(self.run_tool(base, fresh).returncode, 0)
+
+    # ---- the serving dialect (bench_serving JSONs) ----
+
+    def serving_for(self, name, cells):
+        return self.path_for(name, json.dumps(serving_doc(cells)))
+
+    def test_serving_matching_cells_pass(self):
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0),
+             (100, 4, 1, "bus", 200_000.0, 50_000.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 1, 1, "direct", 900_000.0, 2_500.0),
+             (100, 4, 1, "bus", 190_000.0, 60_000.0)])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("2 comparable cell(s)", result.stdout)
+
+    def test_serving_throughput_cliff_fails(self):
+        # The serving default threshold is 0.50: a 60% drop is the
+        # algorithmic-cliff signature the gate exists for.
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 1, 1, "direct", 400_000.0, 2_000.0)])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_serving_p99_blowup_fails_despite_healthy_rate(self):
+        # p99 rising beyond 4x (default --p99-threshold 3.0) fails
+        # even when throughput held: a serialized tail is exactly the
+        # regression the latency budget guards against.
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 9_000.0)])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("p99", result.stdout)
+
+    def test_serving_p99_threshold_flag(self):
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 5_000.0)])
+        self.assertEqual(
+            self.run_tool(base, fresh).returncode, 0)
+        self.assertEqual(
+            self.run_tool(base, fresh, "--p99-threshold", "1.0")
+            .returncode, 1)
+
+    def test_serving_mode_disambiguates_cells(self):
+        # A bus cell shares (sessions, clients, shards) with a direct
+        # cell; the mode tag must keep the two apart.
+        base = self.serving_for(
+            "base.json",
+            [(100, 4, 1, "direct", 1_000_000.0, 2_000.0),
+             (100, 4, 1, "bus", 200_000.0, 50_000.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 4, 1, "direct", 1_000_000.0, 2_000.0),
+             (100, 4, 1, "bus", 50_000.0, 50_000.0)])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("bus", result.stdout)
+
+    def test_serving_smoke_subset_compares_shared_cells_only(self):
+        # The committed baseline carries 10k-session cells the smoke
+        # plan omits; only the shared cells are compared.
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0),
+             (10_000, 4, 8, "direct", 900_000.0, 2_500.0)])
+        fresh = self.serving_for(
+            "fresh.json",
+            [(100, 1, 1, "direct", 950_000.0, 2_100.0)])
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("1 comparable cell(s)", result.stdout)
+
+    def test_dialect_mismatch_exits_2(self):
+        fleet = self.json_for("fleet.json",
+                              [(1000, 2, "sjf", 1_000_000.0)])
+        serving = self.serving_for(
+            "serving.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        result = self.run_tool(fleet, serving)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("dialect mismatch", result.stderr)
+
+    def test_serving_cell_missing_p99_exits_2(self):
+        base = self.serving_for(
+            "base.json",
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        doc = serving_doc(
+            [(100, 1, 1, "direct", 1_000_000.0, 2_000.0)])
+        del doc["cells"][0]["p99_ns"]
+        broken = self.path_for("cell.json", json.dumps(doc))
+        result = self.run_tool(base, broken)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("malformed cell", result.stderr)
 
 
 if __name__ == "__main__":
