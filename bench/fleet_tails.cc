@@ -46,6 +46,16 @@
  * the full sweep digest CSV (one row per cell) for artifact upload
  * and tools/compare_knee.py.
  *
+ * Observability (docs/OBSERVABILITY.md): `--trace-out <path>` runs
+ * the composed `fleet-ycsb-100+daemons+hostloss` conformance cell
+ * with a TraceRecorder attached and writes the Chrome trace-event
+ * JSON (load it at ui.perfetto.dev); `--metrics-out <path>` dumps
+ * that cell's counters through a MetricsRegistry in the same
+ * `name value` format `dejavud --report` prints. The model sweep
+ * additionally gates on tracing digest parity: one cell run with a
+ * recorder attached vs without must produce byte-identical sweep
+ * rows (spans observe, never schedule).
+ *
  * `--huge` switches to the scale gate instead of the model sweep:
  * mixed fleets of N in {1k, 10k} services (batched fleet sampler,
  * series recording off, shared repository + work-queue routing) are
@@ -69,6 +79,8 @@
 #include "common/stats.hh"
 #include "experiments/runner.hh"
 #include "experiments/scenario.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 using namespace dejavu;
 
@@ -438,6 +450,117 @@ runHugeGate(bool smoke, std::string jsonPath)
     return ok && conformanceOk ? 0 : 1;
 }
 
+// --------------------------------------------------------------------
+// Observability: --trace-out / --metrics-out dumps and the tracing
+// digest-parity gate (docs/OBSERVABILITY.md).
+// --------------------------------------------------------------------
+
+/** runFleetCell with an optional recorder attached — the only
+ *  difference an attached recorder may make is the trace itself. */
+FleetExperiment::FleetSummary
+runFleetCellTraced(const SweepCell &cell, obs::TraceRecorder *trace)
+{
+    auto stack = makeFleetScenario(cell.scenario, cell.seed,
+                                   slotPolicyFromName(cell.policy));
+    if (trace)
+        stack->attachTrace(*trace);
+    stack->learnAll();
+    stack->startInjectors();
+    stack->experiment->run();
+    return stack->experiment->summary();
+}
+
+/** The tracing digest-parity gate: one representative shared/wq cell
+ *  run with a recorder attached vs without must produce byte-identical
+ *  sweep rows — spans observe, never schedule. */
+bool
+runTraceParityGate(bool smoke)
+{
+    const SweepCell cell{smoke ? "fleet-mixed-10-h2-shared-wq"
+                               : "fleet-mixed-100-h4-shared-wq",
+                         "fifo", 42};
+    std::string csv[2];
+    for (int traced = 0; traced < 2; ++traced) {
+        obs::TraceRecorder recorder;
+        std::vector<FleetCellResult> rows;
+        rows.push_back(
+            {cell,
+             runFleetCellTraced(cell, traced ? &recorder : nullptr)});
+        csv[traced] = fleetSweepCsv(rows);
+    }
+    const bool match = csv[0] == csv[1];
+    std::cout << "tracing digest parity (" << cell.scenario
+              << ", recorder attached vs not): "
+              << (match ? "IDENTICAL" : "DIFFER — BUG") << "\n";
+    return match;
+}
+
+/** Publish one fleet cell's counters into a registry — the bench side
+ *  of the unified metric namespace (`fleet.*` / `sim.*` next to
+ *  dejavud's `serving.*`). */
+void
+publishFleetMetrics(obs::MetricsRegistry &registry,
+                    const FleetExperiment::FleetSummary &s,
+                    std::uint64_t events)
+{
+    registry.counter("sim.events").inc(events);
+    registry.counter("fleet.adaptations").inc(s.adaptations);
+    registry.counter("fleet.slots.signature").inc(s.signatureSlots);
+    registry.counter("fleet.slots.tuner").inc(s.tunerSlots);
+    registry.counter("fleet.coalesced_signatures")
+        .inc(s.coalescedSignatures);
+    registry.counter("fleet.tuner_cancelled").inc(s.tunerCancelled);
+    registry.counter("fleet.tuner_adopted").inc(s.tunerAdopted);
+    registry.counter("fleet.repo.lookups").inc(s.repoLookups);
+    registry.counter("fleet.repo.hits").inc(s.repoHits);
+    registry.counter("fleet.repo.reused_entries")
+        .inc(s.repoReusedEntries);
+    registry.counter("fleet.hosts.failed").inc(s.hostsFailed);
+    registry.counter("fleet.hosts.restored").inc(s.hostsRestored);
+    registry.counter("fleet.orphaned_items").inc(s.orphanedItems);
+    registry.setGauge("fleet.repo.hit_rate", s.repoHitRate);
+    registry.setGauge("fleet.queue_p95_s", s.queueDelayP95Sec);
+    registry.setGauge("fleet.adapt_p95_s", s.adaptationP95Sec);
+    registry.setGauge("fleet.adapt_p999_s", s.adaptationP999Sec);
+}
+
+/** Run the conformance cell once with a recorder attached and write
+ *  the requested dumps. */
+void
+writeObservabilityDumps(const std::string &traceOut,
+                        const std::string &metricsOut)
+{
+    const std::string scenario = "fleet-ycsb-100+daemons+hostloss";
+    obs::TraceRecorder recorder;
+    auto stack = makeFleetScenario(scenario, 42, SlotPolicy::Fifo);
+    stack->attachTrace(recorder);
+    stack->learnAll();
+    stack->startInjectors();
+    stack->experiment->run();
+    if (!traceOut.empty()) {
+        std::ofstream out(traceOut);
+        if (!out)
+            fatal("cannot write trace to ", traceOut);
+        recorder.writeChromeJson(out);
+        std::cout << "trace of " << scenario << " ("
+                  << recorder.eventCount() << " events on "
+                  << recorder.laneCount() << " lanes, "
+                  << recorder.dropped()
+                  << " dropped) written to " << traceOut << "\n";
+    }
+    if (!metricsOut.empty()) {
+        obs::MetricsRegistry registry;
+        publishFleetMetrics(registry, stack->experiment->summary(),
+                            stack->sim->queue().executed());
+        std::ofstream out(metricsOut);
+        if (!out)
+            fatal("cannot write metrics to ", metricsOut);
+        registry.writeKv(out);
+        std::cout << "metrics of " << scenario << " written to "
+                  << metricsOut << "\n";
+    }
+}
+
 /** Numeric equality of two summaries — the legacy/work-queue parity
  *  check (workMode and scenario naming excluded by construction). */
 bool
@@ -471,6 +594,8 @@ main(int argc, char **argv)
     bool huge = false;
     std::string csvPath;
     std::string jsonPath;
+    std::string traceOutPath;
+    std::string metricsOutPath;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -482,12 +607,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--json") == 0
                    && i + 1 < argc) {
             jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-out") == 0
+                   && i + 1 < argc) {
+            traceOutPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0
+                   && i + 1 < argc) {
+            metricsOutPath = argv[++i];
         } else {
             fatal("unknown argument: ", argv[i],
-                  " (use --smoke, --huge, --csv <path> and/or "
-                  "--json <path>)");
+                  " (use --smoke, --huge, --csv <path>, "
+                  "--json <path>, --trace-out <path> and/or "
+                  "--metrics-out <path>)");
         }
     }
+
+    if (!traceOutPath.empty() || !metricsOutPath.empty())
+        writeObservabilityDumps(traceOutPath, metricsOutPath);
 
     if (huge)
         return runHugeGate(smoke, jsonPath);
@@ -734,6 +869,8 @@ main(int argc, char **argv)
                   << "\n";
     }
 
+    const bool traceParity = runTraceParityGate(smoke);
+
     std::cout << "\nsweep wall clock:";
     for (std::size_t i = 0; i < threadCounts.size(); ++i)
         std::cout << (i ? ", " : " ")
@@ -777,6 +914,7 @@ main(int argc, char **argv)
 
     return digestsMatch && sharedBeatsPrivate
                && sharedDemandBelowPrivate && parityHolds
+               && traceParity
         ? 0
         : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/trace.hh"
 #include "core/clustering_engine.hh"
 #include "core/repository.hh"
 #include "counters/monitor.hh"
@@ -248,6 +249,91 @@ BM_EventQueueCancelChurn(benchmark::State &state)
         static_cast<double>(peakRssBytes()) / (1024.0 * 1024.0));
 }
 BENCHMARK(BM_EventQueueCancelChurn)->Arg(100)->Arg(1000)->Arg(10000);
+
+/** The running queue of BM_PeriodicFleetTracing — a file-scope
+ *  pointer so the tick closures stay within std::function's inline
+ *  buffer (capturing &q too would heap-allocate every closure, which
+ *  costs more than the tracing being measured). */
+EventQueue *gTickQueue = nullptr;
+
+/**
+ * Tracing overhead on the periodic-fleet hot path
+ * (docs/OBSERVABILITY.md): 1k actors, 1-minute cadence, 1 simulated
+ * hour, one instant traced per queue event — the densest
+ * instrumentation the tree ever emits (real call sites trace well
+ * under one event per queue event). Three states of the cost
+ * contract, with byte-identical closures so only the traced work
+ * differs: /0 has no trace statement at all (what
+ * -DDEJAVU_TRACING=0 compiles to), /1 has the statement but no
+ * recorder attached (one null check), /2 records into a persistent
+ * ring (steady state: slabs recycle warm).
+ *
+ * Measured (one box, Release, items/s = queue events/s, mean of 3
+ * repetitions, run-to-run cv 3-7%):
+ *
+ *     state               items/s     vs compiled-out
+ *     /0 compiled-out      ~8.4 M           —
+ *     /1 attached-off      ~8.6 M       noise-level
+ *     /2 tracing on        ~8.3 M       ~1% (within noise)
+ *
+ * The acceptance bar is <= 10% for tracing on. BM_TraceRecorderAppend
+ * below prices the raw slab write (~4.6 ns/event); per-event cost
+ * only exceeds that when the ring is cold (first fill) — steady
+ * state recycles warm slabs.
+ */
+void
+BM_PeriodicFleetTracing(benchmark::State &state)
+{
+    constexpr int kActors = 1000;
+    const int mode = static_cast<int>(state.range(0));
+    obs::TraceRecorder recorder;  // outlives iterations: warm ring
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        EventQueue q;
+        gTickQueue = &q;
+        obs::TraceRecorder *trace = mode == 2 ? &recorder : nullptr;
+        const obs::LaneId lane =
+            mode == 2 ? recorder.lane("bench/ticks") : 0;
+        for (int i = 0; i < kActors; ++i) {
+            if (mode == 0)
+                q.schedulePeriodic(seconds(i % 60), minutes(1),
+                                   [trace, lane] {
+                                       (void)trace;
+                                       (void)lane;
+                                   });
+            else
+                q.schedulePeriodic(
+                    seconds(i % 60), minutes(1), [trace, lane] {
+                        DEJAVU_TRACE(if (trace) trace->instant(
+                            lane, "tick", gTickQueue->now()));
+                    });
+        }
+        events += q.runUntil(hours(1));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    if (mode == 2)
+        state.counters["traced_events"] = benchmark::Counter(
+            static_cast<double>(recorder.eventCount()
+                                + recorder.dropped()));
+}
+BENCHMARK(BM_PeriodicFleetTracing)->Arg(0)->Arg(1)->Arg(2);
+
+/** Raw recorder append throughput: the bump-pointer slab write that
+ *  bounds every instrumented hot path. */
+void
+BM_TraceRecorderAppend(benchmark::State &state)
+{
+    obs::TraceRecorder::Config config;
+    config.maxEvents = std::size_t{1} << 16;
+    obs::TraceRecorder recorder(config);
+    const obs::LaneId lane = recorder.lane("bench/append");
+    std::int64_t ts = 0;
+    for (auto _ : state) {
+        recorder.instant(lane, "tick", ts++);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecorderAppend);
 
 } // namespace
 } // namespace dejavu

@@ -72,6 +72,25 @@ DejaVuFleet::addListener(AdaptationListener fn)
     _listeners.push_back(std::move(fn));
 }
 
+void
+DejaVuFleet::setTrace(obs::TraceRecorder *trace)
+{
+    _trace = trace;
+    _workQueue.setTrace(trace);
+}
+
+obs::LaneId
+DejaVuFleet::memberLane(std::size_t idx)
+{
+    constexpr obs::LaneId kNoLane = ~obs::LaneId{0};
+    if (_memberLanes.size() != _members.size())
+        _memberLanes.resize(_members.size(), kNoLane);
+    obs::LaneId &lane = _memberLanes[idx];
+    if (lane == kNoLane)
+        lane = _trace->lane("svc/" + _members[idx].name);
+    return lane;
+}
+
 std::size_t
 DejaVuFleet::memberIndex(const std::string &name) const
 {
@@ -85,6 +104,26 @@ void
 DejaVuFleet::complete(CompletedAdaptation entry)
 {
     _log.push_back(std::move(entry));
+    DEJAVU_TRACE(if (_trace) {
+        const CompletedAdaptation &done = _log.back();
+        const char *name = "adapt.hit";
+        if (done.peerServed)
+            name = "adapt.peer";
+        else if (done.decision.kind
+                 == DejaVuController::DecisionKind::UnknownWorkload)
+            name = "adapt.unknown";
+        else if (done.decision.kind
+                 == DejaVuController::DecisionKind
+                        ::InterferenceAdjust)
+            name = "adapt.interference";
+        _trace->complete(
+            memberLane(memberIndex(done.service)), name,
+            done.requestedAt, done.totalAdaptation(),
+            obs::TraceRecorder::kNoDetail,
+            done.decision.classId >= 0
+                ? static_cast<std::uint64_t>(done.decision.classId)
+                : obs::TraceRecorder::kNoArg);
+    });
     for (const auto &listener : _listeners)
         listener(_log.back());
 }
@@ -208,6 +247,8 @@ DejaVuFleet::runTunerGrant(std::size_t memberIdx,
             entry.peerServed = true;
             entry.slotDuration = 0;
             entry.decision = *adopted;
+            DEJAVU_TRACE(if (_trace) _trace->instant(
+                memberLane(memberIdx), "repo.adopt", now()));
             complete(std::move(entry));
             return 0;
         }
@@ -219,6 +260,11 @@ DejaVuFleet::runTunerGrant(std::size_t memberIdx,
     entry.slotDuration = entry.decision.adaptationTime;
     const WorkKey key = grant.item->key;
     const SimTime occupancy = entry.slotDuration;
+    // The tuned allocation lands in the repository at slot end (see
+    // the cancellation sweep below) — mark the store there.
+    DEJAVU_TRACE(if (_trace) _trace->instant(
+        memberLane(memberIdx), "repo.store",
+        saturatingAdd(grant.startedAt, occupancy)));
     complete(std::move(entry));
     // Reuse-driven cancellation: once the experiments finish (slot
     // end — the result is stored then, not before), the allocation
@@ -248,6 +294,8 @@ DejaVuFleet::onTunerCancelled(std::size_t memberIdx,
     Member &member = _members[memberIdx];
     if (reason == WorkCancelReason::Reuse) {
         if (auto decision = member.controller->adoptPeerTuning()) {
+            DEJAVU_TRACE(if (_trace) _trace->instant(
+                memberLane(memberIdx), "repo.adopt", now()));
             CompletedAdaptation entry;
             entry.service = member.name;
             entry.requestedAt = item.requestedAt;

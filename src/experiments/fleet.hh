@@ -167,6 +167,17 @@ class DejaVuFleet : public Actor
     /** Subscribe to completed adaptations. */
     void addListener(AdaptationListener fn);
 
+    /**
+     * Attach a trace recorder (docs/OBSERVABILITY.md): forwards to
+     * the work queue (pool lanes) and additionally emits, per
+     * member on a `svc/<name>` lane, one sim-time `adapt.*` span per
+     * completed adaptation (request → deployment, outcome in the
+     * name) plus `repo.store` / `repo.adopt` instants for tuner
+     * results entering or leaving the repository. Observation only;
+     * digests are unchanged. Null detaches.
+     */
+    void setTrace(obs::TraceRecorder *trace);
+
     /** Registered services. */
     int services() const { return static_cast<int>(_members.size()); }
 
@@ -232,6 +243,9 @@ class DejaVuFleet : public Actor
     /** Record + broadcast one completed adaptation. */
     void complete(CompletedAdaptation entry);
 
+    /** Lazily created `svc/<name>` trace lane for one member. */
+    obs::LaneId memberLane(std::size_t idx);
+
     /** Submit the §3.6 tuner sequence a controller deferred. */
     void submitTunerWork(std::size_t memberIdx, int classId,
                          int bucket, SimTime estimate);
@@ -252,6 +266,8 @@ class DejaVuFleet : public Actor
     std::uint64_t _tunerAdopted = 0;
     std::vector<CompletedAdaptation> _log;
     std::vector<AdaptationListener> _listeners;
+    obs::TraceRecorder *_trace = nullptr;
+    std::vector<obs::LaneId> _memberLanes;
 };
 
 } // namespace dejavu

@@ -199,6 +199,14 @@ makeSpecWebScaleUp(const ScenarioOptions &options)
 }
 
 void
+FleetStack::attachTrace(obs::TraceRecorder &recorder)
+{
+    trace = &recorder;
+    if (experiment)
+        experiment->fleet().setTrace(&recorder);
+}
+
+void
 FleetStack::startInjectors()
 {
     for (auto &member : members) {
@@ -231,17 +239,45 @@ FleetStack::learnAll(int threads)
                 member.experimentConfig.peakClients, h));
         member.controller->prepareLearning(learning);
     };
+    // Learn phases are real (offline) work, so their trace spans are
+    // wall-time. The workers never touch the recorder — one span
+    // covers the whole parallel phase — and the sequential half gets
+    // a per-member breakdown.
+    obs::LaneId learnLane = 0;
+    DEJAVU_TRACE(if (trace) {
+        learnLane =
+            trace->lane("phase/learn", obs::ClockDomain::Wall);
+        trace->begin(learnLane, "learn.prepare", trace->wallMicros(),
+                     obs::TraceRecorder::kNoDetail, members.size());
+    });
     parallelFor(members.size(), threads, [this, &prepare](
                                              std::size_t i) {
         prepare(*members[i]);
+    });
+    DEJAVU_TRACE(if (trace) {
+        trace->end(learnLane, trace->wallMicros());
+        trace->begin(learnLane, "learn.finalize",
+                     trace->wallMicros(),
+                     obs::TraceRecorder::kNoDetail, members.size());
     });
 
     // Shared half: repository probe / tuner / store, strictly in
     // member order — under a shared repository, which member tunes a
     // class first decides who reuses whose entry, so this order is
     // part of the deterministic contract.
-    for (auto &member : members)
+    for (auto &member : members) {
+        std::int64_t memberStart = 0;
+        DEJAVU_TRACE(if (trace) memberStart = trace->wallMicros());
         member->controller->learnPrepared();
+        DEJAVU_TRACE(if (trace) trace->complete(
+            learnLane, "learnPrepared", memberStart,
+            trace->wallMicros() - memberStart,
+            trace->intern(member->name)));
+        (void)memberStart;
+    }
+    DEJAVU_TRACE(if (trace)
+                     trace->end(learnLane, trace->wallMicros()));
+    (void)learnLane;
 }
 
 FleetBuilder::FleetBuilder(ScenarioOptions options)

@@ -22,6 +22,7 @@
 
 #include "core/dejavu.hh"
 #include "experiments/dejavu_policy.hh"
+#include "obs/trace.hh"
 #include "experiments/experiment.hh"
 #include "experiments/fleet_experiment.hh"
 #include "experiments/host_loss.hh"
@@ -132,6 +133,18 @@ struct FleetStack
      *  builder's options enable host loss. Armed by
      *  startInjectors(). */
     std::unique_ptr<HostLossSchedule> hostLoss;
+    /** Attached trace recorder (null = tracing off); set via
+     *  attachTrace(). Not owned. */
+    obs::TraceRecorder *trace = nullptr;
+
+    /**
+     * Attach a trace recorder (docs/OBSERVABILITY.md): sim-time
+     * lanes for the profiling pool and per-service adaptations (via
+     * DejaVuFleet::setTrace), plus wall-time `learn.prepare` /
+     * `learn.finalize` spans from learnAll(). Recording observes
+     * only — digests are byte-identical with and without it.
+     */
+    void attachTrace(obs::TraceRecorder &recorder);
 
     /**
      * Run every member's learning phase on its day-1 workloads.

@@ -1,0 +1,18 @@
+#include "obs/wall_clock.hh"
+
+#include <chrono>
+
+namespace dejavu {
+namespace obs {
+
+std::uint64_t
+wallNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace obs
+} // namespace dejavu

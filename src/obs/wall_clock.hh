@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The observability wall clock.
+ *
+ * Trace spans for *real* phases (learnAll, bench runs, dejavud
+ * request handling) are stamped in wall time, and those stamps must
+ * never leak into simulation state: a wall-clock read inside the sim
+ * is a determinism bug. The determinism linter therefore confines
+ * raw clock reads to this translation unit (alongside the existing
+ * `common/stats.*` exemption) — every other file that wants a wall
+ * timestamp for tracing goes through obs::wallNanos(), which makes
+ * such reads grep-able and reviewable in one place.
+ */
+
+#ifndef DEJAVU_OBS_WALL_CLOCK_HH
+#define DEJAVU_OBS_WALL_CLOCK_HH
+
+#include <cstdint>
+
+namespace dejavu {
+namespace obs {
+
+/**
+ * Monotonic wall-clock nanoseconds from an arbitrary epoch. Only for
+ * observability (trace timestamps, phase timing); never feeds back
+ * into simulation decisions.
+ */
+std::uint64_t wallNanos();
+
+} // namespace obs
+} // namespace dejavu
+
+#endif // DEJAVU_OBS_WALL_CLOCK_HH

@@ -18,6 +18,19 @@ ProfilingWorkQueue::ProfilingWorkQueue(
 {
 }
 
+void
+ProfilingWorkQueue::setTrace(obs::TraceRecorder *trace)
+{
+    _trace = trace;
+    DEJAVU_TRACE(if (_trace) {
+        _queueLane = _trace->lane("pool/queue");
+        _hostLanes.clear();
+        for (int h = 0; h < hosts(); ++h)
+            _hostLanes.push_back(
+                _trace->lane("pool/host-" + std::to_string(h)));
+    });
+}
+
 ProfilingWorkQueue::Item &
 ProfilingWorkQueue::itemRef(WorkItemId id)
 {
@@ -84,6 +97,11 @@ ProfilingWorkQueue::submit(WorkItem item, RunFn run, CancelFn onCancel)
         ++_stats.signatureSubmitted;
     else
         ++_stats.tunerSubmitted;
+    DEJAVU_TRACE(if (_trace) _trace->instant(
+        _queueLane,
+        item.kind == WorkKind::Signature ? "submit.signature"
+                                         : "submit.tuner",
+        now(), obs::TraceRecorder::kNoDetail, item.id));
 
     const WorkItemId id = item.id;
     _items.push_back(
@@ -103,6 +121,9 @@ ProfilingWorkQueue::submit(WorkItem item, RunFn run, CancelFn onCancel)
                     continue;
                 entry.members.push_back(id);
                 _coalescer.noteFanOut(stored.info.key);
+                DEJAVU_TRACE(if (_trace) _trace->instant(
+                    _queueLane, "coalesce.join", now(),
+                    obs::TraceRecorder::kNoDetail, id));
                 dispatch();
                 return id;
             }
@@ -193,6 +214,9 @@ ProfilingWorkQueue::dispatch()
         }
 
         _active[state->host] = state;
+        DEJAVU_TRACE(if (_trace) _trace->instant(
+            _queueLane, "grant", now(),
+            obs::TraceRecorder::kNoDetail, state->members.size()));
 
         // The work runs when the slot starts; fixed-duration slots
         // pre-schedule their release (preserving the event order of
@@ -205,6 +229,8 @@ ProfilingWorkQueue::dispatch()
                 [this, state] {
                     if (state->failed)
                         return;  // its host died mid-slot
+                    DEJAVU_TRACE(if (_trace) _trace->end(
+                        _hostLanes[state->host], now()));
                     _active[state->host].reset();
                     _hosts.release(state->host);
                     dispatch();
@@ -231,6 +257,17 @@ ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
         dispatch();
         return;
     }
+
+    DEJAVU_TRACE(if (_trace) {
+        const Item &leader = itemRef(grant->members.front());
+        _trace->begin(_hostLanes[grant->host],
+                      leader.info.kind == WorkKind::Signature
+                          ? "slot.signature"
+                          : "slot.tuner",
+                      grant->startedAt,
+                      obs::TraceRecorder::kNoDetail,
+                      grant->members.size());
+    });
 
     bool first = true;
     SimTime actual = grant->occupancy;
@@ -283,6 +320,8 @@ ProfilingWorkQueue::runGrant(const std::shared_ptr<GrantState> &grant)
            [this, state = grant] {
                if (state->failed)
                    return;  // its host died mid-slot
+               DEJAVU_TRACE(if (_trace) _trace->end(
+                   _hostLanes[state->host], now()));
                _active[state->host].reset();
                _hosts.release(state->host);
                dispatch();
@@ -337,6 +376,21 @@ ProfilingWorkQueue::cancelItem(WorkItemId id, WorkCancelReason reason)
     if (target.info.kind == WorkKind::Tuner
         && reason == WorkCancelReason::Reuse)
         ++_stats.tunerCancelledForReuse;
+    DEJAVU_TRACE(if (_trace) {
+        const char *name = "cancel.explicit";
+        switch (reason) {
+        case WorkCancelReason::Explicit: break;
+        case WorkCancelReason::Detached:
+            name = "cancel.detached";
+            break;
+        case WorkCancelReason::Reuse: name = "cancel.reuse"; break;
+        case WorkCancelReason::HostLost:
+            name = "cancel.host-lost";
+            break;
+        }
+        _trace->instant(_queueLane, name, now(),
+                        obs::TraceRecorder::kNoDetail, id);
+    });
     // Copy before invoking: the callback may submit new work, and a
     // grown _items vector would dangle the reference.
     const CancelFn onCancel = target.onCancel;
@@ -360,6 +414,19 @@ ProfilingWorkQueue::failHost(std::size_t host)
 
     const std::shared_ptr<GrantState> grant = _active[host];
     _active[host].reset();
+    DEJAVU_TRACE(if (_trace) {
+        // Close the open slot span (if its run already began) before
+        // opening the outage span, so the host lane stays balanced.
+        if (grant && grant->startedAt <= now()) {
+            bool ran = false;
+            for (const WorkItemId id : grant->members)
+                ran = ran || itemRef(id).state == ItemState::Done;
+            if (ran)
+                _trace->end(_hostLanes[host], now());
+        }
+        _trace->instant(_hostLanes[host], "host.lost", now());
+        _trace->begin(_hostLanes[host], "outage", now());
+    });
     if (!grant)
         return;
     // Abandon the in-flight grant: pending run/release events go
@@ -379,6 +446,10 @@ ProfilingWorkQueue::restoreHost(std::size_t host)
 {
     _hosts.revive(host);
     ++_stats.hostsRestored;
+    DEJAVU_TRACE(if (_trace) {
+        _trace->end(_hostLanes[host], now());  // close "outage"
+        _trace->instant(_hostLanes[host], "host.restored", now());
+    });
     dispatch();
 }
 

@@ -42,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "profiling/coalescer.hh"
 #include "profiling/host_pool.hh"
 #include "profiling/slot_scheduler.hh"
@@ -146,6 +147,16 @@ class ProfilingWorkQueue : public Actor
 
     void setDebtProbe(DebtProbe fn) { _debtProbe = std::move(fn); }
     void setDebtSpend(DebtSpend fn) { _debtSpend = std::move(fn); }
+
+    /**
+     * Attach a trace recorder (docs/OBSERVABILITY.md): the queue
+     * emits the full item lifecycle — `submit.*` / `coalesce.join` /
+     * `grant` / `cancel.*` instants on the `pool/queue` lane, slot
+     * spans and `outage` spans on per-host `pool/host-<i>` lanes —
+     * in sim-time. Observation only: recording never schedules
+     * events, so digests are unchanged. Null detaches.
+     */
+    void setTrace(obs::TraceRecorder *trace);
 
     /**
      * Queue one unit of profiling work. The queue assigns id, seq
@@ -280,6 +291,9 @@ class ProfilingWorkQueue : public Actor
     DebtProbe _debtProbe;
     DebtSpend _debtSpend;
     Stats _stats;
+    obs::TraceRecorder *_trace = nullptr;
+    obs::LaneId _queueLane = 0;
+    std::vector<obs::LaneId> _hostLanes;
 };
 
 } // namespace dejavu

@@ -1,167 +1,89 @@
 /**
  * @file
- * Serving-side observability: lock-free counters and a latency
- * histogram for the dejavud hot path.
+ * Serving-side observability: the dejavud hot-path counters, now
+ * registered on the fleet-wide obs::MetricsRegistry.
  *
  * Every counter an operator is told to check in docs/SERVING.md's
- * runbook table lives here. The hot path only ever does relaxed
- * atomic increments — no lock, no allocation — so metrics cost a
- * few nanoseconds per request and never perturb the latency they
- * measure. Quantiles come from a fixed power-of-two histogram
- * (record() is one atomic increment; quantileNanos() reports the
- * bucket's upper bound, i.e. a conservative estimate). The serving
- * bench reports *exact* percentiles from its own samplers; the
- * histogram is for the live daemon, where keeping every sample
- * would be an unbounded allocation.
+ * runbook table lives here, under the `serving.` namespace of the
+ * registry (PR 10 renamed the bare kv keys — `samples` became
+ * `serving.samples` and so on). The hot path is unchanged: sessions
+ * and transports hold references to registered handles and do one
+ * relaxed atomic increment — no lock, no allocation, no name lookup
+ * — so metrics cost a few nanoseconds per request and never perturb
+ * the latency they measure. Quantiles come from the registry's
+ * power-of-two obs::LatencyHistogram; quantileBoundsNanos() reports
+ * the bucket's [lower, upper] range so operators see the estimate's
+ * true width (the serving bench still reports *exact* percentiles
+ * from its own samplers).
+ *
+ * The registry also gives the daemon its Prometheus surface:
+ * `dejavud --metrics` serves registry.writePrometheus() and
+ * `dejavud --report` prints registry.kv().
  */
 
 #ifndef DEJAVU_SERVING_METRICS_HH
 #define DEJAVU_SERVING_METRICS_HH
 
-#include <array>
-#include <atomic>
-#include <cstdint>
-#include <sstream>
 #include <string>
+
+#include "obs/metrics.hh"
 
 namespace dejavu {
 namespace serving {
 
-/**
- * Power-of-two latency histogram: bucket b counts samples with
- * floor(log2(nanos)) == b (bucket 0 also takes 0 ns). Concurrent
- * record() calls are relaxed atomic increments; readers see a
- * consistent-enough view for monitoring (exactness across a racing
- * snapshot is explicitly not a goal).
- */
-class LatencyHistogram
-{
-  public:
-    static constexpr int kBuckets = 64;
-
-    void record(std::uint64_t nanos)
-    {
-        _buckets[bucketOf(nanos)].fetch_add(
-            1, std::memory_order_relaxed);
-    }
-
-    std::uint64_t count() const
-    {
-        std::uint64_t total = 0;
-        for (const auto &b : _buckets)
-            total += b.load(std::memory_order_relaxed);
-        return total;
-    }
-
-    /**
-     * Upper bound of the bucket holding the q-th sample (q in
-     * [0,1]); 0 when empty. Conservative: the true quantile is at
-     * most this.
-     */
-    std::uint64_t quantileNanos(double q) const
-    {
-        const std::uint64_t total = count();
-        if (total == 0)
-            return 0;
-        std::uint64_t rank = static_cast<std::uint64_t>(
-            q * static_cast<double>(total - 1));
-        for (int b = 0; b < kBuckets; ++b) {
-            const std::uint64_t n =
-                _buckets[static_cast<std::size_t>(b)].load(
-                    std::memory_order_relaxed);
-            if (rank < n)
-                return upperBound(b);
-            rank -= n;
-        }
-        return upperBound(kBuckets - 1);
-    }
-
-  private:
-    static int bucketOf(std::uint64_t nanos)
-    {
-        if (nanos == 0)
-            return 0;
-        int b = 0;
-        while (nanos >>= 1)
-            ++b;
-        return b;
-    }
-
-    static std::uint64_t upperBound(int bucket)
-    {
-        if (bucket >= 63)
-            return ~std::uint64_t{0};
-        return (std::uint64_t{2} << bucket) - 1;
-    }
-
-    std::array<std::atomic<std::uint64_t>, kBuckets> _buckets{};
-};
+/** The histogram type moved to obs/ (PR 10); alias kept so serving
+ *  code reads naturally. */
+using LatencyHistogram = obs::LatencyHistogram;
 
 /**
  * The dejavud counter set. One instance per server; sessions and
  * transports all increment the same relaxed atomics. Field-by-field
  * meaning (and which symptom each one diagnoses) is tabulated in
- * docs/SERVING.md.
+ * docs/SERVING.md under the registry names.
  */
 struct Metrics
 {
+    /** The backing registry (declared first: the handle references
+     *  below bind into it during construction). */
+    obs::MetricsRegistry registry;
+
     /** Samples ingested (one allocation answer each). */
-    std::atomic<std::uint64_t> samples{0};
+    obs::Counter &samples = registry.counter("serving.samples");
     /** Answers served from the repository (ServingAnswer CacheHit). */
-    std::atomic<std::uint64_t> cacheHits{0};
+    obs::Counter &cacheHits = registry.counter("serving.cache_hits");
     /** Low-certainty / novel classifications → full capacity. */
-    std::atomic<std::uint64_t> unknowns{0};
+    obs::Counter &unknowns = registry.counter("serving.unknowns");
     /** Known class, no entry (snapshot lag or peer clear) → full
      *  capacity. */
-    std::atomic<std::uint64_t> lostEntries{0};
+    obs::Counter &lostEntries =
+        registry.counter("serving.lost_entries");
     /** Answers that blew the latency budget → full capacity. */
-    std::atomic<std::uint64_t> budgetBreaches{0};
+    obs::Counter &budgetBreaches =
+        registry.counter("serving.budget_breaches");
     /** Snapshot rebuilds (a store/clear moved the repository
      *  version). */
-    std::atomic<std::uint64_t> snapshotRefreshes{0};
+    obs::Counter &snapshotRefreshes =
+        registry.counter("serving.snapshot_refreshes");
     /** Interference-bucket updates received from proxies. */
-    std::atomic<std::uint64_t> bucketUpdates{0};
-    std::atomic<std::uint64_t> sessionsOpened{0};
-    std::atomic<std::uint64_t> sessionsClosed{0};
+    obs::Counter &bucketUpdates =
+        registry.counter("serving.bucket_updates");
+    obs::Counter &sessionsOpened =
+        registry.counter("serving.sessions_opened");
+    obs::Counter &sessionsClosed =
+        registry.counter("serving.sessions_closed");
     /** Hellos refused by the admission gate. */
-    std::atomic<std::uint64_t> admissionRejects{0};
+    obs::Counter &admissionRejects =
+        registry.counter("serving.admission_rejects");
     /** Frames that failed to decode (length, type or field bounds). */
-    std::atomic<std::uint64_t> wireErrors{0};
+    obs::Counter &wireErrors = registry.counter("serving.wire_errors");
     /** Arrival-to-answer latency of every answered sample. */
-    LatencyHistogram latency;
+    obs::LatencyHistogram &latency =
+        registry.histogram("serving.latency");
 
     /** One-line-per-counter dump (the `kv` format the runbook quotes
-     *  and `dejavud --report` prints). */
-    std::string toString() const
-    {
-        std::ostringstream os;
-        const auto line = [&os](const char *name,
-                                std::uint64_t value) {
-            os << name << ' ' << value << '\n';
-        };
-        line("samples", samples.load(std::memory_order_relaxed));
-        line("cache_hits", cacheHits.load(std::memory_order_relaxed));
-        line("unknowns", unknowns.load(std::memory_order_relaxed));
-        line("lost_entries",
-             lostEntries.load(std::memory_order_relaxed));
-        line("budget_breaches",
-             budgetBreaches.load(std::memory_order_relaxed));
-        line("snapshot_refreshes",
-             snapshotRefreshes.load(std::memory_order_relaxed));
-        line("bucket_updates",
-             bucketUpdates.load(std::memory_order_relaxed));
-        line("sessions_opened",
-             sessionsOpened.load(std::memory_order_relaxed));
-        line("sessions_closed",
-             sessionsClosed.load(std::memory_order_relaxed));
-        line("admission_rejects",
-             admissionRejects.load(std::memory_order_relaxed));
-        line("wire_errors",
-             wireErrors.load(std::memory_order_relaxed));
-        line("latency_p50_ns", latency.quantileNanos(0.50));
-        line("latency_p99_ns", latency.quantileNanos(0.99));
-        return os.str();
-    }
+     *  and `dejavud --report` prints), sorted by name. Includes the
+     *  p50/p99 upper *and* lower bucket bounds. */
+    std::string toString() const { return registry.kv(); }
 };
 
 } // namespace serving

@@ -137,6 +137,29 @@ ServingServer::handleSample(const WireFrame &request,
                      _repo, msg, arrivalNanos, _config.budgetNanos,
                      _metrics);
     encodeAnswerInto(reply, answer);
+    DEJAVU_TRACE(if (_trace) {
+        // The lane field is externally synchronized like the rest of
+        // the session's hot-path state (one driving connection); the
+        // recorder itself must be in synchronized mode.
+        if (!session->traceLaneSet) {
+            session->traceLane = _trace->lane(
+                "session/" + std::to_string(session->id),
+                obs::ClockDomain::Wall);
+            session->traceLaneSet = true;
+        }
+        const char *name = "sample.hit";
+        if (answer.flags & AnswerMsg::kBudgetBreached)
+            name = "sample.breach";
+        else if (answer.kind == 1)
+            name = "sample.unknown";
+        else if (answer.kind == 2)
+            name = "sample.lost";
+        const std::int64_t start =
+            _trace->wallMicrosFrom(arrivalNanos);
+        _trace->complete(session->traceLane, name, start,
+                         _trace->wallMicros() - start,
+                         obs::TraceRecorder::kNoDetail, msg.seq);
+    });
 }
 
 void

@@ -36,6 +36,7 @@
 
 #include "common/thread_annotations.hh"
 #include "core/shared_repository.hh"
+#include "obs/trace.hh"
 #include "serving/admission.hh"
 #include "serving/decision.hh"
 #include "serving/metrics.hh"
@@ -113,6 +114,16 @@ class ServingServer
     /** Sessions ever opened (ids are dense from 0). */
     int totalSessions() const;
 
+    /**
+     * Attach a trace recorder (docs/OBSERVABILITY.md): each answered
+     * Sample becomes a wall-time `sample.*` span (outcome in the
+     * name, seq in the arg) on a per-session `session/<id>` lane,
+     * spanning frame arrival to answer encode. The recorder MUST be
+     * constructed with Config{.synchronized = true} — transports
+     * drive serve() from many threads. Null detaches.
+     */
+    void setTrace(obs::TraceRecorder *trace) { _trace = trace; }
+
   private:
     /** Handlers fill @p reply (already cleared) when they have one. */
     void handleHello(const WireFrame &request, WireFrame &reply);
@@ -129,6 +140,7 @@ class ServingServer
     Config _config;
     Metrics _metrics;
     AdmissionGate _gate;
+    obs::TraceRecorder *_trace = nullptr;
 
     /** Model registry, indexed by ServiceKind; a default
      *  (invalid()) entry means the kind is not served. Written only

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/shared_repository.hh"
+#include "obs/trace.hh"
 #include "serving/decision.hh"
 #include "serving/metrics.hh"
 #include "serving/wire.hh"
@@ -65,6 +66,10 @@ struct Session
     std::vector<double> scratch;
     /** Samples answered over the session's lifetime. */
     std::uint64_t answered = 0;
+    /** Lazily created `session/<id>` trace lane (server.cc) — only
+     *  meaningful while the server has a recorder attached. */
+    obs::LaneId traceLane = 0;
+    bool traceLaneSet = false;
     /** @} */
 };
 

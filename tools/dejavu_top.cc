@@ -1,0 +1,95 @@
+/**
+ * @file
+ * dejavu_top — pretty-print a metrics-registry dump.
+ *
+ * Reads the `name value` kv format that `dejavud --report` prints
+ * and benches write via `--metrics-out` (Prometheus-format input
+ * also works: `# TYPE` comment lines are skipped and label-free
+ * sample lines are kv lines already), sorts by name, and renders an
+ * aligned table grouped by the first dotted path component:
+ *
+ *     ./build/dejavu_top metrics.kv
+ *     ./build/dejavud --repository repo.bin --report | ./build/dejavu_top
+ *
+ * See docs/OBSERVABILITY.md for the metric-name taxonomy.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+int
+run(std::istream &in)
+{
+    std::vector<std::pair<std::string, std::string>> rows;
+    std::size_t widest = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t space = line.find(' ');
+        if (space == std::string::npos || space == 0)
+            continue;
+        std::string name = line.substr(0, space);
+        std::string value = line.substr(space + 1);
+        if (name.find('{') != std::string::npos)
+            continue;  // labeled Prometheus series (histogram buckets)
+        widest = std::max(widest, name.size());
+        rows.emplace_back(std::move(name), std::move(value));
+    }
+    std::sort(rows.begin(), rows.end());
+
+    std::string group;
+    for (const auto &[name, value] : rows) {
+        // Group by the first dotted path component; sanitized
+        // Prometheus names have no dots, so fall back to the first
+        // underscore segment (`serving_samples` -> `serving`).
+        std::size_t cut = name.find('.');
+        if (cut == std::string::npos)
+            cut = name.find('_');
+        const std::string head = name.substr(0, cut);
+        if (head != group) {
+            if (!group.empty())
+                std::printf("\n");
+            group = head;
+        }
+        std::printf("%-*s  %s\n", static_cast<int>(widest),
+                    name.c_str(), value.c_str());
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr, "dejavu_top: no metrics in input\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 2 ||
+        (argc == 2 && std::string(argv[1]) == "--help")) {
+        std::fprintf(stderr,
+                     "usage: dejavu_top [<kv-or-prometheus-file>]\n"
+                     "       (reads stdin when no file is given)\n");
+        return argc > 2 ? 1 : 0;
+    }
+    if (argc == 2) {
+        std::ifstream in(argv[1]);
+        if (!in) {
+            std::fprintf(stderr, "dejavu_top: cannot open %s\n",
+                         argv[1]);
+            return 1;
+        }
+        return run(in);
+    }
+    return run(std::cin);
+}

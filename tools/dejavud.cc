@@ -28,9 +28,16 @@
  *   --seed <n>           bootstrap fleet seed (default 42)
  *   --selftest           serve one in-process client per kind and
  *                        verify the answers; exit nonzero on failure
- *   --report             print the metrics counters on exit (the
- *                        runbook's `symptom -> counter` table reads
- *                        these names)
+ *   --report             print the metrics registry on exit as sorted
+ *                        `name value` lines (the runbook's
+ *                        `symptom -> counter` table reads these
+ *                        names; latency quantiles appear as
+ *                        `_p50_lo_ns`/`_p50_ns` bucket bounds —
+ *                        pretty-print with tools/dejavu_top)
+ *   --metrics <path>     write the registry in Prometheus text
+ *                        exposition format on exit (scrape the file,
+ *                        or point a node_exporter textfile collector
+ *                        at it — docs/OBSERVABILITY.md)
  */
 
 #include <cstring>
@@ -109,6 +116,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     bool runSelftest = false;
     bool report = false;
+    std::string metricsPath;
     for (int i = 1; i < argc; ++i) {
         const auto value = [&]() -> const char * {
             if (i + 1 >= argc)
@@ -133,6 +141,8 @@ main(int argc, char **argv)
             runSelftest = true;
         else if (std::strcmp(argv[i], "--report") == 0)
             report = true;
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            metricsPath = value();
         else
             fatal("unknown argument: ", argv[i],
                   " (see the flag list in tools/dejavud.cc or "
@@ -213,5 +223,13 @@ main(int argc, char **argv)
 
     if (report)
         std::cout << server.metrics().toString();
+    if (!metricsPath.empty()) {
+        std::ofstream out(metricsPath);
+        if (!out)
+            fatal("cannot write metrics to ", metricsPath);
+        server.metrics().registry.writePrometheus(out);
+        inform("dejavud: Prometheus metrics written to ",
+               metricsPath);
+    }
     return exitCode;
 }

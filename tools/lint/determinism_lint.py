@@ -14,9 +14,10 @@ linter bans nondeterminism *sources* statically:
 ``wall-clock``
     ``time()``, ``clock()``, ``gettimeofday``, ``clock_gettime``,
     ``getrusage`` and the ``<chrono>`` clocks outside
-    ``common/stats.*`` — simulated time comes from the EventQueue,
-    and the only sanctioned host-side measurements (peak RSS,
-    bench wall time) live in the stats helpers.
+    ``common/stats.*`` and ``obs/wall_clock.*`` — simulated time
+    comes from the EventQueue, and the only sanctioned host-side
+    measurements (peak RSS, bench wall time, wall-domain trace
+    lanes) live in the stats helpers and the obs wall-clock shim.
 ``sleep``
     ``std::this_thread`` (sleeps / yields) — timing-dependent
     scheduling has no place in a deterministic simulator.
@@ -83,10 +84,11 @@ RULES = {
             r"\bsteady_clock\b",
             r"\bhigh_resolution_clock\b",
         ],
-        "allowed": ["common/stats.hh", "common/stats.cc"],
+        "allowed": ["common/stats.hh", "common/stats.cc",
+                    "obs/wall_clock.hh", "obs/wall_clock.cc"],
         "message": "wall-clock read; simulated time comes from the "
                    "EventQueue, host-side measurement belongs in "
-                   "common/stats.*",
+                   "common/stats.* or obs/wall_clock.*",
     },
     "sleep": {
         "patterns": [r"\bstd\s*::\s*this_thread\b"],

@@ -1,0 +1,12 @@
+// Path-allowlist check: files whose path ends in obs/wall_clock.*
+// are the sanctioned clock shim for wall-domain trace lanes, so
+// clock reads are legal here. No expect() markers.
+
+#include <chrono>
+
+long
+sanctionedWallRead()
+{
+    const auto tick = std::chrono::steady_clock::now();
+    return tick.time_since_epoch().count();
+}
